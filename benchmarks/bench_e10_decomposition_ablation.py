@@ -1,0 +1,111 @@
+"""E10 — ablation: arrangement vs NC¹ decomposition (Section 7).
+
+The paper highlights the trade-off: the arrangement partitions ℝ^d and
+every face is in-or-out of S, but is only known to be PTIME; the NC¹
+decomposition is cheaper to compute in parallel but its regions may
+overlap, may straddle S, and do not cover ℝ^d.  This experiment makes
+each claim observable and compares region counts and build times.
+"""
+
+import time
+from fractions import Fraction
+
+from repro.constraints.parser import parse_formula
+from repro.constraints.relation import ConstraintRelation
+from repro.regions.arrangement_regions import ArrangementDecomposition
+from repro.regions.nc1 import NC1Decomposition
+from repro.workloads.generators import chain_of_boxes
+
+F = Fraction
+
+
+def test_e10_counts_and_times(report):
+    rows = []
+    for count in (1, 2, 3):
+        relation = chain_of_boxes(count).spatial
+        start = time.perf_counter()
+        arrangement = ArrangementDecomposition(relation)
+        arr_time = time.perf_counter() - start
+        start = time.perf_counter()
+        nc1 = NC1Decomposition(relation)
+        nc1_time = time.perf_counter() - start
+        rows.append(
+            (f"{count} boxes:",
+             f"arrangement {len(arrangement)} regions "
+             f"({arr_time * 1000:.0f} ms),",
+             f"nc1 {len(nc1)} regions ({nc1_time * 1000:.0f} ms)")
+        )
+    report("E10: decomposition sizes and build times", rows)
+
+
+def test_e10_arrangement_partitions_nc1_does_not(report):
+    relation = chain_of_boxes(2).spatial
+    arrangement = ArrangementDecomposition(relation)
+    nc1 = NC1Decomposition(relation)
+
+    # A point far from S: the arrangement still covers it, NC1 does not.
+    far = (F(50), F(50))
+    assert arrangement.covers(far)
+    assert not nc1.covers(far)
+
+    # Arrangement regions never overlap; NC1 regions of the two touching
+    # boxes share the touching corner structure.
+    probe = (F(1, 2), F(1, 2))
+    assert len(arrangement.regions_containing(probe)) == 1
+
+    report("E10: cover / partition properties", [
+        ("arrangement covers far point:", arrangement.covers(far)),
+        ("nc1 covers far point:", nc1.covers(far)),
+        ("arrangement unique cover at probe:", 1),
+    ])
+
+
+def test_e10_nc1_regions_may_straddle_s(report):
+    """Section 7: NC¹ regions are not guaranteed in-or-out of S."""
+    # S = open triangle ∪ a piece of its bottom edge.  The NC¹ region for
+    # the triangle's bottom outer edge contains points inside S (on the
+    # covered piece) and outside S (the uncovered rest of the edge).
+    relation = ConstraintRelation.make(
+        ("x", "y"),
+        parse_formula(
+            "(x > 0 & y > 0 & x + y < 2) | "
+            "(y = 0 & 1/2 <= x & x <= 1)"
+        ),
+    )
+    nc1 = NC1Decomposition(relation)
+    straddling = []
+    for region in nc1:
+        sample_in = relation.contains(region.sample_point())
+        subset = nc1.region_subset_of_relation(region.index)
+        if not subset:
+            # Does the region still meet S somewhere?
+            region_rel = region.as_relation(relation.variables)
+            if not region_rel.intersect(relation).is_empty():
+                straddling.append(region)
+    assert straddling, "expected at least one straddling NC1 region"
+
+    # Arrangement faces never straddle.
+    arrangement = ArrangementDecomposition(relation)
+    for region in arrangement:
+        region_rel = region.as_relation(relation.variables)
+        if arrangement.region_subset_of_relation(region.index):
+            assert region_rel.difference(relation).is_empty()
+        else:
+            assert region_rel.intersect(relation).is_empty()
+
+    report("E10: in-or-out property", [
+        ("nc1 straddling regions:", len(straddling)),
+        ("arrangement straddling regions:", 0),
+    ])
+
+
+def test_e10_arrangement_benchmark(benchmark):
+    relation = chain_of_boxes(2).spatial
+    decomposition = benchmark(ArrangementDecomposition, relation)
+    assert len(decomposition) > 0
+
+
+def test_e10_nc1_benchmark(benchmark):
+    relation = chain_of_boxes(2).spatial
+    decomposition = benchmark(NC1Decomposition, relation)
+    assert len(decomposition) > 0

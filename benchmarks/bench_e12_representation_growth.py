@@ -1,0 +1,114 @@
+"""E12 — the Section 2 size model: representation growth under algebra.
+
+Constraint query answers must stay finitely represented; this experiment
+measures how representation size evolves under composed operations and
+shows the effect of the two complement strategies (pruned product vs
+arrangement-cell enumeration) and of disjunct simplification.
+"""
+
+import time
+
+from repro.constraints.parser import parse_formula
+from repro.constraints.relation import ConstraintRelation
+from repro.constraints.simplify import (
+    cell_complement,
+    negate_dnf,
+    prune_disjuncts,
+)
+from repro.workloads.generators import interval_chain
+
+from conftest import empirical_exponent
+
+
+def chain_relation(k: int) -> ConstraintRelation:
+    return interval_chain(k).spatial
+
+
+def test_e12_complement_strategies_agree(report):
+    rows = []
+    for k in (1, 2, 3):
+        relation = chain_relation(k)
+        disjuncts = relation.disjuncts()
+        product = negate_dnf(disjuncts)
+        cells = cell_complement(disjuncts, relation.variables)
+        from repro.constraints.relation import relation_from_disjuncts
+
+        a = relation_from_disjuncts(relation.variables, product)
+        b = relation_from_disjuncts(relation.variables, cells)
+        assert a.equivalent(b)
+        rows.append(
+            (f"k={k}:",
+             f"pruned-product: {len(product)} disjuncts,",
+             f"cells: {len(cells)} disjuncts")
+        )
+    report("E12: complement strategies agree", rows)
+
+
+def test_e12_growth_under_composition(report):
+    sizes, answer_sizes = [], []
+    rows = []
+    for k in (1, 2, 4, 8):
+        relation = chain_relation(k)
+        # complement ∘ complement should stay near the input size.
+        roundtrip = relation.complement().complement()
+        assert roundtrip.equivalent(relation)
+        sizes.append(relation.representation_size())
+        answer_sizes.append(roundtrip.representation_size())
+        rows.append(
+            (f"k={k}:", f"input size {sizes[-1]},",
+             f"double-complement size {answer_sizes[-1]}")
+        )
+    exponent = empirical_exponent(sizes, answer_sizes)
+    rows.append(("size exponent:", f"{exponent:.2f} (< 2 required)"))
+    assert exponent < 2.0
+    report("E12: representation growth under ¬¬", rows)
+
+
+def test_e12_simplify_drops_dead_disjuncts(report):
+    text = " | ".join(
+        [f"(x0 > {i} & x0 < {i})" for i in range(5)]
+        + ["(0 < x0 & x0 < 1)"]
+    )
+    relation = ConstraintRelation.make(("x0",), parse_formula(text))
+    simplified = relation.simplify()
+    assert len(relation.disjuncts()) == 6
+    assert len(simplified.disjuncts()) == 1
+    assert simplified.equivalent(relation)
+    report("E12: simplification", [
+        ("input disjuncts:", len(relation.disjuncts())),
+        ("after simplify:", len(simplified.disjuncts())),
+    ])
+
+
+def test_e12_projection_cost_scaling(report):
+    rows = []
+    sizes, times = [], []
+    for k in (2, 4, 8, 16):
+        relation = chain_relation(k)
+        two_var = ConstraintRelation.make(
+            ("x0", "y"),
+            parse_formula(
+                " | ".join(
+                    f"({i} <= x0 & x0 <= {i + 1} & y = x0)"
+                    for i in range(k)
+                )
+            ),
+        )
+        start = time.perf_counter()
+        projected = two_var.project_out("y")
+        elapsed = time.perf_counter() - start
+        assert projected.equivalent(relation)
+        sizes.append(k)
+        times.append(elapsed)
+        rows.append((f"k={k}:", f"{elapsed * 1000:.1f} ms"))
+    exponent = empirical_exponent(sizes, times)
+    rows.append(("time exponent:", f"{exponent:.2f} (< 3 required)"))
+    assert exponent < 3.0
+    report("E12: Fourier–Motzkin projection scaling", rows)
+
+
+def test_e12_union_prune_benchmark(benchmark):
+    relation = chain_relation(6)
+    disjuncts = list(relation.disjuncts()) * 3
+    pruned = benchmark(prune_disjuncts, disjuncts)
+    assert len(pruned) == 6

@@ -1,0 +1,75 @@
+"""E13 — the introduction's warning: naive element-sort LFP diverges.
+
+"A naive definition of least fixed-point logic leads to a
+non-terminating and undecidable language, as it is possible to define
+the natural numbers ... over (ℝ, <, +)."  We run that induction with
+growing stage caps and watch the representation grow linearly forever,
+while a semi-linear induction converges and the region-sort LFP
+terminates within its |Reg|^k bound on every input.
+"""
+
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.parser import parse_formula
+from repro.logic.evaluator import Evaluator
+from repro.logic.parser import parse_query
+from repro.naive.element_fixpoint import (
+    bounded_saturation_body,
+    define_naturals_body,
+    naive_lfp,
+)
+from repro.twosorted.structure import RegionExtension
+
+
+def test_e13_naturals_diverge(report):
+    rows = []
+    sizes = []
+    for cap in (4, 8, 12, 16):
+        result = naive_lfp(("n",), define_naturals_body, max_stages=cap)
+        assert result.diverged
+        sizes.append(result.last_stage.representation_size())
+        rows.append(
+            (f"stage cap {cap}:", "diverged,",
+             f"representation size {sizes[-1]}")
+        )
+    # Strictly growing representation: no convergence in sight.
+    assert sizes == sorted(sizes) and sizes[0] < sizes[-1]
+    report("E13: naive LFP defines ℕ and never converges", rows)
+
+
+def test_e13_semilinear_induction_converges(report):
+    result = naive_lfp(("n",), bounded_saturation_body, max_stages=10)
+    assert result.converged
+    report("E13: semi-linear induction converges", [
+        ("stages:", result.stages),
+        ("fixed point:", str(result.fixpoint)),
+    ])
+
+
+def test_e13_region_lfp_always_terminates(report):
+    rows = []
+    for text in ("0 <= x0 & x0 <= 3",
+                 "(0 < x0 & x0 < 1) | (2 < x0 & x0 < 3)"):
+        database = ConstraintDatabase.from_formula(
+            parse_formula(text), 1
+        )
+        extension = RegionExtension.build(database)
+        evaluator = Evaluator(extension)
+        evaluator.truth(parse_query(
+            "exists X, Y. [lfp M(R, Rp). (R = Rp) | "
+            "(exists Z. M(R, Z) & adj(Z, Rp))](X, Y)"
+        ))
+        bound = len(extension.regions) ** 2
+        assert evaluator.stats["fixpoint_stages"] <= bound
+        rows.append(
+            (f"|Reg| = {len(extension.regions)}:",
+             f"{evaluator.stats['fixpoint_stages']} stages",
+             f"(bound {bound})")
+        )
+    report("E13: region-sort LFP terminates within |Reg|^k", rows)
+
+
+def test_e13_divergence_benchmark(benchmark):
+    result = benchmark(
+        naive_lfp, ("n",), define_naturals_body, 8
+    )
+    assert result.diverged

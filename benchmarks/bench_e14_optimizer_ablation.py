@@ -1,0 +1,90 @@
+"""E14 — ablation of the formula optimizer (NNF + miniscoping).
+
+Quantifier scopes drive evaluation cost (every region quantifier
+multiplies work by |Reg|).  This experiment evaluates queries with
+deliberately wide scopes, with and without the optimizer, asserting
+semantic agreement and reporting the cost difference.
+"""
+
+import time
+
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.parser import parse_formula
+from repro.logic.evaluator import Evaluator
+from repro.logic.parser import parse_query
+from repro.logic.transform import optimize
+from repro.twosorted.structure import RegionExtension
+from repro.workloads.generators import interval_chain
+
+# A query with a wastefully wide region scope: the second conjunct does
+# not mention R, so miniscoping pulls it out of the quantifier.
+WIDE = (
+    "exists R. (sub(R, S) & (exists x. x = 0 & (x) in R)) "
+    "& (forall y. S(y) -> y >= 0)"
+)
+
+NESTED = (
+    "forall R. sub(R, S) -> "
+    "(exists Z. adj(R, Z) & (exists x. S(x) & x >= 0))"
+)
+
+
+def fresh_evaluator(database):
+    return Evaluator(RegionExtension.build(database))
+
+
+def test_e14_agreement_and_speed(report):
+    rows = []
+    for label, text in (("wide", WIDE), ("nested", NESTED)):
+        database = interval_chain(3)
+        original = parse_query(text)
+        transformed = optimize(original)
+
+        evaluator = fresh_evaluator(database)
+        start = time.perf_counter()
+        base_answer = evaluator.truth(original)
+        base_time = time.perf_counter() - start
+        base_evals = evaluator.stats["evaluations"]
+
+        evaluator = fresh_evaluator(database)
+        start = time.perf_counter()
+        opt_answer = evaluator.truth(transformed)
+        opt_time = time.perf_counter() - start
+        opt_evals = evaluator.stats["evaluations"]
+
+        assert base_answer == opt_answer
+        rows.append(
+            (f"{label}:",
+             f"answers agree ({base_answer});",
+             f"evals {base_evals} -> {opt_evals};",
+             f"time {base_time * 1000:.0f} -> {opt_time * 1000:.0f} ms")
+        )
+    report("E14: optimizer ablation", rows)
+
+
+def test_e14_optimizer_never_changes_answers():
+    database = interval_chain(2, gap=True)
+    queries = [
+        "exists x. S(x) & (forall y. S(y) -> y >= 0)",
+        "forall x. S(x) -> (exists R. (x) in R & sub(R, S))",
+        "!(exists R, Z. adj(R, Z) & sub(R, S) & sub(Z, S))",
+    ]
+    for text in queries:
+        original = parse_query(text)
+        transformed = optimize(original)
+        evaluator = fresh_evaluator(database)
+        assert evaluator.truth(original) == evaluator.truth(transformed)
+
+
+def test_e14_optimized_benchmark(benchmark):
+    database = interval_chain(3)
+    formula = optimize(parse_query(WIDE))
+    evaluator = fresh_evaluator(database)
+    assert benchmark(evaluator.truth, formula)
+
+
+def test_e14_unoptimized_benchmark(benchmark):
+    database = interval_chain(3)
+    formula = parse_query(WIDE)
+    evaluator = fresh_evaluator(database)
+    assert benchmark(evaluator.truth, formula)

@@ -1,0 +1,89 @@
+"""E15 — spatial datalog (the paper's related work, Geerts & Kuijpers).
+
+The paper positions its region languages against spatial datalog:
+connectivity-style recursion *can* terminate there on good inputs, but
+the language has no termination guarantee.  This experiment runs a
+unit-step reachability program on bounded inputs (terminates, matches
+the region-logic component), and the successor program on an unbounded
+domain (diverges at the stage cap), with the region-sort LFP as the
+always-terminating contrast.
+"""
+
+from fractions import Fraction
+
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.parser import parse_formula
+from repro.datalog import evaluate_program
+from repro.datalog.parser import parse_program
+from repro.queries.reachability import connected_component
+from repro.workloads.generators import interval_chain
+
+F = Fraction
+
+REACH = parse_program(
+    """
+    Reach(x) :- S(x), x = 0.
+    Reach(y) :- Reach(x), S(y), y - x <= 1, x - y <= 1.
+    """
+)
+
+SUCCESSOR = parse_program(
+    """
+    P(x) :- S(x), x = 0.
+    P(y) :- P(x), S(y), y = x + 1.
+    """
+)
+
+
+def db(text: str) -> ConstraintDatabase:
+    return ConstraintDatabase.from_formula(parse_formula(text), 1)
+
+
+def test_e15_reach_terminates_and_matches_component(report):
+    rows = []
+    for k in (1, 2, 3):
+        database = interval_chain(k)
+        outcome = evaluate_program(REACH, database)
+        assert outcome.converged
+        component = connected_component(database, (F(0),))
+        assert outcome["Reach"].rename_to(("x0",)).equivalent(component)
+        rows.append(
+            (f"chain k={k}:",
+             f"converged in {outcome.stages} stages,",
+             "matches region-logic component")
+        )
+    report("E15: datalog reach vs region-logic component", rows)
+
+
+def test_e15_reach_respects_gaps():
+    # Gap of width 2 — wider than the unit step, so unreachable.
+    database = db("(0 <= x0 & x0 <= 1) | (3 <= x0 & x0 <= 4)")
+    outcome = evaluate_program(REACH, database)
+    assert outcome.converged
+    assert outcome["Reach"].contains((F(1),))
+    assert not outcome["Reach"].contains((F(3),))
+
+
+def test_e15_successor_diverges_unbounded(report):
+    outcome = evaluate_program(SUCCESSOR, db("x0 >= 0"), max_stages=8)
+    assert not outcome.converged
+    report("E15: datalog has no termination guarantee", [
+        ("successor program on x >= 0:",
+         f"diverged at the stage cap ({outcome.stages} stages),",
+         f"sizes {outcome.stage_sizes}"),
+        ("the region-sort languages:", "terminate on every input "
+         "(Theorems 4.3/6.1)"),
+    ])
+
+
+def test_e15_successor_converges_bounded():
+    outcome = evaluate_program(SUCCESSOR, db("0 <= x0 & x0 <= 4"))
+    assert outcome.converged
+    assert outcome["P"].contains((F(4),))
+    assert not outcome["P"].contains((F(1, 2),))
+
+
+def test_e15_reach_benchmark(benchmark):
+    database = interval_chain(2)
+    outcome = benchmark(evaluate_program, REACH, database)
+    assert outcome.converged

@@ -1,0 +1,55 @@
+"""E1 — the running example of Section 3 (Figures 1-4).
+
+Reproduces the paper's worked example: a relation whose hyperplane set
+𝕳(S) is three lines in general position; its arrangement A(S) has
+exactly 7 two-dimensional faces, 9 one-dimensional faces and 3 vertices;
+each vertex's incidence neighbourhood contains ∅ below and four edges
+above (Figure 4).
+"""
+
+from repro.arrangement.builder import build_arrangement
+from repro.arrangement.incidence import EMPTY_FACE, IncidenceGraph
+from repro.constraints.parser import parse_formula
+from repro.constraints.relation import ConstraintRelation
+
+
+def running_example() -> ConstraintRelation:
+    return ConstraintRelation.make(
+        ("x", "y"), parse_formula("x >= 0 & y >= 0 & x + y <= 1")
+    )
+
+
+def test_e1_arrangement_census(benchmark, report):
+    relation = running_example()
+    arrangement = benchmark(build_arrangement, relation)
+
+    census = arrangement.face_count_by_dimension()
+    assert census == {2: 7, 1: 9, 0: 3}, census
+    assert len(arrangement) == 19
+
+    inside = [f for f in arrangement if f.in_relation]
+    assert len(inside) == 7  # interior + 3 edges + 3 vertices
+
+    report("E1: A(S) face census (paper: 7 / 9 / 3)", [
+        ("dimension 2:", census[2]),
+        ("dimension 1:", census[1]),
+        ("dimension 0:", census[0]),
+        ("faces contained in S:", len(inside)),
+    ])
+
+
+def test_e1_incidence_neighbourhood(benchmark, report):
+    relation = running_example()
+    arrangement = build_arrangement(relation)
+    graph = benchmark(IncidenceGraph.build, arrangement)
+
+    rows = []
+    for vertex in arrangement.vertices:
+        about = graph.neighbourhood(vertex.index)
+        assert about["down"] == (EMPTY_FACE,)
+        assert len(about["up"]) == 4
+        rows.append(
+            (f"vertex {tuple(map(str, vertex.sample))}:",
+             "down:", about["down"], "up:", about["up"])
+        )
+    report("E1: incidence neighbourhoods (Figure 4 shape)", rows)

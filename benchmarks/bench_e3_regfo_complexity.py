@@ -1,0 +1,60 @@
+"""E3 — Theorem 4.3: RegFO queries have PTIME data complexity.
+
+Evaluates fixed RegFO queries on growing databases (interval chains) and
+checks (a) answers stay correct and quantifier-free (closure), (b) time
+scales polynomially in the representation size.
+"""
+
+import time
+
+from repro.logic.evaluator import evaluate_query, query_truth
+from repro.logic.parser import parse_query
+from repro.workloads.generators import interval_chain
+
+from conftest import empirical_exponent
+
+# A mixed-sort RegFO query: points of S whose region is contained in S
+# and adjacent to a region containing the point 0.
+MIXED = parse_query(
+    "exists R, Z. (x) in R & sub(R, S) & adj(R, Z) & "
+    "(exists z. z = 0 & (z) in Z)"
+)
+
+SENTENCE = parse_query(
+    "forall x. S(x) -> (exists R. (x) in R & sub(R, S))"
+)
+
+
+def test_e3_regfo_scaling(report):
+    sizes, times = [], []
+    for k in (1, 2, 4, 8):
+        database = interval_chain(k)
+        start = time.perf_counter()
+        answer = evaluate_query(MIXED, database)
+        elapsed = time.perf_counter() - start
+        sizes.append(database.size())
+        times.append(elapsed)
+        assert answer.formula.is_quantifier_free()
+    exponent = empirical_exponent(sizes, times)
+    assert exponent < 5.0, exponent
+    report("E3: RegFO data complexity (Theorem 4.3)", [
+        (f"|B|={s}:", f"{t * 1000:.1f} ms") for s, t in zip(sizes, times)
+    ] + [("empirical exponent:", f"{exponent:.2f} (< 5 required)")])
+
+
+def test_e3_sentence_truth_all_sizes():
+    for k in (1, 3, 5):
+        assert query_truth(SENTENCE, interval_chain(k))
+        assert query_truth(SENTENCE, interval_chain(k, gap=True))
+
+
+def test_e3_answer_correct(benchmark):
+    database = interval_chain(3)
+    answer = benchmark(evaluate_query, MIXED, database)
+    from fractions import Fraction as F
+
+    # The point 0 is a vertex region itself (not adjacent to itself);
+    # points in the open first interval qualify.
+    assert answer.contains((F(1, 2),))
+    # Points beyond the chain never qualify.
+    assert not answer.contains((F(100),))

@@ -1,0 +1,64 @@
+"""E4 — Theorem 6.1 and the Conn example: RegLFP in PTIME.
+
+Runs the paper's connectivity query on growing interval chains,
+verifies the verdicts against the union-find ground truth, records LFP
+stage counts, and asserts polynomial time scaling.
+"""
+
+import time
+
+from repro.logic.evaluator import Evaluator
+from repro.queries.connectivity import (
+    connectivity_query_lfp,
+    is_connected,
+)
+from repro.twosorted.structure import RegionExtension
+from repro.workloads.generators import interval_chain
+
+from conftest import empirical_exponent
+
+
+def test_e4_connectivity_scaling(report):
+    sizes, times, stages = [], [], []
+    query = connectivity_query_lfp(1)
+    for k in (1, 2, 3, 4):
+        database = interval_chain(k)
+        extension = RegionExtension.build(database)
+        evaluator = Evaluator(extension)
+        start = time.perf_counter()
+        verdict = evaluator.truth(query)
+        elapsed = time.perf_counter() - start
+        assert verdict  # touching chains are connected
+        sizes.append(database.size())
+        times.append(elapsed)
+        stages.append(evaluator.stats["fixpoint_stages"])
+    exponent = empirical_exponent(sizes, times)
+    assert exponent < 6.0, exponent
+    report("E4: RegLFP connectivity scaling (Theorem 6.1)", [
+        (f"|B|={s}:", f"{t * 1000:.0f} ms,", f"{st} LFP stages")
+        for s, t, st in zip(sizes, times, stages)
+    ] + [("empirical exponent:", f"{exponent:.2f} (< 6 required)")])
+
+
+def test_e4_verdicts_match_ground_truth():
+    for k in (1, 2, 3):
+        for gap in (False, True):
+            database = interval_chain(k, gap=gap)
+            assert is_connected(database, "lfp") == \
+                is_connected(database, "ground")
+
+
+def test_e4_connected_benchmark(benchmark):
+    database = interval_chain(2)
+    verdict = benchmark.pedantic(
+        is_connected, args=(database, "lfp"), rounds=2, iterations=1
+    )
+    assert verdict
+
+
+def test_e4_disconnected_benchmark(benchmark):
+    database = interval_chain(2, gap=True)
+    verdict = benchmark.pedantic(
+        is_connected, args=(database, "lfp"), rounds=2, iterations=1
+    )
+    assert not verdict

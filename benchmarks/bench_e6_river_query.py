@@ -1,0 +1,39 @@
+"""E6 — the Figure 6 GIS scenario: the RegLFP pollution program.
+
+Builds river maps (polluted, clean, unreachable) and checks the paper's
+LFP program returns the intended verdicts; times the polluted run.
+"""
+
+from repro.queries.river import river_has_chemical_sequence
+from repro.workloads.generators import river_scenario
+
+
+def test_e6_scenarios(report):
+    polluted = river_scenario(6, polluted=True)
+    clean = river_scenario(6, polluted=False)
+    unreachable = river_scenario(6, polluted=True, reachable=False)
+
+    verdicts = {
+        "polluted, reachable": river_has_chemical_sequence(polluted),
+        "clean": river_has_chemical_sequence(clean),
+        "polluted, unreachable": river_has_chemical_sequence(unreachable),
+    }
+    assert verdicts["polluted, reachable"] is True
+    assert verdicts["clean"] is False
+    assert verdicts["polluted, unreachable"] is False
+    report("E6: river pollution program (Figure 6)", [
+        (name + ":", value) for name, value in verdicts.items()
+    ])
+
+
+def test_e6_polluted_benchmark(benchmark):
+    database = river_scenario(6, polluted=True)
+    verdict = benchmark.pedantic(
+        river_has_chemical_sequence, args=(database,), rounds=1,
+        iterations=1,
+    )
+    assert verdict
+
+
+def test_e6_longer_river():
+    assert river_has_chemical_sequence(river_scenario(8, polluted=True))

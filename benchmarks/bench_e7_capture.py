@@ -1,0 +1,110 @@
+"""E7 — Theorem 6.4: RegLFP captures PTIME.
+
+The constructive content: for every machine and database, the inductive
+definition over region tuples (START ∧ COMPUTE ∧ END) reaches the same
+verdict as running the machine directly on the encoded database.  Also
+checks the small coordinate property precondition on the test databases.
+"""
+
+from repro.capture.compiler import capture_run
+from repro.capture.machine import (
+    machine_contains_one,
+    machine_first_symbol_is,
+    machine_first_vertex_in_s,
+    machine_parity_of_ones,
+)
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.parser import parse_formula
+from repro.logic.properties import has_small_coordinate_property
+from repro.twosorted.structure import RegionExtension
+
+
+def db(text: str, arity: int) -> ConstraintDatabase:
+    return ConstraintDatabase.from_formula(parse_formula(text), arity)
+
+
+DATABASES = [
+    ("open interval", db("0 < x0 & x0 < 1", 1)),
+    ("closed interval", db("0 <= x0 & x0 <= 1", 1)),
+    ("interval+point", db("(0 <= x0 & x0 <= 1) | x0 = 3", 1)),
+    ("two intervals", db("(0 < x0 & x0 < 1) | (2 < x0 & x0 < 3)", 1)),
+    ("triangle", db("x0 >= 0 & x1 >= 0 & x0 + x1 <= 1", 2)),
+]
+
+MACHINES = [
+    ("first=1", machine_first_symbol_is("1")),
+    ("parity", machine_parity_of_ones()),
+    ("has-1", machine_contains_one()),
+    ("vertex∈S", machine_first_vertex_in_s()),
+]
+
+
+def test_e7_agreement_matrix(report):
+    rows = []
+    for db_name, database in DATABASES:
+        for m_name, machine in MACHINES:
+            result = capture_run(machine, database)
+            assert result.agree, (db_name, m_name)
+            rows.append(
+                (f"{db_name:16} × {m_name:8}:",
+                 f"direct={result.direct_accepts}",
+                 f"inductive={result.inductive_accepts}",
+                 "agree")
+            )
+    report("E7: capture agreement (Theorem 6.4)", rows)
+
+
+def test_e7_small_coordinate_property(report):
+    rows = []
+    for db_name, database in DATABASES:
+        extension = RegionExtension.build(database)
+        holds = has_small_coordinate_property(extension)
+        assert holds, db_name
+        rows.append((f"{db_name}:", "small coordinate property holds"))
+    report("E7: Definition 6.2 precondition", rows)
+
+
+def test_e7_capture_benchmark(benchmark):
+    database = DATABASES[2][1]
+    machine = MACHINES[1][1]
+    result = benchmark(capture_run, machine, database)
+    assert result.agree
+
+
+def test_e7_pspace_arm(report):
+    """The RegPFP/PSPACE half of Theorem 6.4: a configuration-space PFP
+    covers runs exponentially longer than any tuple time-stamp budget,
+    in the same polynomial space."""
+    from repro.capture.pspace import (
+        binary_counter_machine,
+        pspace_capture_run,
+    )
+
+    machine = binary_counter_machine()
+    rows = []
+    for value in (8, 32, 128):
+        database = db(f"x0 = {value}", 1)
+        result = pspace_capture_run(machine, database)
+        assert result.agree
+        rows.append(
+            (f"x0 = {value}:",
+             f"{result.pfp_stages} PFP stages in "
+             f"{result.space_cells} cells",
+             "(beyond time-stamp budget)"
+             if result.run_exceeded_ptime_addressing else "")
+        )
+    assert result.run_exceeded_ptime_addressing
+    report("E7: PSPACE arm — PFP stages vs space cells", rows)
+
+
+def test_e7_pspace_benchmark(benchmark):
+    from repro.capture.pspace import (
+        binary_counter_machine,
+        pspace_capture_run,
+    )
+
+    database = db("x0 = 32", 1)
+    result = benchmark(
+        pspace_capture_run, binary_counter_machine(), database
+    )
+    assert result.agree

@@ -1,0 +1,85 @@
+"""E8 — Appendix A: the NC¹ decomposition on the worked examples.
+
+Figures 7-8: the bounded pentagon decomposes into exactly 3
+two-dimensional inner regions, 7 one-dimensional regions (5 outer
+boundary edges, 2 inner diagonals from p_low) and 5 vertices.
+
+Figures 9-10: the unbounded wedge decomposes into the paper's regions
+plus one extra bounded 1-dimensional region — the chord between the two
+cube-boundary clip vertices, which the literal Appendix-A rules produce
+but the paper's narrative omits (documented deviation, EXPERIMENTS.md).
+"""
+
+from repro.constraints.parser import parse_formula
+from repro.constraints.relation import ConstraintRelation
+from repro.regions.nc1 import NC1Decomposition, decompose_nc1
+
+
+def pentagon() -> ConstraintRelation:
+    return ConstraintRelation.make(
+        ("x", "y"),
+        parse_formula(
+            "y >= 0 & 3*x - 2*y <= 12 & 3*x + 4*y <= 30 & "
+            "3*x - 4*y >= -18 & 3*x + 2*y >= 0"
+        ),
+    )
+
+
+def wedge() -> ConstraintRelation:
+    return ConstraintRelation.make(
+        ("x", "y"), parse_formula("x >= 0 & y <= x & y >= -1")
+    )
+
+
+def test_e8_pentagon_census(benchmark, report):
+    regions = benchmark(decompose_nc1, pentagon())
+    census: dict[int, int] = {}
+    kinds: dict[str, int] = {}
+    for region in regions:
+        census[region.dimension] = census.get(region.dimension, 0) + 1
+        kinds[region.kind] = kinds.get(region.kind, 0) + 1
+    assert census == {2: 3, 1: 7, 0: 5}
+    one_dim_inner = [
+        r for r in regions if r.dimension == 1 and r.kind == "inner"
+    ]
+    assert len(one_dim_inner) == 2
+    report("E8: pentagon decomposition (paper: 3 / 7 / 5)", [
+        ("2-dim regions:", census[2]),
+        ("1-dim regions:", census[1], f"({len(one_dim_inner)} inner)"),
+        ("0-dim regions:", census[0]),
+    ])
+
+
+def test_e8_wedge_census(benchmark, report):
+    regions = benchmark(decompose_nc1, wedge())
+    census: dict[int, int] = {}
+    for region in regions:
+        census[region.dimension] = census.get(region.dimension, 0) + 1
+    unbounded = [r for r in regions if not r.is_bounded()]
+    rays = [r for r in unbounded if r.kind == "ray"]
+    hulls = [r for r in unbounded if r.kind == "ray-hull"]
+    # Paper's census: {2: 3, 1: 6, 0: 4}; literal rules add the cube
+    # chord, one extra bounded 1-dim region.
+    assert census == {2: 3, 1: 7, 0: 4}
+    assert len(rays) == 2 and len(hulls) == 1
+    report("E8: wedge decomposition (paper: 3 / 6 / 4; +1 cube chord)", [
+        ("2-dim regions:", census[2], "(2 bounded + 1 unbounded)"),
+        ("1-dim regions:", census[1],
+         "(paper lists 6; literal rules add the icube chord)"),
+        ("0-dim regions:", census[0]),
+        ("unbounded rays:", len(rays), "+ 1 ray hull"),
+    ])
+
+
+def test_e8_regions_cover_relation():
+    from fractions import Fraction as F
+
+    relation = pentagon()
+    decomposition = NC1Decomposition(relation)
+    probes = [
+        (F(0), F(0)), (F(1), F(1)), (F(2), F(0)), (F(-1), F(5, 2)),
+        (F(3), F(3)), (F(5), F(3)),
+    ]
+    for probe in probes:
+        if relation.contains(probe):
+            assert decomposition.covers(probe), probe

@@ -1,0 +1,89 @@
+"""E9 — Theorems 7.3/7.4: the transitive-closure logics.
+
+RegTC and RegDTC agree with RegLFP on connectivity; the TC evaluation is
+cheaper per database than the LFP induction (one reachability pass over
+Reg^m instead of up to |Reg|^k monotone stages), which this experiment
+measures.  Both the arrangement and the NC¹ decomposition are exercised
+(Section 7 pairs the TC logics with the latter).
+"""
+
+import time
+
+from repro.queries.connectivity import is_connected
+from repro.workloads.generators import interval_chain
+
+from conftest import empirical_exponent
+
+
+def test_e9_tc_agrees_with_lfp(report):
+    rows = []
+    for k in (1, 2, 3):
+        for gap in (False, True):
+            database = interval_chain(k, gap=gap)
+            lfp = is_connected(database, "lfp")
+            tc = is_connected(database, "tc")
+            assert lfp == tc
+            rows.append(
+                (f"chain k={k} gap={gap}:", f"lfp={lfp}", f"tc={tc}")
+            )
+    report("E9: RegTC vs RegLFP verdicts", rows)
+
+
+def test_e9_tc_on_nc1_decomposition():
+    assert is_connected(interval_chain(2), "tc", decomposition="nc1")
+    assert not is_connected(
+        interval_chain(2, gap=True), "tc", decomposition="nc1"
+    )
+
+
+def test_e9_tc_vs_lfp_times(report):
+    rows = []
+    tc_times, lfp_times, sizes = [], [], []
+    for k in (1, 2, 3):
+        database = interval_chain(k)
+        start = time.perf_counter()
+        assert is_connected(database, "tc")
+        tc_time = time.perf_counter() - start
+        start = time.perf_counter()
+        assert is_connected(database, "lfp")
+        lfp_time = time.perf_counter() - start
+        sizes.append(database.size())
+        tc_times.append(tc_time)
+        lfp_times.append(lfp_time)
+        rows.append(
+            (f"k={k}:", f"tc={tc_time * 1000:.0f} ms",
+             f"lfp={lfp_time * 1000:.0f} ms")
+        )
+    exponent = empirical_exponent(sizes, tc_times)
+    rows.append(("tc empirical exponent:", f"{exponent:.2f}"))
+    assert exponent < 6.0
+    report("E9: TC vs LFP connectivity cost", rows)
+
+
+def test_e9_tc_benchmark(benchmark):
+    database = interval_chain(2)
+    verdict = benchmark(is_connected, database, "tc")
+    assert verdict
+
+
+def test_e9_dtc_semantics():
+    """DTC only walks unique-successor edges, so it reaches no more than
+    TC does."""
+    from repro.logic.evaluator import Evaluator
+    from repro.logic.parser import parse_query
+    from repro.twosorted.structure import RegionExtension
+
+    database = interval_chain(2)
+    extension = RegionExtension.build(database)
+    evaluator = Evaluator(extension)
+    tc = parse_query(
+        "exists X, Y. X != Y & [tc R -> Rp. adj(R, Rp)](X; Y)"
+    )
+    dtc = parse_query(
+        "exists X, Y. X != Y & [dtc R -> Rp. adj(R, Rp)](X; Y)"
+    )
+    tc_holds = evaluator.truth(tc)
+    dtc_holds = evaluator.truth(dtc)
+    assert tc_holds
+    if dtc_holds:
+        assert tc_holds

@@ -1,0 +1,47 @@
+"""Shared fixtures and helpers for the experiment benchmarks.
+
+Every experiment file ``bench_eNN_*.py`` reproduces one item of
+EXPERIMENTS.md: it asserts the *shape* the paper predicts (face
+censuses, query verdicts, agreement of methods, polynomial growth) and
+times the central computation with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+
+def empirical_exponent(sizes, times) -> float:
+    """Least-squares slope of log(time) against log(size).
+
+    The scaling experiments assert this stays below the theorem's
+    polynomial degree (plus slack for constant factors at small sizes).
+    """
+    pairs = [
+        (math.log(s), math.log(t))
+        for s, t in zip(sizes, times)
+        if t > 0
+    ]
+    if len(pairs) < 2:
+        raise ValueError("need at least two measurements")
+    n = len(pairs)
+    mean_x = sum(x for x, __ in pairs) / n
+    mean_y = sum(y for __, y in pairs) / n
+    num = sum((x - mean_x) * (y - mean_y) for x, y in pairs)
+    den = sum((x - mean_x) ** 2 for x, __ in pairs)
+    return num / den
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a small results table that survives pytest's capture."""
+
+    def emit(title: str, rows: list[tuple]) -> None:
+        with capsys.disabled():
+            print(f"\n[{title}]")
+            for row in rows:
+                print("   ", *row)
+
+    return emit

@@ -1,0 +1,55 @@
+"""Theorem 6.4 in action: machines, encodings, inductive simulation.
+
+Encodes databases as words over the ordered region sort, runs small
+Turing machines both directly and through the region-tuple inductive
+definition of the capture proof, and prints the agreement table.
+
+Run with:  python examples/capture_demo.py
+"""
+
+from repro import ConstraintDatabase, parse_formula
+from repro.capture.compiler import capture_run
+from repro.capture.machine import (
+    machine_contains_one,
+    machine_first_symbol_is,
+    machine_parity_of_ones,
+)
+
+
+def main() -> None:
+    databases = [
+        ("open interval", "0 < x0 & x0 < 1", 1),
+        ("closed interval", "0 <= x0 & x0 <= 1", 1),
+        ("interval + point", "(0 <= x0 & x0 <= 1) | x0 = 3", 1),
+        ("triangle", "x0 >= 0 & x1 >= 0 & x0 + x1 <= 1", 2),
+    ]
+    machines = [
+        ("first symbol is 1", machine_first_symbol_is("1")),
+        ("parity of ones", machine_parity_of_ones()),
+        ("contains a one", machine_contains_one()),
+    ]
+
+    for db_name, text, arity in databases:
+        database = ConstraintDatabase.from_formula(
+            parse_formula(text), arity
+        )
+        print(f"database: {db_name}  ({text})")
+        first = True
+        for m_name, machine in machines:
+            result = capture_run(machine, database)
+            if first:
+                print(
+                    f"  encoding word ({result.region_count} regions, "
+                    f"k={result.arity}): {result.word}"
+                )
+                first = False
+            print(
+                f"  {m_name:20} direct={result.direct_accepts!s:5} "
+                f"inductive={result.inductive_accepts!s:5} "
+                f"agree={result.agree}"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Regenerate the paper's figures as SVG files.
+
+* Figure 1-3 — the running example relation, its hyperplanes and its
+  arrangement (we use the triangle whose arrangement has the paper's
+  7 + 9 + 3 face census).
+* Figure 5 — the multiplication-by-convex-closure construction.
+* Figures 7-8 — the Appendix-A decomposition of the bounded pentagon.
+* Figures 9-10 — the decomposition of the unbounded wedge.
+
+Writes ./figures/*.svg (creates the directory next to the cwd).
+
+Run with:  python examples/figures.py
+"""
+
+import pathlib
+
+from repro import ConstraintDatabase, parse_formula
+from repro.arrangement.builder import build_arrangement
+from repro.constraints.relation import ConstraintRelation
+from repro.regions.nc1 import NC1Decomposition
+from repro.viz.svg import (
+    render_arrangement,
+    render_nc1_decomposition,
+    render_relation,
+)
+
+
+def main() -> None:
+    out = pathlib.Path("figures")
+    out.mkdir(exist_ok=True)
+
+    triangle = ConstraintRelation.make(
+        ("x", "y"), parse_formula("x >= 0 & y >= 0 & x + y <= 1")
+    )
+    (out / "fig1_relation.svg").write_text(
+        render_relation(triangle, viewport=(-0.5, 1.5, -0.5, 1.5))
+    )
+    arrangement = build_arrangement(triangle)
+    (out / "fig3_arrangement.svg").write_text(
+        render_arrangement(arrangement, viewport=(-0.5, 1.5, -0.5, 1.5))
+    )
+    census = arrangement.face_count_by_dimension()
+    print(f"arrangement census (paper: 7/9/3): {census}")
+
+    pentagon = ConstraintRelation.make(
+        ("x", "y"),
+        parse_formula(
+            "y >= 0 & 3*x - 2*y <= 12 & 3*x + 4*y <= 30 & "
+            "3*x - 4*y >= -18 & 3*x + 2*y >= 0"
+        ),
+    )
+    pentagon_regions = NC1Decomposition(pentagon)
+    (out / "fig8_pentagon_decomposition.svg").write_text(
+        render_nc1_decomposition(
+            pentagon_regions, viewport=(-3.0, 7.0, -1.0, 7.0)
+        )
+    )
+    print(
+        "pentagon NC1 census (paper: 3 two-dim, 7 one-dim, 5 vertices): "
+        f"{pentagon_regions.count_by_dimension()}"
+    )
+
+    wedge = ConstraintRelation.make(
+        ("x", "y"), parse_formula("x >= 0 & y <= x & y >= -1")
+    )
+    wedge_regions = NC1Decomposition(wedge)
+    (out / "fig10_wedge_decomposition.svg").write_text(
+        render_nc1_decomposition(
+            wedge_regions, viewport=(-1.0, 8.0, -2.0, 8.0)
+        )
+    )
+    print(f"wedge NC1 census: {wedge_regions.count_by_dimension()}")
+
+    db = ConstraintDatabase.single(triangle)
+    del db
+    print(f"\nfigures written to {out.resolve()}")
+
+
+if __name__ == "__main__":
+    main()

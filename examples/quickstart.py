@@ -1,0 +1,72 @@
+"""Quickstart: linear constraint databases and region queries.
+
+Builds a couple of databases over (ℝ, <, +), inspects their region
+extensions, and evaluates RegFO and RegLFP queries — including the
+paper's connectivity query.
+
+Run with:  python examples/quickstart.py
+"""
+
+from fractions import Fraction
+
+from repro import (
+    ConstraintDatabase,
+    RegionExtension,
+    evaluate_query,
+    parse_formula,
+    parse_query,
+    query_truth,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. A database is a finitely represented relation over (ℝ, <, +).
+    # ------------------------------------------------------------------
+    db = ConstraintDatabase.from_formula(
+        parse_formula("(0 < x0 & x0 < 1) | (2 < x0 & x0 < 3)"), arity=1
+    )
+    print("database:")
+    print(f"  {db}")
+    print(f"  representation size |B| = {db.size()}")
+
+    # ------------------------------------------------------------------
+    # 2. Its region extension: the two-sorted structure of Definition 4.1.
+    # ------------------------------------------------------------------
+    extension = RegionExtension.build(db)
+    print(f"\nregion extension: {extension}")
+    for region in extension.regions:
+        inside = extension.region_subset_of_spatial(region.index)
+        print(f"  {region}  {'⊆ S' if inside else ''}")
+
+    # ------------------------------------------------------------------
+    # 3. RegFO: first-order queries mixing both sorts.
+    # ------------------------------------------------------------------
+    answer = evaluate_query(
+        parse_query("exists y. S(y) & x < y"), db
+    )
+    print("\nRegFO answer to 'exists y. S(y) & x < y':")
+    print(f"  {answer}")
+    print(f"  contains 2?   {answer.contains((Fraction(2),))}")
+    print(f"  contains 10?  {answer.contains((Fraction(10),))}")
+
+    # ------------------------------------------------------------------
+    # 4. RegLFP: the paper's connectivity query (Section 5).
+    # ------------------------------------------------------------------
+    conn = parse_query(
+        "forall a, b. (S(a) & S(b)) -> "
+        "(exists RX, RY. (a) in RX & (b) in RY & "
+        "[lfp M(R, Rp). ((R = Rp & sub(R, S)) | "
+        "(exists Z. M(R, Z) & adj(Z, Rp) & sub(Rp, S)))](RX, RY))"
+    )
+    print("\nconnectivity (RegLFP):")
+    print(f"  two separated intervals: {query_truth(conn, db)}")
+
+    one_piece = ConstraintDatabase.from_formula(
+        parse_formula("0 < x0 & x0 < 3"), arity=1
+    )
+    print(f"  a single interval:       {query_truth(conn, one_piece)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Hyperplane arrangements (Section 3 of the paper).
+
+Given a linear constraint relation S represented in DNF, this package
+
+* extracts the hyperplane set 𝕳(S) induced by the atoms of the
+  representation (:mod:`repro.arrangement.hyperplanes`),
+* builds the arrangement A(S): the partition of ℝ^d into *faces* — maximal
+  sets of points sharing a position (sign) vector with respect to 𝕳(S)
+  (:mod:`repro.arrangement.builder`),
+* exposes the incidence graph with the two improper vertices ∅ and A(S)
+  (:mod:`repro.arrangement.incidence`) and the adjacency relation used by
+  the region logics (:mod:`repro.arrangement.adjacency`).
+
+Faces are enumerated exactly, by depth-first extension of partial sign
+vectors with LP-feasibility pruning; for a fixed dimension the total work
+is polynomial in the number of hyperplanes (Theorem 3.1).
+"""
+
+from repro.arrangement.adjacency import faces_adjacent, face_in_closure_of
+from repro.arrangement.builder import Arrangement, build_arrangement
+from repro.arrangement.faces import Face
+from repro.arrangement.hyperplanes import hyperplanes_of_relation
+from repro.arrangement.incidence import IncidenceGraph
+from repro.arrangement.incremental import (
+    IncrementalArrangement,
+    build_arrangement_incremental,
+)
+
+__all__ = [
+    "Arrangement",
+    "Face",
+    "IncidenceGraph",
+    "IncrementalArrangement",
+    "build_arrangement",
+    "build_arrangement_incremental",
+    "faces_adjacent",
+    "face_in_closure_of",
+    "hyperplanes_of_relation",
+]

@@ -1,0 +1,62 @@
+"""Adjacency and closure relations between arrangement faces.
+
+Definition 4.1 defines two regions to be adjacent when a point of one has
+every ε-neighbourhood meeting the other — equivalently (as the paper
+notes) when one region is contained in the closure of the other.  For
+arrangement faces the closure relation is purely combinatorial on
+position vectors:
+
+    f ⊆ closure(g)   iff   for every hyperplane i:
+                               v_g(i) = 0  ⟹  v_f(i) = 0, and
+                               v_g(i) ≠ 0  ⟹  v_f(i) ∈ {0, v_g(i)}
+
+i.e. v_f arises from v_g by zeroing some entries.  (The closure of a
+non-empty face is the relaxation of its strict constraints, and the sign
+vectors satisfying the relaxed system are exactly those above.)
+"""
+
+from __future__ import annotations
+
+from repro.arrangement.faces import Face
+
+
+def signs_in_closure(face_signs: tuple[int, ...],
+                     other_signs: tuple[int, ...]) -> bool:
+    """Combinatorial closure test on position vectors."""
+    if len(face_signs) != len(other_signs):
+        raise ValueError("sign vectors of different arrangements")
+    return all(
+        f == g or f == 0 for f, g in zip(face_signs, other_signs)
+    )
+
+
+def face_in_closure_of(face: Face, other: Face) -> bool:
+    """Is ``face`` contained in the closure of ``other``?"""
+    return signs_in_closure(face.signs, other.signs)
+
+
+def faces_adjacent(face: Face, other: Face) -> bool:
+    """Definition 4.1's adjacency for arrangement faces.
+
+    Two distinct faces are adjacent iff one lies in the closure of the
+    other.  Adjacent faces always differ in dimension (the paper's
+    remark): zeroing a sign entry strictly lowers the dimension.
+    """
+    if face.signs == other.signs:
+        return False
+    return face_in_closure_of(face, other) or face_in_closure_of(other, face)
+
+
+def faces_incident(face: Face, other: Face) -> bool:
+    """The incidence relation of Section 3.
+
+    Two faces are incident iff one is of dimension exactly one less than
+    the other and is contained in the other's boundary (equivalently its
+    closure, for distinct faces).
+    """
+    if abs(face.dimension - other.dimension) != 1:
+        return False
+    lower, higher = (
+        (face, other) if face.dimension < other.dimension else (other, face)
+    )
+    return face_in_closure_of(lower, higher)

@@ -1,0 +1,187 @@
+"""Arrangement construction: exact face enumeration (Theorem 3.1).
+
+The faces of an arrangement of hyperplanes h_1..h_n are exactly the
+non-empty sign vectors v ∈ {-1, 0, +1}^n: the system "on h_i if v_i = 0,
+strictly above if +1, strictly below if -1" must be feasible.  We
+enumerate them by depth-first extension of partial sign vectors, pruning
+any prefix whose constraint system is already infeasible (exact LP).
+
+Every internal node of the search tree corresponds to a non-empty
+intersection of sign conditions, and each such prefix extends to at least
+one face, so the number of explored nodes is at most n times the number
+of faces; for fixed dimension d the face count is O(n^d) and the whole
+construction runs in polynomial time — the constructive content of
+Theorem 3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, Sequence
+
+from repro.errors import GeometryError
+from repro.geometry.fourier_motzkin import LinearConstraint
+from repro.geometry.hyperplane import Hyperplane
+from repro.geometry.linalg import Vector
+from repro.geometry.simplex import strict_feasible_point
+from repro.constraints.relation import ConstraintRelation
+from repro.arrangement.faces import (
+    Face,
+    SignVector,
+    face_dimension,
+    sign_vector_constraints,
+)
+from repro.arrangement.hyperplanes import hyperplanes_of_relation
+
+
+@dataclass(frozen=True)
+class Arrangement:
+    """The arrangement A(S): hyperplanes, faces and lookups."""
+
+    dimension: int
+    hyperplanes: tuple[Hyperplane, ...]
+    faces: tuple[Face, ...]
+    relation: ConstraintRelation | None
+
+    # -- lookups ---------------------------------------------------------
+    def face_by_signs(self, signs: SignVector) -> Face | None:
+        """The face with the given position vector, if it is non-empty."""
+        return self._sign_index().get(tuple(signs))
+
+    def _sign_index(self) -> dict[SignVector, Face]:
+        if not hasattr(self, "_signs_cached"):
+            object.__setattr__(
+                self,
+                "_signs_cached",
+                {face.signs: face for face in self.faces},
+            )
+        return getattr(self, "_signs_cached")
+
+    def locate(self, point: Sequence[Fraction]) -> Face:
+        """The unique face containing a rational point."""
+        if len(point) != self.dimension:
+            raise GeometryError("point dimension mismatch")
+        signs = tuple(
+            int(plane.side_of(point)) for plane in self.hyperplanes
+        )
+        face = self.face_by_signs(signs)
+        if face is None:  # pragma: no cover - the faces partition space
+            raise GeometryError("point's sign vector matches no face")
+        return face
+
+    def faces_of_dimension(self, dimension: int) -> list[Face]:
+        return [f for f in self.faces if f.dimension == dimension]
+
+    @property
+    def vertices(self) -> list[Face]:
+        """0-dimensional faces, in canonical (lexicographic point) order."""
+        zero_dim = self.faces_of_dimension(0)
+        return sorted(zero_dim, key=lambda f: f.sample)
+
+    def faces_in_relation(self) -> list[Face]:
+        return [f for f in self.faces if f.in_relation]
+
+    def face_count_by_dimension(self) -> dict[int, int]:
+        """Census {dimension: number of faces} (the paper's 7/9/3 example)."""
+        census: dict[int, int] = {}
+        for face in self.faces:
+            census[face.dimension] = census.get(face.dimension, 0) + 1
+        return census
+
+    def __iter__(self) -> Iterator[Face]:
+        return iter(self.faces)
+
+    def __len__(self) -> int:
+        return len(self.faces)
+
+
+def enumerate_sign_vectors(
+    hyperplanes: Sequence[Hyperplane], dimension: int
+) -> Iterator[tuple[SignVector, Vector]]:
+    """Yield every feasible full sign vector with a witness point.
+
+    Depth-first search over partial sign vectors; a branch is cut as soon
+    as its (mixed strict/equality) system is infeasible.
+    """
+    n = len(hyperplanes)
+
+    def extend(
+        prefix: list[int],
+        system: list[LinearConstraint],
+        witness: Vector,
+    ) -> Iterator[tuple[SignVector, Vector]]:
+        if len(prefix) == n:
+            yield tuple(prefix), witness
+            return
+        plane = hyperplanes[len(prefix)]
+        # The inherited witness already picks a side of the next plane, so
+        # that branch is feasible without an LP; only the two other signs
+        # need a solve.
+        witness_sign = int(plane.side_of(witness))
+        for sign in (-1, 0, 1):
+            extra = sign_vector_constraints([plane], (sign,))
+            candidate = system + extra
+            if sign == witness_sign:
+                child_witness: Vector | None = witness
+            else:
+                child_witness = strict_feasible_point(candidate, dimension)
+            if child_witness is None:
+                continue
+            prefix.append(sign)
+            yield from extend(prefix, candidate, child_witness)
+            prefix.pop()
+
+    origin: Vector = (Fraction(0),) * dimension
+    yield from extend([], [], origin)
+
+
+def build_arrangement(
+    relation: ConstraintRelation | None = None,
+    hyperplanes: Sequence[Hyperplane] | None = None,
+    dimension: int | None = None,
+) -> Arrangement:
+    """Build A(S) from a relation, or from an explicit hyperplane set.
+
+    When a relation is given, 𝕳(S) is extracted from its DNF atoms and
+    every face is classified as inside or outside S by evaluating the
+    representation at the face's witness point (faces are in-or-out by
+    construction).  An explicit hyperplane list can be supplied instead
+    (for raw geometric experiments, with ``dimension``), or *in addition*
+    to the relation — then the union of both hyperplane sets is used,
+    which yields a refinement of A(S); every face of a refinement is
+    still in-or-out of S, so all region-logic semantics carry over
+    (the paper notes the languages do not depend on the particular
+    decomposition).
+    """
+    if relation is not None:
+        extracted = hyperplanes_of_relation(relation)
+        if hyperplanes is not None:
+            merged = {*extracted, *hyperplanes}
+            planes: Sequence[Hyperplane] = sorted(
+                merged, key=lambda h: (h.normal, h.offset)
+            )
+        else:
+            planes = extracted
+        ambient = relation.arity
+    else:
+        if hyperplanes is None or dimension is None:
+            raise GeometryError(
+                "need either a relation or hyperplanes plus a dimension"
+            )
+        planes = list(hyperplanes)
+        ambient = dimension
+    for plane in planes:
+        if plane.dimension != ambient:
+            raise GeometryError(
+                f"hyperplane dimension {plane.dimension} != ambient {ambient}"
+            )
+
+    faces: list[Face] = []
+    for index, (signs, witness) in enumerate(
+        enumerate_sign_vectors(planes, ambient)
+    ):
+        dim = face_dimension(planes, signs, ambient)
+        inside = relation.contains(witness) if relation is not None else False
+        faces.append(Face(index, signs, dim, witness, inside))
+    return Arrangement(ambient, tuple(planes), tuple(faces), relation)

@@ -1,0 +1,27 @@
+"""Extraction of the hyperplane set 𝕳(S) from a relation's representation.
+
+Section 3: for every atom of the DNF representation of S, take the
+hyperplane obtained by replacing the (in)equality by equality.  The result
+is a *set* — canonicalisation (see :class:`repro.geometry.hyperplane.
+Hyperplane`) collapses atoms that induce the same hyperplane, e.g.
+``x < 1`` and ``2x >= 2``.
+
+The extracted list is sorted canonically so arrangements are deterministic
+functions of the represented relation's atom set.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.hyperplane import Hyperplane
+from repro.constraints.relation import ConstraintRelation
+
+
+def hyperplanes_of_relation(relation: ConstraintRelation) -> list[Hyperplane]:
+    """The paper's 𝕳(S) for a relation in DNF, canonically ordered."""
+    planes: set[Hyperplane] = set()
+    for disjunct in relation.disjuncts():
+        for atom in disjunct:
+            plane = atom.hyperplane(relation.variables)
+            if plane is not None:
+                planes.add(plane)
+    return sorted(planes, key=lambda h: (h.normal, h.offset))

@@ -1,0 +1,38 @@
+"""Theorem 6.4 made executable.
+
+The capture proof is constructive: order the regions, encode the
+database as a binary word over that order, and run the Immerman–Vardi
+construction — a RegLFP sentence START ∧ COMPUTE ∧ END whose fixed point
+simulates a polynomial-time Turing machine on the encoding.
+
+* :mod:`repro.capture.machine` — a deterministic single-tape Turing
+  machine simulator.
+* :mod:`repro.capture.encoding` — the proof's word encoding of a
+  database from its ordered region extension (bounded regions first,
+  binary vertex coordinates, membership bits per dimension, then the
+  unbounded sections).
+* :mod:`repro.capture.compiler` — the inductive definition behind φ_M:
+  stage relations over k-tuples of regions (time stamps and tape
+  positions) computed by least-fixed-point iteration; agreement with the
+  direct simulation is the executable content of the theorem.
+"""
+
+from repro.capture.compiler import CaptureResult, capture_run
+from repro.capture.encoding import encode_database
+from repro.capture.machine import Step, TuringMachine
+from repro.capture.pspace import (
+    PSpaceResult,
+    binary_counter_machine,
+    pspace_capture_run,
+)
+
+__all__ = [
+    "CaptureResult",
+    "capture_run",
+    "encode_database",
+    "Step",
+    "TuringMachine",
+    "PSpaceResult",
+    "binary_counter_machine",
+    "pspace_capture_run",
+]

@@ -1,0 +1,196 @@
+"""The inductive definition behind φ_M (Theorem 6.4).
+
+The capture proof builds a RegLFP sentence φ_M = START ∧ COMPUTE ∧ END
+whose fixed point simulates a polynomial-time machine M on the encoded
+database.  Time stamps and tape positions range over k-tuples of
+0-indexed regions — n regions give n^k addresses, enough for a run of
+length n^k under the small coordinate property.
+
+This module executes that construction semantically: the simultaneous
+induction over the stage relations
+
+    Tape_a(t̄, c̄)   — cell c̄ holds symbol a at time t̄
+    State_q(t̄)     — M is in state q at time t̄
+    Head(t̄, c̄)    — the head is at c̄ at time t̄
+
+is run as a least fixed point over tuples of region indices, with the
+successor on tuples (definable from the region order, as the paper
+notes) provided as the base-n increment.  START seeds time 0̄ from the
+encoding word; COMPUTE applies the transition function; END checks that
+an accepting state is reached.  Agreement of this inductive run with the
+direct simulation, machine by machine and database by database, is the
+executable content of the theorem (experiment E7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CaptureError
+from repro.constraints.database import ConstraintDatabase
+from repro.capture.encoding import encode_database
+from repro.capture.machine import BLANK, TuringMachine
+from repro.twosorted.structure import RegionExtension
+
+Tuple = tuple[int, ...]
+
+
+def tuple_of_index(value: int, base: int, arity: int) -> Tuple:
+    """The value as a big-endian base-``base`` k-tuple of region indices."""
+    if base < 1:
+        raise CaptureError("need at least one region")
+    digits = [0] * arity
+    for position in range(arity - 1, -1, -1):
+        digits[position] = value % base
+        value //= base
+    if value:
+        raise CaptureError(f"value does not fit into {arity} digits")
+    return tuple(digits)
+
+
+def index_of_tuple(digits: Tuple, base: int) -> int:
+    """Inverse of :func:`tuple_of_index`."""
+    value = 0
+    for digit in digits:
+        if not 0 <= digit < base:
+            raise CaptureError("digit out of range")
+        value = value * base + digit
+    return value
+
+
+def successor(digits: Tuple, base: int) -> Tuple | None:
+    """The next tuple in lexicographic order, or None at the maximum.
+
+    This is the relation the paper defines from the region order; the
+    induction steps time with it.
+    """
+    rolled = list(digits)
+    for position in range(len(rolled) - 1, -1, -1):
+        if rolled[position] + 1 < base:
+            rolled[position] += 1
+            return tuple(rolled)
+        rolled[position] = 0
+    return None
+
+
+@dataclass(frozen=True)
+class CaptureResult:
+    """Outcome of one capture experiment."""
+
+    word: str
+    region_count: int
+    arity: int
+    time_bound: int
+    direct_accepts: bool
+    inductive_accepts: bool
+    inductive_steps: int
+
+    @property
+    def agree(self) -> bool:
+        """The theorem's check: both simulations give the same answer."""
+        return self.direct_accepts == self.inductive_accepts
+
+
+def _choose_arity(word_length: int, region_count: int) -> int:
+    """The smallest k with n^k ≥ word length + 2 (space for the run)."""
+    if region_count < 2:
+        raise CaptureError(
+            "the capture construction needs at least two regions"
+        )
+    arity = 1
+    capacity = region_count
+    while capacity < word_length + 2:
+        arity += 1
+        capacity *= region_count
+    return arity
+
+
+def capture_run(
+    machine: TuringMachine,
+    database: ConstraintDatabase,
+    decomposition: str = "arrangement",
+    arity: int | None = None,
+    time_bound: int | None = None,
+) -> CaptureResult:
+    """Run M directly on the encoding and via the inductive definition.
+
+    ``arity`` is the k of the construction (tuples of k regions address
+    time and space); by default the smallest k whose address space holds
+    the input.  ``time_bound`` defaults to the full address space n^k —
+    the polynomial bound of the theorem.
+    """
+    extension = RegionExtension.build(database, decomposition)
+    word = encode_database(extension)
+    n = len(extension.decomposition)
+    k = arity if arity is not None else _choose_arity(len(word), n)
+    capacity = n**k
+    bound = time_bound if time_bound is not None else capacity - 1
+    if bound >= capacity:
+        raise CaptureError("time bound exceeds the tuple address space")
+
+    direct = machine.accepts(word, bound)
+    inductive, steps = _inductive_simulation(
+        machine, word, n, k, bound
+    )
+    return CaptureResult(
+        word=word,
+        region_count=n,
+        arity=k,
+        time_bound=bound,
+        direct_accepts=direct,
+        inductive_accepts=inductive,
+        inductive_steps=steps,
+    )
+
+
+def _inductive_simulation(
+    machine: TuringMachine,
+    word: str,
+    base: int,
+    arity: int,
+    bound: int,
+) -> tuple[bool, int]:
+    """The START ∧ COMPUTE ∧ END induction over region tuples.
+
+    Stage relations are materialised per time stamp; each COMPUTE step
+    derives the time-t+1 facts from the time-t facts exactly as the LFP
+    formula would (the update is positive: facts are only added).  The
+    induction stops at acceptance/rejection or at the address-space
+    bound.
+    """
+    # START: seed time 0̄.
+    tape: dict[Tuple, str] = {}
+    for position, symbol in enumerate(word):
+        tape[tuple_of_index(position, base, arity)] = symbol
+    state = machine.start_state
+    head = tuple_of_index(0, base, arity)
+
+    time = tuple_of_index(0, base, arity)
+    steps = 0
+    while True:
+        # END: check the halting predicate at the current stage.
+        if state == machine.accept_state:
+            return True, steps
+        if state == machine.reject_state:
+            return False, steps
+        symbol = tape.get(head, BLANK)
+        action = machine.transitions.get((state, symbol))
+        if action is None:
+            return state == machine.accept_state, steps
+        next_time = successor(time, base)
+        if next_time is None or steps >= bound:
+            raise CaptureError(
+                "inductive simulation exhausted the tuple address space; "
+                "increase the arity k"
+            )
+        # COMPUTE: one application of the transition function, expressed
+        # over the tuple-addressed stage relations.
+        state, written, move = action
+        tape[head] = written
+        head_index = index_of_tuple(head, base)
+        head_index = max(0, head_index + move)
+        if head_index >= base**arity:
+            raise CaptureError("head ran off the address space")
+        head = tuple_of_index(head_index, base, arity)
+        time = next_time
+        steps += 1

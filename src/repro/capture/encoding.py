@@ -1,0 +1,83 @@
+"""The word encoding of a database (proof of Theorem 6.4).
+
+The capture proof encodes a database as a word the Turing machine reads,
+definable from the ordered region extension:
+
+* **bounded section** — for every 0-dimensional region, in lexicographic
+  order, the binary coordinates of its point followed by its membership
+  bit c_i; then, per dimension 1..d, the membership bits d_j^i of the
+  bounded i-dimensional regions in their canonical order;
+* **unbounded section** — the membership bits of the unbounded regions,
+  per dimension.
+
+Two documented deviations from the paper's sketch (see DESIGN.md §5):
+rational coordinates are written as ``numerator/denominator`` in binary
+with an explicit sign (the paper assumes integer coordinates bounded via
+the small coordinate property; rBIT's bit access is exercised separately
+by the rBIT tests), and the unbounded 1-dimensional anchor points (p, q)
+are omitted — the experiments' machines treat the encoding as an opaque
+word, so the format only needs to be a deterministic function of the
+ordered region extension.
+
+Alphabet: ``0 1 - / | #`` and the blank.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.twosorted.structure import RegionExtension
+
+
+def encode_rational(value: Fraction) -> str:
+    """``numerator/denominator`` in binary, with sign on the numerator."""
+    sign = "-" if value < 0 else ""
+    return (
+        f"{sign}{bin(abs(value.numerator))[2:]}/"
+        f"{bin(value.denominator)[2:]}"
+    )
+
+
+def encode_database(extension: RegionExtension) -> str:
+    """The encoding word of a database's region extension."""
+    decomposition = extension.decomposition
+    d = decomposition.ambient_dimension
+
+    pieces: list[str] = []
+
+    # Bounded 0-dimensional regions: coordinates + membership bit.
+    zero_dim = [
+        region
+        for region in decomposition.zero_dimensional()
+        if region.is_bounded()
+    ]
+    vertex_parts = []
+    for region in zero_dim:
+        coords = "|".join(
+            encode_rational(c) for c in region.sample_point()
+        )
+        member = "1" if extension.region_subset_of_spatial(
+            region.index
+        ) else "0"
+        vertex_parts.append(f"{coords}|{member}")
+    pieces.append("#".join(vertex_parts))
+
+    # Bounded higher-dimensional regions: membership bits per dimension.
+    for dim in range(1, d + 1):
+        bits = "".join(
+            "1" if extension.region_subset_of_spatial(region.index) else "0"
+            for region in decomposition.regions
+            if region.dimension == dim and region.is_bounded()
+        )
+        pieces.append(bits)
+
+    # Unbounded regions: membership bits per dimension.
+    for dim in range(0, d + 1):
+        bits = "".join(
+            "1" if extension.region_subset_of_spatial(region.index) else "0"
+            for region in decomposition.regions
+            if region.dimension == dim and not region.is_bounded()
+        )
+        pieces.append(bits)
+
+    return "##".join(pieces)

@@ -1,0 +1,214 @@
+"""A deterministic single-tape Turing machine.
+
+The capture proof (Theorem 6.4) encodes runs of polynomial-time Turing
+machines in RegLFP.  This module provides the machine model those
+encodings simulate: one tape, a finite alphabet containing the blank
+``□``, a deterministic transition function, explicit accepting and
+rejecting states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.errors import CaptureError
+
+BLANK = "□"
+
+Move = int  # -1, 0, +1
+
+
+@dataclass(frozen=True)
+class Step:
+    """One configuration of a run."""
+
+    time: int
+    state: str
+    head: int
+    tape: tuple[str, ...]
+
+    def symbol_under_head(self) -> str:
+        if 0 <= self.head < len(self.tape):
+            return self.tape[self.head]
+        return BLANK
+
+
+@dataclass(frozen=True)
+class TuringMachine:
+    """A deterministic single-tape machine.
+
+    ``transitions`` maps (state, symbol) to (state', symbol', move) with
+    move in {-1, 0, +1}.  Missing entries halt the machine in place; a
+    run accepts iff it halts in ``accept_state``.
+    """
+
+    states: frozenset[str]
+    alphabet: frozenset[str]
+    transitions: Mapping[tuple[str, str], tuple[str, str, Move]]
+    start_state: str
+    accept_state: str
+    reject_state: str
+
+    @staticmethod
+    def make(
+        transitions: Mapping[tuple[str, str], tuple[str, str, Move]],
+        start_state: str,
+        accept_state: str = "accept",
+        reject_state: str = "reject",
+    ) -> "TuringMachine":
+        """Infer states and alphabet from the transition table."""
+        states = {start_state, accept_state, reject_state}
+        alphabet = {BLANK}
+        for (state, symbol), (next_state, written, move) in transitions.items():
+            if move not in (-1, 0, 1):
+                raise CaptureError(f"invalid head move {move}")
+            states.update((state, next_state))
+            alphabet.update((symbol, written))
+        return TuringMachine(
+            frozenset(states),
+            frozenset(alphabet),
+            dict(transitions),
+            start_state,
+            accept_state,
+            reject_state,
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self, tape_input: str, max_steps: int
+    ) -> tuple[bool, int]:
+        """Run to halting; returns (accepted, steps).
+
+        Raises :class:`CaptureError` when the machine does not halt
+        within ``max_steps`` — the capture construction requires an a
+        priori polynomial bound, so exceeding it is a caller error.
+        """
+        final = None
+        steps = 0
+        for step in self.trace(tape_input, max_steps):
+            final = step
+            steps = step.time
+        assert final is not None
+        if final.state not in (self.accept_state, self.reject_state) and \
+                (final.state, final.symbol_under_head()) in self.transitions:
+            raise CaptureError(
+                f"machine did not halt within {max_steps} steps"
+            )
+        return final.state == self.accept_state, steps
+
+    def accepts(self, tape_input: str, max_steps: int) -> bool:
+        """Convenience wrapper around :meth:`run`."""
+        accepted, __ = self.run(tape_input, max_steps)
+        return accepted
+
+    def trace(
+        self, tape_input: str, max_steps: int
+    ) -> Iterator[Step]:
+        """Yield every configuration of the run, starting at time 0.
+
+        The tape is kept as a finite window that grows on demand; the
+        head never moves left of cell 0 (moves off the left edge stay in
+        place, the standard convention).
+        """
+        for symbol in tape_input:
+            if symbol not in self.alphabet:
+                raise CaptureError(
+                    f"input symbol {symbol!r} outside the tape alphabet"
+                )
+        tape = list(tape_input) if tape_input else [BLANK]
+        state = self.start_state
+        head = 0
+        yield Step(0, state, head, tuple(tape))
+        for time in range(1, max_steps + 1):
+            if state in (self.accept_state, self.reject_state):
+                return
+            symbol = tape[head] if head < len(tape) else BLANK
+            action = self.transitions.get((state, symbol))
+            if action is None:
+                return
+            state, written, move = action
+            while head >= len(tape):
+                tape.append(BLANK)
+            tape[head] = written
+            head = max(0, head + move)
+            while head >= len(tape):
+                tape.append(BLANK)
+            yield Step(time, state, head, tuple(tape))
+
+
+# ----------------------------------------------------------------------
+# A small library of machines used by tests and experiments
+# ----------------------------------------------------------------------
+
+#: The alphabet of database encoding words (see repro.capture.encoding).
+WORD_ALPHABET = ("0", "1", "#", "|", "/", "-", BLANK)
+
+#: Word symbols that the library machines skip over as separators.
+_SEPARATORS = ("#", "|", "/", "-")
+
+
+def machine_first_symbol_is(symbol: str) -> TuringMachine:
+    """Accepts iff the first tape cell holds ``symbol``."""
+    transitions = {}
+    for other in WORD_ALPHABET:
+        target = "accept" if other == symbol else "reject"
+        transitions[("start", other)] = (target, other, 0)
+    return TuringMachine.make(transitions, "start")
+
+
+def machine_parity_of_ones() -> TuringMachine:
+    """Accepts iff the number of ``1`` symbols before the first blank is
+    even.  Separator symbols are skipped."""
+    transitions = {
+        ("even", "1"): ("odd", "1", 1),
+        ("odd", "1"): ("even", "1", 1),
+        ("even", "0"): ("even", "0", 1),
+        ("odd", "0"): ("odd", "0", 1),
+        ("even", BLANK): ("accept", BLANK, 0),
+        ("odd", BLANK): ("reject", BLANK, 0),
+    }
+    for separator in _SEPARATORS:
+        transitions[("even", separator)] = ("even", separator, 1)
+        transitions[("odd", separator)] = ("odd", separator, 1)
+    return TuringMachine.make(transitions, "even")
+
+
+def machine_contains_one() -> TuringMachine:
+    """Accepts iff some ``1`` occurs before the first blank."""
+    transitions = {
+        ("scan", "0"): ("scan", "0", 1),
+        ("scan", "1"): ("accept", "1", 0),
+        ("scan", BLANK): ("reject", BLANK, 0),
+    }
+    for separator in _SEPARATORS:
+        transitions[("scan", separator)] = ("scan", separator, 1)
+    return TuringMachine.make(transitions, "scan")
+
+
+def machine_first_vertex_in_s() -> TuringMachine:
+    """Decides a *semantic* database property from the encoding word.
+
+    The encoding's first section is ``coords|…|coords|c`` for the
+    lexicographically smallest 0-dimensional region, ``c`` its
+    membership bit, terminated by ``#`` (or the word end).  The machine
+    scans to that terminator, steps left, and accepts iff the symbol
+    there is ``1`` — i.e. iff the first vertex of the database belongs
+    to S.  Databases without 0-dimensional regions (empty first
+    section) are rejected.
+    """
+    transitions = {
+        ("scan", "0"): ("scan", "0", 1),
+        ("scan", "1"): ("scan", "1", 1),
+        ("scan", "|"): ("scan", "|", 1),
+        ("scan", "/"): ("scan", "/", 1),
+        ("scan", "-"): ("scan", "-", 1),
+        ("scan", "#"): ("back", "#", -1),
+        ("scan", BLANK): ("back", BLANK, -1),
+        ("back", "1"): ("accept", "1", 0),
+        ("back", "0"): ("reject", "0", 0),
+        ("back", "#"): ("reject", "#", 0),
+        ("back", "|"): ("reject", "|", 0),
+        ("back", BLANK): ("reject", BLANK, 0),
+    }
+    return TuringMachine.make(transitions, "scan")

@@ -1,0 +1,172 @@
+"""The RegPFP / PSPACE side of Theorem 6.4.
+
+RegLFP's capture of PTIME addresses *time* with k-tuples of regions —
+a run longer than n^k cannot be time-stamped.  RegPFP escapes that
+limit: a partial fixed point iterates a *configuration* relation (tape
+contents, state, head position — all poly-size in the region count)
+without time stamps; the PFP stage sequence is the run itself and may
+be exponentially long while every stage stays polynomial — which is
+exactly how RegPFP reaches PSPACE.
+
+:func:`pspace_capture_run` executes that induction: configurations are
+iterated until the machine halts or a configuration repeats (the PFP
+cycle case — corresponding to a non-halting space-bounded run, whose
+PFP denotes ∅ / rejection).  The space bound is n^k cells; the step
+budget is |configurations| which can be astronomically larger than the
+PTIME construction's n^k stage bound.  The demonstration machine
+:func:`binary_counter_machine` runs 2^m steps in m cells, separating
+the two regimes observably (experiment E7's PSPACE arm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CaptureError
+from repro.constraints.database import ConstraintDatabase
+from repro.capture.encoding import encode_database
+from repro.capture.machine import BLANK, TuringMachine
+from repro.twosorted.structure import RegionExtension
+
+
+@dataclass(frozen=True)
+class PSpaceResult:
+    """Outcome of a space-bounded PFP simulation."""
+
+    word: str
+    region_count: int
+    arity: int
+    space_cells: int
+    direct_accepts: bool
+    pfp_accepts: bool
+    pfp_stages: int
+    direct_steps: int
+
+    @property
+    def agree(self) -> bool:
+        return self.direct_accepts == self.pfp_accepts
+
+    @property
+    def run_exceeded_ptime_addressing(self) -> bool:
+        """Did the run take more steps than the PTIME construction could
+        time-stamp with the same tuple arity?"""
+        return self.pfp_stages > self.space_cells
+
+
+def pspace_capture_run(
+    machine: TuringMachine,
+    database: ConstraintDatabase,
+    decomposition: str = "arrangement",
+    arity: int | None = None,
+    max_stages: int | None = None,
+) -> PSpaceResult:
+    """Run M via the PFP configuration induction and directly; compare.
+
+    ``arity`` fixes the tuple length addressing tape cells (space
+    n^k); ``max_stages`` caps the PFP iteration (default: the number of
+    distinct configurations bounded crudely by |alphabet|^cells ×
+    states × cells, clipped to 10^6 for practicality — exceeding it
+    raises, as the theorem promises termination via repetition).
+    """
+    extension = RegionExtension.build(database, decomposition)
+    word = encode_database(extension)
+    n = len(extension.decomposition)
+    if n < 2:
+        raise CaptureError("need at least two regions")
+    k = arity
+    if k is None:
+        k = 1
+        capacity = n
+        while capacity < len(word) + 2:
+            k += 1
+            capacity *= n
+    cells = n**k
+    if len(word) > cells:
+        raise CaptureError("word does not fit in the space bound")
+
+    # Direct run, generously bounded.
+    budget = max_stages if max_stages is not None else 10**6
+    direct_accepts, direct_steps = machine.run(word, budget)
+
+    # PFP: iterate configurations; detect repetition exactly.
+    tape: dict[int, str] = {
+        index: symbol for index, symbol in enumerate(word)
+    }
+    state = machine.start_state
+    head = 0
+    seen: set[tuple] = set()
+    stages = 0
+    while True:
+        signature = (
+            state, head, tuple(sorted(tape.items()))
+        )
+        if signature in seen:
+            # A cycle without halting: the PFP denotes ∅ — reject.
+            return PSpaceResult(
+                word, n, k, cells, direct_accepts, False, stages,
+                direct_steps,
+            )
+        seen.add(signature)
+        if state == machine.accept_state:
+            return PSpaceResult(
+                word, n, k, cells, direct_accepts, True, stages,
+                direct_steps,
+            )
+        if state == machine.reject_state:
+            return PSpaceResult(
+                word, n, k, cells, direct_accepts, False, stages,
+                direct_steps,
+            )
+        symbol = tape.get(head, BLANK)
+        action = machine.transitions.get((state, symbol))
+        if action is None:
+            accepted = state == machine.accept_state
+            return PSpaceResult(
+                word, n, k, cells, direct_accepts, accepted, stages,
+                direct_steps,
+            )
+        state, written, move = action
+        tape[head] = written
+        head = max(0, head + move)
+        if head >= cells:
+            raise CaptureError("machine exceeded the space bound")
+        stages += 1
+        if stages > budget:
+            raise CaptureError(
+                "PFP simulation exceeded the stage budget"
+            )
+
+
+def binary_counter_machine() -> TuringMachine:
+    """Counts through all bit patterns of the leading digit block.
+
+    The machine marks the first cell (``0``→``Z``, ``1``→``W``) so the
+    least-significant digit is recognisable, then repeatedly increments
+    the binary number formed by the digit prefix (LSB first) until the
+    carry runs off the end of the block — 2^m increments in m cells of
+    space.  On encoding words the digit block is the first vertex
+    coordinate's numerator, so databases with a large first coordinate
+    drive exponentially long, constant-space runs: the PSPACE regime
+    where PFP stages outgrow any tuple time-stamp budget.
+    """
+    terminals = ("#", "|", "/", "-", BLANK)
+    transitions: dict = {}
+    # init: mark the LSB cell and start incrementing in place.
+    transitions[("init", "0")] = ("inc", "Z", 0)
+    transitions[("init", "1")] = ("inc", "W", 0)
+    for terminal in terminals:
+        transitions[("init", terminal)] = ("accept", terminal, 0)
+    # inc: add one, with the carry walking right over 1s.
+    transitions[("inc", "Z")] = ("rewind", "W", 0)   # 0 -> 1, done
+    transitions[("inc", "W")] = ("inc", "Z", 1)      # 1 -> 0, carry
+    transitions[("inc", "0")] = ("rewind", "1", -1)  # 0 -> 1, done
+    transitions[("inc", "1")] = ("inc", "0", 1)      # 1 -> 0, carry
+    for terminal in terminals:
+        # Carry past the block: the counter wrapped — accept.
+        transitions[("inc", terminal)] = ("accept", terminal, 0)
+    # rewind: back to the marked LSB, then increment again.
+    transitions[("rewind", "0")] = ("rewind", "0", -1)
+    transitions[("rewind", "1")] = ("rewind", "1", -1)
+    transitions[("rewind", "Z")] = ("inc", "Z", 0)
+    transitions[("rewind", "W")] = ("inc", "W", 0)
+    return TuringMachine.make(transitions, "init")

@@ -1,0 +1,239 @@
+"""Command-line interface for the repro constraint database engine.
+
+Usage (also via ``python -m repro``):
+
+.. code-block:: text
+
+    repro check DB.cdb                     validate + structural report
+    repro regions DB.cdb [--decomposition arrangement|refined|nc1]
+    repro query DB.cdb "forall x. S(x) -> x < 5"
+    repro arrangement DB.cdb               face census + incidence stats
+    repro encode DB.cdb                    the Theorem 6.4 encoding word
+    repro render DB.cdb out.svg            2-D relations only
+
+Databases are text files in the format of :mod:`repro.constraints.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.constraints.io import load_database
+from repro.logic.evaluator import Evaluator
+from repro.logic.parser import parse_query
+from repro.logic.properties import (
+    coordinate_bound,
+    has_small_coordinate_property,
+)
+from repro.twosorted.structure import RegionExtension
+
+
+def _add_decomposition_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--decomposition",
+        choices=("arrangement", "refined", "nc1"),
+        default="arrangement",
+        help="region decomposition to use (default: arrangement)",
+    )
+
+
+def _add_spatial_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--spatial",
+        default="S",
+        help="name of the spatial relation (default: S)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="fixed-point query languages for linear constraint "
+                    "databases (Kreutzer, PODS 2000)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser("check", help="validate a database file")
+    check.add_argument("database")
+
+    regions = commands.add_parser("regions", help="list the region sort")
+    regions.add_argument("database")
+    _add_decomposition_flag(regions)
+    _add_spatial_flag(regions)
+
+    query = commands.add_parser("query", help="evaluate a query")
+    query.add_argument("database")
+    query.add_argument("text", help="query in the region-logic syntax")
+    _add_decomposition_flag(query)
+    _add_spatial_flag(query)
+
+    arrangement = commands.add_parser(
+        "arrangement", help="arrangement census and incidence statistics"
+    )
+    arrangement.add_argument("database")
+    _add_spatial_flag(arrangement)
+
+    encode = commands.add_parser(
+        "encode", help="print the capture encoding word"
+    )
+    encode.add_argument("database")
+    _add_decomposition_flag(encode)
+    _add_spatial_flag(encode)
+
+    render = commands.add_parser(
+        "render", help="render a 2-D database to SVG"
+    )
+    render.add_argument("database")
+    render.add_argument("output")
+    render.add_argument(
+        "--viewport", default="-1,4,-1,4",
+        help="xmin,xmax,ymin,ymax (default -1,4,-1,4)",
+    )
+    _add_spatial_flag(render)
+
+    return parser
+
+
+def _cmd_check(args: argparse.Namespace, out) -> int:
+    database = load_database(args.database)
+    print(f"database: {args.database}", file=out)
+    print(f"  relations: {', '.join(database.names())}", file=out)
+    print(f"  representation size |B| = {database.size()}", file=out)
+    for name, relation in database:
+        empty = relation.is_empty()
+        print(
+            f"  {name}({', '.join(relation.variables)}): "
+            f"{len(relation.disjuncts())} disjuncts"
+            f"{', EMPTY' if empty else ''}",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_regions(args: argparse.Namespace, out) -> int:
+    database = load_database(args.database)
+    extension = RegionExtension.build(
+        database, args.decomposition, args.spatial
+    )
+    print(f"{extension}", file=out)
+    for region in extension.regions:
+        inside = extension.region_subset_of_spatial(region.index)
+        marker = "in S" if inside else ""
+        print(f"  {region} {marker}", file=out)
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace, out) -> int:
+    database = load_database(args.database)
+    formula = parse_query(args.text)
+    extension = RegionExtension.build(
+        database, args.decomposition, args.spatial
+    )
+    evaluator = Evaluator(extension)
+    if formula.free_region_vars() or formula.free_set_vars():
+        print(
+            "error: queries must not have free region or set variables",
+            file=out,
+        )
+        return 2
+    answer = evaluator.evaluate(formula)
+    if answer.arity == 0:
+        print(f"answer: {not answer.is_empty()}", file=out)
+        return 0
+    print(f"answer relation over ({', '.join(answer.variables)}):",
+          file=out)
+    print(f"  {answer.formula}", file=out)
+    witnesses = answer.sample_points()
+    if witnesses:
+        shown = ", ".join(
+            "(" + ", ".join(str(c) for c in point) + ")"
+            for point in witnesses[:5]
+        )
+        print(f"  sample points: {shown}", file=out)
+    else:
+        print("  (empty)", file=out)
+    return 0
+
+
+def _cmd_arrangement(args: argparse.Namespace, out) -> int:
+    from repro.arrangement.builder import build_arrangement
+    from repro.arrangement.incidence import IncidenceGraph
+
+    database = load_database(args.database)
+    relation = database.relation(args.spatial)
+    arrangement = build_arrangement(relation)
+    census = arrangement.face_count_by_dimension()
+    print(f"hyperplanes: {len(arrangement.hyperplanes)}", file=out)
+    for dim in sorted(census, reverse=True):
+        print(f"  {dim}-dimensional faces: {census[dim]}", file=out)
+    print(f"  total faces: {len(arrangement)}", file=out)
+    graph = IncidenceGraph.build(arrangement)
+    print(f"  incidence edges: {graph.edge_count()}", file=out)
+    inside = len(arrangement.faces_in_relation())
+    print(f"  faces contained in {args.spatial}: {inside}", file=out)
+    return 0
+
+
+def _cmd_encode(args: argparse.Namespace, out) -> int:
+    from repro.capture.encoding import encode_database
+
+    database = load_database(args.database)
+    extension = RegionExtension.build(
+        database, args.decomposition, args.spatial
+    )
+    word = encode_database(extension)
+    small = has_small_coordinate_property(extension)
+    print(f"regions: {len(extension.decomposition)}", file=out)
+    print(f"coordinate bound: {coordinate_bound(extension)}", file=out)
+    print(f"small coordinate property: {small}", file=out)
+    print(f"word: {word}", file=out)
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace, out) -> int:
+    import pathlib
+
+    from repro.viz.svg import render_relation
+
+    database = load_database(args.database)
+    relation = database.relation(args.spatial)
+    parts = [float(v) for v in args.viewport.split(",")]
+    if len(parts) != 4:
+        print("error: viewport must be xmin,xmax,ymin,ymax", file=out)
+        return 2
+    svg = render_relation(relation, viewport=tuple(parts))
+    pathlib.Path(args.output).write_text(svg)
+    print(f"wrote {args.output}", file=out)
+    return 0
+
+
+_COMMANDS = {
+    "check": _cmd_check,
+    "regions": _cmd_regions,
+    "query": _cmd_query,
+    "arrangement": _cmd_arrangement,
+    "encode": _cmd_encode,
+    "render": _cmd_render,
+}
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except ReproError as error:
+        print(f"error: {error}", file=out)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=out)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""Linear constraint formulas, relations and databases over (ℝ, <, +).
+
+This package implements the paper's data model (Section 2): database
+relations are infinite subsets of ℝ^d finitely represented by
+quantifier-free formulas in disjunctive normal form, built from linear
+(in)equalities with integer (rational) coefficients.  First-order logic
+over the context structure (ℝ, <, +) admits quantifier elimination, which
+:mod:`repro.constraints.qelim` implements via Fourier–Motzkin.
+
+Public surface:
+
+* :class:`~repro.constraints.terms.LinearTerm` — linear expressions over
+  named variables.
+* :class:`~repro.constraints.atoms.Atom` and
+  :class:`~repro.constraints.atoms.Op` — atomic constraints.
+* :mod:`~repro.constraints.formula` — the first-order formula AST.
+* :func:`~repro.constraints.qelim.eliminate_quantifiers` — exact QE.
+* :class:`~repro.constraints.relation.ConstraintRelation` — finitely
+  represented relations with a full algebra.
+* :class:`~repro.constraints.database.ConstraintDatabase` — a named
+  collection of relations (the paper's σ-expansion of the context).
+* :func:`~repro.constraints.parser.parse_formula` — a text front end.
+"""
+
+from repro.constraints.atoms import Atom, Op
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.formula import (
+    And,
+    AtomFormula,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    TrueFormula,
+    conjunction,
+    disjunction,
+)
+from repro.constraints.normal_forms import to_dnf, to_nnf
+from repro.constraints.parser import parse_formula, parse_term
+from repro.constraints.qelim import eliminate_quantifiers
+from repro.constraints.relation import ConstraintRelation
+from repro.constraints.terms import LinearTerm
+from repro.constraints.io import (
+    dumps_database,
+    load_database,
+    loads_database,
+    save_database,
+)
+from repro.constraints.topology import (
+    boundary,
+    closure,
+    interior,
+    is_closed,
+    is_open,
+)
+
+__all__ = [
+    "Atom",
+    "Op",
+    "ConstraintDatabase",
+    "And",
+    "AtomFormula",
+    "Exists",
+    "FalseFormula",
+    "Forall",
+    "Formula",
+    "Not",
+    "Or",
+    "TrueFormula",
+    "conjunction",
+    "disjunction",
+    "to_dnf",
+    "to_nnf",
+    "parse_formula",
+    "parse_term",
+    "eliminate_quantifiers",
+    "ConstraintRelation",
+    "LinearTerm",
+    "dumps_database",
+    "load_database",
+    "loads_database",
+    "save_database",
+    "boundary",
+    "closure",
+    "interior",
+    "is_closed",
+    "is_open",
+]

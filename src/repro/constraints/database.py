@@ -1,0 +1,85 @@
+"""Constraint databases: σ-expansions of the context structure (ℝ, <, +).
+
+A :class:`ConstraintDatabase` is a named collection of finitely
+represented relations.  The paper restricts attention to databases with a
+single spatial relation ``S`` ("this restriction is not crucial but helps
+to simplify the presentation"); we support any number of relations and
+provide :meth:`ConstraintDatabase.single` for the paper's setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.errors import FormulaError
+from repro.constraints.formula import Formula
+from repro.constraints.relation import ConstraintRelation
+
+
+def default_schema(arity: int) -> tuple[str, ...]:
+    """The canonical column names ``x0 .. x{d-1}``."""
+    return tuple(f"x{i}" for i in range(arity))
+
+
+@dataclass(frozen=True)
+class ConstraintDatabase:
+    """A linear constraint database over (ℝ, <, +)."""
+
+    relations: tuple[tuple[str, ConstraintRelation], ...]
+
+    @staticmethod
+    def make(
+        relations: Mapping[str, ConstraintRelation]
+    ) -> "ConstraintDatabase":
+        if not relations:
+            raise FormulaError("a database needs at least one relation")
+        return ConstraintDatabase(tuple(sorted(relations.items())))
+
+    @staticmethod
+    def single(
+        relation: ConstraintRelation, name: str = "S"
+    ) -> "ConstraintDatabase":
+        """The paper's setting: one spatial relation, named ``S``."""
+        return ConstraintDatabase.make({name: relation})
+
+    @staticmethod
+    def from_formula(
+        formula: Formula, arity: int, name: str = "S"
+    ) -> "ConstraintDatabase":
+        """Convenience: wrap a formula over ``x0..x{arity-1}`` as ``S``."""
+        relation = ConstraintRelation.make(default_schema(arity), formula)
+        return ConstraintDatabase.single(relation, name)
+
+    # ------------------------------------------------------------------
+    def relation(self, name: str) -> ConstraintRelation:
+        for rel_name, relation in self.relations:
+            if rel_name == name:
+                return relation
+        raise FormulaError(f"no relation named {name!r} in the database")
+
+    @property
+    def spatial(self) -> ConstraintRelation:
+        """The single spatial relation (errors if the db has several)."""
+        if len(self.relations) != 1:
+            raise FormulaError(
+                "database has several relations; name one explicitly"
+            )
+        return self.relations[0][1]
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(name for name, __ in self.relations)
+
+    def __iter__(self) -> Iterator[tuple[str, ConstraintRelation]]:
+        return iter(self.relations)
+
+    def __contains__(self, name: str) -> bool:
+        return any(rel_name == name for rel_name, __ in self.relations)
+
+    def size(self) -> int:
+        """The paper's |𝔅|: sum of representation sizes of all relations."""
+        return sum(rel.representation_size() for __, rel in self.relations)
+
+    def __str__(self) -> str:
+        lines = [f"{name}: {relation}" for name, relation in self.relations]
+        return "\n".join(lines)

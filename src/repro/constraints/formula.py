@@ -1,0 +1,375 @@
+"""First-order formulas over the context structure (ℝ, <, +).
+
+The AST is a small immutable class hierarchy: truth constants, atoms,
+boolean connectives and real-sort quantifiers.  Formulas support free
+variable computation, capture-avoiding substitution of linear terms for
+variables, renaming, and exact evaluation of quantifier-free formulas at
+rational points.  Quantifier elimination lives in
+:mod:`repro.constraints.qelim`; normal forms in
+:mod:`repro.constraints.normal_forms`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+from repro.errors import FormulaError
+from repro.constraints.atoms import Atom, Op
+from repro.constraints.terms import LinearTerm
+
+
+class Formula:
+    """Abstract base of all first-order formulas over (ℝ, <, +)."""
+
+    def free_variables(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[str, LinearTerm]) -> "Formula":
+        """Simultaneous, capture-avoiding substitution of terms."""
+        raise NotImplementedError
+
+    def evaluate(self, assignment: Mapping[str, Fraction]) -> bool:
+        """Exact truth value; only quantifier-free formulas support this."""
+        raise NotImplementedError
+
+    def is_quantifier_free(self) -> bool:
+        raise NotImplementedError
+
+    def atoms(self) -> frozenset[Atom]:
+        """All atoms occurring in the formula."""
+        raise NotImplementedError
+
+    def size(self) -> int:
+        """Representation size: nodes + atom variable occurrences.
+
+        This is the paper's size measure |𝔅| specialised to single
+        formulas (Section 2: the size of a database is the sum of the
+        lengths of its representing formulas).
+        """
+        raise NotImplementedError
+
+    def rename(self, mapping: Mapping[str, str]) -> "Formula":
+        """Rename free variables (bound variables are untouched)."""
+        return self.substitute(
+            {old: LinearTerm.variable(new) for old, new in mapping.items()}
+        )
+
+    # Convenience connective constructors --------------------------------
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TrueFormula(Formula):
+    """The constant ⊤."""
+
+    def free_variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def substitute(self, mapping: Mapping[str, LinearTerm]) -> Formula:
+        return self
+
+    def evaluate(self, assignment: Mapping[str, Fraction]) -> bool:
+        return True
+
+    def is_quantifier_free(self) -> bool:
+        return True
+
+    def atoms(self) -> frozenset[Atom]:
+        return frozenset()
+
+    def size(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseFormula(Formula):
+    """The constant ⊥."""
+
+    def free_variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def substitute(self, mapping: Mapping[str, LinearTerm]) -> Formula:
+        return self
+
+    def evaluate(self, assignment: Mapping[str, Fraction]) -> bool:
+        return False
+
+    def is_quantifier_free(self) -> bool:
+        return True
+
+    def atoms(self) -> frozenset[Atom]:
+        return frozenset()
+
+    def size(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return "false"
+
+
+TRUE = TrueFormula()
+FALSE = FalseFormula()
+
+
+@dataclass(frozen=True)
+class AtomFormula(Formula):
+    """A single atomic constraint."""
+
+    atom: Atom
+
+    @staticmethod
+    def compare(lhs: LinearTerm, op: Op, rhs: LinearTerm) -> "AtomFormula":
+        return AtomFormula(Atom.compare(lhs, op, rhs))
+
+    def free_variables(self) -> frozenset[str]:
+        return frozenset(self.atom.variables)
+
+    def substitute(self, mapping: Mapping[str, LinearTerm]) -> Formula:
+        return AtomFormula(self.atom.substitute(mapping))
+
+    def evaluate(self, assignment: Mapping[str, Fraction]) -> bool:
+        return self.atom.holds_at(assignment)
+
+    def is_quantifier_free(self) -> bool:
+        return True
+
+    def atoms(self) -> frozenset[Atom]:
+        return frozenset({self.atom})
+
+    def size(self) -> int:
+        return 1 + len(self.atom.variables)
+
+    def __str__(self) -> str:
+        return str(self.atom)
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction of zero or more formulas (empty = ⊤)."""
+
+    operands: tuple[Formula, ...]
+
+    def free_variables(self) -> frozenset[str]:
+        return frozenset().union(*(f.free_variables() for f in self.operands)) \
+            if self.operands else frozenset()
+
+    def substitute(self, mapping: Mapping[str, LinearTerm]) -> Formula:
+        return And(tuple(f.substitute(mapping) for f in self.operands))
+
+    def evaluate(self, assignment: Mapping[str, Fraction]) -> bool:
+        return all(f.evaluate(assignment) for f in self.operands)
+
+    def is_quantifier_free(self) -> bool:
+        return all(f.is_quantifier_free() for f in self.operands)
+
+    def atoms(self) -> frozenset[Atom]:
+        return frozenset().union(*(f.atoms() for f in self.operands)) \
+            if self.operands else frozenset()
+
+    def size(self) -> int:
+        return 1 + sum(f.size() for f in self.operands)
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return "true"
+        return "(" + " & ".join(str(f) for f in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction of zero or more formulas (empty = ⊥)."""
+
+    operands: tuple[Formula, ...]
+
+    def free_variables(self) -> frozenset[str]:
+        return frozenset().union(*(f.free_variables() for f in self.operands)) \
+            if self.operands else frozenset()
+
+    def substitute(self, mapping: Mapping[str, LinearTerm]) -> Formula:
+        return Or(tuple(f.substitute(mapping) for f in self.operands))
+
+    def evaluate(self, assignment: Mapping[str, Fraction]) -> bool:
+        return any(f.evaluate(assignment) for f in self.operands)
+
+    def is_quantifier_free(self) -> bool:
+        return all(f.is_quantifier_free() for f in self.operands)
+
+    def atoms(self) -> frozenset[Atom]:
+        return frozenset().union(*(f.atoms() for f in self.operands)) \
+            if self.operands else frozenset()
+
+    def size(self) -> int:
+        return 1 + sum(f.size() for f in self.operands)
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return "false"
+        return "(" + " | ".join(str(f) for f in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    operand: Formula
+
+    def free_variables(self) -> frozenset[str]:
+        return self.operand.free_variables()
+
+    def substitute(self, mapping: Mapping[str, LinearTerm]) -> Formula:
+        return Not(self.operand.substitute(mapping))
+
+    def evaluate(self, assignment: Mapping[str, Fraction]) -> bool:
+        return not self.operand.evaluate(assignment)
+
+    def is_quantifier_free(self) -> bool:
+        return self.operand.is_quantifier_free()
+
+    def atoms(self) -> frozenset[Atom]:
+        return self.operand.atoms()
+
+    def size(self) -> int:
+        return 1 + self.operand.size()
+
+    def __str__(self) -> str:
+        return f"!{self.operand}"
+
+
+class _Quantifier(Formula):
+    """Shared behaviour of ∃ and ∀."""
+
+    variable: str
+    body: Formula
+
+    def free_variables(self) -> frozenset[str]:
+        return self.body.free_variables() - {self.variable}
+
+    def _substitute_body(
+        self, mapping: Mapping[str, LinearTerm]
+    ) -> tuple[str, Formula]:
+        """Capture-avoiding substitution under the binder."""
+        relevant = {
+            name: term
+            for name, term in mapping.items()
+            if name != self.variable and name in self.body.free_variables()
+        }
+        if not relevant:
+            return self.variable, self.body
+        clashing = {
+            v for term in relevant.values() for v in term.variables
+        }
+        variable = self.variable
+        body = self.body
+        if variable in clashing:
+            fresh = fresh_variable(
+                clashing | body.free_variables() | set(relevant), variable
+            )
+            body = body.substitute({variable: LinearTerm.variable(fresh)})
+            variable = fresh
+        return variable, body.substitute(relevant)
+
+    def evaluate(self, assignment: Mapping[str, Fraction]) -> bool:
+        raise FormulaError(
+            "cannot evaluate a quantified formula pointwise; "
+            "run quantifier elimination first"
+        )
+
+    def is_quantifier_free(self) -> bool:
+        return False
+
+    def atoms(self) -> frozenset[Atom]:
+        return self.body.atoms()
+
+    def size(self) -> int:
+        return 2 + self.body.size()
+
+
+@dataclass(frozen=True)
+class Exists(_Quantifier):
+    """Existential quantification over the real sort."""
+
+    variable: str
+    body: Formula
+
+    def substitute(self, mapping: Mapping[str, LinearTerm]) -> Formula:
+        variable, body = self._substitute_body(mapping)
+        return Exists(variable, body)
+
+    def __str__(self) -> str:
+        return f"(EXISTS {self.variable}. {self.body})"
+
+
+@dataclass(frozen=True)
+class Forall(_Quantifier):
+    """Universal quantification over the real sort."""
+
+    variable: str
+    body: Formula
+
+    def substitute(self, mapping: Mapping[str, LinearTerm]) -> Formula:
+        variable, body = self._substitute_body(mapping)
+        return Forall(variable, body)
+
+    def __str__(self) -> str:
+        return f"(FORALL {self.variable}. {self.body})"
+
+
+def conjunction(formulas: Iterable[Formula]) -> Formula:
+    """N-ary conjunction with constant folding."""
+    flat: list[Formula] = []
+    for f in formulas:
+        if isinstance(f, FalseFormula):
+            return FALSE
+        if isinstance(f, TrueFormula):
+            continue
+        if isinstance(f, And):
+            flat.extend(f.operands)
+        else:
+            flat.append(f)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disjunction(formulas: Iterable[Formula]) -> Formula:
+    """N-ary disjunction with constant folding."""
+    flat: list[Formula] = []
+    for f in formulas:
+        if isinstance(f, TrueFormula):
+            return TRUE
+        if isinstance(f, FalseFormula):
+            continue
+        if isinstance(f, Or):
+            flat.extend(f.operands)
+        else:
+            flat.append(f)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def fresh_variable(taken: Iterable[str], stem: str = "v") -> str:
+    """A variable name not in ``taken``, derived from ``stem``."""
+    taken_set = set(taken)
+    for index in itertools.count():
+        candidate = f"{stem}_{index}"
+        if candidate not in taken_set:
+            return candidate
+    raise AssertionError("unreachable")  # pragma: no cover

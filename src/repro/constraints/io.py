@@ -1,0 +1,97 @@
+"""Textual serialisation of relations and databases.
+
+A deterministic, human-readable format that round-trips through the
+constraint parser — the on-disk analogue of the paper's "standard
+encoding of constraint databases by the formulae of their
+representation" (Section 2):
+
+.. code-block:: text
+
+    # repro database v1
+    RELATION S (x0, x1)
+    ((-x0 <= 0 & -x1 <= 0 & x0 + x1 <= 1))
+    RELATION Zone (x0, x1)
+    ...
+
+One ``RELATION <name> (<schema>)`` header per relation, followed by one
+line holding the representing formula.  Relation names must be valid
+upper-case-initial identifiers so they can be referenced from queries.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+from repro.errors import ParseError
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.parser import parse_formula
+from repro.constraints.relation import ConstraintRelation
+
+_HEADER = "# repro database v1"
+_RELATION_RE = re.compile(
+    r"^RELATION\s+([A-Z][A-Za-z0-9_]*)\s*\(([^)]*)\)\s*$"
+)
+
+
+def dump_relation(relation: ConstraintRelation) -> str:
+    """The formula line of a relation (re-parseable)."""
+    return str(relation.formula)
+
+
+def dumps_database(database: ConstraintDatabase) -> str:
+    """Serialise a database to the textual format."""
+    lines = [_HEADER]
+    for name, relation in database:
+        schema = ", ".join(relation.variables)
+        lines.append(f"RELATION {name} ({schema})")
+        lines.append(dump_relation(relation))
+    return "\n".join(lines) + "\n"
+
+
+def loads_database(text: str) -> ConstraintDatabase:
+    """Parse the textual format back into a database."""
+    lines = [
+        line.strip()
+        for line in text.splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    ]
+    relations: dict[str, ConstraintRelation] = {}
+    index = 0
+    while index < len(lines):
+        match = _RELATION_RE.match(lines[index])
+        if match is None:
+            raise ParseError(
+                f"expected a RELATION header, got {lines[index]!r}"
+            )
+        name = match.group(1)
+        schema = tuple(
+            part.strip()
+            for part in match.group(2).split(",")
+            if part.strip()
+        )
+        if not schema:
+            raise ParseError(f"relation {name!r} has an empty schema")
+        if name in relations:
+            raise ParseError(f"duplicate relation {name!r}")
+        index += 1
+        if index >= len(lines):
+            raise ParseError(f"relation {name!r} has no formula line")
+        formula = parse_formula(lines[index])
+        relations[name] = ConstraintRelation.make(schema, formula)
+        index += 1
+    if not relations:
+        raise ParseError("no relations found")
+    return ConstraintDatabase.make(relations)
+
+
+def save_database(
+    database: ConstraintDatabase, path: str | pathlib.Path
+) -> None:
+    """Write a database to a file."""
+    pathlib.Path(path).write_text(dumps_database(database))
+
+
+def load_database(path: str | pathlib.Path) -> ConstraintDatabase:
+    """Read a database from a file."""
+    return loads_database(pathlib.Path(path).read_text())

@@ -1,0 +1,310 @@
+"""Text front end for linear constraint formulas.
+
+The grammar (loosest to tightest binding)::
+
+    formula   := implies ( "<->" implies )*
+    implies   := or ( "->" implies )?
+    or        := and ( "|" and )*
+    and       := unary ( "&" unary )*
+    unary     := "!" unary
+               | ("EXISTS" | "FORALL") var ("," var)* "." formula
+               | "(" formula ")"
+               | "true" | "false"
+               | comparison
+    comparison:= term ( OP term )+          with OP in  < <= = != >= >
+    term      := product ( ("+" | "-") product )*
+    product   := factor ( "*" factor )*     (must stay linear)
+    factor    := NUMBER | IDENT | "(" term ")" | "-" factor
+
+Numbers are integers or rationals written ``p/q``.  Comparison chains like
+``0 <= x < 1`` expand to conjunctions; ``!=`` expands to ``< ∨ >``.
+Keywords are case-insensitive.
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+from typing import NamedTuple
+
+from repro.errors import ParseError
+from repro.constraints.atoms import Atom, Op
+from repro.constraints.formula import (
+    AtomFormula,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    conjunction,
+    disjunction,
+    FALSE,
+    TRUE,
+)
+from repro.constraints.terms import LinearTerm
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+(?:/\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><->|->|<=|>=|!=|<|>|=|&|\||!|\(|\)|\.|,|\+|-|\*)
+    """,
+    re.VERBOSE,
+)
+
+_COMPARISONS = {"<", "<=", "=", "!=", ">=", ">"}
+_OP_FOR = {
+    "<": Op.LT,
+    "<=": Op.LE,
+    "=": Op.EQ,
+    ">=": Op.GE,
+    ">": Op.GT,
+}
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r}", position, text
+            )
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append(_Token(kind, match.group(), match.start()))
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token helpers -------------------------------------------------
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def accept(self, text: str) -> bool:
+        if self.peek().text == text and self.peek().kind != "eof":
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> _Token:
+        token = self.peek()
+        if token.text != text or token.kind == "eof":
+            raise ParseError(
+                f"expected {text!r}, found {token.text or 'end of input'!r}",
+                token.position,
+                self.text,
+            )
+        return self.advance()
+
+    def _keyword(self) -> str | None:
+        token = self.peek()
+        if token.kind == "ident":
+            lowered = token.text.lower()
+            if lowered in ("exists", "forall", "true", "false"):
+                return lowered
+        return None
+
+    # -- formula levels --------------------------------------------------
+    def parse_formula(self) -> Formula:
+        left = self.parse_implies()
+        while self.accept("<->"):
+            right = self.parse_implies()
+            left = disjunction(
+                [
+                    conjunction([left, right]),
+                    conjunction([Not(left), Not(right)]),
+                ]
+            )
+        return left
+
+    def parse_implies(self) -> Formula:
+        left = self.parse_or()
+        if self.accept("->"):
+            right = self.parse_implies()
+            return disjunction([Not(left), right])
+        return left
+
+    def parse_or(self) -> Formula:
+        parts = [self.parse_and()]
+        while self.accept("|"):
+            parts.append(self.parse_and())
+        return disjunction(parts)
+
+    def parse_and(self) -> Formula:
+        parts = [self.parse_unary()]
+        while self.accept("&"):
+            parts.append(self.parse_unary())
+        return conjunction(parts)
+
+    def parse_unary(self) -> Formula:
+        if self.accept("!"):
+            return Not(self.parse_unary())
+        keyword = self._keyword()
+        if keyword in ("exists", "forall"):
+            self.advance()
+            names = [self._expect_ident()]
+            while self.accept(","):
+                names.append(self._expect_ident())
+            self.expect(".")
+            body = self.parse_formula()
+            wrapper = Exists if keyword == "exists" else Forall
+            for name in reversed(names):
+                body = wrapper(name, body)
+            return body
+        if keyword == "true":
+            self.advance()
+            return TRUE
+        if keyword == "false":
+            self.advance()
+            return FALSE
+        if self.peek().text == "(":
+            # Could be a parenthesised formula or a parenthesised term that
+            # begins a comparison.  Try the formula reading first and fall
+            # back on term parsing.
+            saved = self.index
+            self.advance()
+            try:
+                inner = self.parse_formula()
+                self.expect(")")
+            except ParseError:
+                self.index = saved
+                return self.parse_comparison()
+            if self.peek().text in _COMPARISONS:
+                # `(term) < ...`: re-parse as a comparison.
+                self.index = saved
+                return self.parse_comparison()
+            return inner
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Formula:
+        terms = [self.parse_term()]
+        operators: list[str] = []
+        while self.peek().text in _COMPARISONS:
+            operators.append(self.advance().text)
+            terms.append(self.parse_term())
+        if not operators:
+            token = self.peek()
+            raise ParseError(
+                "expected a comparison operator", token.position, self.text
+            )
+        parts: list[Formula] = []
+        for left, op_text, right in zip(terms, operators, terms[1:]):
+            if op_text == "!=":
+                parts.append(
+                    disjunction(
+                        [
+                            AtomFormula(Atom.compare(left, Op.LT, right)),
+                            AtomFormula(Atom.compare(left, Op.GT, right)),
+                        ]
+                    )
+                )
+            else:
+                parts.append(
+                    AtomFormula(Atom.compare(left, _OP_FOR[op_text], right))
+                )
+        return conjunction(parts)
+
+    # -- terms -----------------------------------------------------------
+    def parse_term(self) -> LinearTerm:
+        term = self.parse_product()
+        while self.peek().text in ("+", "-"):
+            if self.accept("+"):
+                term = term + self.parse_product()
+            else:
+                self.advance()
+                term = term - self.parse_product()
+        return term
+
+    def parse_product(self) -> LinearTerm:
+        term = self.parse_factor()
+        while self.accept("*"):
+            term = term * self.parse_factor()
+        return term
+
+    def parse_factor(self) -> LinearTerm:
+        token = self.peek()
+        if token.text == "-":
+            self.advance()
+            return -self.parse_factor()
+        if token.kind == "number":
+            self.advance()
+            return LinearTerm.const(Fraction(token.text))
+        if token.kind == "ident":
+            if self._keyword() is not None:
+                raise ParseError(
+                    f"keyword {token.text!r} cannot be a variable",
+                    token.position,
+                    self.text,
+                )
+            self.advance()
+            return LinearTerm.variable(token.text)
+        if token.text == "(":
+            self.advance()
+            inner = self.parse_term()
+            self.expect(")")
+            return inner
+        raise ParseError(
+            f"expected a term, found {token.text or 'end of input'!r}",
+            token.position,
+            self.text,
+        )
+
+    def _expect_ident(self) -> str:
+        token = self.peek()
+        if token.kind != "ident" or self._keyword() is not None:
+            raise ParseError(
+                "expected a variable name", token.position, self.text
+            )
+        return self.advance().text
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse a constraint formula from text."""
+    parser = _Parser(text)
+    formula = parser.parse_formula()
+    trailing = parser.peek()
+    if trailing.kind != "eof":
+        raise ParseError(
+            f"unexpected trailing input {trailing.text!r}",
+            trailing.position,
+            text,
+        )
+    return formula
+
+
+def parse_term(text: str) -> LinearTerm:
+    """Parse a linear term from text."""
+    parser = _Parser(text)
+    term = parser.parse_term()
+    trailing = parser.peek()
+    if trailing.kind != "eof":
+        raise ParseError(
+            f"unexpected trailing input {trailing.text!r}",
+            trailing.position,
+            text,
+        )
+    return term

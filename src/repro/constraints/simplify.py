@@ -1,0 +1,303 @@
+"""Pruned DNF algebra — the engine behind polynomial-time evaluation.
+
+Boolean operations on DNF-represented relations distribute conjunctions
+over disjunctions; done naively the intermediate representation explodes
+exponentially in the number of disjuncts (think of negating a union over
+all region pairs).  The classical remedy, and what makes the PTIME bound
+of Theorem 4.3 real in an implementation, is *incremental pruning*: while
+multiplying factors out, discard every partial conjunction that is
+already infeasible over (ℝ, <, +).  Each surviving conjunction denotes a
+non-empty set, and distinct surviving conjunctions of atoms over the same
+hyperplanes denote distinct cells of the atom arrangement — so the number
+of survivors is bounded by the cell count O(m^k) for m atoms in k
+variables, polynomial for fixed arity.
+
+The functions here work on the ``Disjunct`` representation of
+:mod:`repro.constraints.normal_forms` (tuples of atoms, conjunction
+implied, list = disjunction).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geometry.simplex import feasible
+from repro.constraints.atoms import Atom
+from repro.constraints.normal_forms import Disjunct
+
+
+def disjunct_feasible(disjunct: Disjunct) -> bool:
+    """Exact non-emptiness of a conjunction of atoms."""
+    live = []
+    for atom in disjunct:
+        if atom.is_trivial():
+            if not atom.trivial_truth():
+                return False
+            continue
+        live.append(atom)
+    if not live:
+        return True
+    variables = sorted({v for atom in live for v in atom.variables})
+    system = [atom.to_linear_constraint(variables) for atom in live]
+    return feasible(system, dimension=len(variables))
+
+
+def _normalise(disjunct: Disjunct) -> Disjunct | None:
+    """Dedupe atoms, drop trivially-true ones; None if trivially false."""
+    kept: list[Atom] = []
+    seen: set[Atom] = set()
+    for atom in disjunct:
+        if atom.is_trivial():
+            if not atom.trivial_truth():
+                return None
+            continue
+        if atom not in seen:
+            seen.add(atom)
+            kept.append(atom)
+    return tuple(kept)
+
+
+def prune_disjuncts(disjuncts: Sequence[Disjunct]) -> list[Disjunct]:
+    """Normalise, dedupe and drop infeasible disjuncts."""
+    output: list[Disjunct] = []
+    seen: set[Disjunct] = set()
+    for disjunct in disjuncts:
+        reduced = _normalise(disjunct)
+        if reduced is None or reduced in seen:
+            continue
+        seen.add(reduced)
+        if disjunct_feasible(reduced):
+            output.append(reduced)
+    return output
+
+
+def dnf_product(
+    factors: Sequence[Sequence[Disjunct]],
+) -> list[Disjunct]:
+    """Conjunction of several DNFs, distributed with incremental pruning.
+
+    Returns the DNF of ``⋀_i ⋁_j C_ij``; every partial product that
+    becomes infeasible is cut immediately, so intermediate size never
+    exceeds the true cell count times the branching factor.
+    """
+    partial: list[Disjunct] = [()]
+    for factor in factors:
+        grown: list[Disjunct] = []
+        seen: set[Disjunct] = set()
+        for prefix in partial:
+            for disjunct in factor:
+                candidate = _normalise(prefix + disjunct)
+                if candidate is None or candidate in seen:
+                    continue
+                seen.add(candidate)
+                if disjunct_feasible(candidate):
+                    grown.append(candidate)
+        partial = grown
+        if not partial:
+            return []
+    return partial
+
+
+def remove_redundant_atoms(disjunct: Disjunct) -> Disjunct:
+    """Drop atoms implied by the rest of their conjunction.
+
+    Atom a is redundant in C iff (C ∖ {a}) ∧ ¬a is infeasible.  Greedy
+    left-to-right removal; the result denotes the same set with a
+    minimal-ish representation.  Used by explicit simplification, not by
+    the hot evaluation paths.
+    """
+    kept = list(disjunct)
+    index = 0
+    while index < len(kept):
+        candidate = kept[index]
+        rest = kept[:index] + kept[index + 1:]
+        negated_feasible = any(
+            disjunct_feasible(tuple(rest) + (negated,))
+            for negated in candidate.negated_atoms()
+        )
+        if not negated_feasible:
+            kept.pop(index)
+        else:
+            index += 1
+    return tuple(kept)
+
+
+def merge_equality_pairs(disjunct: Disjunct) -> Disjunct:
+    """Replace complementary bound pairs ``t ≤ 0 ∧ t ≥ 0`` by ``t = 0``.
+
+    Sign-vector cells express equalities as two opposite non-strict
+    bounds; merging them makes simplified output read naturally.
+    """
+    from repro.constraints.atoms import Op
+
+    atoms = list(disjunct)
+    result: list = []
+    consumed: set[int] = set()
+    for i, atom in enumerate(atoms):
+        if i in consumed:
+            continue
+        partner = None
+        if atom.op in (Op.LE, Op.GE):
+            for j in range(i + 1, len(atoms)):
+                if j in consumed:
+                    continue
+                other = atoms[j]
+                if other.op not in (Op.LE, Op.GE):
+                    continue
+                if other.term == atom.term and other.op is not atom.op:
+                    partner = j
+                    break
+                if other.term == -atom.term and other.op is atom.op:
+                    partner = j
+                    break
+        if partner is not None:
+            from repro.constraints.atoms import Atom
+
+            consumed.add(partner)
+            term = atom.term
+            if term.coefficients and term.coefficients[0][1] < 0:
+                term = -term
+            result.append(Atom(term, Op.EQ))
+        else:
+            result.append(atom)
+    return tuple(result)
+
+
+def _subsumed(smaller: Disjunct, larger: Disjunct) -> bool:
+    """Does ``larger`` contain ``smaller`` as a set (smaller ⟹ larger)?"""
+    return all(
+        not disjunct_feasible(smaller + (negated,))
+        for atom in larger
+        for negated in atom.negated_atoms()
+    )
+
+
+def minimise_dnf(disjuncts: Sequence[Disjunct]) -> list[Disjunct]:
+    """Feasibility-prune, remove redundant atoms, drop subsumed disjuncts."""
+    cleaned = [
+        merge_equality_pairs(remove_redundant_atoms(d))
+        for d in prune_disjuncts(disjuncts)
+    ]
+    cleaned = prune_disjuncts(cleaned)
+    survivors: list[Disjunct] = []
+    for index, disjunct in enumerate(cleaned):
+        absorbed = False
+        for other_index, other in enumerate(cleaned):
+            if other_index == index:
+                continue
+            # Keep the earlier disjunct on mutual subsumption.
+            if _subsumed(disjunct, other) and not (
+                other_index > index and _subsumed(other, disjunct)
+            ):
+                absorbed = True
+                break
+        if not absorbed:
+            survivors.append(disjunct)
+    return survivors
+
+
+def to_dnf_pruned(formula) -> list[Disjunct]:
+    """DNF conversion with feasibility pruning at every distribution.
+
+    The naive ``to_dnf`` distributes blindly and can explode on
+    conjunctions of disjunctions (e.g. negated unions inside quantifier
+    elimination).  This version converts to NNF first and then builds
+    the DNF bottom-up, running every conjunction through
+    :func:`dnf_product` so infeasible partial products die immediately.
+    Output is semantically equal to ``to_dnf`` (trivially-false
+    disjuncts dropped either way).
+    """
+    from repro.constraints.formula import (
+        And,
+        AtomFormula,
+        FalseFormula,
+        Or,
+        TrueFormula,
+    )
+    from repro.constraints.normal_forms import to_nnf
+    from repro.errors import FormulaError
+
+    def convert(node) -> list[Disjunct]:
+        if isinstance(node, TrueFormula):
+            return [()]
+        if isinstance(node, FalseFormula):
+            return []
+        if isinstance(node, AtomFormula):
+            return [(node.atom,)]
+        if isinstance(node, Or):
+            collected: list[Disjunct] = []
+            for operand in node.operands:
+                collected.extend(convert(operand))
+            return prune_disjuncts(collected)
+        if isinstance(node, And):
+            return dnf_product([convert(op) for op in node.operands])
+        raise FormulaError(
+            f"unexpected node in NNF: {type(node).__name__}"
+        )
+
+    return convert(to_nnf(formula))
+
+
+def negate_disjunct(disjunct: Disjunct) -> list[Disjunct]:
+    """¬(a_1 ∧ .. ∧ a_m) as a DNF: one disjunct per complemented atom."""
+    result: list[Disjunct] = []
+    for atom in disjunct:
+        for negated in atom.negated_atoms():
+            result.append((negated,))
+    return result
+
+
+def negate_dnf(disjuncts: Sequence[Disjunct]) -> list[Disjunct]:
+    """Complement of a DNF, with pruning (¬⋁_i C_i = ⋀_i ¬C_i)."""
+    if not disjuncts:
+        return [()]
+    factors = [negate_disjunct(d) for d in disjuncts]
+    return dnf_product(factors)
+
+
+def cell_complement(
+    disjuncts: Sequence[Disjunct], variables: Sequence[str]
+) -> list[Disjunct]:
+    """Complement via the arrangement of the formula's own atoms.
+
+    The truth of a DNF is constant on every face of the arrangement of
+    the hyperplanes induced by its atoms (the same observation Section 3
+    makes for database representations).  So the complement is exactly
+    the union of the faces whose witness point falsifies the formula —
+    one pointwise evaluation per face instead of an exponential product.
+    The face count is O(m^k) for m distinct hyperplanes in k variables,
+    so this is the polynomially-bounded path for large disjunct counts.
+    """
+    from repro.arrangement.builder import enumerate_sign_vectors
+    from repro.arrangement.faces import sign_vector_constraints
+    from repro.constraints.atoms import atom_from_constraint
+
+    order = list(variables)
+    k = len(order)
+    if k == 0:
+        # Nullary relation: complement is TRUE iff the DNF is empty.
+        return [()] if not disjuncts else []
+    plane_set = {}
+    for disjunct in disjuncts:
+        for atom in disjunct:
+            plane = atom.hyperplane(order)
+            if plane is not None:
+                plane_set[plane] = None
+    planes = sorted(plane_set, key=lambda h: (h.normal, h.offset))
+
+    def formula_holds(point) -> bool:
+        assignment = dict(zip(order, point))
+        return any(
+            all(a.holds_at(assignment) for a in disjunct)
+            for disjunct in disjuncts
+        )
+
+    output: list[Disjunct] = []
+    for signs, witness in enumerate_sign_vectors(planes, k):
+        if formula_holds(witness):
+            continue
+        rows = sign_vector_constraints(planes, signs)
+        output.append(
+            tuple(atom_from_constraint(row, order) for row in rows)
+        )
+    return output

@@ -1,0 +1,112 @@
+"""Topological operators on linear constraint relations.
+
+Closure, interior and boundary are first-order definable over (ℝ, <, +)
+via ε-neighbourhoods (the same device Definition 4.1 uses for
+adjacency):
+
+    closure(S)  = { x : ∀ε>0 ∃y (S(y) ∧ ⋀_i |x_i − y_i| < ε) }
+    interior(S) = { x : ∃ε>0 ∀y (⋀_i |x_i − y_i| < ε → S(y)) }
+    boundary(S) = closure(S) ∖ interior(S)
+
+Quantifier elimination turns each into a quantifier-free relation, so
+the operators stay inside the linear constraint class — a small
+showcase of FO+LIN's closure properties, and the basis for the
+ε-neighbourhood validation of the adjacency relation in the tests.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.formula import (
+    AtomFormula,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    conjunction,
+    fresh_variable,
+)
+from repro.constraints.atoms import Atom, Op
+from repro.constraints.relation import ConstraintRelation
+from repro.constraints.terms import LinearTerm
+
+
+def _box_formula(
+    xs: tuple[str, ...], ys: tuple[str, ...], epsilon: str
+) -> Formula:
+    """⋀_i |x_i − y_i| < ε."""
+    eps = LinearTerm.variable(epsilon)
+    parts = []
+    for x_name, y_name in zip(xs, ys):
+        diff = LinearTerm.variable(x_name) - LinearTerm.variable(y_name)
+        parts.append(AtomFormula(Atom.compare(diff, Op.LT, eps)))
+        parts.append(AtomFormula(Atom.compare(-diff, Op.LT, eps)))
+    return conjunction(parts)
+
+
+def _fresh_tuple(taken: set[str], arity: int, stem: str) -> tuple[str, ...]:
+    names = []
+    for __ in range(arity):
+        name = fresh_variable(taken, stem)
+        taken.add(name)
+        names.append(name)
+    return tuple(names)
+
+
+def closure(relation: ConstraintRelation) -> ConstraintRelation:
+    """The topological closure, as a quantifier-free relation."""
+    xs = relation.variables
+    taken = set(xs)
+    ys = _fresh_tuple(taken, relation.arity, "y")
+    epsilon = fresh_variable(taken, "eps")
+    membership = relation.substitute(
+        {x: LinearTerm.variable(y) for x, y in zip(xs, ys)}
+    )
+    eps_positive = AtomFormula(
+        Atom.compare(LinearTerm.const(0), Op.LT,
+                     LinearTerm.variable(epsilon))
+    )
+    near = _box_formula(xs, ys, epsilon)
+    inner: Formula = conjunction([membership, near])
+    for y in ys:
+        inner = Exists(y, inner)
+    body = Forall(
+        epsilon,
+        Not(eps_positive) | inner,
+    )
+    return ConstraintRelation.make(xs, body).simplify()
+
+
+def interior(relation: ConstraintRelation) -> ConstraintRelation:
+    """The topological interior (w.r.t. the ambient space ℝ^d)."""
+    xs = relation.variables
+    taken = set(xs)
+    ys = _fresh_tuple(taken, relation.arity, "y")
+    epsilon = fresh_variable(taken, "eps")
+    membership = relation.substitute(
+        {x: LinearTerm.variable(y) for x, y in zip(xs, ys)}
+    )
+    eps_positive = AtomFormula(
+        Atom.compare(LinearTerm.const(0), Op.LT,
+                     LinearTerm.variable(epsilon))
+    )
+    near = _box_formula(xs, ys, epsilon)
+    implication: Formula = Not(near) | membership
+    for y in ys:
+        implication = Forall(y, implication)
+    body = Exists(epsilon, conjunction([eps_positive, implication]))
+    return ConstraintRelation.make(xs, body).simplify()
+
+
+def boundary(relation: ConstraintRelation) -> ConstraintRelation:
+    """closure(S) minus interior(S)."""
+    return closure(relation).difference(interior(relation)).simplify()
+
+
+def is_closed(relation: ConstraintRelation) -> bool:
+    """Is S topologically closed?"""
+    return closure(relation).equivalent(relation)
+
+
+def is_open(relation: ConstraintRelation) -> bool:
+    """Is S topologically open (in the ambient space)?"""
+    return interior(relation).equivalent(relation)

@@ -1,0 +1,30 @@
+"""Spatial datalog over linear constraint databases.
+
+The paper's related work (Geerts & Kuijpers [5]) studies *spatial
+datalog*: datalog whose relations are constraint relations over the
+reals.  Connectivity is expressible by a program that terminates on
+every input of a suitable class, but spatial datalog programs in
+general "will not terminate on every input" — the same phenomenon the
+region restriction fixes.
+
+This package implements positive spatial datalog with semi-naive-style
+bottom-up evaluation over :class:`~repro.constraints.relation.
+ConstraintRelation` values, exact convergence checks, and a stage cap
+so divergence is observable rather than fatal.
+"""
+
+from repro.datalog.engine import (
+    Atom as DatalogAtom,
+    EvaluationOutcome,
+    Program,
+    Rule,
+    evaluate_program,
+)
+
+__all__ = [
+    "DatalogAtom",
+    "EvaluationOutcome",
+    "Program",
+    "Rule",
+    "evaluate_program",
+]

@@ -1,0 +1,103 @@
+"""Text syntax for spatial datalog programs.
+
+One rule per line (blank lines and ``%`` comments ignored)::
+
+    Reach(x) :- S(x), x = 0.
+    Reach(y) :- Reach(x), S(y), y - x <= 1, x - y <= 1.
+
+A body item is a relation atom when it looks like ``Name(v1, .., vk)``
+with a capitalised name and bare lower-case variables; anything else is
+parsed as a constraint formula (so ``x = 0`` and ``y - x <= 1`` are
+constraints).  Multiple constraint items are conjoined.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.constraints.formula import conjunction
+from repro.constraints.parser import parse_formula
+from repro.datalog.engine import Atom, Program, Rule
+
+_ATOM_RE = re.compile(
+    r"^([A-Z][A-Za-z0-9_]*)\s*\(\s*([a-z][A-Za-z0-9_]*"
+    r"(?:\s*,\s*[a-z][A-Za-z0-9_]*)*)\s*\)$"
+)
+
+
+def _parse_atom(text: str) -> Atom | None:
+    match = _ATOM_RE.match(text.strip())
+    if match is None:
+        return None
+    variables = tuple(
+        part.strip() for part in match.group(2).split(",")
+    )
+    return Atom(match.group(1), variables)
+
+
+def _split_body(text: str) -> list[str]:
+    """Split on commas that are not inside parentheses."""
+    items: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        items.append("".join(current))
+    return [item.strip() for item in items if item.strip()]
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse one rule (with or without the trailing period)."""
+    cleaned = text.strip()
+    if cleaned.endswith("."):
+        cleaned = cleaned[:-1]
+    if ":-" not in cleaned:
+        raise ParseError(f"rule needs ':-': {text!r}")
+    head_text, body_text = cleaned.split(":-", 1)
+    head = _parse_atom(head_text)
+    if head is None:
+        raise ParseError(f"malformed rule head: {head_text.strip()!r}")
+    atoms: list[Atom] = []
+    negated: list[Atom] = []
+    constraints = []
+    for item in _split_body(body_text):
+        if item.startswith("!"):
+            atom = _parse_atom(item[1:])
+            if atom is None:
+                raise ParseError(
+                    f"'!' must prefix a relation atom: {item!r}"
+                )
+            negated.append(atom)
+            continue
+        atom = _parse_atom(item)
+        if atom is not None:
+            atoms.append(atom)
+        else:
+            constraints.append(parse_formula(item))
+    if not atoms and not negated and not constraints:
+        raise ParseError(f"rule has an empty body: {text!r}")
+    constraint = conjunction(constraints) if constraints else None
+    return Rule(head, tuple(atoms), constraint, tuple(negated))
+
+
+def parse_program(text: str) -> Program:
+    """Parse a whole program (one rule per line)."""
+    rules = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("%"):
+            continue
+        rules.append(parse_rule(stripped))
+    if not rules:
+        raise ParseError("program has no rules")
+    return Program(tuple(rules))

@@ -1,0 +1,289 @@
+"""One-shot reproduction runner: ``python -m repro.experiments``.
+
+Runs a quick variant of every experiment E1–E15 (see EXPERIMENTS.md)
+and prints a paper-vs-measured summary table.  Each check returns
+(claim, measured, ok); the exit code is non-zero if any check fails.
+The pytest benchmarks remain the source of timing data — this runner
+is about *correctness shapes* and takes a few minutes, not hours.
+"""
+
+from __future__ import annotations
+
+import sys
+from fractions import Fraction
+from typing import Callable
+
+F = Fraction
+
+Check = tuple[str, str, str, bool]  # id, claim, measured, ok
+
+
+def _e1() -> Check:
+    from repro.arrangement.builder import build_arrangement
+    from repro.constraints.parser import parse_formula
+    from repro.constraints.relation import ConstraintRelation
+
+    relation = ConstraintRelation.make(
+        ("x", "y"), parse_formula("x >= 0 & y >= 0 & x + y <= 1")
+    )
+    census = build_arrangement(relation).face_count_by_dimension()
+    ok = census == {2: 7, 1: 9, 0: 3}
+    return ("E1", "A(S) census 7/9/3 (Figs 1-3)",
+            f"{census[2]}/{census[1]}/{census[0]}", ok)
+
+
+def _e2() -> Check:
+    from repro.arrangement.builder import build_arrangement
+    from repro.geometry.hyperplane import Hyperplane
+
+    n = 5
+    planes = [Hyperplane.make([2 * i, -1], i * i) for i in range(1, n + 1)]
+    got = len(build_arrangement(hyperplanes=planes, dimension=2))
+    pairs = n * (n - 1) // 2
+    expected = pairs + n * n + 1 + n + pairs
+    return ("E2", f"generic {n}-line face count = {expected}",
+            str(got), got == expected)
+
+
+def _e3() -> Check:
+    from repro.logic.evaluator import evaluate_query
+    from repro.logic.parser import parse_query
+    from repro.workloads.generators import interval_chain
+
+    answer = evaluate_query(
+        parse_query("exists y. S(y) & x < y"), interval_chain(3)
+    )
+    ok = answer.formula.is_quantifier_free() and answer.contains((F(1),))
+    return ("E3", "RegFO answers quantifier-free (closure)",
+            "quantifier-free" if ok else "NOT closed", ok)
+
+
+def _e4() -> Check:
+    from repro.queries.connectivity import is_connected
+    from repro.workloads.generators import interval_chain
+
+    results = [
+        is_connected(interval_chain(2), "lfp") is True,
+        is_connected(interval_chain(2, gap=True), "lfp") is False,
+        is_connected(interval_chain(2), "ground") is True,
+    ]
+    return ("E4", "Conn (RegLFP) matches ground truth",
+            f"{sum(results)}/3 cases", all(results))
+
+
+def _e5() -> Check:
+    from repro.extensions.convex_closure import mult_holds
+
+    cases = [
+        mult_holds(F(3), F(4), F(12)),
+        not mult_holds(F(3), F(4), F(13)),
+        mult_holds(F(1, 2), F(1, 2), F(1, 4)),
+    ]
+    return ("E5", "mult via convex closure (Fig 5)",
+            f"{sum(cases)}/3 exact", all(cases))
+
+
+def _e6() -> Check:
+    from repro.queries.river import river_has_chemical_sequence
+    from repro.workloads.generators import river_scenario
+
+    verdicts = [
+        river_has_chemical_sequence(river_scenario(6, polluted=True)),
+        not river_has_chemical_sequence(river_scenario(6, polluted=False)),
+        not river_has_chemical_sequence(
+            river_scenario(6, polluted=True, reachable=False)
+        ),
+    ]
+    return ("E6", "river program verdicts (Fig 6)",
+            f"{sum(verdicts)}/3 intended", all(verdicts))
+
+
+def _e7() -> Check:
+    from repro.capture.compiler import capture_run
+    from repro.capture.machine import (
+        machine_first_vertex_in_s,
+        machine_parity_of_ones,
+    )
+    from repro.constraints.database import ConstraintDatabase
+    from repro.constraints.parser import parse_formula
+
+    agreements = 0
+    total = 0
+    for text in ("0 < x0 & x0 < 1", "0 <= x0 & x0 <= 1"):
+        database = ConstraintDatabase.from_formula(
+            parse_formula(text), 1
+        )
+        for machine in (machine_parity_of_ones(),
+                        machine_first_vertex_in_s()):
+            total += 1
+            if capture_run(machine, database).agree:
+                agreements += 1
+    return ("E7", "capture: inductive ≡ direct (Thm 6.4)",
+            f"{agreements}/{total} agree", agreements == total)
+
+
+def _e7_pspace() -> Check:
+    from repro.capture.pspace import (
+        binary_counter_machine,
+        pspace_capture_run,
+    )
+    from repro.constraints.database import ConstraintDatabase
+    from repro.constraints.parser import parse_formula
+
+    database = ConstraintDatabase.from_formula(
+        parse_formula("x0 = 32"), 1
+    )
+    result = pspace_capture_run(binary_counter_machine(), database)
+    ok = result.agree and result.run_exceeded_ptime_addressing
+    return ("E7b", "PSPACE arm: PFP stages > space cells",
+            f"{result.pfp_stages} stages / {result.space_cells} cells",
+            ok)
+
+
+def _e8() -> Check:
+    from repro.constraints.parser import parse_formula
+    from repro.constraints.relation import ConstraintRelation
+    from repro.regions.nc1 import decompose_nc1
+
+    pentagon = ConstraintRelation.make(
+        ("x", "y"),
+        parse_formula(
+            "y >= 0 & 3*x - 2*y <= 12 & 3*x + 4*y <= 30 & "
+            "3*x - 4*y >= -18 & 3*x + 2*y >= 0"
+        ),
+    )
+    census: dict[int, int] = {}
+    for region in decompose_nc1(pentagon):
+        census[region.dimension] = census.get(region.dimension, 0) + 1
+    ok = census == {2: 3, 1: 7, 0: 5}
+    return ("E8", "NC¹ pentagon census 3/7/5 (Figs 7-8)",
+            f"{census.get(2)}/{census.get(1)}/{census.get(0)}", ok)
+
+
+def _e9() -> Check:
+    from repro.queries.connectivity import is_connected
+    from repro.workloads.generators import interval_chain
+
+    agree = [
+        is_connected(interval_chain(2), "tc")
+        == is_connected(interval_chain(2), "lfp"),
+        is_connected(interval_chain(2, gap=True), "tc")
+        == is_connected(interval_chain(2, gap=True), "lfp"),
+    ]
+    return ("E9", "RegTC ≡ RegLFP on connectivity",
+            f"{sum(agree)}/2 agree", all(agree))
+
+
+def _e10() -> Check:
+    from repro.regions.arrangement_regions import ArrangementDecomposition
+    from repro.regions.nc1 import NC1Decomposition
+    from repro.workloads.generators import chain_of_boxes
+
+    relation = chain_of_boxes(2).spatial
+    arrangement = ArrangementDecomposition(relation)
+    nc1 = NC1Decomposition(relation)
+    far = (F(50), F(50))
+    ok = arrangement.covers(far) and not nc1.covers(far)
+    return ("E10", "arrangement partitions; NC¹ under-covers",
+            "as described (§7)" if ok else "MISMATCH", ok)
+
+
+def _e11() -> Check:
+    from repro.logic.evaluator import Evaluator
+    from repro.logic.parser import parse_query
+    from repro.twosorted.structure import RegionExtension
+    from repro.workloads.generators import interval_chain
+
+    extension = RegionExtension.build(interval_chain(1))
+    evaluator = Evaluator(extension)
+    oscillating = not evaluator.truth(
+        parse_query("exists X. [pfp M(R). !M(R)](X)")
+    )
+    inflating = evaluator.truth(
+        parse_query("exists X. [ifp M(R). !M(R)](X)")
+    )
+    ok = oscillating and inflating
+    return ("E11", "PFP oscillation → ∅; IFP converges",
+            "as defined" if ok else "MISMATCH", ok)
+
+
+def _e12() -> Check:
+    from repro.workloads.generators import interval_chain
+
+    relation = interval_chain(4).spatial
+    roundtrip = relation.complement().complement()
+    ok = roundtrip.equivalent(relation)
+    return ("E12", "¬¬S ≡ S with bounded representations",
+            f"size {relation.representation_size()} -> "
+            f"{roundtrip.representation_size()}", ok)
+
+
+def _e13() -> Check:
+    from repro.naive.element_fixpoint import (
+        define_naturals_body,
+        naive_lfp,
+    )
+
+    result = naive_lfp(("n",), define_naturals_body, max_stages=8)
+    return ("E13", "naive ℕ-induction diverges (§1)",
+            f"diverged at cap ({result.stages} stages)",
+            result.diverged)
+
+
+def _e14() -> Check:
+    from repro.logic.evaluator import Evaluator
+    from repro.logic.parser import parse_query
+    from repro.logic.transform import optimize
+    from repro.twosorted.structure import RegionExtension
+    from repro.workloads.generators import interval_chain
+
+    extension = RegionExtension.build(interval_chain(2))
+    evaluator = Evaluator(extension)
+    query = parse_query(
+        "exists R. sub(R, S) & (forall y. S(y) -> y >= 0)"
+    )
+    ok = evaluator.truth(query) == evaluator.truth(optimize(query))
+    return ("E14", "optimizer preserves answers",
+            "preserved" if ok else "CHANGED", ok)
+
+
+def _e15() -> Check:
+    from repro.datalog import evaluate_program
+    from repro.datalog.parser import parse_program
+    from repro.workloads.generators import interval_chain
+
+    program = parse_program(
+        "Reach(x) :- S(x), x = 0.\n"
+        "Reach(y) :- Reach(x), S(y), y - x <= 1, x - y <= 1.\n"
+    )
+    outcome = evaluate_program(program, interval_chain(2))
+    return ("E15", "datalog reach terminates on bounded input",
+            f"converged in {outcome.stages} stages", outcome.converged)
+
+
+CHECKS: list[Callable[[], Check]] = [
+    _e1, _e2, _e3, _e4, _e5, _e6, _e7, _e7_pspace, _e8, _e9, _e10,
+    _e11, _e12, _e13, _e14, _e15,
+]
+
+
+def main() -> int:
+    print("repro — reproduction summary (quick variants; timings in "
+          "benchmarks/)")
+    print(f"{'id':5} {'claim':45} {'measured':32} ok")
+    print("-" * 90)
+    failures = 0
+    for check in CHECKS:
+        identifier, claim, measured, ok = check()
+        mark = "✓" if ok else "✗"
+        if not ok:
+            failures += 1
+        print(f"{identifier:5} {claim:45} {measured:32} {mark}")
+    print("-" * 90)
+    print("all checks passed" if failures == 0 else
+          f"{failures} check(s) FAILED")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

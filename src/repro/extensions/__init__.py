@@ -1,0 +1,26 @@
+"""Executable versions of the paper's expressiveness boundary results.
+
+* :mod:`repro.extensions.convex_closure` — Section 4's warning: if region
+  quantification ranged over regions of *derived* relations, convex
+  closure — and with it multiplication (Figure 5) — would become
+  definable, breaking closure of the language.  The construction is
+  implemented and validated, which is exactly why the main logics do not
+  offer it.
+* :mod:`repro.extensions.nonboolean` — Section 8's outlook: a convex
+  closure *output* operator as a step towards capturing non-boolean
+  queries.
+"""
+
+from repro.extensions.convex_closure import (
+    convex_hull_of_points,
+    convex_hull_relation,
+    mult_holds,
+)
+from repro.extensions.nonboolean import convex_hull_of_regions
+
+__all__ = [
+    "convex_hull_of_points",
+    "convex_hull_relation",
+    "mult_holds",
+    "convex_hull_of_regions",
+]

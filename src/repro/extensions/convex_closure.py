@@ -1,0 +1,87 @@
+"""Section 4's expressiveness warning, made executable.
+
+The paper explains why region variables must range over the regions of
+the *input* relation only: quantifiers of the form ``∃R ∈ region(ψ)``
+over derived relations ψ would let queries compute convex closures, and
+convex closure defines multiplication (Figure 5):
+
+    for positive x, y, z:   x · y = z
+        iff  (x, y - 1) ∈ conv({(0, y), (z, 0)})
+
+because the segment from (0, y) to (z, 0) passes through (z/y, y-1).
+Multiplication takes queries outside the class of semi-linear relations,
+destroying both closure and the complexity bounds.
+
+This module implements the construction so the warning can be *tested*:
+:func:`mult_holds` decides x·y = z using only convex closure and
+membership — no arithmetic multiplication of variables anywhere in the
+decision path.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import GeometryError
+from repro.geometry.vrep import VPolyhedron
+from repro.constraints.relation import ConstraintRelation
+from repro.regions.nc1 import SimplexRegion
+
+
+def convex_hull_of_points(
+    points: list[tuple[Fraction, ...]],
+) -> VPolyhedron:
+    """The closed convex hull of finitely many rational points."""
+    if not points:
+        raise GeometryError("convex hull of no points")
+    return VPolyhedron.make(points, open_hull=False)
+
+
+def convex_hull_relation(
+    relation: ConstraintRelation,
+) -> ConstraintRelation:
+    """The convex hull of a *bounded* relation, as a relation.
+
+    Collects the vertices of every disjunct's closure and converts the
+    hull back to an H-representation by quantifier elimination.  This is
+    the operation that must NOT be an operator of the region logics; it
+    exists here to demonstrate (and test) why.
+    """
+    vertices: list[tuple[Fraction, ...]] = []
+    for polyhedron in relation.polyhedra():
+        if polyhedron.is_empty():
+            continue
+        if not polyhedron.is_bounded():
+            raise GeometryError(
+                "convex_hull_relation requires a bounded relation"
+            )
+        vertices.extend(polyhedron.vertices())
+    if not vertices:
+        return ConstraintRelation.empty(relation.variables)
+    hull = convex_hull_of_points(vertices)
+    region = SimplexRegion(hull, "outer", -1)
+    return ConstraintRelation.make(
+        relation.variables, region.defining_formula(relation.variables)
+    )
+
+
+def mult_holds(x: Fraction, y: Fraction, z: Fraction) -> bool:
+    """Decide x · y = z for positive rationals via Figure 5.
+
+    Constructs conv({(0, y), (z, 0)}) and tests whether (x, y-1) lies on
+    it.  No multiplication of the inputs happens anywhere: the hull
+    membership test is a linear program in the hull coefficients.
+    """
+    if x <= 0 or y <= 0 or z <= 0:
+        raise ValueError("the Figure 5 construction assumes positive values")
+    # The witness point (z/y, y-1) lies on the segment only for y >= 1;
+    # for smaller y rescale both y and z (x·y = z iff x·(2y) = 2z),
+    # which stays within the construction's means (doubling is addition).
+    while y < 1:
+        y *= 2
+        z *= 2
+    segment = convex_hull_of_points([
+        (Fraction(0), y),
+        (z, Fraction(0)),
+    ])
+    return segment.closure_contains((x, y - 1))

@@ -1,0 +1,72 @@
+"""Towards non-boolean queries (Section 8's outlook).
+
+RegLFP captures the boolean PTIME queries but "falls short of being able
+to express all PTIME queries of higher arity"; the paper reports ongoing
+work on extending the logics with a convex-closure operator for that
+purpose.  This module implements the natural reading of that operator on
+the *output* side: a fixed-point computation selects a set of regions,
+and the operator turns the selected regions into a relation — either
+their union (safe: stays semi-linear, since regions are semi-linear) or
+their convex closure (the paper's proposal).
+
+Both are executable here; the union form is what a non-boolean RegLFP
+query can safely return, the convex form shows the intended extension.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import GeometryError
+from repro.constraints.relation import (
+    ConstraintRelation,
+    union_relations,
+)
+from repro.extensions.convex_closure import convex_hull_of_points
+from repro.regions.nc1 import SimplexRegion
+from repro.twosorted.structure import RegionExtension
+
+
+def union_of_regions(
+    extension: RegionExtension, indices: Iterable[int]
+) -> ConstraintRelation:
+    """The union of the selected regions as a relation (safe output)."""
+    variables = extension.spatial.variables
+    selected = [
+        extension.decomposition.region(index).as_relation(variables)
+        for index in indices
+    ]
+    if not selected:
+        return ConstraintRelation.empty(variables)
+    return union_relations(selected)
+
+
+def convex_hull_of_regions(
+    extension: RegionExtension, indices: Sequence[int]
+) -> ConstraintRelation:
+    """Convex closure of the selected (bounded) regions as a relation.
+
+    This is the operator Section 8 proposes adding.  It is *not* part of
+    the query languages in this package — adding it naively would defeat
+    the Section 4 restriction — but is provided for experimentation with
+    non-boolean query capture.
+    """
+    variables = extension.spatial.variables
+    points: list = []
+    for index in indices:
+        region = extension.decomposition.region(index)
+        if not region.is_bounded():
+            raise GeometryError(
+                "convex closure of unbounded regions is not supported"
+            )
+        relation = region.as_relation(variables)
+        for polyhedron in relation.polyhedra():
+            if not polyhedron.is_empty():
+                points.extend(polyhedron.vertices())
+    if not points:
+        return ConstraintRelation.empty(variables)
+    hull = convex_hull_of_points(points)
+    helper = SimplexRegion(hull, "outer", -1)
+    return ConstraintRelation.make(
+        variables, helper.defining_formula(variables)
+    )

@@ -1,0 +1,152 @@
+"""H-representation → V-representation conversion.
+
+Converts a polyhedron given by constraints into generators: the
+vertices of its closure plus the extreme rays of its recession cone
+(Minkowski–Weyl).  Used to move between the arrangement world
+(H-representations from sign vectors) and the Appendix-A world
+(V-representations of open hulls), and by the convex-closure
+extensions.
+
+Vertices come from :meth:`repro.geometry.polyhedron.Polyhedron.vertices`
+(d-subsets of constraint hyperplanes meeting in a closure point).
+Extreme rays are computed analogously one dimension down: a direction r
+of the recession cone {x : Ax ≤ 0, Ex = 0} is extreme iff the rows
+tight at r have rank d−1; candidates are kernel directions of
+(d−1)-subsets of rows, checked for cone membership, canonicalised to
+primitive integer vectors and deduplicated (both orientations are
+tested independently, so lines contribute two opposite rays).
+
+The conversion requires a *pointed* situation to be meaningful as a
+vertex/ray pair; for polyhedra containing lines (no vertices) the
+function falls back to a generator pair (point, spanning rays) that
+still satisfies closure(P) = conv(points) + cone(rays) — tested by
+membership sampling.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+
+from repro.errors import GeometryError
+from repro.geometry.fourier_motzkin import LinearConstraint, Rel
+from repro.geometry.linalg import (
+    Vector,
+    kernel_basis,
+    matrix_rank,
+    vec_dot,
+)
+from repro.geometry.polyhedron import Polyhedron
+from repro.geometry.vrep import VPolyhedron, canonical_ray
+
+ZERO = Fraction(0)
+
+
+def recession_cone_rows(poly: Polyhedron) -> list[LinearConstraint]:
+    """The homogenised system: Ax ≤ 0 / Ex = 0 over the same dimension."""
+    rows = []
+    for constraint in poly.closure().constraints:
+        rel = Rel.EQ if constraint.rel is Rel.EQ else Rel.LE
+        rows.append(LinearConstraint(constraint.coeffs, rel, ZERO))
+    return rows
+
+
+def _in_cone(rows: list[LinearConstraint], direction: Vector) -> bool:
+    return all(row.satisfied_by(direction) for row in rows)
+
+
+def lineality_basis(poly: Polyhedron) -> list[Vector]:
+    """A basis of the lineality space (directions whose whole line stays
+    inside the closure)."""
+    normals = [
+        list(row.coeffs)
+        for row in poly.closure().constraints
+        if not row.is_trivial()
+    ]
+    if not normals:
+        return [
+            tuple(
+                Fraction(1) if i == j else ZERO
+                for j in range(poly.dimension)
+            )
+            for i in range(poly.dimension)
+        ]
+    return [tuple(direction) for direction in kernel_basis(normals)]
+
+
+def extreme_rays(poly: Polyhedron) -> list[Vector]:
+    """A generating ray set of the recession cone (primitive vectors).
+
+    For a pointed cone these are exactly the extreme rays; for a cone
+    with lineality L the result is the extreme rays of the pointed
+    quotient cone ∩ L^⊥ together with ± a basis of L — a complete
+    generator set either way (Minkowski–Weyl).
+    """
+    d = poly.dimension
+    rows = recession_cone_rows(poly)
+    live = [r for r in rows if not r.is_trivial()]
+    lines = lineality_basis(poly)
+    # Quotient out the lineality space with explicit equalities.
+    for direction in lines:
+        live.append(LinearConstraint(direction, Rel.EQ, ZERO))
+
+    candidates: dict[Vector, None] = {}
+    if d == 1:
+        for direction in ((Fraction(1),), (Fraction(-1),)):
+            if _in_cone(live, direction):
+                candidates[direction] = None
+    else:
+        normals = [list(r.coeffs) for r in live]
+        for subset in itertools.combinations(range(len(live)), d - 1):
+            matrix = [normals[i] for i in subset]
+            if matrix_rank(matrix) != d - 1:
+                continue
+            for direction in kernel_basis(matrix):
+                for oriented in (direction, tuple(-c for c in direction)):
+                    if all(c == 0 for c in oriented):
+                        continue
+                    if not _in_cone(live, oriented):
+                        continue
+                    tight = [
+                        normals[i]
+                        for i, row in enumerate(live)
+                        if vec_dot(row.coeffs, oriented) == 0
+                    ]
+                    if matrix_rank(tight) >= d - 1:
+                        candidates[canonical_ray(oriented)] = None
+    for direction in lines:
+        candidates[canonical_ray(direction)] = None
+        candidates[canonical_ray(tuple(-c for c in direction))] = None
+    return list(candidates)
+
+
+def to_vrep(poly: Polyhedron) -> VPolyhedron:
+    """Generators of the closure: conv(vertices) + cone(extreme rays).
+
+    Raises :class:`GeometryError` on the empty polyhedron.  For
+    vertex-free polyhedra (those containing lines) a feasible point
+    substitutes for the vertex set; the identity
+    closure(P) = conv(points) + cone(rays) still holds because the line
+    directions appear as ray pairs.
+    """
+    if poly.is_empty():
+        raise GeometryError("cannot convert an empty polyhedron")
+    points = list(poly.vertices())
+    if not points:
+        # No vertices ⟹ the polyhedron contains lines.  Base points come
+        # from the pointed restriction to the lineality-orthogonal
+        # complement; the line directions are part of the ray set
+        # (extreme_rays adds ± the lineality basis).
+        restricted = poly.with_constraints(
+            [
+                LinearConstraint(direction, Rel.EQ, ZERO)
+                for direction in lineality_basis(poly)
+            ]
+        )
+        points = list(restricted.vertices())
+        if not points:
+            witness = restricted.feasible_point()
+            assert witness is not None
+            points = [witness]
+    rays = extreme_rays(poly)
+    return VPolyhedron.make(points, rays=rays, open_hull=False)

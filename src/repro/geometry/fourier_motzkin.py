@@ -1,0 +1,258 @@
+"""Vector-form linear constraints and Fourier–Motzkin elimination.
+
+This module defines the library's canonical *vector form* of a linear
+constraint — coefficients over positional variables, a relation and a right
+hand side — together with exact Fourier–Motzkin elimination of a variable
+from a conjunction of such constraints.  Fourier–Motzkin is the engine
+behind quantifier elimination for first-order logic over (ℝ, <, +)
+(Section 2 of the paper relies on this classical fact) and behind several
+geometric predicates in Appendix A.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.errors import DimensionMismatchError
+from repro.geometry.linalg import Vector, as_fraction, vec_dot
+
+ZERO = Fraction(0)
+
+
+class Rel(enum.Enum):
+    """Relation of a constraint ``a . x REL b``.
+
+    Only ``<=``, ``<`` and ``=`` are stored; ``>=``/``>`` are normalised by
+    negating both sides at construction time, mirroring the paper's
+    convention of using {<, <=, =, >=, >} without negation.
+    """
+
+    LE = "<="
+    LT = "<"
+    EQ = "="
+
+    @property
+    def is_strict(self) -> bool:
+        return self is Rel.LT
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """An exact linear constraint ``coeffs . x REL rhs`` in vector form."""
+
+    coeffs: Vector
+    rel: Rel
+    rhs: Fraction
+
+    @staticmethod
+    def make(
+        coeffs: Iterable[object], rel: Rel | str, rhs: object
+    ) -> "LinearConstraint":
+        """Build a constraint, accepting ``>=``/``>`` and coercing scalars.
+
+        ``>=`` and ``>`` are normalised to ``<=`` and ``<`` by flipping
+        signs, so every stored constraint uses only {<=, <, =}.
+        """
+        coeff_vec = tuple(as_fraction(c) for c in coeffs)
+        rhs_frac = as_fraction(rhs)
+        if isinstance(rel, Rel):
+            return LinearConstraint(coeff_vec, rel, rhs_frac)
+        if rel in ("<=", "=<"):
+            return LinearConstraint(coeff_vec, Rel.LE, rhs_frac)
+        if rel == "<":
+            return LinearConstraint(coeff_vec, Rel.LT, rhs_frac)
+        if rel in ("=", "=="):
+            return LinearConstraint(coeff_vec, Rel.EQ, rhs_frac)
+        if rel in (">=", "=>"):
+            return LinearConstraint(
+                tuple(-c for c in coeff_vec), Rel.LE, -rhs_frac
+            )
+        if rel == ">":
+            return LinearConstraint(
+                tuple(-c for c in coeff_vec), Rel.LT, -rhs_frac
+            )
+        raise ValueError(f"unknown relation {rel!r}")
+
+    @property
+    def dimension(self) -> int:
+        return len(self.coeffs)
+
+    def satisfied_by(self, point: Sequence[Fraction]) -> bool:
+        """Exact membership test of a rational point."""
+        value = vec_dot(self.coeffs, point)
+        if self.rel is Rel.LE:
+            return value <= self.rhs
+        if self.rel is Rel.LT:
+            return value < self.rhs
+        return value == self.rhs
+
+    def is_trivial(self) -> bool:
+        """True iff the constraint has all-zero coefficients."""
+        return all(c == 0 for c in self.coeffs)
+
+    def trivially_true(self) -> bool:
+        """For all-zero coefficients: does ``0 REL rhs`` hold?"""
+        if not self.is_trivial():
+            return False
+        return self.satisfied_by((ZERO,) * self.dimension)
+
+    def trivially_false(self) -> bool:
+        """For all-zero coefficients: does ``0 REL rhs`` fail?"""
+        return self.is_trivial() and not self.trivially_true()
+
+    def scaled(self, factor: Fraction) -> "LinearConstraint":
+        """Multiply both sides by a *positive* rational factor."""
+        if factor <= 0:
+            raise ValueError("scaling factor must be positive")
+        return LinearConstraint(
+            tuple(factor * c for c in self.coeffs), self.rel, factor * self.rhs
+        )
+
+    def __str__(self) -> str:
+        parts = []
+        for index, coeff in enumerate(self.coeffs):
+            if coeff == 0:
+                continue
+            parts.append(f"{coeff}*x{index}")
+        lhs = " + ".join(parts) if parts else "0"
+        return f"{lhs} {self.rel.value} {self.rhs}"
+
+
+def constraints_dimension(constraints: Sequence[LinearConstraint]) -> int:
+    """Common ambient dimension of a constraint system (must agree)."""
+    if not constraints:
+        raise ValueError("cannot infer the dimension of an empty system")
+    dims = {c.dimension for c in constraints}
+    if len(dims) != 1:
+        raise DimensionMismatchError(f"mixed constraint dimensions: {sorted(dims)}")
+    return dims.pop()
+
+
+def eliminate_variable(
+    constraints: Sequence[LinearConstraint], index: int
+) -> list[LinearConstraint]:
+    """Project a conjunction of constraints along variable ``index``.
+
+    Returns a system over the *same* ambient dimension whose variable
+    ``index`` is unconstrained (all output coefficients at ``index`` are
+    zero) and which is satisfiable by ``(x_0, .., x_{index-1}, *,
+    x_{index+1}, ..)`` exactly when some value of ``x_index`` satisfies the
+    input.  This is classical Fourier–Motzkin extended with equalities
+    (used for substitution first) and strict inequalities (a combined bound
+    is strict iff either parent is strict).
+    """
+    if not constraints:
+        return []
+    dimension = constraints_dimension(constraints)
+    if not 0 <= index < dimension:
+        raise IndexError(f"variable index {index} out of range for dim {dimension}")
+
+    # If an equality mentions the variable, substitute it away: solve the
+    # equality for x_index and add the rewritten forms of every other
+    # constraint.  This is both faster and avoids the quadratic blow-up.
+    pivot = next(
+        (c for c in constraints if c.rel is Rel.EQ and c.coeffs[index] != 0), None
+    )
+    if pivot is not None:
+        return [
+            _substitute_equality(c, pivot, index)
+            for c in constraints
+            if c is not pivot
+        ]
+
+    lower: list[tuple[LinearConstraint, Fraction]] = []  # a.x >= expr forms
+    upper: list[tuple[LinearConstraint, Fraction]] = []
+    unrelated: list[LinearConstraint] = []
+    for constraint in constraints:
+        coeff = constraint.coeffs[index]
+        if coeff == 0:
+            unrelated.append(constraint)
+        elif coeff > 0:
+            upper.append((constraint, coeff))
+        else:
+            lower.append((constraint, coeff))
+
+    combined: list[LinearConstraint] = []
+    for low, low_coeff in lower:
+        for high, high_coeff in upper:
+            # low: c_l * x + r_l REL_l b_l with c_l < 0  => x >= (b_l - r_l)/c_l
+            # high: c_h * x + r_h REL_h b_h with c_h > 0 => x <= (b_h - r_h)/c_h
+            # Combine: c_h * (b_l - r_l(x)) >= c_l * (b_h - r_h(x)) flipped..
+            # Implemented by the standard positive combination that cancels
+            # the x_index coefficient:
+            scale_low = high_coeff
+            scale_high = -low_coeff
+            coeffs = tuple(
+                scale_low * cl + scale_high * ch
+                for cl, ch in zip(low.coeffs, high.coeffs)
+            )
+            rhs = scale_low * low.rhs + scale_high * high.rhs
+            rel = Rel.LT if (low.rel is Rel.LT or high.rel is Rel.LT) else Rel.LE
+            combined.append(LinearConstraint(coeffs, rel, rhs))
+
+    result = unrelated + combined
+    return [_zero_out(c, index) for c in result]
+
+
+def _zero_out(constraint: LinearConstraint, index: int) -> LinearConstraint:
+    """Force the eliminated coefficient to literal zero (it already is)."""
+    if constraint.coeffs[index] == 0:
+        return constraint
+    raise AssertionError("eliminated variable still has a non-zero coefficient")
+
+
+def _substitute_equality(
+    constraint: LinearConstraint, equality: LinearConstraint, index: int
+) -> LinearConstraint:
+    """Rewrite ``constraint`` using ``equality`` solved for ``x_index``."""
+    pivot_coeff = equality.coeffs[index]
+    # x_index = (equality.rhs - sum_{j != index} e_j x_j) / pivot_coeff
+    factor = constraint.coeffs[index] / pivot_coeff
+    coeffs = tuple(
+        (c - factor * e) if j != index else ZERO
+        for j, (c, e) in enumerate(zip(constraint.coeffs, equality.coeffs))
+    )
+    rhs = constraint.rhs - factor * equality.rhs
+    return LinearConstraint(coeffs, constraint.rel, rhs)
+
+
+def eliminate_variables(
+    constraints: Sequence[LinearConstraint], indices: Iterable[int]
+) -> list[LinearConstraint]:
+    """Eliminate several variables in sequence, dropping trivial output."""
+    system = list(constraints)
+    for index in indices:
+        system = eliminate_variable(system, index)
+        system = simplify_system(system)
+        if system is None:
+            # Represent an infeasible projection by a canonical false row.
+            dimension = constraints[0].dimension if constraints else 0
+            return [
+                LinearConstraint((ZERO,) * dimension, Rel.LT, ZERO)
+            ]
+    return system
+
+
+def simplify_system(
+    constraints: Sequence[LinearConstraint],
+) -> list[LinearConstraint] | None:
+    """Drop trivially-true rows and deduplicate; ``None`` if trivially false."""
+    seen: set[tuple] = set()
+    output: list[LinearConstraint] = []
+    for constraint in constraints:
+        if constraint.is_trivial():
+            if constraint.trivially_false():
+                return None
+            continue
+        key = (constraint.coeffs, constraint.rel, constraint.rhs)
+        if key in seen:
+            continue
+        seen.add(key)
+        output.append(constraint)
+    return output

@@ -1,0 +1,327 @@
+"""H-representation polyhedra with exact predicates.
+
+Following Section 3 of the paper, a *polyhedron* here is the intersection
+of finitely many open or closed halfspaces (plus hyperplanes), i.e. a
+conjunction of linear constraints with relations in {<=, <, =}.  The class
+supports the predicates the arrangement and Appendix-A constructions
+need, all decided exactly:
+
+* feasibility and rational witness points (strict rows handled via the
+  ε-maximisation LP),
+* the affine hull, dimension, and relative interior points,
+* boundedness (the closure of a non-empty mixed system is its relaxation,
+  so coordinate-wise LPs decide it),
+* vertices of the closure (d-subsets of constraint hyperplanes meeting in
+  a single point inside the closure — exactly the paper's ``vert(ψ)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.errors import GeometryError, SingularSystemError
+from repro.geometry.fourier_motzkin import LinearConstraint, Rel
+from repro.geometry.hyperplane import Hyperplane
+from repro.geometry.linalg import (
+    Vector,
+    matrix_rank,
+    solve_unique,
+    vec_dot,
+)
+from repro.geometry.simplex import LPStatus, solve_lp, strict_feasible_point
+
+ZERO = Fraction(0)
+ONE = Fraction(1)
+
+
+@dataclass(frozen=True)
+class Polyhedron:
+    """A conjunction of linear constraints over ``dimension`` variables."""
+
+    dimension: int
+    constraints: tuple[LinearConstraint, ...]
+    _cache: dict = field(
+        default_factory=dict, compare=False, repr=False, hash=False
+    )
+
+    @staticmethod
+    def make(
+        dimension: int, constraints: Iterable[LinearConstraint]
+    ) -> "Polyhedron":
+        """Validating constructor."""
+        rows = tuple(constraints)
+        for row in rows:
+            if row.dimension != dimension:
+                raise GeometryError(
+                    f"constraint dimension {row.dimension} != {dimension}"
+                )
+        return Polyhedron(dimension, rows)
+
+    @staticmethod
+    def universe(dimension: int) -> "Polyhedron":
+        """All of ℝ^dimension."""
+        return Polyhedron(dimension, ())
+
+    # ------------------------------------------------------------------
+    # Membership and basic predicates
+    # ------------------------------------------------------------------
+    def contains(self, point: Sequence[Fraction]) -> bool:
+        """Exact membership test of a rational point."""
+        if len(point) != self.dimension:
+            raise GeometryError("point dimension mismatch")
+        return all(c.satisfied_by(point) for c in self.constraints)
+
+    def feasible_point(self) -> Vector | None:
+        """A rational point of the polyhedron, or ``None`` if empty."""
+        if "feasible_point" not in self._cache:
+            self._cache["feasible_point"] = strict_feasible_point(
+                self.constraints, self.dimension
+            )
+        return self._cache["feasible_point"]
+
+    def is_empty(self) -> bool:
+        """True iff the polyhedron contains no point."""
+        return self.feasible_point() is None
+
+    def intersect(self, other: "Polyhedron") -> "Polyhedron":
+        """Intersection with another polyhedron of equal dimension."""
+        if other.dimension != self.dimension:
+            raise GeometryError("cannot intersect polyhedra of different dims")
+        return Polyhedron(self.dimension, self.constraints + other.constraints)
+
+    def with_constraints(
+        self, extra: Iterable[LinearConstraint]
+    ) -> "Polyhedron":
+        """A copy with additional constraints."""
+        return Polyhedron.make(self.dimension, self.constraints + tuple(extra))
+
+    def closure(self) -> "Polyhedron":
+        """Relax every strict row.
+
+        For a *non-empty* mixed system this is exactly the topological
+        closure; for an empty one it may be larger, so callers check
+        emptiness first where it matters.
+        """
+        relaxed = tuple(
+            LinearConstraint(c.coeffs, Rel.LE, c.rhs) if c.rel is Rel.LT else c
+            for c in self.constraints
+        )
+        return Polyhedron(self.dimension, relaxed)
+
+    # ------------------------------------------------------------------
+    # Affine hull, dimension, relative interior
+    # ------------------------------------------------------------------
+    def implicit_equalities(self) -> tuple[LinearConstraint, ...]:
+        """Equality rows plus inequality rows forced to equality.
+
+        An inequality ``a.x <= b`` is an implicit equality when the system
+        with that row strengthened to ``a.x < b`` becomes infeasible.
+        Strict rows can never be implicit equalities (the system would be
+        empty).  Result is cached.
+        """
+        if "implicit_eq" in self._cache:
+            return self._cache["implicit_eq"]
+        equalities: list[LinearConstraint] = []
+        if not self.is_empty():
+            for index, row in enumerate(self.constraints):
+                if row.rel is Rel.EQ:
+                    equalities.append(row)
+                elif row.rel is Rel.LE:
+                    strengthened = list(self.constraints)
+                    strengthened[index] = LinearConstraint(
+                        row.coeffs, Rel.LT, row.rhs
+                    )
+                    if strict_feasible_point(strengthened, self.dimension) is None:
+                        equalities.append(
+                            LinearConstraint(row.coeffs, Rel.EQ, row.rhs)
+                        )
+        result = tuple(equalities)
+        self._cache["implicit_eq"] = result
+        return result
+
+    def affine_dimension(self) -> int:
+        """Dimension of the affine hull; -1 for the empty polyhedron.
+
+        This matches the paper's notion: the dimension of a face/region is
+        the dimension of its affine support.
+        """
+        if self.is_empty():
+            return -1
+        equalities = self.implicit_equalities()
+        if not equalities:
+            return self.dimension
+        rank = matrix_rank([list(eq.coeffs) for eq in equalities])
+        return self.dimension - rank
+
+    def relative_interior_point(self) -> Vector | None:
+        """A point in the relative interior (w.r.t. the affine support)."""
+        if self.is_empty():
+            return None
+        equalities = self.implicit_equalities()
+        equality_keys = {(eq.coeffs, eq.rhs) for eq in equalities}
+        system: list[LinearConstraint] = list(equalities)
+        for row in self.constraints:
+            if row.rel is Rel.EQ:
+                continue
+            if (row.coeffs, row.rhs) in equality_keys and row.rel is Rel.LE:
+                continue
+            system.append(LinearConstraint(row.coeffs, Rel.LT, row.rhs))
+        return strict_feasible_point(system, self.dimension)
+
+    # ------------------------------------------------------------------
+    # Boundedness and extent
+    # ------------------------------------------------------------------
+    def extent(self, direction: Sequence[Fraction]) -> tuple[
+        Fraction | None, Fraction | None
+    ]:
+        """(min, max) of ``direction . x`` over the closure; None = infinite.
+
+        Empty polyhedra raise :class:`GeometryError` — extent of nothing is
+        meaningless and a silent answer would hide bugs.
+        """
+        if self.is_empty():
+            raise GeometryError("extent of an empty polyhedron")
+        closed = self.closure().constraints
+        low = solve_lp(list(direction), closed, maximize=False)
+        high = solve_lp(list(direction), closed, maximize=True)
+        low_value = low.value if low.status is LPStatus.OPTIMAL else None
+        high_value = high.value if high.status is LPStatus.OPTIMAL else None
+        return low_value, high_value
+
+    def is_bounded(self) -> bool:
+        """True iff the polyhedron fits in some hypercube (paper, §3).
+
+        The empty polyhedron is bounded.  Decided by 2d coordinate LPs on
+        the closure.
+        """
+        if "is_bounded" in self._cache:
+            return self._cache["is_bounded"]
+        bounded = True
+        if not self.is_empty():
+            for axis in range(self.dimension):
+                direction = [ONE if j == axis else ZERO for j in range(self.dimension)]
+                low, high = self.extent(direction)
+                if low is None or high is None:
+                    bounded = False
+                    break
+        self._cache["is_bounded"] = bounded
+        return bounded
+
+    def recession_ray_contains(self, point: Sequence[Fraction],
+                               direction: Sequence[Fraction]) -> bool:
+        """True iff ``{point + a*direction : a >= 0}`` lies in the closure.
+
+        Used by Appendix A's ``up(ψ)`` construction.  The ray lies in the
+        closed polyhedron iff the point does and the direction is in the
+        recession cone (every inequality's normal has non-positive inner
+        product with it; equalities require zero).
+        """
+        closed = self.closure()
+        if not closed.contains(point):
+            return False
+        for row in closed.constraints:
+            slope = vec_dot(row.coeffs, direction)
+            if row.rel is Rel.EQ and slope != 0:
+                return False
+            if row.rel is Rel.LE and slope > 0:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Vertices
+    # ------------------------------------------------------------------
+    def constraint_hyperplanes(self) -> list[Hyperplane]:
+        """The paper's 𝕳: boundary hyperplanes of all constraints, deduped."""
+        seen: set[Hyperplane] = set()
+        planes: list[Hyperplane] = []
+        for row in self.constraints:
+            if row.is_trivial():
+                continue
+            plane = Hyperplane.make(row.coeffs, row.rhs)
+            if plane not in seen:
+                seen.add(plane)
+                planes.append(plane)
+        return planes
+
+    def vertices(self) -> list[Vector]:
+        """Vertices of the closure, via the paper's ``vert(ψ)`` recipe.
+
+        Every d-subset of constraint hyperplanes meeting in exactly one
+        point contained in the closure contributes that point.  For a
+        conjunction of atoms that all hold on the polyhedron this yields
+        exactly the extreme points of the closure (see module docstring of
+        :mod:`repro.regions.nc1` for the argument).
+        """
+        if "vertices" in self._cache:
+            return self._cache["vertices"]
+        planes = self.constraint_hyperplanes()
+        closed = self.closure()
+        found: list[Vector] = []
+        seen: set[Vector] = set()
+        if not self.is_empty():
+            for subset in combinations(planes, self.dimension):
+                matrix = [list(h.normal) for h in subset]
+                rhs = [h.offset for h in subset]
+                try:
+                    point = solve_unique(matrix, rhs)
+                except SingularSystemError:
+                    continue
+                if point not in seen and closed.contains(point):
+                    seen.add(point)
+                    found.append(point)
+        found.sort()
+        self._cache["vertices"] = found
+        return found
+
+    def meets_segment(
+        self,
+        start: Sequence[Fraction],
+        end: Sequence[Fraction],
+        include_endpoints: bool = True,
+    ) -> bool:
+        """Does the segment [start, end] intersect this polyhedron?
+
+        Substituting ``x = start + t (end - start)`` turns every constraint
+        into a one-variable constraint over ``t``; the segment meets the
+        polyhedron iff the resulting 1-D system (with ``0 (<)= t (<)= 1``)
+        is feasible.  Strict constraints are handled exactly.
+        """
+        direction = tuple(e - s for s, e in zip(start, end))
+        system: list[LinearConstraint] = []
+        for row in self.constraints:
+            slope = vec_dot(row.coeffs, direction)
+            offset = vec_dot(row.coeffs, start)
+            system.append(
+                LinearConstraint((slope,), row.rel, row.rhs - offset)
+            )
+        bound = Rel.LE if include_endpoints else Rel.LT
+        system.append(LinearConstraint((-ONE,), bound, ZERO))
+        system.append(LinearConstraint((ONE,), bound, ONE))
+        return strict_feasible_point(system) is not None
+
+    def relative_interior(self) -> "Polyhedron":
+        """The relative interior as a polyhedron.
+
+        Implicit equalities stay equalities; every other inequality is
+        strengthened to strict.  Empty input yields an empty polyhedron.
+        """
+        if self.is_empty():
+            return self
+        equalities = self.implicit_equalities()
+        equality_keys = {(eq.coeffs, eq.rhs) for eq in equalities}
+        rows: list[LinearConstraint] = list(equalities)
+        for row in self.constraints:
+            if row.rel is Rel.EQ:
+                continue
+            if (row.coeffs, row.rhs) in equality_keys and row.rel is Rel.LE:
+                continue
+            rows.append(LinearConstraint(row.coeffs, Rel.LT, row.rhs))
+        return Polyhedron(self.dimension, tuple(rows))
+
+    def __str__(self) -> str:
+        if not self.constraints:
+            return f"R^{self.dimension}"
+        return " & ".join(str(c) for c in self.constraints)

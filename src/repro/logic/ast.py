@@ -1,0 +1,679 @@
+"""AST of the two-sorted region logics.
+
+The hierarchy mirrors Definitions 4.2, 5.1 and 7.2:
+
+* **RegFO**: linear atoms over element variables, database relation atoms
+  ``S(t̄)``, element containment ``t̄ ∈ R``, adjacency ``adj(R, R')``,
+  region equality, the derived subset atom ``R ⊆ S`` the paper's examples
+  use, boolean connectives, and quantifiers of both sorts.
+* **RegLFP / RegIFP / RegPFP**: set-variable atoms ``M R̄`` and the
+  fixed-point operator ``[FP_{M, X̄} φ](R̄)`` (kind LFP/IFP/PFP), plus the
+  rBIT operator.
+* **RegTC / RegDTC**: ``[TC_{R̄, R̄'} φ](X̄, Ȳ)`` and its deterministic
+  variant.
+
+Every node knows its free element, region and set variables; syntactic
+well-formedness (positivity of LFP bodies, rBIT's single free element
+variable, TC's variable discipline) is checked at construction time, so
+an accepted formula is guaranteed evaluable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import FormulaError
+from repro.constraints.atoms import Atom
+from repro.constraints.terms import LinearTerm
+
+
+class RegFormula:
+    """Base class of all two-sorted formulas."""
+
+    def free_element_vars(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def free_region_vars(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def free_set_vars(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def __and__(self, other: "RegFormula") -> "RegFormula":
+        return RAnd((self, other))
+
+    def __or__(self, other: "RegFormula") -> "RegFormula":
+        return ROr((self, other))
+
+    def __invert__(self) -> "RegFormula":
+        return RNot(self)
+
+
+@dataclass(frozen=True)
+class RTrue(RegFormula):
+    """⊤."""
+
+    def free_element_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def free_region_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def free_set_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class RFalse(RegFormula):
+    """⊥."""
+
+    def free_element_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def free_region_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def free_set_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class LinearAtom(RegFormula):
+    """A linear constraint over element variables (FO+LIN atom)."""
+
+    atom: Atom
+
+    def free_element_vars(self) -> frozenset[str]:
+        return frozenset(self.atom.variables)
+
+    def free_region_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def free_set_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return str(self.atom)
+
+
+@dataclass(frozen=True)
+class RelationAtom(RegFormula):
+    """``S(t_1, ..., t_d)`` — the spatial (or any database) relation."""
+
+    name: str
+    args: tuple[LinearTerm, ...]
+
+    def free_element_vars(self) -> frozenset[str]:
+        return frozenset(v for t in self.args for v in t.variables)
+
+    def free_region_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def free_set_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(t) for t in self.args)})"
+
+
+@dataclass(frozen=True)
+class InRegion(RegFormula):
+    """``(t_1, .., t_d) ∈ R`` — element containment in a region."""
+
+    args: tuple[LinearTerm, ...]
+    region: str
+
+    def free_element_vars(self) -> frozenset[str]:
+        return frozenset(v for t in self.args for v in t.variables)
+
+    def free_region_vars(self) -> frozenset[str]:
+        return frozenset({self.region})
+
+    def free_set_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return f"({', '.join(str(t) for t in self.args)}) in {self.region}"
+
+
+@dataclass(frozen=True)
+class Adj(RegFormula):
+    """``adj(R, R')`` (Definition 4.1)."""
+
+    left: str
+    right: str
+
+    def free_element_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def free_region_vars(self) -> frozenset[str]:
+        return frozenset({self.left, self.right})
+
+    def free_set_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return f"adj({self.left}, {self.right})"
+
+
+@dataclass(frozen=True)
+class RegionEq(RegFormula):
+    """``R = R'`` on the region sort."""
+
+    left: str
+    right: str
+
+    def free_element_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def free_region_vars(self) -> frozenset[str]:
+        return frozenset({self.left, self.right})
+
+    def free_set_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class SubsetAtom(RegFormula):
+    """``R ⊆ S`` — the region lies inside a database relation.
+
+    RegFO-definable sugar (``∀x̄ (x̄ ∈ R → S x̄)``) that the paper's
+    example queries use directly; keeping it atomic lets the evaluator
+    use the decomposition's cached containment bits.
+    """
+
+    region: str
+    relation_name: str
+
+    def free_element_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def free_region_vars(self) -> frozenset[str]:
+        return frozenset({self.region})
+
+    def free_set_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return f"sub({self.region}, {self.relation_name})"
+
+
+@dataclass(frozen=True)
+class SetAtom(RegFormula):
+    """``M R_1 ... R_k`` — membership in a set variable (Definition 5.1)."""
+
+    set_var: str
+    args: tuple[str, ...]
+
+    def free_element_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def free_region_vars(self) -> frozenset[str]:
+        return frozenset(self.args)
+
+    def free_set_vars(self) -> frozenset[str]:
+        return frozenset({self.set_var})
+
+    def __str__(self) -> str:
+        return f"{self.set_var}({', '.join(self.args)})"
+
+
+def _union(sets: Iterable[frozenset[str]]) -> frozenset[str]:
+    result: frozenset[str] = frozenset()
+    for s in sets:
+        result |= s
+    return result
+
+
+@dataclass(frozen=True)
+class RAnd(RegFormula):
+    """Conjunction."""
+
+    operands: tuple[RegFormula, ...]
+
+    def free_element_vars(self) -> frozenset[str]:
+        return _union(f.free_element_vars() for f in self.operands)
+
+    def free_region_vars(self) -> frozenset[str]:
+        return _union(f.free_region_vars() for f in self.operands)
+
+    def free_set_vars(self) -> frozenset[str]:
+        return _union(f.free_set_vars() for f in self.operands)
+
+    def __str__(self) -> str:
+        return "(" + " & ".join(str(f) for f in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class ROr(RegFormula):
+    """Disjunction."""
+
+    operands: tuple[RegFormula, ...]
+
+    def free_element_vars(self) -> frozenset[str]:
+        return _union(f.free_element_vars() for f in self.operands)
+
+    def free_region_vars(self) -> frozenset[str]:
+        return _union(f.free_region_vars() for f in self.operands)
+
+    def free_set_vars(self) -> frozenset[str]:
+        return _union(f.free_set_vars() for f in self.operands)
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(f) for f in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class RNot(RegFormula):
+    """Negation."""
+
+    operand: RegFormula
+
+    def free_element_vars(self) -> frozenset[str]:
+        return self.operand.free_element_vars()
+
+    def free_region_vars(self) -> frozenset[str]:
+        return self.operand.free_region_vars()
+
+    def free_set_vars(self) -> frozenset[str]:
+        return self.operand.free_set_vars()
+
+    def __str__(self) -> str:
+        return f"!{self.operand}"
+
+
+@dataclass(frozen=True)
+class ExistsElem(RegFormula):
+    """∃x over the real sort."""
+
+    variable: str
+    body: RegFormula
+
+    def free_element_vars(self) -> frozenset[str]:
+        return self.body.free_element_vars() - {self.variable}
+
+    def free_region_vars(self) -> frozenset[str]:
+        return self.body.free_region_vars()
+
+    def free_set_vars(self) -> frozenset[str]:
+        return self.body.free_set_vars()
+
+    def __str__(self) -> str:
+        return f"(exists {self.variable}. {self.body})"
+
+
+@dataclass(frozen=True)
+class ForallElem(RegFormula):
+    """∀x over the real sort."""
+
+    variable: str
+    body: RegFormula
+
+    def free_element_vars(self) -> frozenset[str]:
+        return self.body.free_element_vars() - {self.variable}
+
+    def free_region_vars(self) -> frozenset[str]:
+        return self.body.free_region_vars()
+
+    def free_set_vars(self) -> frozenset[str]:
+        return self.body.free_set_vars()
+
+    def __str__(self) -> str:
+        return f"(forall {self.variable}. {self.body})"
+
+
+@dataclass(frozen=True)
+class ExistsRegion(RegFormula):
+    """∃R over the region sort."""
+
+    variable: str
+    body: RegFormula
+
+    def free_element_vars(self) -> frozenset[str]:
+        return self.body.free_element_vars()
+
+    def free_region_vars(self) -> frozenset[str]:
+        return self.body.free_region_vars() - {self.variable}
+
+    def free_set_vars(self) -> frozenset[str]:
+        return self.body.free_set_vars()
+
+    def __str__(self) -> str:
+        return f"(exists {self.variable}. {self.body})"
+
+
+@dataclass(frozen=True)
+class ForallRegion(RegFormula):
+    """∀R over the region sort."""
+
+    variable: str
+    body: RegFormula
+
+    def free_element_vars(self) -> frozenset[str]:
+        return self.body.free_element_vars()
+
+    def free_region_vars(self) -> frozenset[str]:
+        return self.body.free_region_vars() - {self.variable}
+
+    def free_set_vars(self) -> frozenset[str]:
+        return self.body.free_set_vars()
+
+    def __str__(self) -> str:
+        return f"(forall {self.variable}. {self.body})"
+
+
+class FixKind(enum.Enum):
+    """Flavours of fixed-point induction (Definition 5.1)."""
+
+    LFP = "lfp"
+    IFP = "ifp"
+    PFP = "pfp"
+
+
+def polarity_of_set_var(formula: RegFormula, set_var: str,
+                        positive: bool = True) -> set[bool]:
+    """Polarities (True=positive) at which ``set_var`` occurs."""
+    if isinstance(formula, SetAtom):
+        return {positive} if formula.set_var == set_var else set()
+    if isinstance(formula, RNot):
+        return polarity_of_set_var(formula.operand, set_var, not positive)
+    if isinstance(formula, (RAnd, ROr)):
+        result: set[bool] = set()
+        for operand in formula.operands:
+            result |= polarity_of_set_var(operand, set_var, positive)
+        return result
+    if isinstance(
+        formula,
+        (ExistsElem, ForallElem, ExistsRegion, ForallRegion),
+    ):
+        return polarity_of_set_var(formula.body, set_var, positive)
+    if isinstance(formula, Fixpoint):
+        if formula.set_var == set_var:
+            return set()  # rebound inside
+        return polarity_of_set_var(formula.body, set_var, positive)
+    if isinstance(formula, (TC, DTC)):
+        return polarity_of_set_var(formula.body, set_var, positive)
+    if isinstance(formula, RBit):
+        return polarity_of_set_var(formula.body, set_var, positive)
+    return set()
+
+
+@dataclass(frozen=True)
+class Fixpoint(RegFormula):
+    """``[FP_{M, X̄} φ](R̄)`` with kind LFP, IFP or PFP.
+
+    ``body`` is φ; its free region variables must be exactly ``bound_vars``
+    (the X̄) and it must not have free element variables — fixed-point
+    induction ranges over the region sort only (Definition 5.1).  For LFP
+    the body must be positive in the set variable.
+    """
+
+    kind: FixKind
+    set_var: str
+    bound_vars: tuple[str, ...]
+    body: RegFormula
+    args: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.args) != len(self.bound_vars):
+            raise FormulaError(
+                "fixpoint arity mismatch: "
+                f"{len(self.bound_vars)} bound vars, {len(self.args)} args"
+            )
+        if len(set(self.bound_vars)) != len(self.bound_vars):
+            raise FormulaError("fixpoint bound variables must be distinct")
+        if self.body.free_element_vars():
+            raise FormulaError(
+                "fixed-point bodies cannot have free element variables: "
+                f"{sorted(self.body.free_element_vars())}"
+            )
+        stray = self.body.free_region_vars() - set(self.bound_vars)
+        if stray:
+            raise FormulaError(
+                f"fixpoint body has stray region variables {sorted(stray)}"
+            )
+        if self.kind is FixKind.LFP:
+            polarities = polarity_of_set_var(self.body, self.set_var)
+            if False in polarities:
+                raise FormulaError(
+                    f"LFP body must be positive in {self.set_var}"
+                )
+
+    def free_element_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def free_region_vars(self) -> frozenset[str]:
+        return frozenset(self.args)
+
+    def free_set_vars(self) -> frozenset[str]:
+        return self.body.free_set_vars() - {self.set_var}
+
+    def __str__(self) -> str:
+        head = f"{self.set_var}({', '.join(self.bound_vars)})"
+        return (
+            f"[{self.kind.value} {head}. {self.body}]"
+            f"({', '.join(self.args)})"
+        )
+
+
+class _TransitiveClosureBase(RegFormula):
+    """Shared validation for TC and DTC."""
+
+    left_vars: tuple[str, ...]
+    right_vars: tuple[str, ...]
+    body: RegFormula
+    left_args: tuple[str, ...]
+    right_args: tuple[str, ...]
+
+    def _validate(self) -> None:
+        m = len(self.left_vars)
+        if len(self.right_vars) != m:
+            raise FormulaError("TC variable tuples must have equal length")
+        if len(self.left_args) != m or len(self.right_args) != m:
+            raise FormulaError("TC argument tuples must match the arity")
+        bound = self.left_vars + self.right_vars
+        if len(set(bound)) != len(bound):
+            raise FormulaError("TC bound variables must be distinct")
+        if self.body.free_element_vars():
+            raise FormulaError(
+                "TC bodies cannot have free element variables"
+            )
+        if self.body.free_set_vars():
+            raise FormulaError("TC bodies cannot have free set variables")
+        stray = self.body.free_region_vars() - set(bound)
+        if stray:
+            raise FormulaError(
+                f"TC body has stray region variables {sorted(stray)}"
+            )
+
+    def free_element_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def free_region_vars(self) -> frozenset[str]:
+        return frozenset(self.left_args) | frozenset(self.right_args)
+
+    def free_set_vars(self) -> frozenset[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class TC(_TransitiveClosureBase):
+    """``[TC_{R̄, R̄'} φ](X̄, Ȳ)`` (Definition 7.2).
+
+    Semantics: a φ-path of at least one step from X̄ to Ȳ (the
+    Ebbinghaus–Flum convention the paper cites).
+    """
+
+    left_vars: tuple[str, ...]
+    right_vars: tuple[str, ...]
+    body: RegFormula
+    left_args: tuple[str, ...]
+    right_args: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    def __str__(self) -> str:
+        return (
+            f"[tc ({', '.join(self.left_vars)}) -> "
+            f"({', '.join(self.right_vars)}). {self.body}]"
+            f"({', '.join(self.left_args)}; {', '.join(self.right_args)})"
+        )
+
+
+@dataclass(frozen=True)
+class DTC(_TransitiveClosureBase):
+    """Deterministic transitive closure: steps are taken only from tuples
+    with a *unique* φ-successor."""
+
+    left_vars: tuple[str, ...]
+    right_vars: tuple[str, ...]
+    body: RegFormula
+    left_args: tuple[str, ...]
+    right_args: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    def __str__(self) -> str:
+        return (
+            f"[dtc ({', '.join(self.left_vars)}) -> "
+            f"({', '.join(self.right_vars)}). {self.body}]"
+            f"({', '.join(self.left_args)}; {', '.join(self.right_args)})"
+        )
+
+
+@dataclass(frozen=True)
+class RBit(RegFormula):
+    """``[rBIT_x φ](R_n, R_d)`` (Definition 5.1).
+
+    ``body`` must have exactly one free element variable, ``element_var``.
+    For a given interpretation of its other free region variables, if the
+    body is satisfied by exactly one rational a, the operator holds of a
+    pair (R_i, R_j) of 0-dimensional regions whose indices i, j (1-based,
+    in the lexicographic order of the 0-dimensional regions) pick 1-bits
+    of a's numerator and denominator; for a = 0 it holds of pairs (R, R)
+    of equal higher-dimensional regions.  Otherwise it denotes ∅.
+    """
+
+    element_var: str
+    body: RegFormula
+    numerator: str
+    denominator: str
+
+    def __post_init__(self) -> None:
+        free = self.body.free_element_vars()
+        if free != {self.element_var}:
+            raise FormulaError(
+                "rBIT body must have exactly one free element variable "
+                f"({self.element_var}), found {sorted(free)}"
+            )
+        if self.body.free_set_vars():
+            raise FormulaError("rBIT bodies cannot have free set variables")
+
+    def free_element_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def free_region_vars(self) -> frozenset[str]:
+        return (
+            self.body.free_region_vars()
+            | {self.numerator, self.denominator}
+        )
+
+    def free_set_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return (
+            f"[rbit {self.element_var}. {self.body}]"
+            f"({self.numerator}, {self.denominator})"
+        )
+
+
+def reg_conjunction(formulas: Iterable[RegFormula]) -> RegFormula:
+    """N-ary conjunction with flattening and constant folding."""
+    flat: list[RegFormula] = []
+    for f in formulas:
+        if isinstance(f, RFalse):
+            return RFalse()
+        if isinstance(f, RTrue):
+            continue
+        if isinstance(f, RAnd):
+            flat.extend(f.operands)
+        else:
+            flat.append(f)
+    if not flat:
+        return RTrue()
+    if len(flat) == 1:
+        return flat[0]
+    return RAnd(tuple(flat))
+
+
+def reg_disjunction(formulas: Iterable[RegFormula]) -> RegFormula:
+    """N-ary disjunction with flattening and constant folding."""
+    flat: list[RegFormula] = []
+    for f in formulas:
+        if isinstance(f, RTrue):
+            return RTrue()
+        if isinstance(f, RFalse):
+            continue
+        if isinstance(f, ROr):
+            flat.extend(f.operands)
+        else:
+            flat.append(f)
+    if not flat:
+        return RFalse()
+    if len(flat) == 1:
+        return flat[0]
+    return ROr(tuple(flat))
+
+
+def classify_language(formula: RegFormula) -> str:
+    """The smallest language of the family containing the formula.
+
+    Returns one of "RegFO", "RegLFP", "RegIFP", "RegPFP", "RegTC",
+    "RegDTC" (mixed operator use reports the most powerful fixpoint /
+    closure operator present, fixpoints dominating closures).
+    """
+    found: set[str] = set()
+
+    def walk(node: RegFormula) -> None:
+        if isinstance(node, Fixpoint):
+            found.add({"lfp": "RegLFP", "ifp": "RegIFP",
+                       "pfp": "RegPFP"}[node.kind.value])
+            walk(node.body)
+        elif isinstance(node, TC):
+            found.add("RegTC")
+            walk(node.body)
+        elif isinstance(node, DTC):
+            found.add("RegDTC")
+            walk(node.body)
+        elif isinstance(node, RBit):
+            found.add("RegLFP")
+            walk(node.body)
+        elif isinstance(node, (RAnd, ROr)):
+            for operand in node.operands:
+                walk(operand)
+        elif isinstance(node, RNot):
+            walk(node.operand)
+        elif isinstance(
+            node, (ExistsElem, ForallElem, ExistsRegion, ForallRegion)
+        ):
+            walk(node.body)
+
+    walk(formula)
+    for language in ("RegPFP", "RegIFP", "RegLFP", "RegTC", "RegDTC"):
+        if language in found:
+            return language
+    return "RegFO"

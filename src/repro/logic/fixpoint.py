@@ -1,0 +1,101 @@
+"""Fixed-point induction engines over the finite region sort.
+
+Definition 5.1's operators iterate an update function
+
+    f : P(Reg^k) → P(Reg^k)
+
+induced by a formula φ(M, X̄).  Because Reg is finite the inductions all
+terminate:
+
+* **LFP** — φ positive in M makes f monotone; iterate from ∅; the least
+  fixed point is reached after at most |Reg|^k stages (Knaster–Tarski).
+* **IFP** — inflationary: M_{i+1} = M_i ∪ f(M_i); always reaches a fixed
+  point in at most |Reg|^k stages.
+* **PFP** — partial: iterate M_{i+1} = f(M_i) from ∅; if the sequence
+  reaches a fixed point, that is the result; if it enters a cycle (it
+  must, the power set being finite) without a fixed point, the result is
+  the empty set.
+
+Each engine reports the stage count, which the experiments use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+RegionTuple = tuple[int, ...]
+RegionSet = frozenset[RegionTuple]
+StepFunction = Callable[[RegionSet], RegionSet]
+
+
+@dataclass(frozen=True)
+class FixpointRun:
+    """Result of a fixed-point computation, with iteration telemetry."""
+
+    result: RegionSet
+    stages: int
+    converged: bool
+
+
+def least_fixpoint(step: StepFunction, max_stages: int) -> FixpointRun:
+    """Iterate a monotone update from ∅ until stabilisation.
+
+    ``max_stages`` is a hard cap (|Reg|^k + 1 suffices for monotone
+    updates); exceeding it signals a non-monotone step function and
+    raises, because silently truncating an induction would corrupt query
+    answers.
+    """
+    current: RegionSet = frozenset()
+    for stage in range(max_stages + 1):
+        updated = step(current)
+        if updated == current:
+            return FixpointRun(current, stage, True)
+        current = updated
+    raise RuntimeError(
+        "least_fixpoint did not stabilise within the stage bound; "
+        "the update function is not monotone"
+    )
+
+
+def inflationary_fixpoint(step: StepFunction, max_stages: int) -> FixpointRun:
+    """Inflationary induction: M ← M ∪ f(M)."""
+    current: RegionSet = frozenset()
+    for stage in range(max_stages + 1):
+        updated = current | step(current)
+        if updated == current:
+            return FixpointRun(current, stage, True)
+        current = updated
+    raise RuntimeError(
+        "inflationary_fixpoint exceeded its stage bound; "
+        "the universe bound is wrong"
+    )
+
+
+def partial_fixpoint(step: StepFunction) -> FixpointRun:
+    """Partial fixed point: iterate until a fixed point or a cycle.
+
+    Detects cycles exactly by remembering every set seen; on a cycle
+    without a fixed point the PFP semantics yields ∅.
+    """
+    current: RegionSet = frozenset()
+    seen: dict[RegionSet, int] = {current: 0}
+    stage = 0
+    while True:
+        updated = step(current)
+        stage += 1
+        if updated == current:
+            return FixpointRun(current, stage - 1, True)
+        if updated in seen:
+            return FixpointRun(frozenset(), stage, False)
+        seen[updated] = stage
+        current = updated
+
+
+def all_region_tuples(
+    region_count: int, arity: int
+) -> Iterable[RegionTuple]:
+    """Reg^k in lexicographic order."""
+    import itertools
+
+    return itertools.product(range(region_count), repeat=arity)

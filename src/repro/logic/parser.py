@@ -1,0 +1,484 @@
+"""Text syntax for the region query languages.
+
+The concrete syntax follows the paper's notational convention: element
+variables are lower-case identifiers, region (and set) variables start
+with an upper-case letter.  Quantifiers bind mixed lists and dispatch on
+case::
+
+    forall x, y. S(x, y) -> (exists RX. (x, y) in RX & sub(RX, S))
+
+Operators::
+
+    [lfp M(R, Rp). body](X, Y)        least fixed point  (ifp / pfp alike)
+    [tc (R) -> (Rp). body](X; Y)      transitive closure (dtc alike)
+    [rbit x. body](Rn, Rd)            the rBIT operator
+
+Atoms::
+
+    x + 2*y <= 3          linear constraints (chains `0 <= x < 1` allowed)
+    S(x, y)               database relations (upper-case names, term args)
+    M(R, Rp)              set-variable membership (all args regions)
+    (x, y) in R           element containment
+    adj(R, Rp)            adjacency
+    sub(R, S)             region contained in a database relation
+    R = Rp, R != Rp       region equality
+
+Connectives ``& | ! -> <->`` with the usual precedences; ``true`` and
+``false``.  Keywords are lower-case and reserved.
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+from typing import NamedTuple
+
+from repro.errors import ParseError
+from repro.constraints.atoms import Atom, Op
+from repro.constraints.terms import LinearTerm
+from repro.logic.ast import (
+    Adj,
+    DTC,
+    ExistsElem,
+    ExistsRegion,
+    FixKind,
+    Fixpoint,
+    ForallElem,
+    ForallRegion,
+    InRegion,
+    LinearAtom,
+    RBit,
+    RFalse,
+    RNot,
+    RTrue,
+    RegFormula,
+    RegionEq,
+    RelationAtom,
+    SetAtom,
+    SubsetAtom,
+    TC,
+    reg_conjunction,
+    reg_disjunction,
+)
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+(?:/\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><->|->|<=|>=|!=|<|>|=|&|\||!|\(|\)|\[|\]|\.|,|;|\+|-|\*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "exists", "forall", "true", "false", "adj", "sub", "in",
+    "lfp", "ifp", "pfp", "tc", "dtc", "rbit",
+}
+_COMPARISONS = {"<", "<=", "=", "!=", ">=", ">"}
+_OP_FOR = {"<": Op.LT, "<=": Op.LE, "=": Op.EQ, ">=": Op.GE, ">": Op.GT}
+_FIX_KINDS = {"lfp": FixKind.LFP, "ifp": FixKind.IFP, "pfp": FixKind.PFP}
+
+
+def _is_region_name(name: str) -> bool:
+    return name[0].isupper()
+
+
+class _QueryParser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = self._tokenize(text)
+        self.index = 0
+
+    def _tokenize(self, text: str) -> list[_Token]:
+        tokens: list[_Token] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN_RE.match(text, position)
+            if match is None:
+                raise ParseError(
+                    f"unexpected character {text[position]!r}",
+                    position, text,
+                )
+            position = match.end()
+            if match.lastgroup == "ws":
+                continue
+            tokens.append(
+                _Token(match.lastgroup, match.group(), match.start())
+            )
+        tokens.append(_Token("eof", "", len(text)))
+        return tokens
+
+    # -- token plumbing --------------------------------------------------
+    def peek(self, offset: int = 0) -> _Token:
+        return self.tokens[min(self.index + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def accept(self, text: str) -> bool:
+        if self.peek().kind != "eof" and self.peek().text == text:
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> _Token:
+        token = self.peek()
+        if token.kind == "eof" or token.text != text:
+            raise ParseError(
+                f"expected {text!r}, found {token.text or 'end of input'!r}",
+                token.position, self.text,
+            )
+        return self.advance()
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(message, token.position, self.text)
+
+    def keyword(self) -> str | None:
+        token = self.peek()
+        if token.kind == "ident" and token.text in _KEYWORDS:
+            return token.text
+        return None
+
+    def expect_ident(self, region: bool | None = None) -> str:
+        token = self.peek()
+        if token.kind != "ident" or token.text in _KEYWORDS:
+            raise self.error("expected a variable name")
+        if region is True and not _is_region_name(token.text):
+            raise self.error(
+                f"expected a region variable (upper-case), got {token.text!r}"
+            )
+        if region is False and _is_region_name(token.text):
+            raise self.error(
+                f"expected an element variable (lower-case), got {token.text!r}"
+            )
+        return self.advance().text
+
+    def ident_list(self, region: bool | None = None) -> list[str]:
+        names = [self.expect_ident(region)]
+        while self.accept(","):
+            names.append(self.expect_ident(region))
+        return names
+
+    # -- formula levels ----------------------------------------------------
+    def parse_formula(self) -> RegFormula:
+        left = self.parse_implies()
+        while self.accept("<->"):
+            right = self.parse_implies()
+            left = reg_disjunction(
+                [
+                    reg_conjunction([left, right]),
+                    reg_conjunction([RNot(left), RNot(right)]),
+                ]
+            )
+        return left
+
+    def parse_implies(self) -> RegFormula:
+        left = self.parse_or()
+        if self.accept("->"):
+            right = self.parse_implies()
+            return reg_disjunction([RNot(left), right])
+        return left
+
+    def parse_or(self) -> RegFormula:
+        parts = [self.parse_and()]
+        while self.accept("|"):
+            parts.append(self.parse_and())
+        return reg_disjunction(parts)
+
+    def parse_and(self) -> RegFormula:
+        parts = [self.parse_unary()]
+        while self.accept("&"):
+            parts.append(self.parse_unary())
+        return reg_conjunction(parts)
+
+    def parse_unary(self) -> RegFormula:
+        if self.accept("!"):
+            return RNot(self.parse_unary())
+        keyword = self.keyword()
+        if keyword in ("exists", "forall"):
+            return self.parse_quantifier(keyword)
+        if self.peek().text == "[":
+            return self.parse_bracket_operator()
+        return self.parse_atom()
+
+    def parse_quantifier(self, keyword: str) -> RegFormula:
+        self.advance()
+        names = self.ident_list()
+        self.expect(".")
+        body = self.parse_formula()
+        for name in reversed(names):
+            if _is_region_name(name):
+                wrapper = ExistsRegion if keyword == "exists" else ForallRegion
+            else:
+                wrapper = ExistsElem if keyword == "exists" else ForallElem
+            body = wrapper(name, body)
+        return body
+
+    # -- bracketed operators -------------------------------------------
+    def parse_bracket_operator(self) -> RegFormula:
+        self.expect("[")
+        keyword = self.keyword()
+        if keyword in _FIX_KINDS:
+            return self.parse_fixpoint(_FIX_KINDS[keyword])
+        if keyword in ("tc", "dtc"):
+            return self.parse_tc(deterministic=keyword == "dtc")
+        if keyword == "rbit":
+            return self.parse_rbit()
+        raise self.error("expected lfp, ifp, pfp, tc, dtc or rbit after '['")
+
+    def parse_fixpoint(self, kind: FixKind) -> RegFormula:
+        self.advance()
+        set_var = self.expect_ident(region=True)
+        self.expect("(")
+        bound = self.ident_list(region=True)
+        self.expect(")")
+        self.expect(".")
+        body = self.parse_formula()
+        self.expect("]")
+        self.expect("(")
+        args = self.ident_list(region=True)
+        self.expect(")")
+        return Fixpoint(kind, set_var, tuple(bound), body, tuple(args))
+
+    def _tc_vars(self) -> list[str]:
+        if self.accept("("):
+            names = self.ident_list(region=True)
+            self.expect(")")
+            return names
+        return [self.expect_ident(region=True)]
+
+    def parse_tc(self, deterministic: bool) -> RegFormula:
+        self.advance()
+        left_vars = self._tc_vars()
+        self.expect("->")
+        right_vars = self._tc_vars()
+        self.expect(".")
+        body = self.parse_formula()
+        self.expect("]")
+        self.expect("(")
+        left_args = self.ident_list(region=True)
+        self.expect(";")
+        right_args = self.ident_list(region=True)
+        self.expect(")")
+        cls = DTC if deterministic else TC
+        return cls(
+            tuple(left_vars), tuple(right_vars), body,
+            tuple(left_args), tuple(right_args),
+        )
+
+    def parse_rbit(self) -> RegFormula:
+        self.advance()
+        element_var = self.expect_ident(region=False)
+        self.expect(".")
+        body = self.parse_formula()
+        self.expect("]")
+        self.expect("(")
+        numerator = self.expect_ident(region=True)
+        self.expect(",")
+        denominator = self.expect_ident(region=True)
+        self.expect(")")
+        return RBit(element_var, body, numerator, denominator)
+
+    # -- atoms -----------------------------------------------------------
+    def parse_atom(self) -> RegFormula:
+        keyword = self.keyword()
+        if keyword == "true":
+            self.advance()
+            return RTrue()
+        if keyword == "false":
+            self.advance()
+            return RFalse()
+        if keyword == "adj":
+            self.advance()
+            self.expect("(")
+            left = self.expect_ident(region=True)
+            self.expect(",")
+            right = self.expect_ident(region=True)
+            self.expect(")")
+            return Adj(left, right)
+        if keyword == "sub":
+            self.advance()
+            self.expect("(")
+            region = self.expect_ident(region=True)
+            self.expect(",")
+            relation = self.expect_ident(region=True)
+            self.expect(")")
+            return SubsetAtom(region, relation)
+
+        token = self.peek()
+        if (
+            token.kind == "ident"
+            and token.text not in _KEYWORDS
+            and _is_region_name(token.text)
+        ):
+            return self.parse_uppercase_atom()
+        return self.parse_term_atom()
+
+    def parse_uppercase_atom(self) -> RegFormula:
+        name = self.advance().text
+        if self.accept("("):
+            return self.parse_application(name)
+        if self.accept("="):
+            other = self.expect_ident(region=True)
+            return RegionEq(name, other)
+        if self.accept("!="):
+            other = self.expect_ident(region=True)
+            return RNot(RegionEq(name, other))
+        raise self.error(
+            f"a bare region variable {name!r} is not a formula; "
+            "expected '(', '=' or '!='"
+        )
+
+    def parse_application(self, name: str) -> RegFormula:
+        """``Name(...)``: a set atom if every argument is a bare region
+        variable, otherwise a database relation atom over terms."""
+        saved = self.index
+        all_regions = True
+        args_regions: list[str] = []
+        while True:
+            token = self.peek()
+            if (
+                token.kind == "ident"
+                and token.text not in _KEYWORDS
+                and _is_region_name(token.text)
+                and self.peek(1).text in (",", ")")
+            ):
+                args_regions.append(self.advance().text)
+            else:
+                all_regions = False
+                break
+            if self.accept(","):
+                continue
+            break
+        if all_regions and self.accept(")"):
+            return SetAtom(name, tuple(args_regions))
+        # Fall back to term arguments.
+        self.index = saved
+        terms = [self.parse_term()]
+        while self.accept(","):
+            terms.append(self.parse_term())
+        self.expect(")")
+        return RelationAtom(name, tuple(terms))
+
+    def parse_term_atom(self) -> RegFormula:
+        """Comparisons, `(t̄) in R`, and parenthesised formulas."""
+        if self.peek().text == "(":
+            saved = self.index
+            # Attempt: tuple of terms followed by `in`.
+            try:
+                self.advance()
+                terms = [self.parse_term()]
+                while self.accept(","):
+                    terms.append(self.parse_term())
+                self.expect(")")
+                if self.keyword() == "in":
+                    self.advance()
+                    region = self.expect_ident(region=True)
+                    return InRegion(tuple(terms), region)
+                if len(terms) == 1 and self.peek().text in _COMPARISONS:
+                    return self.parse_comparison(first=terms[0])
+                raise ParseError("not a term atom", self.peek().position,
+                                 self.text)
+            except ParseError:
+                self.index = saved
+            # Attempt: parenthesised formula.
+            self.advance()
+            inner = self.parse_formula()
+            self.expect(")")
+            return inner
+        first = self.parse_term()
+        if self.keyword() == "in":
+            self.advance()
+            region = self.expect_ident(region=True)
+            return InRegion((first,), region)
+        return self.parse_comparison(first=first)
+
+    def parse_comparison(self, first: LinearTerm) -> RegFormula:
+        terms = [first]
+        operators: list[str] = []
+        while self.peek().text in _COMPARISONS:
+            operators.append(self.advance().text)
+            terms.append(self.parse_term())
+        if not operators:
+            raise self.error("expected a comparison operator")
+        parts: list[RegFormula] = []
+        for left, op_text, right in zip(terms, operators, terms[1:]):
+            if op_text == "!=":
+                parts.append(
+                    reg_disjunction(
+                        [
+                            LinearAtom(Atom.compare(left, Op.LT, right)),
+                            LinearAtom(Atom.compare(left, Op.GT, right)),
+                        ]
+                    )
+                )
+            else:
+                parts.append(
+                    LinearAtom(Atom.compare(left, _OP_FOR[op_text], right))
+                )
+        return reg_conjunction(parts)
+
+    # -- terms -------------------------------------------------------------
+    def parse_term(self) -> LinearTerm:
+        term = self.parse_product()
+        while self.peek().text in ("+", "-"):
+            if self.accept("+"):
+                term = term + self.parse_product()
+            else:
+                self.advance()
+                term = term - self.parse_product()
+        return term
+
+    def parse_product(self) -> LinearTerm:
+        term = self.parse_factor()
+        while self.accept("*"):
+            term = term * self.parse_factor()
+        return term
+
+    def parse_factor(self) -> LinearTerm:
+        token = self.peek()
+        if token.text == "-":
+            self.advance()
+            return -self.parse_factor()
+        if token.kind == "number":
+            self.advance()
+            return LinearTerm.const(Fraction(token.text))
+        if token.kind == "ident" and token.text not in _KEYWORDS:
+            if _is_region_name(token.text):
+                raise self.error(
+                    f"region variable {token.text!r} cannot appear in a term"
+                )
+            self.advance()
+            return LinearTerm.variable(token.text)
+        if token.text == "(":
+            self.advance()
+            inner = self.parse_term()
+            self.expect(")")
+            return inner
+        raise self.error(
+            f"expected a term, found {token.text or 'end of input'!r}"
+        )
+
+
+def parse_query(text: str) -> RegFormula:
+    """Parse a region-logic formula from text."""
+    parser = _QueryParser(text)
+    formula = parser.parse_formula()
+    trailing = parser.peek()
+    if trailing.kind != "eof":
+        raise ParseError(
+            f"unexpected trailing input {trailing.text!r}",
+            trailing.position, text,
+        )
+    return formula

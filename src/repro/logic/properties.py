@@ -1,0 +1,56 @@
+"""Database properties used by the capture theorems.
+
+Definition 6.2: a database has the *small coordinate property* when the
+absolute values of the coordinates of all points in 0-dimensional regions
+are bounded by 2^O(n), n being the number of regions.  Asymptotic O(·)
+only makes sense for families, so the checker takes the constant
+explicitly: ``has_small_coordinate_property(ext, constant=c)`` checks
+max |coordinate| ≤ 2^(c·n).  Coordinates are rationals; both numerator
+magnitude and denominator are checked, matching the bit-representation
+reading the rBIT encoding needs.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.twosorted.structure import RegionExtension
+
+
+def coordinate_bound(extension: RegionExtension) -> Fraction:
+    """The largest |coordinate| over all 0-dimensional regions (0 if none)."""
+    largest = Fraction(0)
+    for region in extension.zero_dimensional_regions():
+        for coordinate in region.sample_point():
+            largest = max(largest, abs(coordinate))
+    return largest
+
+
+def max_bit_length(extension: RegionExtension) -> int:
+    """Longest numerator/denominator bit length among vertex coordinates."""
+    longest = 0
+    for region in extension.zero_dimensional_regions():
+        for coordinate in region.sample_point():
+            longest = max(
+                longest,
+                abs(coordinate.numerator).bit_length(),
+                coordinate.denominator.bit_length(),
+            )
+    return longest
+
+
+def has_small_coordinate_property(
+    extension: RegionExtension, constant: int = 1
+) -> bool:
+    """Check Definition 6.2 with an explicit constant.
+
+    True iff every vertex coordinate's numerator magnitude and
+    denominator are at most 2^(constant · n), with n the total number of
+    regions.  The rBIT encoding can represent exactly the coordinates
+    whose bits fit into indices of 0-dimensional regions, which is what
+    this bound guarantees up to the constant.
+    """
+    if constant < 1:
+        raise ValueError("the constant must be a positive integer")
+    n = len(extension.decomposition)
+    return max_bit_length(extension) <= constant * n

@@ -1,0 +1,88 @@
+"""The rBIT operator (Definition 5.1).
+
+rBIT bridges the continuous and the finite sort: if a formula φ(x, P̄)
+pins down exactly one rational a for the current interpretation of its
+region parameters, the operator exposes the *bits* of a's numerator and
+denominator as a relation on 0-dimensional regions — the i-th and j-th
+0-dimensional regions (in the lexicographic order of their points,
+1-based) stand in the relation iff bit i of the numerator and bit j of
+the denominator are 1.  For a = 0 the operator instead relates every
+higher-dimensional region to itself.  In every other case it denotes ∅.
+
+This is the "technical necessity" that lets RegLFP spell out binary
+coordinate representations in the capture proof (Theorem 6.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.constraints.relation import ConstraintRelation
+
+
+@dataclass(frozen=True)
+class RBitDenotation:
+    """The semantic content of one rBIT application.
+
+    ``value`` is the unique rational the body defined, or ``None`` when
+    the body did not define exactly one rational (denotation ∅).
+    """
+
+    value: Fraction | None
+
+    def holds(
+        self,
+        numerator_region_dim: int,
+        numerator_rank: int | None,
+        denominator_region_dim: int,
+        denominator_rank: int | None,
+        same_region: bool,
+    ) -> bool:
+        """Truth of rBIT at a pair of regions.
+
+        ``*_rank`` is the 1-based position among the 0-dimensional
+        regions, or ``None`` when the region is higher-dimensional.
+        """
+        if self.value is None:
+            return False
+        if self.value == 0:
+            return (
+                same_region
+                and numerator_region_dim > 0
+                and denominator_region_dim > 0
+            )
+        if numerator_rank is None or denominator_rank is None:
+            return False
+        return bit_is_set(
+            abs(self.value.numerator), numerator_rank
+        ) and bit_is_set(self.value.denominator, denominator_rank)
+
+
+def bit_is_set(value: int, position: int) -> bool:
+    """Is bit ``position`` (1-based from the least significant) set?"""
+    if position < 1:
+        raise ValueError("bit positions are 1-based")
+    return (value >> (position - 1)) & 1 == 1
+
+
+def unique_rational(relation: ConstraintRelation) -> Fraction | None:
+    """The single rational a relation over one variable defines, if any.
+
+    ``None`` when the relation is empty or contains more than one point.
+    Exact: every DNF disjunct must be empty or the same single point.
+    """
+    if relation.arity != 1:
+        raise ValueError("rBIT bodies define unary relations")
+    value: Fraction | None = None
+    for polyhedron in relation.polyhedra():
+        point = polyhedron.feasible_point()
+        if point is None:
+            continue
+        if polyhedron.affine_dimension() != 0:
+            return None
+        if value is None:
+            value = point[0]
+        elif value != point[0]:
+            return None
+    return value

@@ -1,0 +1,192 @@
+"""Formula transformations: negation normal form and miniscoping.
+
+Evaluation cost of the region logics is driven by quantifier scopes —
+every region quantifier multiplies work by |Reg| and every element
+quantifier costs a Fourier–Motzkin projection over its body's whole
+representation.  The passes here shrink scopes without changing
+semantics:
+
+* :func:`to_nnf` — push negations to the atoms (¬∃ → ∀¬, De Morgan,
+  ¬¬-elimination); fixed-point/TC/rBIT operators are treated as opaque
+  atoms (their bodies are normalised recursively);
+* :func:`miniscope` — distribute ∃ over ∨ and ∀ over ∧, and drop
+  quantifiers out of operands that do not mention the bound variable;
+* :func:`optimize` — NNF followed by miniscoping, the combination the
+  evaluator benefits from.
+
+All passes preserve the answer relation exactly (property-tested).
+"""
+
+from __future__ import annotations
+
+from repro.logic import ast
+from repro.logic.ast import (
+    reg_conjunction,
+    reg_disjunction,
+)
+
+
+def to_nnf(formula: ast.RegFormula, negate: bool = False) -> ast.RegFormula:
+    """Negation normal form; negation survives only on atoms."""
+    if isinstance(formula, ast.RTrue):
+        return ast.RFalse() if negate else formula
+    if isinstance(formula, ast.RFalse):
+        return ast.RTrue() if negate else formula
+    if isinstance(formula, ast.RNot):
+        return to_nnf(formula.operand, not negate)
+    if isinstance(formula, ast.RAnd):
+        parts = tuple(to_nnf(op, negate) for op in formula.operands)
+        return reg_disjunction(parts) if negate else reg_conjunction(parts)
+    if isinstance(formula, ast.ROr):
+        parts = tuple(to_nnf(op, negate) for op in formula.operands)
+        return reg_conjunction(parts) if negate else reg_disjunction(parts)
+    if isinstance(formula, ast.ExistsElem):
+        body = to_nnf(formula.body, negate)
+        cls = ast.ForallElem if negate else ast.ExistsElem
+        return cls(formula.variable, body)
+    if isinstance(formula, ast.ForallElem):
+        body = to_nnf(formula.body, negate)
+        cls = ast.ExistsElem if negate else ast.ForallElem
+        return cls(formula.variable, body)
+    if isinstance(formula, ast.ExistsRegion):
+        body = to_nnf(formula.body, negate)
+        cls = ast.ForallRegion if negate else ast.ExistsRegion
+        return cls(formula.variable, body)
+    if isinstance(formula, ast.ForallRegion):
+        body = to_nnf(formula.body, negate)
+        cls = ast.ExistsRegion if negate else ast.ForallRegion
+        return cls(formula.variable, body)
+    # Operators and atoms: normalise inner bodies, keep outer polarity.
+    normalised = _normalise_operator_bodies(formula)
+    return ast.RNot(normalised) if negate else normalised
+
+
+def _normalise_operator_bodies(formula: ast.RegFormula) -> ast.RegFormula:
+    if isinstance(formula, ast.Fixpoint):
+        return ast.Fixpoint(
+            formula.kind,
+            formula.set_var,
+            formula.bound_vars,
+            to_nnf(formula.body),
+            formula.args,
+        )
+    if isinstance(formula, ast.TC):
+        return ast.TC(
+            formula.left_vars, formula.right_vars,
+            to_nnf(formula.body),
+            formula.left_args, formula.right_args,
+        )
+    if isinstance(formula, ast.DTC):
+        return ast.DTC(
+            formula.left_vars, formula.right_vars,
+            to_nnf(formula.body),
+            formula.left_args, formula.right_args,
+        )
+    if isinstance(formula, ast.RBit):
+        return ast.RBit(
+            formula.element_var,
+            to_nnf(formula.body),
+            formula.numerator,
+            formula.denominator,
+        )
+    return formula
+
+
+def _free_of(formula: ast.RegFormula, variable: str, element: bool) -> bool:
+    if element:
+        return variable not in formula.free_element_vars()
+    return variable not in formula.free_region_vars()
+
+
+def _miniscope_quantifier(
+    variable: str,
+    body: ast.RegFormula,
+    existential: bool,
+    element: bool,
+) -> ast.RegFormula:
+    """Minimise the scope of one quantifier over an already-scoped body."""
+    if element:
+        cls = ast.ExistsElem if existential else ast.ForallElem
+    else:
+        cls = ast.ExistsRegion if existential else ast.ForallRegion
+
+    if _free_of(body, variable, element):
+        return body
+    distributive = ast.ROr if existential else ast.RAnd
+    if isinstance(body, distributive):
+        return (reg_disjunction if existential else reg_conjunction)(
+            _miniscope_quantifier(variable, op, existential, element)
+            for op in body.operands
+        )
+    other = ast.RAnd if existential else ast.ROr
+    if isinstance(body, other):
+        inside = [
+            op for op in body.operands
+            if not _free_of(op, variable, element)
+        ]
+        outside = [
+            op for op in body.operands
+            if _free_of(op, variable, element)
+        ]
+        if outside:
+            rebuilt = (reg_conjunction if existential else reg_disjunction)(
+                inside
+            )
+            scoped = _miniscope_quantifier(
+                variable, rebuilt, existential, element
+            )
+            return (reg_conjunction if existential else reg_disjunction)(
+                [scoped, *outside]
+            )
+    return cls(variable, body)
+
+
+def miniscope(formula: ast.RegFormula) -> ast.RegFormula:
+    """Push quantifiers to the smallest scopes (expects NNF input)."""
+    if isinstance(formula, (ast.RAnd, ast.ROr)):
+        cls = reg_conjunction if isinstance(formula, ast.RAnd) else \
+            reg_disjunction
+        return cls(miniscope(op) for op in formula.operands)
+    if isinstance(formula, ast.RNot):
+        return ast.RNot(miniscope(formula.operand))
+    if isinstance(
+        formula,
+        (ast.ExistsElem, ast.ForallElem, ast.ExistsRegion,
+         ast.ForallRegion),
+    ):
+        body = miniscope(formula.body)
+        existential = isinstance(
+            formula, (ast.ExistsElem, ast.ExistsRegion)
+        )
+        element = isinstance(formula, (ast.ExistsElem, ast.ForallElem))
+        return _miniscope_quantifier(
+            formula.variable, body, existential, element
+        )
+    if isinstance(formula, ast.Fixpoint):
+        return ast.Fixpoint(
+            formula.kind, formula.set_var, formula.bound_vars,
+            miniscope(formula.body), formula.args,
+        )
+    if isinstance(formula, ast.TC):
+        return ast.TC(
+            formula.left_vars, formula.right_vars,
+            miniscope(formula.body),
+            formula.left_args, formula.right_args,
+        )
+    if isinstance(formula, ast.DTC):
+        return ast.DTC(
+            formula.left_vars, formula.right_vars,
+            miniscope(formula.body),
+            formula.left_args, formula.right_args,
+        )
+    if isinstance(formula, ast.RBit):
+        return ast.RBit(
+            formula.element_var, miniscope(formula.body),
+            formula.numerator, formula.denominator,
+        )
+    return formula
+
+
+def optimize(formula: ast.RegFormula) -> ast.RegFormula:
+    """NNF + miniscoping; the answer relation is unchanged."""
+    return miniscope(to_nnf(formula))

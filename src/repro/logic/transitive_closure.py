@@ -1,0 +1,72 @@
+"""Transitive closure over tuples of regions (Definition 7.2).
+
+The TC operator's edge relation lives on Reg^m; its transitive closure is
+computed by breadth-first search from every node.  The deterministic
+variant (DTC) first restricts the edge relation to nodes with exactly one
+successor — the classical logspace-flavoured operator.
+
+Paths have at least one step (the Ebbinghaus–Flum convention the paper
+cites for [3]); pass ``reflexive=True`` for the reflexive-transitive
+variant.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+RegionTuple = tuple[int, ...]
+Edge = tuple[RegionTuple, RegionTuple]
+
+
+def transitive_closure(
+    nodes: Iterable[RegionTuple],
+    edges: set[Edge],
+    reflexive: bool = False,
+) -> set[Edge]:
+    """All pairs (ū, v̄) connected by a path of ≥ 1 edge (≥ 0 if reflexive)."""
+    node_list = list(nodes)
+    successors: dict[RegionTuple, list[RegionTuple]] = {}
+    for source, target in edges:
+        successors.setdefault(source, []).append(target)
+
+    closure: set[Edge] = set()
+    for start in node_list:
+        reached: set[RegionTuple] = set()
+        frontier = deque(successors.get(start, ()))
+        while frontier:
+            current = frontier.popleft()
+            if current in reached:
+                continue
+            reached.add(current)
+            frontier.extend(successors.get(current, ()))
+        closure.update((start, target) for target in reached)
+        if reflexive:
+            closure.add((start, start))
+    return closure
+
+
+def deterministic_edges(
+    nodes: Iterable[RegionTuple], edges: set[Edge]
+) -> set[Edge]:
+    """The deterministic restriction: keep edges from unique-successor nodes."""
+    successors: dict[RegionTuple, list[RegionTuple]] = {}
+    for source, target in edges:
+        successors.setdefault(source, []).append(target)
+    return {
+        (source, targets[0])
+        for source, targets in successors.items()
+        if len(targets) == 1
+    }
+
+
+def deterministic_transitive_closure(
+    nodes: Iterable[RegionTuple],
+    edges: set[Edge],
+    reflexive: bool = False,
+) -> set[Edge]:
+    """DTC: transitive closure of the deterministic edge restriction."""
+    node_list = list(nodes)
+    return transitive_closure(
+        node_list, deterministic_edges(node_list, edges), reflexive
+    )

@@ -1,0 +1,23 @@
+"""Naive element-sort fixed points — the paper's negative motivation.
+
+Section 1: "A naive definition of, e.g., least fixed-point logic leads
+to a non-terminating and undecidable language, as it is possible to
+define the natural numbers with addition and multiplication by least
+fixed-point logic over (ℝ, <, +)."
+
+This package implements exactly that naive language — LFP where the
+inductively defined relation ranges over *element tuples* (sets of
+reals), not regions — with a stage cap, so the divergence is observable:
+the ℕ-defining induction grows a fresh point every stage and never
+converges, while the same engine terminates fine on inductions with
+semi-linear fixed points.  The region-restricted operators of the main
+library (`repro.logic`) are the paper's remedy.
+"""
+
+from repro.naive.element_fixpoint import (
+    NaiveLFPResult,
+    define_naturals_body,
+    naive_lfp,
+)
+
+__all__ = ["NaiveLFPResult", "define_naturals_body", "naive_lfp"]

@@ -1,0 +1,109 @@
+"""LFP over element tuples: the naive, non-terminating language.
+
+The induction variable is a *relation over reals*: starting from the
+empty relation, each stage evaluates a first-order body over (ℝ, <, +)
+extended by the current stage, using quantifier elimination, and checks
+convergence by exact relation equivalence.  Monotone bodies whose least
+fixed point is semi-linear converge (e.g. bounded saturation); the
+paper's ℕ-defining induction adds a new point forever, so the engine
+reports non-termination at the stage cap — the observable content of
+the introduction's warning.
+
+Body formulas use an ordinary :class:`repro.constraints.formula.Formula`
+with a distinguished *relation variable* represented by the reserved
+relation name ``X``: atoms ``X(t̄)`` are written via the placeholder
+substitution performed here (the constraint-formula language has no
+relation symbols, so bodies are supplied as Python callables taking the
+current stage and returning a formula).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.constraints.formula import Formula, disjunction
+from repro.constraints.parser import parse_formula
+from repro.constraints.relation import ConstraintRelation
+from repro.constraints.terms import LinearTerm
+
+StageBody = Callable[[ConstraintRelation], Formula]
+
+
+@dataclass(frozen=True)
+class NaiveLFPResult:
+    """Outcome of a naive element-sort induction."""
+
+    fixpoint: ConstraintRelation | None
+    stages: int
+    converged: bool
+    last_stage: ConstraintRelation
+
+    @property
+    def diverged(self) -> bool:
+        return not self.converged
+
+
+def naive_lfp(
+    schema: Sequence[str],
+    body: StageBody,
+    max_stages: int = 25,
+) -> NaiveLFPResult:
+    """Iterate ``X ← { x̄ : body(X) }`` from ∅ with a stage cap.
+
+    ``body`` receives the current stage as a relation and returns a
+    formula over ``schema`` (it may consult the stage via
+    ``stage.substitute`` to inline ``X(t̄)`` atoms).  Convergence is
+    exact relation equivalence; on reaching ``max_stages`` without
+    convergence the result reports divergence and exposes the last
+    stage for inspection.
+    """
+    current = ConstraintRelation.empty(tuple(schema))
+    for stage in range(1, max_stages + 1):
+        updated = ConstraintRelation.make(
+            tuple(schema), body(current)
+        ).simplify()
+        if updated.equivalent(current):
+            return NaiveLFPResult(current, stage - 1, True, current)
+        current = updated
+    return NaiveLFPResult(None, max_stages, False, current)
+
+
+def membership_formula(
+    stage: ConstraintRelation, args: Sequence[LinearTerm]
+) -> Formula:
+    """The inlined atom ``X(t̄)`` for the current stage."""
+    mapping = dict(zip(stage.variables, args))
+    return stage.substitute(mapping)
+
+
+def define_naturals_body(stage: ConstraintRelation) -> Formula:
+    """The paper's diverging induction: 0 ∈ X and X + 1 ⊆ X.
+
+    The least fixed point is ℕ — not semi-linear as a subset of ℝ in
+    finitely many pieces... it *is* an infinite set of isolated points,
+    which no finite DNF of linear constraints over one variable can
+    represent, so the stages grow without bound: stage k is
+    {0, 1, ..., k-1}.
+    """
+    x = LinearTerm.variable("n")
+    base = parse_formula("n = 0")
+    successor = membership_formula(stage, [x - 1])
+    return disjunction([base, successor])
+
+
+def bounded_saturation_body(stage: ConstraintRelation) -> Formula:
+    """A converging induction: saturate the interval [0, 1].
+
+    X starts with [0, 1/2] and each stage adds the right-shifted copy
+    clipped to [0, 1]; the fixed point [0, 1] is reached after two
+    stages — the naive engine is fine when the fixed point is
+    semi-linear and reached in finitely many stages.
+    """
+    x = LinearTerm.variable("n")
+    base = parse_formula("0 <= n & 2*n <= 1")
+    shifted = membership_formula(stage, [x - LinearTerm.const("1/2")])
+    clip = parse_formula("n <= 1")
+    from repro.constraints.formula import conjunction
+
+    return disjunction([base, conjunction([shifted, clip])])

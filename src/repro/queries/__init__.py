@@ -1,0 +1,59 @@
+"""Reusable queries built on the region logics.
+
+* :mod:`repro.queries.connectivity` — the paper's flagship example:
+  topological connectivity of the spatial relation, in RegLFP (Section 5)
+  and in RegTC (Section 7), plus a direct graph-based ground truth for
+  cross-checking.
+* :mod:`repro.queries.river` — the GIS scenario of Figure 6: follow a
+  river from its spring and detect a chemical combination downstream.
+* :mod:`repro.queries.topology` — small topological queries (emptiness,
+  boundedness, dimension tests) expressed in RegFO.
+"""
+
+from repro.queries.connectivity import (
+    connectivity_ground_truth,
+    connectivity_query_lfp,
+    connectivity_query_tc,
+    is_connected,
+)
+from repro.queries.river import (
+    RiverMap,
+    build_river_database,
+    pollution_query,
+    river_has_chemical_sequence,
+)
+from repro.queries.topology import (
+    contains_origin_query,
+    has_interior_query,
+    is_empty_query,
+    relation_bounded,
+)
+from repro.queries.reachability import (
+    connected_component,
+    reachable_region_indices,
+)
+from repro.queries.definable import (
+    bounded_region_formula,
+    lex_less_formula,
+    singleton_region_formula,
+)
+
+__all__ = [
+    "connectivity_ground_truth",
+    "connectivity_query_lfp",
+    "connectivity_query_tc",
+    "is_connected",
+    "RiverMap",
+    "build_river_database",
+    "pollution_query",
+    "river_has_chemical_sequence",
+    "contains_origin_query",
+    "has_interior_query",
+    "is_empty_query",
+    "relation_bounded",
+    "connected_component",
+    "reachable_region_indices",
+    "bounded_region_formula",
+    "lex_less_formula",
+    "singleton_region_formula",
+]

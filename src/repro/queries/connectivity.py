@@ -1,0 +1,118 @@
+"""Topological connectivity of the spatial relation (Section 5).
+
+The paper's Conn query: S is connected iff for every two points of S the
+regions containing them can be linked by a chain of adjacent regions all
+contained in S.  Three implementations are provided:
+
+* :func:`connectivity_query_lfp` — the paper's RegLFP sentence, verbatim;
+* :func:`connectivity_query_tc` — the RegTC variant (Section 7);
+* :func:`connectivity_ground_truth` — a direct union-find over the
+  decomposition's adjacency graph, used by the tests and the benchmarks
+  to validate the logical answers.
+
+For the arrangement decomposition the logical queries and the ground
+truth agree on every database: regions inside S partition S, and two
+in-S regions touching each other are exactly the adjacent ones.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.database import ConstraintDatabase
+from repro.logic.ast import RegFormula
+from repro.logic.evaluator import query_truth
+from repro.logic.parser import parse_query
+from repro.twosorted.structure import RegionExtension
+
+
+def _point_vars(arity: int, suffix: str) -> list[str]:
+    return [f"x{i}{suffix}" for i in range(arity)]
+
+
+def connectivity_query_lfp(arity: int) -> RegFormula:
+    """The paper's Conn sentence for a d-ary spatial relation.
+
+    Conn := ∀x̄ ∀ȳ (Sx̄ ∧ Sȳ → ∃R_x ∃R_y  x̄ ∈ R_x ∧ ȳ ∈ R_y ∧
+        [LFP_{M,R,R'} ((R = R' ∧ R ⊆ S) ∨
+                       (∃Z M(R,Z) ∧ adj(Z,R') ∧ R' ⊆ S))](R_x, R_y))
+    """
+    xs = _point_vars(arity, "a")
+    ys = _point_vars(arity, "b")
+    all_vars = ", ".join(xs + ys)
+    text = (
+        f"forall {all_vars}. (S({', '.join(xs)}) & S({', '.join(ys)})) -> "
+        f"(exists RX, RY. ({', '.join(xs)}) in RX & "
+        f"({', '.join(ys)}) in RY & "
+        "[lfp M(R, Rp). ((R = Rp & sub(R, S)) | "
+        "(exists Z. M(R, Z) & adj(Z, Rp) & sub(Rp, S)))](RX, RY))"
+    )
+    return parse_query(text)
+
+
+def connectivity_query_tc(arity: int) -> RegFormula:
+    """Connectivity via the transitive closure operator (Section 7)."""
+    xs = _point_vars(arity, "a")
+    ys = _point_vars(arity, "b")
+    all_vars = ", ".join(xs + ys)
+    text = (
+        f"forall {all_vars}. (S({', '.join(xs)}) & S({', '.join(ys)})) -> "
+        f"(exists RX, RY. ({', '.join(xs)}) in RX & "
+        f"({', '.join(ys)}) in RY & sub(RX, S) & sub(RY, S) & "
+        "(RX = RY | [tc (R) -> (Rp). adj(R, Rp) & sub(R, S) & "
+        "sub(Rp, S)](RX; RY)))"
+    )
+    return parse_query(text)
+
+
+def is_connected(
+    database: ConstraintDatabase, method: str = "lfp",
+    decomposition: str = "arrangement",
+) -> bool:
+    """Evaluate connectivity of the database's spatial relation.
+
+    ``method`` is "lfp", "tc" or "ground" (the graph-based oracle).
+    """
+    arity = database.relation("S").arity
+    if method == "lfp":
+        return query_truth(
+            connectivity_query_lfp(arity), database,
+            decomposition=decomposition,
+        )
+    if method == "tc":
+        return query_truth(
+            connectivity_query_tc(arity), database,
+            decomposition=decomposition,
+        )
+    if method == "ground":
+        extension = RegionExtension.build(database, decomposition)
+        return connectivity_ground_truth(extension)
+    raise ValueError(f"unknown connectivity method {method!r}")
+
+
+def connectivity_ground_truth(extension: RegionExtension) -> bool:
+    """Union-find over in-S regions linked by adjacency.
+
+    S is connected iff the subgraph of regions contained in S, with edges
+    between adjacent regions, has at most one connected component (for
+    the arrangement decomposition, whose in-S regions partition S).
+    """
+    in_s = [
+        region.index
+        for region in extension.regions
+        if extension.region_subset_of_spatial(region.index)
+    ]
+    if not in_s:
+        return True
+    parent = {index: index for index in in_s}
+
+    def find(node: int) -> int:
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    for left in in_s:
+        for right in in_s:
+            if left < right and extension.adjacent(left, right):
+                parent[find(left)] = find(right)
+    roots = {find(index) for index in in_s}
+    return len(roots) == 1

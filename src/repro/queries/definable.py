@@ -1,0 +1,79 @@
+"""RegFO-definability of the capture proof's auxiliary predicates.
+
+The proof of Theorem 6.4 relies on several properties of regions being
+definable inside the logic itself: being a single point (0-dimensional),
+being bounded, and the lexicographic order on 0-dimensional regions.
+This module writes those predicates as actual RegFO formulas, so the
+definability claims can be checked against the engine's geometric
+implementations (see ``tests/test_queries_definable.py``):
+
+* ``singleton(R)`` — R contains exactly one point:
+  ``∃x̄ (x̄ ∈ R ∧ ∀ȳ (ȳ ∈ R → ȳ = x̄))``;
+* ``bounded(R)`` — some box contains R:
+  ``∃b (b > 0 ∧ ∀x̄ (x̄ ∈ R → ⋀_i (−b < x_i < b)))``;
+* ``lex_less(R₁, R₂)`` — the points of two singleton regions compare
+  lexicographically.
+
+(Full dimension comparison is also FO-definable by the results the
+paper cites [21; 22; 2]; the three predicates here are the ones the
+encoding construction actually uses.)
+"""
+
+from __future__ import annotations
+
+from repro.logic.ast import RegFormula
+from repro.logic.parser import parse_query
+
+
+def _coords(prefix: str, arity: int) -> list[str]:
+    return [f"{prefix}{i}" for i in range(arity)]
+
+
+def singleton_region_formula(arity: int, region: str = "R") -> RegFormula:
+    """``R`` contains exactly one point (is 0-dimensional)."""
+    xs = _coords("u", arity)
+    ys = _coords("v", arity)
+    same = " & ".join(f"{y} = {x}" for x, y in zip(xs, ys))
+    text = (
+        f"exists {', '.join(xs)}. ({', '.join(xs)}) in {region} & "
+        f"(forall {', '.join(ys)}. ({', '.join(ys)}) in {region} -> "
+        f"({same}))"
+    )
+    return parse_query(text)
+
+
+def bounded_region_formula(arity: int, region: str = "R") -> RegFormula:
+    """``R`` fits inside some hypercube (the paper's boundedness)."""
+    xs = _coords("w", arity)
+    box = " & ".join(f"0 - b < {x} & {x} < b" for x in xs)
+    text = (
+        f"exists b. b > 0 & "
+        f"(forall {', '.join(xs)}. ({', '.join(xs)}) in {region} -> "
+        f"({box}))"
+    )
+    return parse_query(text)
+
+
+def lex_less_formula(
+    arity: int, left: str = "R1", right: str = "R2"
+) -> RegFormula:
+    """The points of two singleton regions compare lex-smaller.
+
+    For 0-dimensional regions this is exactly the order the proof of
+    Theorem 6.4 puts on them.  (On non-singleton regions the formula
+    quantifies over all point pairs and is not intended to be used.)
+    """
+    xs = _coords("p", arity)
+    ys = _coords("q", arity)
+    cases = []
+    for i in range(arity):
+        prefix = " & ".join(f"{xs[j]} = {ys[j]}" for j in range(i))
+        case = f"{xs[i]} < {ys[i]}"
+        cases.append(f"({prefix} & {case})" if prefix else f"({case})")
+    lex = " | ".join(cases)
+    text = (
+        f"exists {', '.join(xs)}, {', '.join(ys)}. "
+        f"({', '.join(xs)}) in {left} & ({', '.join(ys)}) in {right} & "
+        f"({lex})"
+    )
+    return parse_query(text)

@@ -1,0 +1,78 @@
+"""Region reachability as a non-boolean query.
+
+The connected component of a point: the union of all regions reachable
+from the point's region through chains of adjacent in-S regions.  The
+reachable *set of regions* is a RegLFP-definable unary fixed point; the
+final union step is the "safe" output operator of Section 8 (regions
+are semi-linear, so their union is again a linear relation) —
+implemented via :func:`repro.extensions.nonboolean.union_of_regions`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.errors import EvaluationError
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.relation import ConstraintRelation
+from repro.extensions.nonboolean import union_of_regions
+from repro.logic.evaluator import Evaluator
+from repro.logic.parser import parse_query
+from repro.twosorted.structure import RegionExtension
+
+
+def reachable_region_indices(
+    extension: RegionExtension, start_index: int
+) -> frozenset[int]:
+    """Indices of in-S regions reachable from ``start_index``.
+
+    Computed with the paper's Conn induction (fixed-point bodies cannot
+    take region parameters — free(φ) must be exactly {M, X̄} — so
+    reachability is the binary relation, applied with the start region
+    as first argument):
+
+        [LFP_{M,R,R'} (R = R' ∧ R ⊆ S) ∨
+                      (∃Z M(R, Z) ∧ adj(Z, R') ∧ R' ⊆ S)](R₀, R)
+
+    One induction serves all membership queries via memoisation.
+    """
+    evaluator = Evaluator(extension)
+    formula = parse_query(
+        "[lfp M(R, Rp). ((R = Rp & sub(R, S)) | "
+        "(exists Z. M(R, Z) & adj(Z, Rp) & sub(Rp, S)))](R0, RTarget)"
+    )
+    reached = []
+    for region in extension.regions:
+        if evaluator.truth(
+            formula, {"R0": start_index, "RTarget": region.index}
+        ):
+            reached.append(region.index)
+    return frozenset(reached)
+
+
+def connected_component(
+    database: ConstraintDatabase,
+    point: Sequence[Fraction],
+    decomposition: str = "arrangement",
+) -> ConstraintRelation:
+    """The connected component of ``point`` within S, as a relation.
+
+    Returns the empty relation when the point is not in S.
+    """
+    extension = RegionExtension.build(database, decomposition)
+    relation = extension.spatial
+    if len(point) != relation.arity:
+        raise EvaluationError(
+            f"point arity {len(point)} != spatial arity {relation.arity}"
+        )
+    if not relation.contains(point):
+        return ConstraintRelation.empty(relation.variables)
+    holders = extension.decomposition.regions_containing(point)
+    if not holders:
+        raise EvaluationError(
+            "the decomposition does not cover the point; use the "
+            "arrangement decomposition for component queries"
+        )
+    reached = reachable_region_indices(extension, holders[0].index)
+    return union_of_regions(extension, sorted(reached)).simplify()

@@ -1,0 +1,125 @@
+"""The GIS scenario of Figure 6: rivers, cities and chemicals.
+
+The paper sketches a map with a river, cities on its bank, and asks — in
+RegLFP — whether, following the river from its spring, a part polluted
+with a first chemical is followed by a part polluted with a second one.
+The paper assumes predicates ``spring(R)``, ``river(R)``, ``chem₁(R)``,
+``chem₂(R)`` "with the obvious semantics"; here they are definable
+macros over a multi-relation database:
+
+* ``S``      — the river course (the spatial relation the region
+  extension decomposes);
+* ``Chem1``, ``Chem2`` — the polluted zones, extra constraint relations;
+* ``spring(R)`` — the region contains the spring point (x = 0);
+* ``river(R)`` — ``R ⊆ S``;
+* ``chem_i(R)`` — R overlaps the zone ``Chem_i``.
+
+The LFP program is the paper's, verbatim: starting at the spring it
+walks the river region by region (pairs (R, R) in M), and records a pair
+(R, Z) with R ≠ Z whenever a chem₂ region R is combined with a visited
+chem₁ region Z — so the query is true iff the fixpoint contains an
+unequal pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.errors import WorkloadError
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.parser import parse_formula
+from repro.constraints.relation import ConstraintRelation
+from repro.logic.ast import RegFormula
+from repro.logic.evaluator import query_truth
+from repro.logic.parser import parse_query
+
+
+@dataclass(frozen=True)
+class RiverMap:
+    """A one-dimensional river model.
+
+    The river runs from the spring at 0 to ``length``; chemical zones are
+    closed intervals on it.  ``gaps`` optionally removes open stretches
+    from the river (a dried-up river is disconnected, so regions beyond a
+    gap are not reachable from the spring).
+    """
+
+    length: int
+    chem1_zones: tuple[tuple[Fraction, Fraction], ...] = ()
+    chem2_zones: tuple[tuple[Fraction, Fraction], ...] = ()
+    gaps: tuple[tuple[Fraction, Fraction], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise WorkloadError("river length must be positive")
+        for lo, hi in (
+            self.chem1_zones + self.chem2_zones + self.gaps
+        ):
+            if not lo < hi:
+                raise WorkloadError(f"bad zone [{lo}, {hi}]")
+
+
+def _interval_union(
+    intervals: tuple[tuple[Fraction, Fraction], ...],
+    closed: bool = True,
+) -> str:
+    op_lo, op_hi = ("<=", "<=") if closed else ("<", "<")
+    parts = [
+        f"({lo} {op_lo} x0 & x0 {op_hi} {hi})" for lo, hi in intervals
+    ]
+    return " | ".join(parts) if parts else "x0 < x0"
+
+
+def build_river_database(river: RiverMap) -> ConstraintDatabase:
+    """The constraint database for a river map."""
+    river_text = f"(0 <= x0 & x0 <= {river.length})"
+    for lo, hi in river.gaps:
+        river_text += f" & !({lo} < x0 & x0 < {hi})"
+    relations = {
+        "S": ConstraintRelation.make(
+            ("x0",), parse_formula(river_text)
+        ),
+        "Chem1": ConstraintRelation.make(
+            ("x0",), parse_formula(_interval_union(river.chem1_zones))
+        ),
+        "Chem2": ConstraintRelation.make(
+            ("x0",), parse_formula(_interval_union(river.chem2_zones))
+        ),
+    }
+    return ConstraintDatabase.make(relations)
+
+
+def pollution_query() -> RegFormula:
+    """The paper's RegLFP pollution program (Section 5), verbatim.
+
+    ψ := ∃R₁ ∃R₂  R₁ ≠ R₂ ∧
+         [LFP_{M,R,R'}( (spring(R) ∧ R = R')
+           ∨ (∃Z ∃Z' M(Z,Z') ∧ river(R) ∧ adj(Z,R) ∧ R = R')
+           ∨ (∃Z ∃Z' M(Z,Z') ∧ chem₁(Z) ∧ chem₂(R) ∧ R' = Z))](R₁, R₂)
+    """
+    text = (
+        "exists R1, R2. R1 != R2 & "
+        "[lfp M(R, Rp). "
+        "  ((exists s. s = 0 & (s) in R) & R = Rp)"
+        "| ((exists Z, Zp. M(Z, Zp) & adj(Z, R)) & sub(R, S) & R = Rp)"
+        "| (exists Z, Zp. M(Z, Zp)"
+        "   & (exists u. (u) in Z & Chem1(u))"
+        "   & (exists v. (v) in R & Chem2(v))"
+        "   & Rp = Z)"
+        "](R1, R2)"
+    )
+    return parse_query(text)
+
+
+def river_has_chemical_sequence(database: ConstraintDatabase) -> bool:
+    """Run the pollution query against a river database.
+
+    Uses the *refined* region extension: the decomposition of the river
+    also cuts at the chemical-zone boundaries, so every region is
+    homogeneous with respect to Chem1/Chem2 — the analogue of the
+    paper's single-relation map encoding.
+    """
+    return query_truth(
+        pollution_query(), database, decomposition="refined"
+    )

@@ -1,0 +1,83 @@
+"""Small topological queries in RegFO.
+
+These illustrate the two-sorted language below the fixed-point layer:
+emptiness, membership of distinguished points, existence of interior, and
+(via the region sort) boundedness of the spatial relation.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.database import ConstraintDatabase
+from repro.logic.ast import RegFormula
+from repro.logic.evaluator import query_truth
+from repro.logic.parser import parse_query
+from repro.twosorted.structure import RegionExtension
+
+
+def _vars(arity: int) -> list[str]:
+    return [f"x{i}" for i in range(arity)]
+
+
+def is_empty_query(arity: int) -> RegFormula:
+    """``¬∃x̄ S(x̄)``."""
+    xs = _vars(arity)
+    return parse_query(
+        f"!(exists {', '.join(xs)}. S({', '.join(xs)}))"
+    )
+
+
+def contains_origin_query(arity: int) -> RegFormula:
+    """``S(0̄)``."""
+    xs = _vars(arity)
+    constraints = " & ".join(f"{x} = 0" for x in xs)
+    return parse_query(
+        f"exists {', '.join(xs)}. {constraints} & S({', '.join(xs)})"
+    )
+
+
+def has_interior_query(arity: int) -> RegFormula:
+    """Does S contain a full-dimensional region?
+
+    Uses the region sort: some region R ⊆ S is adjacent to no region of
+    strictly higher dimension... more simply, some region inside S is not
+    in the closure of any other region — for arrangement faces that is
+    exactly a top-dimensional face.  Expressed via adjacency: R ⊆ S and
+    every region adjacent to R is in R's boundary, i.e. no region Z with
+    R in Z's closure exists other than R itself.  Since adjacency is
+    symmetric and relates regions of different dimensions only, a
+    d-dimensional face is one that no *higher-dimensional* face is
+    adjacent to from above; combinatorially, R is top-dimensional iff
+    every Z adjacent to R satisfies: every neighbourhood point...
+
+    Rather than reconstruct dimensions in the logic, this query uses the
+    ε-neighbourhood directly in FO+LIN: S has interior iff some point has
+    a box neighbourhood inside S.
+    """
+    xs = _vars(arity)
+    es = [f"e{i}" for i in range(arity)]
+    ys = [f"y{i}" for i in range(arity)]
+    eps_pos = " & ".join(f"{e} > 0" for e in es)
+    box = " & ".join(
+        f"{x} - {e} < {y} & {y} < {x} + {e}"
+        for x, e, y in zip(xs, es, ys)
+    )
+    return parse_query(
+        f"exists {', '.join(xs)}. exists {', '.join(es)}. {eps_pos} & "
+        f"(forall {', '.join(ys)}. ({box}) -> S({', '.join(ys)}))"
+    )
+
+
+def relation_bounded(database: ConstraintDatabase) -> bool:
+    """Is S bounded?  Decided on the region sort: S is bounded iff every
+    region contained in S is bounded (regions partition / cover S)."""
+    extension = RegionExtension.build(database)
+    return all(
+        region.is_bounded()
+        for region in extension.regions
+        if extension.region_subset_of_spatial(region.index)
+    )
+
+
+def run_boolean(query: RegFormula, database: ConstraintDatabase) -> bool:
+    """Evaluate a boolean topological query."""
+    return query_truth(query, database)

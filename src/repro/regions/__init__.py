@@ -1,0 +1,43 @@
+"""Region decompositions of the input space.
+
+The paper's two-sorted structures take as second sort a finite set of
+*regions* — connected subsets of ℝ^d derived from the input relation.
+Two decompositions are used:
+
+* the **arrangement decomposition** (Sections 3-6): regions are the faces
+  of the arrangement A(S); they partition ℝ^d and each is contained in or
+  disjoint from S (:mod:`repro.regions.arrangement_regions`);
+* the **NC¹ decomposition** (Section 7 and Appendix A): regions are open
+  convex hulls of vertex tuples (plus rays for unbounded polyhedra),
+  computed separately per DNF disjunct; regions may overlap and do not
+  cover ℝ^d, but the construction is NC¹-computable
+  (:mod:`repro.regions.nc1`).
+
+Both implement the uniform :class:`repro.regions.base.Region` interface
+consumed by the two-sorted structure and the logics, plus the
+deterministic region ordering (:mod:`repro.regions.ordering`) that rBIT
+and the capture encoding rely on.
+"""
+
+from repro.regions.base import Decomposition, Region
+from repro.regions.arrangement_regions import (
+    ArrangementDecomposition,
+    ArrangementRegion,
+)
+from repro.regions.nc1 import NC1Decomposition, SimplexRegion, decompose_nc1
+from repro.regions.ordering import region_sort_key, sort_regions
+from repro.regions.validate import ValidationReport, validate_decomposition
+
+__all__ = [
+    "ValidationReport",
+    "validate_decomposition",
+    "Decomposition",
+    "Region",
+    "ArrangementDecomposition",
+    "ArrangementRegion",
+    "NC1Decomposition",
+    "SimplexRegion",
+    "decompose_nc1",
+    "region_sort_key",
+    "sort_regions",
+]

@@ -1,0 +1,174 @@
+"""The uniform region interface shared by both decompositions.
+
+A :class:`Region` is a connected subset of ℝ^d with the operations the
+two-sorted structure and the logics need: exact membership, a defining
+quantifier-free formula (so region atoms stay inside FO+LIN), closure
+containment (the basis of Definition 4.1's adjacency), and metadata
+(dimension, boundedness, a canonical sort key).
+
+A :class:`Decomposition` is a finite, canonically ordered family of
+regions over an ambient space, with cached adjacency and relation
+containment.
+"""
+
+from __future__ import annotations
+
+import abc
+from fractions import Fraction
+from typing import Iterator, Sequence
+
+from repro.errors import GeometryError
+from repro.constraints.formula import Formula
+from repro.constraints.relation import ConstraintRelation
+
+
+class Region(abc.ABC):
+    """A connected subset of ℝ^d usable as a second-sort element."""
+
+    index: int
+
+    @property
+    @abc.abstractmethod
+    def ambient_dimension(self) -> int:
+        """The dimension d of the surrounding space."""
+
+    @property
+    @abc.abstractmethod
+    def dimension(self) -> int:
+        """Dimension of the region's affine support."""
+
+    @abc.abstractmethod
+    def is_bounded(self) -> bool:
+        """Does the region fit inside some hypercube?"""
+
+    @abc.abstractmethod
+    def sample_point(self) -> tuple[Fraction, ...]:
+        """A rational point of the region."""
+
+    @abc.abstractmethod
+    def contains(self, point: Sequence[Fraction]) -> bool:
+        """Exact membership of a rational point (the ∈ relation)."""
+
+    @abc.abstractmethod
+    def closure_contains_region(self, other: "Region") -> bool:
+        """Is ``other`` a subset of this region's closure?"""
+
+    @abc.abstractmethod
+    def defining_formula(self, variables: Sequence[str]) -> Formula:
+        """A quantifier-free formula defining exactly this region."""
+
+    @abc.abstractmethod
+    def sort_key(self) -> tuple:
+        """A canonical, deterministic identity/sort key."""
+
+    def as_relation(self, variables: Sequence[str]) -> ConstraintRelation:
+        """The region as a constraint relation over ``variables``."""
+        return ConstraintRelation.make(
+            tuple(variables), self.defining_formula(variables)
+        )
+
+    def adjacent_to(self, other: "Region") -> bool:
+        """Definition 4.1: adjacency via the closure characterisation."""
+        if self is other or self.sort_key() == other.sort_key():
+            return False
+        return self.closure_contains_region(other) or \
+            other.closure_contains_region(self)
+
+    def __str__(self) -> str:
+        kind = "bounded" if self.is_bounded() else "unbounded"
+        return (
+            f"region#{self.index}(dim={self.dimension}, {kind}, "
+            f"sample={tuple(map(str, self.sample_point()))})"
+        )
+
+
+class Decomposition(abc.ABC):
+    """A finite region family over ℝ^d, derived from one relation."""
+
+    def __init__(
+        self, relation: ConstraintRelation, regions: Sequence[Region]
+    ) -> None:
+        self._relation = relation
+        self._regions = tuple(regions)
+        self._adjacency: dict[tuple[int, int], bool] = {}
+        self._subset_of_relation: dict[int, bool] = {}
+
+    @property
+    def relation(self) -> ConstraintRelation:
+        """The input relation S the decomposition was derived from."""
+        return self._relation
+
+    @property
+    def ambient_dimension(self) -> int:
+        return self._relation.arity
+
+    @property
+    def regions(self) -> tuple[Region, ...]:
+        return self._regions
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def __iter__(self) -> Iterator[Region]:
+        return iter(self._regions)
+
+    def region(self, index: int) -> Region:
+        return self._regions[index]
+
+    # ------------------------------------------------------------------
+    # Cached relations of the two-sorted structure
+    # ------------------------------------------------------------------
+    def adjacent(self, left: int, right: int) -> bool:
+        """The adj relation between region indices (cached, symmetric)."""
+        if left == right:
+            return False
+        key = (min(left, right), max(left, right))
+        if key not in self._adjacency:
+            self._adjacency[key] = self._regions[key[0]].adjacent_to(
+                self._regions[key[1]]
+            )
+        return self._adjacency[key]
+
+    def region_subset_of_relation(self, index: int) -> bool:
+        """Is region ``index`` entirely contained in S?  (Cached.)
+
+        For arrangement faces this is the stored in-or-out bit; the
+        generic implementation tests the region against the complement of
+        S disjunct by disjunct.
+        """
+        if index not in self._subset_of_relation:
+            self._subset_of_relation[index] = self._compute_subset(index)
+        return self._subset_of_relation[index]
+
+    def _compute_subset(self, index: int) -> bool:
+        region_rel = self._regions[index].as_relation(
+            self._relation.variables
+        )
+        return region_rel.difference(self._relation).is_empty()
+
+    # ------------------------------------------------------------------
+    # Census helpers (used by experiments)
+    # ------------------------------------------------------------------
+    def count_by_dimension(self) -> dict[int, int]:
+        census: dict[int, int] = {}
+        for region in self._regions:
+            census[region.dimension] = census.get(region.dimension, 0) + 1
+        return census
+
+    def zero_dimensional(self) -> list[Region]:
+        """0-dimensional regions in their canonical (lexicographic) order."""
+        points = [r for r in self._regions if r.dimension == 0]
+        return sorted(points, key=lambda r: r.sample_point())
+
+    def regions_containing(self, point: Sequence[Fraction]) -> list[Region]:
+        if len(point) != self.ambient_dimension:
+            raise GeometryError("point dimension mismatch")
+        return [r for r in self._regions if r.contains(point)]
+
+    def covers(self, point: Sequence[Fraction]) -> bool:
+        """Does some region contain the point?
+
+        True for every point under the arrangement decomposition (it
+        partitions ℝ^d); possibly false under the NC¹ decomposition.
+        """
+        return bool(self.regions_containing(point))

@@ -1,0 +1,396 @@
+"""The NC¹ decomposition of Appendix A.
+
+For each DNF disjunct ψ of the input relation the decomposition computes:
+
+1. ``vert(ψ)`` — every d-subset of the boundary hyperplanes 𝕳(ψ) meeting
+   in exactly one point of closure(ψ) contributes a vertex (these are
+   exactly the vertices of the closure, see below).
+2. A boundedness test: with c the largest absolute vertex coordinate
+   (falling back to ``vert'(ψ)`` — intersections with the coordinate
+   hyperplanes — when ψ has no vertices), ψ is bounded iff it misses all
+   2d hyperplanes ``x_i = ±2(c+1)`` of ``cube(ψ)``.
+3. For bounded ψ: *inner* regions — open convex hulls of d+1 vertices
+   including the lexicographically smallest vertex ``p_low``, kept when no
+   segment from ``p_low`` to an unused vertex meets the hull — and *outer*
+   regions — open convex hulls of at most d vertices whose pairwise
+   segments avoid the relative interior of ψ.
+4. For unbounded ψ: clip with the open cube ``icube(ψ)``, build the
+   bounded regions of the clip, and add unbounded regions: for every pair
+   ``(p, p-q)`` in ``up(ψ)`` (p a clip vertex on the cube boundary, the
+   ray ``p + a(p-q)`` inside closure(ψ)) the open ray, plus the open
+   convex hulls of up to d such rays.
+
+``regions(S)`` is the deduplicated union over all disjuncts.  Unlike the
+arrangement, these regions may overlap, may straddle S, and do not cover
+ℝ^d (Section 7 discusses this).
+
+A faithfulness note recorded in EXPERIMENTS.md: for the worked unbounded
+example (Figure 10) the literal rules above also produce the chord
+between the two cube-boundary clip vertices, which the paper's narrative
+omits; we follow the rules.
+
+Why ``vert(ψ)`` equals the closure's vertex set: every atom of ψ holds on
+all of ψ, so no boundary hyperplane separates ψ; if d of them meet in a
+single point p of the closure, any segment of the closure through p would
+have to lie inside all d hyperplanes (a linear function bounded on a
+segment and extremal at an interior point is constant), contradicting the
+unique intersection — hence p is extreme.  Conversely an extreme point of
+the closure has a rank-d tight subset.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.errors import GeometryError
+from repro.geometry.fourier_motzkin import LinearConstraint, Rel
+from repro.geometry.hyperplane import Hyperplane
+from repro.geometry.linalg import (
+    Vector,
+    solve_unique,
+    vec_sub,
+)
+from repro.errors import SingularSystemError
+from repro.geometry.polyhedron import Polyhedron
+from repro.geometry.vrep import VPolyhedron
+from repro.constraints.formula import (
+    Exists,
+    Formula,
+)
+from repro.constraints.qelim import eliminate_quantifiers
+from repro.constraints.relation import ConstraintRelation
+from repro.regions.base import Decomposition, Region
+from repro.regions.ordering import sort_regions
+
+ZERO = Fraction(0)
+ONE = Fraction(1)
+
+
+class SimplexRegion(Region):
+    """A region of the NC¹ decomposition: an open hull of points and rays."""
+
+    def __init__(self, body: VPolyhedron, kind: str, disjunct: int) -> None:
+        self.body = body
+        self.kind = kind  # "inner" | "outer" | "ray" | "ray-hull"
+        self.disjunct = disjunct
+        self.index = -1  # assigned by the decomposition
+        self._formula_cache: dict[tuple[str, ...], Formula] = {}
+
+    @property
+    def ambient_dimension(self) -> int:
+        return self.body.dimension
+
+    @property
+    def dimension(self) -> int:
+        return self.body.affine_dimension()
+
+    def is_bounded(self) -> bool:
+        return self.body.is_bounded()
+
+    def sample_point(self) -> tuple[Fraction, ...]:
+        return self.body.sample_point()
+
+    def contains(self, point: Sequence[Fraction]) -> bool:
+        return self.body.contains(point)
+
+    def closure_contains_region(self, other: Region) -> bool:
+        if isinstance(other, SimplexRegion):
+            return other.body.subset_of_closure(self.body)
+        raise TypeError("simplex regions only relate to simplex regions")
+
+    def defining_formula(self, variables: Sequence[str]) -> Formula:
+        """An H-representation formula, derived by quantifier elimination.
+
+        Membership ``x ∈ openconv(points, rays)`` is ``∃λ ∃μ`` of a linear
+        system; eliminating the generator coefficients yields a
+        quantifier-free formula over the space variables.
+        """
+        key = tuple(variables)
+        if key not in self._formula_cache:
+            self._formula_cache[key] = self._derive_formula(key)
+        return self._formula_cache[key]
+
+    def _derive_formula(self, variables: tuple[str, ...]) -> Formula:
+        from repro.constraints.atoms import atom_from_constraint
+        from repro.constraints.formula import AtomFormula, conjunction
+
+        if len(variables) != self.body.dimension:
+            raise GeometryError("variable count != ambient dimension")
+        points = self.body.points
+        rays = self.body.rays
+        lambdas = [f"__lam{i}" for i in range(len(points))]
+        mus = [f"__mu{j}" for j in range(len(rays))]
+        order = list(variables) + lambdas + mus
+        n = len(order)
+        d = self.body.dimension
+        system: list[LinearConstraint] = []
+        # x_axis - Σ λ_i p_i[axis] - Σ μ_j r_j[axis] = 0
+        for axis in range(d):
+            coeffs = [ZERO] * n
+            coeffs[axis] = ONE
+            for i, p in enumerate(points):
+                coeffs[d + i] = -p[axis]
+            for j, r in enumerate(rays):
+                coeffs[d + len(points) + j] = -r[axis]
+            system.append(LinearConstraint(tuple(coeffs), Rel.EQ, ZERO))
+        coeffs = [ZERO] * n
+        for i in range(len(points)):
+            coeffs[d + i] = ONE
+        system.append(LinearConstraint(tuple(coeffs), Rel.EQ, ONE))
+        bound = Rel.LT if self.body.open_hull else Rel.LE
+        for j in range(len(points) + len(rays)):
+            coeffs = [ZERO] * n
+            coeffs[d + j] = -ONE
+            system.append(LinearConstraint(tuple(coeffs), bound, ZERO))
+
+        body = conjunction(
+            AtomFormula(atom_from_constraint(row, order)) for row in system
+        )
+        formula: Formula = body
+        for helper in lambdas + mus:
+            formula = Exists(helper, formula)
+        return eliminate_quantifiers(formula)
+
+    def sort_key(self) -> tuple:
+        return ("simplex", self.body.points, self.body.rays)
+
+
+def _coordinate_hyperplanes(dimension: int) -> list[Hyperplane]:
+    basis = []
+    for axis in range(dimension):
+        normal = [ZERO] * dimension
+        normal[axis] = ONE
+        basis.append(Hyperplane.make(normal, 0))
+    return basis
+
+
+def _fallback_vertices(poly: Polyhedron) -> list[Vector]:
+    """The paper's vert'(ψ): unique intersections of d-subsets of
+    𝕳(ψ) ∪ {x_i = 0}, with no closure requirement."""
+    planes = poly.constraint_hyperplanes() + _coordinate_hyperplanes(
+        poly.dimension
+    )
+    seen: set[Vector] = set()
+    points: list[Vector] = []
+    for subset in itertools.combinations(planes, poly.dimension):
+        matrix = [list(h.normal) for h in subset]
+        rhs = [h.offset for h in subset]
+        try:
+            point = solve_unique(matrix, rhs)
+        except SingularSystemError:
+            continue
+        if point not in seen:
+            seen.add(point)
+            points.append(point)
+    return points
+
+
+def _coordinate_bound(points: Iterable[Vector]) -> Fraction:
+    c = ZERO
+    for point in points:
+        for coordinate in point:
+            c = max(c, abs(coordinate))
+    return c
+
+
+def _cube_hyperplanes(dimension: int, c: Fraction) -> list[Hyperplane]:
+    """cube(ψ): the 2d hyperplanes x_i = ±2(c+1)."""
+    offset = 2 * (c + 1)
+    planes = []
+    for axis in range(dimension):
+        normal = [ZERO] * dimension
+        normal[axis] = ONE
+        planes.append(Hyperplane.make(list(normal), offset))
+        planes.append(Hyperplane.make(list(normal), -offset))
+    return planes
+
+
+def _icube_constraints(
+    dimension: int, c: Fraction
+) -> list[LinearConstraint]:
+    """icube(ψ): the open cube |x_i| < 2(c+1)."""
+    offset = 2 * (c + 1)
+    rows = []
+    for axis in range(dimension):
+        coeffs = [ZERO] * dimension
+        coeffs[axis] = ONE
+        rows.append(LinearConstraint(tuple(coeffs), Rel.LT, offset))
+        rows.append(
+            LinearConstraint(tuple(-v for v in coeffs), Rel.LT, offset)
+        )
+    return rows
+
+
+def _is_bounded_by_cube_test(poly: Polyhedron, c: Fraction) -> bool:
+    """The paper's test: ψ is bounded iff it misses every cube hyperplane."""
+    for plane in _cube_hyperplanes(poly.dimension, c):
+        slab = poly.with_constraints(
+            [LinearConstraint(plane.normal, Rel.EQ, plane.offset)]
+        )
+        if not slab.is_empty():
+            return False
+    return True
+
+
+def _inner_regions(
+    vertices: Sequence[Vector], dimension: int
+) -> list[VPolyhedron]:
+    """Open hulls of p_low plus d vertices, fan-style (Appendix A)."""
+    if not vertices:
+        return []
+    p_low = min(vertices)
+    others = [v for v in vertices if v != p_low]
+    regions: list[VPolyhedron] = []
+    seen: set[tuple] = set()
+    for combo in itertools.combinations_with_replacement(
+        vertices, dimension
+    ):
+        generators = {p_low, *combo}
+        body = VPolyhedron.make(sorted(generators))
+        if body.generator_key() in seen:
+            continue
+        unused = [
+            q for q in others if q not in generators
+        ]
+        if any(body.meets_segment(p_low, q) for q in unused):
+            continue
+        seen.add(body.generator_key())
+        regions.append(body)
+    return regions
+
+
+def _outer_regions(
+    vertices: Sequence[Vector],
+    dimension: int,
+    interior: Polyhedron,
+) -> list[VPolyhedron]:
+    """Open hulls of ≤ d vertices avoiding the (relative) interior."""
+    regions: list[VPolyhedron] = []
+    seen: set[tuple] = set()
+    for size in range(1, dimension + 1):
+        for combo in itertools.combinations(vertices, size):
+            body = VPolyhedron.make(combo)
+            if body.generator_key() in seen:
+                continue
+            crosses = any(
+                interior.meets_segment(p, q)
+                for p, q in itertools.combinations(combo, 2)
+            )
+            if crosses:
+                continue
+            seen.add(body.generator_key())
+            regions.append(body)
+    return regions
+
+
+def _bounded_regions(
+    vertices: Sequence[Vector],
+    dimension: int,
+    interior: Polyhedron,
+) -> list[tuple[VPolyhedron, str]]:
+    """Inner and outer bodies, deduplicated, tagged with their kind.
+
+    A body produced by both rules keeps the "outer" tag: in the paper's
+    pentagon walkthrough the boundary edges incident to p_low are listed
+    among the five outer regions even though the inner rule also yields
+    them.  The region *set* is unaffected by the tag choice.
+    """
+    bodies = _outer_regions(vertices, dimension, interior)
+    keys = {b.generator_key() for b in bodies}
+    tagged = [(body, "outer") for body in bodies]
+    for body in _inner_regions(vertices, dimension):
+        if body.generator_key() not in keys:
+            keys.add(body.generator_key())
+            tagged.append((body, "inner"))
+    return tagged
+
+
+def _up_pairs(
+    poly: Polyhedron,
+    clip_vertices: Sequence[Vector],
+    c: Fraction,
+) -> list[tuple[Vector, Vector]]:
+    """up(ψ): (vertex on the icube boundary, escape direction)."""
+    offset = 2 * (c + 1)
+    pairs: list[tuple[Vector, Vector]] = []
+    for p in clip_vertices:
+        if not any(abs(coordinate) == offset for coordinate in p):
+            continue
+        for q in clip_vertices:
+            if q == p:
+                continue
+            direction = vec_sub(p, q)
+            if poly.recession_ray_contains(p, direction):
+                pairs.append((p, direction))
+    return pairs
+
+
+def decompose_disjunct(poly: Polyhedron) -> list[SimplexRegion]:
+    """regions(ψ) for one DNF disjunct, per Appendix A."""
+    if poly.is_empty():
+        return []
+    dimension = poly.dimension
+    vertices = poly.vertices()
+    if vertices:
+        c = _coordinate_bound(vertices)
+    else:
+        c = _coordinate_bound(_fallback_vertices(poly))
+
+    regions: list[SimplexRegion] = []
+    if _is_bounded_by_cube_test(poly, c):
+        interior = poly.relative_interior()
+        for body, kind in _bounded_regions(vertices, dimension, interior):
+            regions.append(SimplexRegion(body, kind, -1))
+        return regions
+
+    # Unbounded: clip with the open cube, then combine.
+    clipped = poly.with_constraints(_icube_constraints(dimension, c))
+    clip_vertices = clipped.vertices()
+    interior = clipped.relative_interior()
+    for body, kind in _bounded_regions(clip_vertices, dimension, interior):
+        regions.append(SimplexRegion(body, kind, -1))
+
+    rays = _up_pairs(poly, clip_vertices, c)
+    ray_bodies = [
+        VPolyhedron.make([p], rays=[direction]) for p, direction in rays
+    ]
+    seen = {body.generator_key() for body in ray_bodies}
+    for body in ray_bodies:
+        regions.append(SimplexRegion(body, "ray", -1))
+    for size in range(2, dimension + 1):
+        for combo in itertools.combinations(range(len(rays)), size):
+            points = [rays[i][0] for i in combo]
+            directions = [rays[i][1] for i in combo]
+            body = VPolyhedron.make(points, rays=directions)
+            if body.generator_key() in seen:
+                continue
+            seen.add(body.generator_key())
+            regions.append(SimplexRegion(body, "ray-hull", -1))
+    return regions
+
+
+def decompose_nc1(relation: ConstraintRelation) -> list[SimplexRegion]:
+    """regions(S): deduplicated union of regions(ψ_i) over all disjuncts."""
+    all_regions: list[SimplexRegion] = []
+    seen: set[tuple] = set()
+    for disjunct_index, poly in enumerate(relation.polyhedra()):
+        for region in decompose_disjunct(poly):
+            key = region.body.generator_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            region.disjunct = disjunct_index
+            all_regions.append(region)
+    return all_regions
+
+
+class NC1Decomposition(Decomposition):
+    """regions(S) from Appendix A, in the canonical region order."""
+
+    def __init__(self, relation: ConstraintRelation) -> None:
+        regions = sort_regions(decompose_nc1(relation))
+        for index, region in enumerate(regions):
+            region.index = index
+        super().__init__(relation, regions)

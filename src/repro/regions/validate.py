@@ -1,0 +1,132 @@
+"""Diagnostic validation of region decompositions.
+
+A decomposition feeding the two-sorted logics must satisfy structural
+invariants; this module checks them explicitly and reports violations —
+useful both as a library self-check and for users implementing custom
+decompositions against :class:`repro.regions.base.Decomposition`
+(Section 8: "other decompositions could also be used, provided ...").
+
+Checked invariants:
+
+* indices are dense and canonical (match the region order);
+* every region's sample point lies in the region;
+* adjacency is irreflexive, symmetric, and only relates regions of
+  different dimensions (the paper's remark after Definition 4.1);
+* ``region_subset_of_relation`` is consistent with the geometry
+  (region ∖ S empty exactly when reported);
+* for *partitioning* decompositions (the arrangement): probe points lie
+  in exactly one region and region membership classifies S-membership.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Sequence
+
+from repro.regions.base import Decomposition
+from repro.regions.ordering import region_sort_key
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a decomposition validation run."""
+
+    violations: list[str] = field(default_factory=list)
+    checks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def note(self, condition: bool, message: str) -> None:
+        self.checks += 1
+        if not condition:
+            self.violations.append(message)
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        lines = [f"validation {status}: {self.checks} checks"]
+        lines.extend(f"  - {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+def validate_decomposition(
+    decomposition: Decomposition,
+    probes: Sequence[tuple[Fraction, ...]] = (),
+    expect_partition: bool = False,
+) -> ValidationReport:
+    """Run the invariant checks; returns a report (never raises)."""
+    report = ValidationReport()
+    regions = decomposition.regions
+
+    report.note(
+        [r.index for r in regions] == list(range(len(regions))),
+        "region indices are not dense 0..n-1",
+    )
+    keys = [region_sort_key(r) for r in regions]
+    report.note(
+        keys == sorted(keys),
+        "regions are not in canonical order",
+    )
+
+    for region in regions:
+        report.note(
+            region.contains(region.sample_point()),
+            f"region {region.index}: sample point not in region",
+        )
+        report.note(
+            region.dimension <= region.ambient_dimension,
+            f"region {region.index}: dimension exceeds ambient",
+        )
+
+    for left in regions:
+        report.note(
+            not decomposition.adjacent(left.index, left.index),
+            f"region {left.index} adjacent to itself",
+        )
+        for right in regions:
+            if left.index >= right.index:
+                continue
+            forward = decomposition.adjacent(left.index, right.index)
+            backward = decomposition.adjacent(right.index, left.index)
+            report.note(
+                forward == backward,
+                f"adjacency asymmetric at ({left.index}, {right.index})",
+            )
+            if forward:
+                report.note(
+                    left.dimension != right.dimension,
+                    "adjacent regions share a dimension "
+                    f"({left.index}, {right.index})",
+                )
+
+    relation = decomposition.relation
+    for region in regions:
+        reported = decomposition.region_subset_of_relation(region.index)
+        actual = region.as_relation(
+            relation.variables
+        ).difference(relation).is_empty()
+        report.note(
+            reported == actual,
+            f"region {region.index}: subset-of-S bit inconsistent",
+        )
+
+    for probe in probes:
+        holders = decomposition.regions_containing(probe)
+        if expect_partition:
+            report.note(
+                len(holders) == 1,
+                f"probe {tuple(map(str, probe))} in {len(holders)} regions "
+                "(expected exactly 1)",
+            )
+            if len(holders) == 1:
+                inside = decomposition.region_subset_of_relation(
+                    holders[0].index
+                )
+                report.note(
+                    inside == relation.contains(probe),
+                    f"probe {tuple(map(str, probe))}: region membership "
+                    "does not classify S-membership",
+                )
+    return report

@@ -1,0 +1,5 @@
+"""Two-sorted region extensions of linear constraint databases."""
+
+from repro.twosorted.structure import RegionExtension
+
+__all__ = ["RegionExtension"]

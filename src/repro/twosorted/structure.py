@@ -1,0 +1,140 @@
+"""The region extension 𝔅^Reg (Definition 4.1 / Note 7.1).
+
+Given a database 𝔅 = ((ℝ, <, +), S), its region extension is the
+two-sorted structure
+
+    𝔅^Reg = (ℝ, Reg; ≤, +, S, adj, ∈)
+
+whose second sort Reg is a decomposition of ℝ^d into regions — the faces
+of the arrangement A(S) for the fixed-point logics (Sections 4-6), or the
+NC¹ decomposition of Appendix A for the transitive-closure logics
+(Section 7).  Every database has a unique region extension per
+decomposition, so the logics can freely treat 𝔅 itself as a model.
+
+:class:`RegionExtension` bundles the database with its decomposition and
+exposes the structure's relations:
+
+* ``element containment``: ``contains(point, region_index)``;
+* ``adjacency``: ``adjacent(i, j)`` (Definition 4.1, via closures);
+* the spatial relation S, and the derived ``region ⊆ S`` predicate the
+  example queries use.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.errors import EvaluationError
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.relation import ConstraintRelation
+from repro.regions.arrangement_regions import ArrangementDecomposition
+from repro.regions.base import Decomposition, Region
+from repro.regions.nc1 import NC1Decomposition
+
+
+class RegionExtension:
+    """The two-sorted structure 𝔅^Reg over a constraint database."""
+
+    def __init__(
+        self,
+        database: ConstraintDatabase,
+        decomposition: Decomposition,
+        spatial_name: str = "S",
+    ) -> None:
+        if spatial_name not in database:
+            raise EvaluationError(
+                f"database has no spatial relation {spatial_name!r}"
+            )
+        self.database = database
+        self.decomposition = decomposition
+        self.spatial_name = spatial_name
+
+    @staticmethod
+    def build(
+        database: ConstraintDatabase,
+        decomposition: str = "arrangement",
+        spatial_name: str = "S",
+    ) -> "RegionExtension":
+        """Construct the region extension of a database.
+
+        ``decomposition`` selects the region family: ``"arrangement"``
+        (Definition 4.1, the default), ``"nc1"`` (Note 7.1), or
+        ``"refined"`` — the arrangement of the hyperplanes of *all*
+        database relations, classified by S.  The refined variant models
+        the paper's mixed-information maps (Figure 6), where one spatial
+        relation carries several layers of information: refining by the
+        auxiliary relations' atoms makes every region homogeneous with
+        respect to each of them, exactly as the paper's single-relation
+        encoding via an extra dimension would.
+        """
+        if spatial_name not in database:
+            raise EvaluationError(
+                f"database has no spatial relation {spatial_name!r}"
+            )
+        spatial = database.relation(spatial_name)
+        if decomposition == "arrangement":
+            regions: Decomposition = ArrangementDecomposition(spatial)
+        elif decomposition == "refined":
+            from repro.arrangement.hyperplanes import hyperplanes_of_relation
+
+            extra: list = []
+            for name, relation in database:
+                if name != spatial_name:
+                    if relation.arity != spatial.arity:
+                        raise EvaluationError(
+                            "refined decomposition requires all relations "
+                            "to share the spatial arity"
+                        )
+                    extra.extend(hyperplanes_of_relation(relation))
+            regions = ArrangementDecomposition(
+                spatial, extra_hyperplanes=tuple(extra)
+            )
+        elif decomposition == "nc1":
+            regions = NC1Decomposition(spatial)
+        else:
+            raise EvaluationError(
+                f"unknown decomposition {decomposition!r}; "
+                "use 'arrangement', 'refined' or 'nc1'"
+            )
+        return RegionExtension(database, regions, spatial_name)
+
+    # ------------------------------------------------------------------
+    # The structure's relations
+    # ------------------------------------------------------------------
+    @property
+    def spatial(self) -> ConstraintRelation:
+        """The spatial relation S."""
+        return self.database.relation(self.spatial_name)
+
+    @property
+    def regions(self) -> tuple[Region, ...]:
+        """The second sort Reg, canonically ordered."""
+        return self.decomposition.regions
+
+    def region_count(self) -> int:
+        return len(self.decomposition)
+
+    def contains(
+        self, point: Sequence[Fraction], region_index: int
+    ) -> bool:
+        """The ∈ relation between ℝ^d and Reg."""
+        return self.decomposition.region(region_index).contains(point)
+
+    def adjacent(self, left: int, right: int) -> bool:
+        """The adj relation (Definition 4.1)."""
+        return self.decomposition.adjacent(left, right)
+
+    def region_subset_of_spatial(self, region_index: int) -> bool:
+        """The derived ``R ⊆ S`` predicate used by the example queries."""
+        return self.decomposition.region_subset_of_relation(region_index)
+
+    def zero_dimensional_regions(self) -> list[Region]:
+        """0-dimensional regions in lexicographic order (rBIT's domain)."""
+        return self.decomposition.zero_dimensional()
+
+    def __str__(self) -> str:
+        return (
+            f"RegionExtension({self.spatial_name}: arity "
+            f"{self.spatial.arity}, {len(self.decomposition)} regions)"
+        )

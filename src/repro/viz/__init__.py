@@ -1,0 +1,13 @@
+"""Pure-stdlib SVG rendering of 2-D relations and decompositions."""
+
+from repro.viz.svg import (
+    render_arrangement,
+    render_nc1_decomposition,
+    render_relation,
+)
+
+__all__ = [
+    "render_arrangement",
+    "render_nc1_decomposition",
+    "render_relation",
+]

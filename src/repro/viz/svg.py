@@ -1,0 +1,195 @@
+"""A small SVG writer for 2-dimensional constraint data.
+
+Regenerates the paper's illustrations (Figures 1-3 and 7-10) from live
+objects: relations are shaded by point sampling, arrangements draw their
+hyperplanes and face sample points (coloured by membership in S), and
+NC¹ decompositions draw their simplex regions and rays.  No third-party
+plotting library is used — output is a standalone SVG string.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.errors import GeometryError
+from repro.arrangement.builder import Arrangement
+from repro.constraints.relation import ConstraintRelation
+from repro.regions.nc1 import NC1Decomposition
+
+Viewport = tuple[float, float, float, float]  # xmin, xmax, ymin, ymax
+
+_IN_COLOUR = "#4878a8"
+_OUT_COLOUR = "#c8c8c8"
+_LINE_COLOUR = "#303030"
+_REGION_COLOURS = ["#88b04b", "#d65f5f", "#6f5fd6", "#d6a65f", "#5fd6c8"]
+
+
+class _Canvas:
+    """Collects SVG elements and maps data coordinates to pixels."""
+
+    def __init__(self, viewport: Viewport, size: int) -> None:
+        self.xmin, self.xmax, self.ymin, self.ymax = viewport
+        if self.xmin >= self.xmax or self.ymin >= self.ymax:
+            raise GeometryError("degenerate viewport")
+        self.size = size
+        self.elements: list[str] = []
+
+    def tx(self, x: float) -> float:
+        return (x - self.xmin) / (self.xmax - self.xmin) * self.size
+
+    def ty(self, y: float) -> float:
+        # SVG's y axis points down.
+        return (self.ymax - y) / (self.ymax - self.ymin) * self.size
+
+    def line(self, x1: float, y1: float, x2: float, y2: float,
+             colour: str = _LINE_COLOUR, width: float = 1.5) -> None:
+        self.elements.append(
+            f'<line x1="{self.tx(x1):.2f}" y1="{self.ty(y1):.2f}" '
+            f'x2="{self.tx(x2):.2f}" y2="{self.ty(y2):.2f}" '
+            f'stroke="{colour}" stroke-width="{width}"/>'
+        )
+
+    def circle(self, x: float, y: float, radius: float,
+               colour: str) -> None:
+        self.elements.append(
+            f'<circle cx="{self.tx(x):.2f}" cy="{self.ty(y):.2f}" '
+            f'r="{radius}" fill="{colour}"/>'
+        )
+
+    def rect(self, x: float, y: float, w: float, h: float,
+             colour: str, opacity: float = 1.0) -> None:
+        self.elements.append(
+            f'<rect x="{self.tx(x):.2f}" y="{self.ty(y + h):.2f}" '
+            f'width="{w / (self.xmax - self.xmin) * self.size:.2f}" '
+            f'height="{h / (self.ymax - self.ymin) * self.size:.2f}" '
+            f'fill="{colour}" opacity="{opacity}"/>'
+        )
+
+    def polygon(self, points: Sequence[tuple[float, float]], colour: str,
+                opacity: float = 0.5) -> None:
+        path = " ".join(
+            f"{self.tx(x):.2f},{self.ty(y):.2f}" for x, y in points
+        )
+        self.elements.append(
+            f'<polygon points="{path}" fill="{colour}" '
+            f'opacity="{opacity}" stroke="{colour}"/>'
+        )
+
+    def to_svg(self) -> str:
+        body = "\n".join(self.elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.size}" height="{self.size}" '
+            f'viewBox="0 0 {self.size} {self.size}">\n'
+            f'<rect width="100%" height="100%" fill="white"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+
+def _require_planar(arity: int) -> None:
+    if arity != 2:
+        raise GeometryError("SVG rendering supports 2-D data only")
+
+
+def render_relation(
+    relation: ConstraintRelation,
+    viewport: Viewport = (-1.0, 4.0, -1.0, 4.0),
+    size: int = 400,
+    samples: int = 60,
+) -> str:
+    """Shade a 2-D relation by membership of a sample grid (Figure 1)."""
+    _require_planar(relation.arity)
+    canvas = _Canvas(viewport, size)
+    step_x = (canvas.xmax - canvas.xmin) / samples
+    step_y = (canvas.ymax - canvas.ymin) / samples
+    for i in range(samples):
+        for j in range(samples):
+            x = Fraction(canvas.xmin + (i + 0.5) * step_x).limit_denominator(
+                10**6
+            )
+            y = Fraction(canvas.ymin + (j + 0.5) * step_y).limit_denominator(
+                10**6
+            )
+            if relation.contains((x, y)):
+                canvas.rect(
+                    float(x) - step_x / 2,
+                    float(y) - step_y / 2,
+                    step_x,
+                    step_y,
+                    _IN_COLOUR,
+                    opacity=0.6,
+                )
+    return canvas.to_svg()
+
+
+def _draw_hyperplane(canvas: _Canvas, normal, offset) -> None:
+    a, b = float(normal[0]), float(normal[1])
+    c = float(offset)
+    if abs(b) > 1e-12:
+        x1, x2 = canvas.xmin, canvas.xmax
+        y1 = (c - a * x1) / b
+        y2 = (c - a * x2) / b
+        canvas.line(x1, y1, x2, y2)
+    else:
+        x = c / a
+        canvas.line(x, canvas.ymin, x, canvas.ymax)
+
+
+def render_arrangement(
+    arrangement: Arrangement,
+    viewport: Viewport = (-1.0, 4.0, -1.0, 4.0),
+    size: int = 400,
+) -> str:
+    """Hyperplanes, face witnesses and vertices of A(S) (Figures 2-3)."""
+    if arrangement.dimension != 2:
+        raise GeometryError("SVG rendering supports 2-D arrangements only")
+    canvas = _Canvas(viewport, size)
+    for plane in arrangement.hyperplanes:
+        _draw_hyperplane(canvas, plane.normal, plane.offset)
+    for face in arrangement.faces:
+        colour = _IN_COLOUR if face.in_relation else _OUT_COLOUR
+        radius = 5.0 if face.dimension == 0 else 3.0
+        canvas.circle(
+            float(face.sample[0]), float(face.sample[1]), radius, colour
+        )
+    return canvas.to_svg()
+
+
+def render_nc1_decomposition(
+    decomposition: NC1Decomposition,
+    viewport: Viewport = (-1.0, 8.0, -2.0, 8.0),
+    size: int = 400,
+    ray_length: float = 3.0,
+) -> str:
+    """Simplex regions of the Appendix-A decomposition (Figures 8, 10)."""
+    if decomposition.ambient_dimension != 2:
+        raise GeometryError("SVG rendering supports 2-D data only")
+    canvas = _Canvas(viewport, size)
+    for index, region in enumerate(decomposition.regions):
+        colour = _REGION_COLOURS[index % len(_REGION_COLOURS)]
+        body = region.body
+        points = [(float(p[0]), float(p[1])) for p in body.points]
+        if body.rays:
+            for ray in body.rays:
+                direction = (float(ray[0]), float(ray[1]))
+                norm = max(abs(direction[0]), abs(direction[1]), 1e-9)
+                scale = ray_length / norm
+                for px, py in points:
+                    canvas.line(
+                        px, py,
+                        px + direction[0] * scale,
+                        py + direction[1] * scale,
+                        colour=colour, width=2.0,
+                    )
+        if len(points) >= 3:
+            canvas.polygon(points, colour, opacity=0.35)
+        elif len(points) == 2:
+            canvas.line(
+                points[0][0], points[0][1],
+                points[1][0], points[1][1],
+                colour=colour, width=2.5,
+            )
+        else:
+            canvas.circle(points[0][0], points[0][1], 4.5, colour)
+    return canvas.to_svg()

@@ -1,0 +1,29 @@
+"""Seeded synthetic workload generators for tests and benchmarks."""
+
+from repro.workloads.generators import (
+    chain_of_boxes,
+    convex_polygon,
+    cross_polytope,
+    disconnected_blobs,
+    grid_relation,
+    interval_chain,
+    nested_boxes,
+    random_halfplanes,
+    random_hyperplanes,
+    river_scenario,
+    stripes,
+)
+
+__all__ = [
+    "chain_of_boxes",
+    "convex_polygon",
+    "cross_polytope",
+    "disconnected_blobs",
+    "grid_relation",
+    "interval_chain",
+    "nested_boxes",
+    "random_halfplanes",
+    "random_hyperplanes",
+    "river_scenario",
+    "stripes",
+]

@@ -1,0 +1,259 @@
+"""Synthetic linear constraint databases.
+
+Every generator is deterministic given its parameters (and seed, where
+randomness is involved), builds its relation from integer-coefficient
+atoms, and returns either a :class:`ConstraintRelation` or a full
+:class:`ConstraintDatabase`.  These families drive the scaling
+experiments: their region counts and connectivity structure are known in
+closed form, so measured behaviour can be checked against ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro.errors import WorkloadError
+from repro.geometry.hyperplane import Hyperplane
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.parser import parse_formula
+from repro.constraints.relation import ConstraintRelation
+from repro.queries.river import RiverMap, build_river_database
+
+F = Fraction
+
+
+def interval_chain(
+    segments: int, gap: bool = False
+) -> ConstraintDatabase:
+    """A 1-D chain of ``segments`` unit intervals.
+
+    With ``gap=False`` consecutive intervals share endpoints (connected);
+    with ``gap=True`` every interval is separated (disconnected for
+    segments > 1).  Regions grow linearly with ``segments``.
+    """
+    if segments < 1:
+        raise WorkloadError("need at least one segment")
+    parts = []
+    for i in range(segments):
+        left = 2 * i if gap else i
+        parts.append(f"({left} <= x0 & x0 <= {left + 1})")
+    return ConstraintDatabase.from_formula(
+        parse_formula(" | ".join(parts)), 1
+    )
+
+
+def stripes(count: int, width: int = 1, spacing: int = 2) -> ConstraintDatabase:
+    """``count`` parallel vertical stripes in the plane (disconnected)."""
+    if count < 1:
+        raise WorkloadError("need at least one stripe")
+    parts = [
+        f"({i * spacing} <= x0 & x0 <= {i * spacing + width})"
+        for i in range(count)
+    ]
+    return ConstraintDatabase.from_formula(
+        parse_formula(" | ".join(parts)), 2
+    )
+
+
+def grid_relation(lines: int) -> ConstraintDatabase:
+    """The union of ``lines`` horizontal and ``lines`` vertical lines.
+
+    Connected for lines >= 1; its arrangement has Θ(lines²) faces — the
+    workhorse for the Theorem 3.1 scaling experiment.
+    """
+    if lines < 1:
+        raise WorkloadError("need at least one line")
+    parts = [f"(x0 = {i})" for i in range(lines)]
+    parts += [f"(x1 = {i})" for i in range(lines)]
+    return ConstraintDatabase.from_formula(
+        parse_formula(" | ".join(parts)), 2
+    )
+
+
+def chain_of_boxes(count: int, touching: bool = True) -> ConstraintDatabase:
+    """``count`` unit boxes in a row, touching at corners or separated."""
+    if count < 1:
+        raise WorkloadError("need at least one box")
+    step = 1 if touching else 2
+    parts = [
+        f"({i * step} <= x0 & x0 <= {i * step + 1} & "
+        f"0 <= x1 & x1 <= 1)"
+        for i in range(count)
+    ]
+    return ConstraintDatabase.from_formula(
+        parse_formula(" | ".join(parts)), 2
+    )
+
+
+def nested_boxes(depth: int) -> ConstraintDatabase:
+    """``depth`` concentric square annuli (box frames), all disconnected."""
+    if depth < 1:
+        raise WorkloadError("need depth >= 1")
+    parts = []
+    for i in range(depth):
+        outer = 4 * i + 2
+        inner = 4 * i
+        frame = (
+            f"(-{outer} <= x0 & x0 <= {outer} & -{outer} <= x1 & "
+            f"x1 <= {outer}"
+            + (
+                f" & !(-{inner} < x0 & x0 < {inner} & -{inner} < x1 & "
+                f"x1 < {inner}))"
+                if inner > 0
+                else ")"
+            )
+        )
+        parts.append(frame)
+    # Annuli are nested, so take symmetric differences by alternation:
+    # frame_i minus the interior of frame_{i-1} is already encoded above.
+    return ConstraintDatabase.from_formula(
+        parse_formula(" | ".join(parts)), 2
+    )
+
+
+def convex_polygon(sides: int) -> ConstraintDatabase:
+    """A convex polygon with ``sides`` integer-coefficient edges.
+
+    Vertices lie near a circle of radius ``sides`` (rounded to integers),
+    so coordinates stay small; the polygon is connected and bounded.
+    """
+    import math
+
+    if sides < 3:
+        raise WorkloadError("a polygon needs at least 3 sides")
+    radius = 4 * sides
+    points = []
+    for i in range(sides):
+        angle = 2 * math.pi * i / sides
+        points.append(
+            (round(radius * math.cos(angle)), round(radius * math.sin(angle)))
+        )
+    atoms = []
+    for (x1, y1), (x2, y2) in zip(points, points[1:] + points[:1]):
+        # Inward halfplane of the directed edge (x1,y1)->(x2,y2) for a
+        # counter-clockwise polygon: (x2-x1)(y-y1) - (y2-y1)(x-x1) >= 0.
+        a = -(y2 - y1)
+        b = x2 - x1
+        c = a * x1 + b * y1
+        atoms.append(f"({a}*x0 + {b}*x1 >= {c})")
+    return ConstraintDatabase.from_formula(
+        parse_formula(" & ".join(atoms)), 2
+    )
+
+
+def disconnected_blobs(
+    count: int, seed: int = 0
+) -> ConstraintDatabase:
+    """``count`` random small triangles, pairwise far apart."""
+    if count < 1:
+        raise WorkloadError("need at least one blob")
+    rng = random.Random(seed)
+    parts = []
+    for i in range(count):
+        ox, oy = 10 * i, 10 * (i % 3)
+        w = rng.randint(1, 3)
+        h = rng.randint(1, 3)
+        parts.append(
+            f"(x0 >= {ox} & x1 >= {oy} & "
+            f"{h}*x0 + {w}*x1 <= {h * ox + w * oy + w * h})"
+        )
+    return ConstraintDatabase.from_formula(
+        parse_formula(" | ".join(parts)), 2
+    )
+
+
+def random_halfplanes(
+    count: int, seed: int = 0, coefficient_bound: int = 5
+) -> ConstraintRelation:
+    """Intersection of ``count`` random halfplanes (a random polyhedron)."""
+    rng = random.Random(seed)
+    atoms = []
+    for __ in range(count):
+        while True:
+            a = rng.randint(-coefficient_bound, coefficient_bound)
+            b = rng.randint(-coefficient_bound, coefficient_bound)
+            if (a, b) != (0, 0):
+                break
+        c = rng.randint(-coefficient_bound, coefficient_bound)
+        op = rng.choice(["<=", ">=", "<", ">"])
+        atoms.append(f"({a}*x0 + {b}*x1 {op} {c})")
+    return ConstraintRelation.make(
+        ("x0", "x1"), parse_formula(" & ".join(atoms))
+    )
+
+
+def random_hyperplanes(
+    count: int, dimension: int, seed: int = 0, coefficient_bound: int = 4
+) -> list[Hyperplane]:
+    """``count`` distinct random hyperplanes in ``dimension`` dimensions."""
+    rng = random.Random(seed)
+    planes: list[Hyperplane] = []
+    seen: set[Hyperplane] = set()
+    guard = 0
+    while len(planes) < count:
+        guard += 1
+        if guard > 100 * count:
+            raise WorkloadError("could not generate enough distinct planes")
+        coeffs = [
+            rng.randint(-coefficient_bound, coefficient_bound)
+            for __ in range(dimension)
+        ]
+        if all(c == 0 for c in coeffs):
+            continue
+        offset = rng.randint(-coefficient_bound, coefficient_bound)
+        plane = Hyperplane.make(coeffs, offset)
+        if plane not in seen:
+            seen.add(plane)
+            planes.append(plane)
+    return planes
+
+
+def cross_polytope(dimension: int) -> ConstraintDatabase:
+    """The d-dimensional cross-polytope {x : Σ|x_i| ≤ 1}.
+
+    Encoded as a single conjunction of 2^d atoms (one per sign
+    pattern), so representation size grows exponentially with the
+    dimension while the region structure stays highly symmetric —
+    a stress test for higher-dimensional arrangements.
+    """
+    import itertools
+
+    if dimension < 1:
+        raise WorkloadError("dimension must be positive")
+    atoms = []
+    for signs in itertools.product((1, -1), repeat=dimension):
+        terms = " + ".join(
+            f"{sign}*x{i}" for i, sign in enumerate(signs)
+        )
+        atoms.append(f"({terms} <= 1)")
+    return ConstraintDatabase.from_formula(
+        parse_formula(" & ".join(atoms)), dimension
+    )
+
+
+def river_scenario(
+    length: int,
+    polluted: bool = True,
+    reachable: bool = True,
+) -> ConstraintDatabase:
+    """A Figure-6 style river database.
+
+    ``polluted=True`` places a chem1 zone upstream and a chem2 zone
+    downstream; ``reachable=False`` additionally dries up the river
+    between the spring and the chem1 zone, so the pollution pattern is
+    not reachable from the spring.
+    """
+    if length < 4:
+        raise WorkloadError("river too short for the scenario")
+    chem1 = ((F(1), F(2)),) if polluted else ()
+    chem2 = ((F(length - 2), F(length - 1)),) if polluted else ()
+    gaps = () if reachable else ((F(1, 2), F(3, 4)),)
+    return build_river_database(
+        RiverMap(
+            length=length,
+            chem1_zones=chem1,
+            chem2_zones=chem2,
+            gaps=gaps,
+        )
+    )

@@ -1,0 +1,291 @@
+"""Tests for arrangement construction, incidence and adjacency.
+
+Includes the paper's running example (Figures 1-4): a relation whose
+hyperplane set is three lines in general position, whose arrangement has
+exactly 7 two-dimensional faces, 9 one-dimensional faces and 3 vertices.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.hyperplane import Hyperplane
+from repro.constraints.parser import parse_formula
+from repro.constraints.relation import ConstraintRelation
+from repro.arrangement import (
+    Arrangement,
+    IncidenceGraph,
+    build_arrangement,
+    face_in_closure_of,
+    faces_adjacent,
+    hyperplanes_of_relation,
+)
+from repro.arrangement.adjacency import faces_incident
+from repro.arrangement.incidence import EMPTY_FACE, FULL_FACE
+
+F = Fraction
+
+
+def triangle_relation() -> ConstraintRelation:
+    """The running example: S a triangle; 𝕳(S) is 3 generic lines."""
+    return ConstraintRelation.make(
+        ("x", "y"), parse_formula("x >= 0 & y >= 0 & x + y <= 1")
+    )
+
+
+@pytest.fixture(scope="module")
+def triangle() -> Arrangement:
+    return build_arrangement(triangle_relation())
+
+
+class TestHyperplaneExtraction:
+    def test_triangle_planes(self):
+        planes = hyperplanes_of_relation(triangle_relation())
+        assert len(planes) == 3
+
+    def test_duplicate_atoms_collapse(self):
+        r = ConstraintRelation.make(
+            ("x",), parse_formula("(x < 1) | (2*x >= 2) | (x = 1)")
+        )
+        assert len(hyperplanes_of_relation(r)) == 1
+
+    def test_trivial_atoms_ignored(self):
+        r = ConstraintRelation.make(
+            ("x",), parse_formula("x > 0 & 1 > 0")
+        )
+        assert len(hyperplanes_of_relation(r)) == 1
+
+
+class TestRunningExample:
+    """Figures 1-3: the face census of A(S)."""
+
+    def test_face_census(self, triangle):
+        census = triangle.face_count_by_dimension()
+        assert census == {2: 7, 1: 9, 0: 3}
+
+    def test_total_faces(self, triangle):
+        assert len(triangle) == 19
+
+    def test_vertices_are_triangle_corners(self, triangle):
+        points = {f.sample for f in triangle.vertices}
+        assert points == {(F(0), F(0)), (F(0), F(1)), (F(1), F(0))}
+
+    def test_faces_partition_in_or_out(self, triangle):
+        """Every face is contained in or disjoint from S (Section 3)."""
+        relation = triangle_relation()
+        inside = [f for f in triangle if f.in_relation]
+        # Triangle interior + 3 edges + 3 vertices are inside.
+        assert len(inside) == 7
+        for face in triangle:
+            poly = face.polyhedron(triangle.hyperplanes)
+            witness = poly.relative_interior_point()
+            assert witness is not None
+            assert relation.contains(witness) == face.in_relation
+
+    def test_locate(self, triangle):
+        face = triangle.locate((F(1, 4), F(1, 4)))
+        assert face.dimension == 2
+        assert face.in_relation
+        corner = triangle.locate((F(0), F(0)))
+        assert corner.dimension == 0
+
+    def test_face_formula_defines_face(self, triangle):
+        relation = triangle_relation()
+        for face in triangle:
+            formula = face.defining_formula(
+                triangle.hyperplanes, relation.variables
+            )
+            face_rel = ConstraintRelation.make(relation.variables, formula)
+            assert face_rel.contains(face.sample)
+            # A point of a different face never satisfies it.
+            for other in triangle:
+                if other.signs != face.signs:
+                    assert not face_rel.contains(other.sample)
+
+
+class TestIncidence:
+    def test_vertex_neighbourhood(self, triangle):
+        """Figure 4: each vertex sits on 2 lines, giving 4 incident edges."""
+        graph = IncidenceGraph.build(triangle)
+        for vertex in triangle.vertices:
+            about = graph.neighbourhood(vertex.index)
+            assert about["down"] == (EMPTY_FACE,)
+            assert len(about["up"]) == 4
+            assert all(isinstance(t, int) for t in about["up"])
+
+    def test_top_faces_link_to_improper(self, triangle):
+        graph = IncidenceGraph.build(triangle)
+        for face in triangle.faces_of_dimension(2):
+            assert graph.up[face.index][-1] == FULL_FACE
+
+    def test_edges_have_consistent_directions(self, triangle):
+        graph = IncidenceGraph.build(triangle)
+        for lower, higher in graph.proper_edges():
+            assert triangle.faces[lower].dimension + 1 == \
+                triangle.faces[higher].dimension
+            assert lower in graph.down[higher]
+
+    def test_incidence_requires_dimension_gap_one(self, triangle):
+        vertices = triangle.vertices
+        top = triangle.faces_of_dimension(2)
+        assert not faces_incident(vertices[0], top[0])
+
+    def test_edge_count_positive(self, triangle):
+        graph = IncidenceGraph.build(triangle)
+        assert graph.edge_count() > len(triangle)
+
+
+class TestAdjacency:
+    def test_adjacency_symmetric(self, triangle):
+        for f in triangle:
+            for g in triangle:
+                assert faces_adjacent(f, g) == faces_adjacent(g, f)
+
+    def test_adjacent_faces_differ_in_dimension(self, triangle):
+        """Paper: adjacent regions have strictly different dimensions."""
+        for f in triangle:
+            for g in triangle:
+                if faces_adjacent(f, g):
+                    assert f.dimension != g.dimension
+
+    def test_not_self_adjacent(self, triangle):
+        for f in triangle:
+            assert not faces_adjacent(f, f)
+
+    def test_closure_membership_matches_geometry(self, triangle):
+        """f ⊆ closure(g) combinatorially iff f's sample is in cl(g)."""
+        for f in triangle:
+            for g in triangle:
+                combinatorial = face_in_closure_of(f, g)
+                geometric = (
+                    g.polyhedron(triangle.hyperplanes)
+                    .closure()
+                    .contains(f.sample)
+                )
+                assert combinatorial == geometric
+
+    def test_incident_implies_adjacent(self, triangle):
+        """Any two incident faces are adjacent too (Section 4)."""
+        for f in triangle:
+            for g in triangle:
+                if faces_incident(f, g):
+                    assert faces_adjacent(f, g)
+
+
+class TestDegenerateArrangements:
+    def test_no_hyperplanes(self):
+        r = ConstraintRelation.universe(("x", "y"))
+        arrangement = build_arrangement(r)
+        assert len(arrangement) == 1
+        face = arrangement.faces[0]
+        assert face.dimension == 2
+        assert face.in_relation
+
+    def test_single_hyperplane(self):
+        r = ConstraintRelation.make(("x", "y"), parse_formula("x >= 0"))
+        arrangement = build_arrangement(r)
+        census = arrangement.face_count_by_dimension()
+        assert census == {2: 2, 1: 1}
+
+    def test_parallel_lines(self):
+        r = ConstraintRelation.make(
+            ("x", "y"), parse_formula("x >= 0 & x <= 1")
+        )
+        census = build_arrangement(r).face_count_by_dimension()
+        assert census == {2: 3, 1: 2}
+
+    def test_concurrent_lines(self):
+        """Three lines through the origin: 1 vertex, 6 rays, 6 sectors."""
+        r = ConstraintRelation.make(
+            ("x", "y"),
+            parse_formula("x >= 0 & y >= 0 & x = y"),
+        )
+        census = build_arrangement(r).face_count_by_dimension()
+        assert census == {2: 6, 1: 6, 0: 1}
+
+    def test_explicit_hyperplanes(self):
+        planes = [Hyperplane.make([1, 0], 0), Hyperplane.make([0, 1], 0)]
+        arrangement = build_arrangement(hyperplanes=planes, dimension=2)
+        assert arrangement.face_count_by_dimension() == {2: 4, 1: 4, 0: 1}
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(GeometryError):
+            build_arrangement(
+                hyperplanes=[Hyperplane.make([1], 0)], dimension=2
+            )
+        with pytest.raises(GeometryError):
+            build_arrangement()
+
+    def test_one_dimensional_arrangement(self):
+        r = ConstraintRelation.make(
+            ("x",), parse_formula("(0 < x & x < 1) | x = 2")
+        )
+        arrangement = build_arrangement(r)
+        # Points 0, 1, 2 split the line into 4 open intervals.
+        assert arrangement.face_count_by_dimension() == {1: 4, 0: 3}
+        inside = [f for f in arrangement if f.in_relation]
+        assert len(inside) == 2
+
+
+class TestArrangementProperties:
+    @given(
+        offsets=st.lists(st.integers(-3, 3), min_size=1, max_size=4,
+                         unique=True),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_lines_on_the_real_line(self, offsets):
+        """n distinct points on ℝ give n vertices and n+1 intervals."""
+        planes = [Hyperplane.make([1], off) for off in offsets]
+        arrangement = build_arrangement(
+            hyperplanes=planes, dimension=1
+        )
+        census = arrangement.face_count_by_dimension()
+        assert census[0] == len(offsets)
+        assert census[1] == len(offsets) + 1
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-2, 2), st.integers(-2, 2),
+                      st.integers(-2, 2)).filter(lambda t: (t[0], t[1]) != (0, 0)),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_sign_vectors_unique_and_consistent(self, rows):
+        planes = list({Hyperplane.make([a, b], c) for a, b, c in rows})
+        arrangement = build_arrangement(hyperplanes=planes, dimension=2)
+        signs_seen = set()
+        for face in arrangement:
+            assert face.signs not in signs_seen
+            signs_seen.add(face.signs)
+            assert face.contains(arrangement.hyperplanes, face.sample)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-2, 2), st.integers(-2, 2),
+                      st.integers(-2, 2)).filter(lambda t: (t[0], t[1]) != (0, 0)),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        ),
+        st.tuples(
+            st.fractions(min_value=-3, max_value=3, max_denominator=5),
+            st.fractions(min_value=-3, max_value=3, max_denominator=5),
+        ),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_faces_partition_sampled_points(self, rows, point):
+        """Every point lies in exactly one face."""
+        planes = list({Hyperplane.make([a, b], c) for a, b, c in rows})
+        arrangement = build_arrangement(hyperplanes=planes, dimension=2)
+        containing = [
+            f for f in arrangement
+            if f.contains(arrangement.hyperplanes, point)
+        ]
+        assert len(containing) == 1
+        assert containing[0] == arrangement.locate(point)

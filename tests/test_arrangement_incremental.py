@@ -1,0 +1,164 @@
+"""Tests for incremental arrangement construction.
+
+The incremental builder must produce the same arrangement (hyperplanes,
+sign vectors, dimensions, membership bits) as the batch DFS builder —
+witness points may differ, everything combinatorial must agree.  Also
+checks the planar Euler relation V − E + F = 1 as a global sanity
+invariant for 2-D arrangements.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.hyperplane import Hyperplane
+from repro.constraints.parser import parse_formula
+from repro.constraints.relation import ConstraintRelation
+from repro.arrangement.builder import build_arrangement
+from repro.arrangement.incremental import (
+    IncrementalArrangement,
+    build_arrangement_incremental,
+)
+
+F = Fraction
+
+
+def combinatorial_signature(arrangement):
+    return sorted(
+        (face.signs, face.dimension, face.in_relation)
+        for face in arrangement.faces
+    )
+
+
+def triangle_relation():
+    return ConstraintRelation.make(
+        ("x", "y"), parse_formula("x >= 0 & y >= 0 & x + y <= 1")
+    )
+
+
+class TestIncrementalMatchesBatch:
+    def test_triangle(self):
+        relation = triangle_relation()
+        batch = build_arrangement(relation)
+        incremental = build_arrangement_incremental(relation)
+        assert combinatorial_signature(batch) == \
+            combinatorial_signature(incremental)
+        assert incremental.face_count_by_dimension() == {2: 7, 1: 9, 0: 3}
+
+    def test_explicit_planes(self):
+        planes = [
+            Hyperplane.make([1, 0], 0),
+            Hyperplane.make([0, 1], 0),
+            Hyperplane.make([1, 1], 2),
+        ]
+        batch = build_arrangement(hyperplanes=planes, dimension=2)
+        incremental = build_arrangement_incremental(
+            hyperplanes=planes, dimension=2
+        )
+        assert combinatorial_signature(batch) == \
+            combinatorial_signature(incremental)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-2, 2), st.integers(-2, 2),
+                      st.integers(-2, 2)).filter(
+                lambda t: (t[0], t[1]) != (0, 0)
+            ),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_agreement_property(self, rows):
+        planes = sorted(
+            {Hyperplane.make([a, b], c) for a, b, c in rows},
+            key=lambda h: (h.normal, h.offset),
+        )
+        batch = build_arrangement(hyperplanes=planes, dimension=2)
+        incremental = build_arrangement_incremental(
+            hyperplanes=planes, dimension=2
+        )
+        assert combinatorial_signature(batch) == \
+            combinatorial_signature(incremental)
+
+
+class TestIncrementalMechanics:
+    def test_empty_arrangement(self):
+        incremental = IncrementalArrangement(2)
+        assert len(incremental) == 1
+        arrangement = incremental.to_arrangement()
+        assert arrangement.face_count_by_dimension() == {2: 1}
+
+    def test_insert_counts(self):
+        incremental = IncrementalArrangement(1)
+        created = incremental.insert(Hyperplane.make([1], 0))
+        # One cell became vertex + two rays: 2 new faces.
+        assert created == 2
+        assert len(incremental) == 3
+        created = incremental.insert(Hyperplane.make([1], 1))
+        assert created == 2
+        assert len(incremental) == 5
+
+    def test_duplicate_hyperplane_creates_nothing(self):
+        incremental = IncrementalArrangement(1)
+        plane = Hyperplane.make([1], 0)
+        incremental.insert(plane)
+        before = len(incremental)
+        created = incremental.insert(Hyperplane.make([2], 0))  # same plane
+        assert created == 0
+        assert len(incremental) == before
+        # Sign vectors grew by one consistent column.
+        arrangement = incremental.to_arrangement()
+        for face in arrangement:
+            assert face.signs[0] == face.signs[1]
+
+    def test_dimension_checks(self):
+        with pytest.raises(GeometryError):
+            IncrementalArrangement(0)
+        incremental = IncrementalArrangement(2)
+        with pytest.raises(GeometryError):
+            incremental.insert(Hyperplane.make([1], 0))
+        with pytest.raises(GeometryError):
+            build_arrangement_incremental()
+
+
+class TestEulerRelation:
+    """For any line arrangement partitioning the plane:
+    #vertices − #edges + #cells = 1 (Euler characteristic of ℝ²)."""
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-2, 2), st.integers(-2, 2),
+                      st.integers(-3, 3)).filter(
+                lambda t: (t[0], t[1]) != (0, 0)
+            ),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_euler_characteristic(self, rows):
+        planes = list({Hyperplane.make([a, b], c) for a, b, c in rows})
+        arrangement = build_arrangement_incremental(
+            hyperplanes=planes, dimension=2
+        )
+        census = arrangement.face_count_by_dimension()
+        euler = (
+            census.get(0, 0) - census.get(1, 0) + census.get(2, 0)
+        )
+        assert euler == 1
+
+    def test_euler_on_one_dimension(self):
+        # On the line: #points - #intervals = -1 (χ(ℝ) = -1... with
+        # n points and n+1 open intervals: n - (n+1) = -1).
+        planes = [Hyperplane.make([1], i) for i in range(4)]
+        arrangement = build_arrangement_incremental(
+            hyperplanes=planes, dimension=1
+        )
+        census = arrangement.face_count_by_dimension()
+        assert census[0] - census[1] == -1

@@ -1,0 +1,218 @@
+"""Tests for the Theorem 6.4 toolkit: machines, encoding, capture runs."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import CaptureError
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.parser import parse_formula
+from repro.capture.compiler import (
+    capture_run,
+    index_of_tuple,
+    successor,
+    tuple_of_index,
+)
+from repro.capture.encoding import encode_database, encode_rational
+from repro.capture.machine import (
+    BLANK,
+    TuringMachine,
+    machine_contains_one,
+    machine_first_symbol_is,
+    machine_first_vertex_in_s,
+    machine_parity_of_ones,
+)
+from repro.twosorted.structure import RegionExtension
+
+F = Fraction
+
+
+def db(text: str, arity: int) -> ConstraintDatabase:
+    return ConstraintDatabase.from_formula(parse_formula(text), arity)
+
+
+class TestTuringMachine:
+    def test_first_symbol_machine(self):
+        machine = machine_first_symbol_is("1")
+        assert machine.accepts("101", 10)
+        assert not machine.accepts("011", 10)
+
+    def test_parity_machine(self):
+        machine = machine_parity_of_ones()
+        assert machine.accepts("1100", 20)
+        assert not machine.accepts("1000", 20)
+        assert machine.accepts("", 5)
+
+    def test_contains_one(self):
+        machine = machine_contains_one()
+        assert machine.accepts("0001", 20)
+        assert not machine.accepts("000", 20)
+
+    def test_trace_is_deterministic(self):
+        machine = machine_parity_of_ones()
+        first = list(machine.trace("11", 10))
+        second = list(machine.trace("11", 10))
+        assert first == second
+        assert first[0].time == 0
+        assert first[-1].state == "accept"
+
+    def test_nontermination_detected(self):
+        spinner = TuringMachine.make(
+            {("s", BLANK): ("s", BLANK, 0)}, "s"
+        )
+        with pytest.raises(CaptureError):
+            spinner.run(BLANK, 5)
+
+    def test_bad_move_rejected(self):
+        with pytest.raises(CaptureError):
+            TuringMachine.make({("s", "0"): ("s", "0", 2)}, "s")
+
+    def test_input_symbols_validated(self):
+        machine = machine_contains_one()
+        with pytest.raises(CaptureError):
+            machine.accepts("abc", 10)
+
+
+class TestTupleArithmetic:
+    def test_roundtrip(self):
+        for base in (2, 3, 5):
+            for arity in (1, 2, 3):
+                for value in range(base**arity):
+                    digits = tuple_of_index(value, base, arity)
+                    assert index_of_tuple(digits, base) == value
+
+    def test_successor_walks_the_space(self):
+        base, arity = 3, 2
+        current = tuple_of_index(0, base, arity)
+        seen = [current]
+        while True:
+            nxt = successor(current, base)
+            if nxt is None:
+                break
+            seen.append(nxt)
+            current = nxt
+        assert len(seen) == base**arity
+        assert seen == sorted(seen)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(CaptureError):
+            tuple_of_index(8, 2, 3)
+
+
+class TestEncoding:
+    def test_encode_rational(self):
+        assert encode_rational(F(3)) == "11/1"
+        assert encode_rational(F(-5, 2)) == "-101/10"
+        assert encode_rational(F(0)) == "0/1"
+
+    def test_encoding_deterministic(self):
+        database = db("(0 < x0 & x0 < 1) | x0 = 3", 1)
+        ext_a = RegionExtension.build(database)
+        ext_b = RegionExtension.build(database)
+        assert encode_database(ext_a) == encode_database(ext_b)
+
+    def test_encoding_reflects_membership(self):
+        inside = db("0 <= x0 & x0 <= 1", 1)   # endpoints in S
+        outside = db("0 < x0 & x0 < 1", 1)     # endpoints not in S
+        word_in = encode_database(RegionExtension.build(inside))
+        word_out = encode_database(RegionExtension.build(outside))
+        assert word_in != word_out
+        # Same geometry, so same coordinates appear in both.
+        assert word_in.split("#")[0].rsplit("|", 1)[0] == \
+            word_out.split("#")[0].rsplit("|", 1)[0]
+
+    def test_encoding_distinguishes_databases(self):
+        a = encode_database(RegionExtension.build(db("x0 = 1", 1)))
+        b = encode_database(RegionExtension.build(db("x0 = 2", 1)))
+        assert a != b
+
+
+class TestCaptureRuns:
+    DATABASES = [
+        db("0 < x0 & x0 < 1", 1),
+        db("(0 <= x0 & x0 <= 1) | x0 = 3", 1),
+        db("x0 >= 0 & x1 >= 0 & x0 + x1 <= 1", 2),
+    ]
+
+    MACHINES = [
+        machine_first_symbol_is("1"),
+        machine_parity_of_ones(),
+        machine_contains_one(),
+    ]
+
+    def test_inductive_agrees_with_direct(self):
+        """The executable content of Theorem 6.4."""
+        for database in self.DATABASES:
+            for machine in self.MACHINES:
+                result = capture_run(machine, database)
+                assert result.agree, (
+                    f"disagreement for {machine.start_state} on "
+                    f"{result.word[:30]}..."
+                )
+
+    def test_result_metadata(self):
+        result = capture_run(machine_contains_one(), self.DATABASES[0])
+        assert result.region_count == 5
+        assert result.region_count ** result.arity >= len(result.word)
+        assert result.inductive_steps <= result.time_bound
+
+    def test_membership_sensitive_machine(self):
+        # The first 0-dim region of (0,1) is the vertex 0, not in S; its
+        # membership bit is 0.  For [0,1] it is 1.  A machine scanning
+        # for a 1 distinguishes them... both words contain 1s in the
+        # coordinates, so use the first-symbol machine on crafted words
+        # instead: just verify the capture answers differ across the two
+        # databases for the parity machine iff the direct runs differ.
+        closed = db("0 <= x0 & x0 <= 1", 1)
+        open_ = db("0 < x0 & x0 < 1", 1)
+        machine = machine_parity_of_ones()
+        r_closed = capture_run(machine, closed)
+        r_open = capture_run(machine, open_)
+        assert r_closed.agree and r_open.agree
+
+    def test_explicit_arity(self):
+        result = capture_run(
+            machine_contains_one(), self.DATABASES[0], arity=3
+        )
+        assert result.arity == 3
+        assert result.agree
+
+    def test_time_bound_too_small(self):
+        with pytest.raises(CaptureError):
+            capture_run(
+                machine_parity_of_ones(),
+                self.DATABASES[0],
+                arity=1,
+                time_bound=2,
+            )
+
+    def test_nc1_decomposition_capture(self):
+        result = capture_run(
+            machine_contains_one(),
+            db("0 <= x0 & x0 <= 1", 1),
+            decomposition="nc1",
+        )
+        assert result.agree
+
+    def test_semantic_machine_reads_membership(self):
+        """A machine deciding an actual database property — 'the first
+        vertex belongs to S' — from the encoding word."""
+        machine = machine_first_vertex_in_s()
+        cases = [
+            ("0 <= x0 & x0 <= 1", True),    # vertex 0 in S
+            ("0 < x0 & x0 < 1", False),     # vertex 0 not in S
+            ("(0 < x0 & x0 <= 1) | x0 = 2", False),
+            ("(0 <= x0 & x0 < 1) | x0 = 2", True),
+        ]
+        for text, expected in cases:
+            database = db(text, 1)
+            result = capture_run(machine, database)
+            assert result.agree, text
+            assert result.direct_accepts is expected, text
+            # Cross-check against the region extension's own view.
+            extension = RegionExtension.build(database)
+            zero_dim = extension.zero_dimensional_regions()
+            ground = extension.region_subset_of_spatial(
+                zero_dim[0].index
+            )
+            assert result.direct_accepts == ground, text

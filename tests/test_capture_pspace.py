@@ -1,0 +1,126 @@
+"""Tests for the RegPFP/PSPACE capture arm and the datalog parser."""
+
+import pytest
+
+from repro.errors import CaptureError, ParseError
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.parser import parse_formula
+from repro.capture.machine import (
+    machine_contains_one,
+    machine_parity_of_ones,
+)
+from repro.capture.pspace import (
+    binary_counter_machine,
+    pspace_capture_run,
+)
+from repro.datalog.parser import parse_program, parse_rule
+
+
+def db(text: str, arity: int = 1) -> ConstraintDatabase:
+    return ConstraintDatabase.from_formula(parse_formula(text), arity)
+
+
+class TestBinaryCounter:
+    def test_counts_exponentially(self):
+        machine = binary_counter_machine()
+        # A word starting with m zeros runs ~2^m increments.
+        short_word = "00#"
+        long_word = "000000#"
+        __, short_steps = machine.run(short_word, 10**5)
+        accepted, long_steps = machine.run(long_word, 10**5)
+        assert accepted
+        assert long_steps > 8 * short_steps
+
+    def test_accepts_trivially_without_digits(self):
+        machine = binary_counter_machine()
+        assert machine.accepts("#", 10)
+
+
+class TestPSpaceCapture:
+    def test_agreement_on_simple_machines(self):
+        for machine in (machine_contains_one(), machine_parity_of_ones()):
+            for database in (db("0 < x0 & x0 < 1"),
+                             db("(0 <= x0 & x0 <= 1) | x0 = 3")):
+                result = pspace_capture_run(machine, database)
+                assert result.agree
+
+    def test_counter_agreement_and_regime(self):
+        """A big first coordinate drives a run longer than the cell
+        count — the regime only PFP (not time-stamped LFP) covers."""
+        machine = binary_counter_machine()
+        # numerator 10000000: an 8-digit block starting near zero in the
+        # machine's LSB-first reading, so ~2^8 increments happen in
+        # constant space.
+        database = db("x0 = 128")
+        result = pspace_capture_run(machine, database)
+        assert result.agree
+        assert result.pfp_accepts
+        assert result.run_exceeded_ptime_addressing, (
+            result.pfp_stages, result.space_cells
+        )
+
+    def test_small_coordinate_runs_fast(self):
+        machine = binary_counter_machine()
+        database = db("x0 = 1")
+        result = pspace_capture_run(machine, database)
+        assert result.agree
+
+    def test_stage_budget_enforced(self):
+        machine = binary_counter_machine()
+        database = db("x0 = 128")
+        with pytest.raises(CaptureError):
+            pspace_capture_run(machine, database, max_stages=10)
+
+    def test_space_bound_checked(self):
+        machine = machine_contains_one()
+        database = db("(0 <= x0 & x0 <= 1) | x0 = 3")
+        with pytest.raises(CaptureError):
+            pspace_capture_run(machine, database, arity=1)
+
+
+class TestDatalogParser:
+    def test_parse_rule(self):
+        rule = parse_rule("Reach(y) :- Reach(x), S(y), y - x <= 1.")
+        assert rule.head.predicate == "Reach"
+        assert len(rule.body) == 2
+        assert rule.constraint is not None
+
+    def test_parse_program_runs(self):
+        from fractions import Fraction as F
+
+        from repro.datalog import evaluate_program
+
+        program = parse_program(
+            """
+            % reachability within unit steps
+            Reach(x) :- S(x), x = 0.
+            Reach(y) :- Reach(x), S(y), y - x <= 1, x - y <= 1.
+            """
+        )
+        outcome = evaluate_program(program, db("0 <= x0 & x0 <= 2"))
+        assert outcome.converged
+        assert outcome["Reach"].contains((F(2),))
+
+    def test_constraint_only_body(self):
+        rule = parse_rule("Unit(x) :- 0 <= x, x <= 1.")
+        assert rule.body == ()
+        assert rule.constraint is not None
+
+    def test_errors(self):
+        for bad in [
+            "Reach(x)",                    # no ':-'
+            "reach(x) :- S(x).",           # lowercase head
+            "Reach(x) :- .",               # empty body
+        ]:
+            with pytest.raises(ParseError):
+                parse_rule(bad)
+        with pytest.raises(ParseError):
+            parse_program("% only a comment\n")
+
+    def test_multiple_constraints_conjoined(self):
+        from fractions import Fraction as F
+
+        rule = parse_rule("Box(x) :- S(x), x >= 0, x <= 1.")
+        assert rule.constraint is not None
+        assert rule.constraint.evaluate({"x": F(1, 2)})
+        assert not rule.constraint.evaluate({"x": F(2)})

@@ -1,0 +1,224 @@
+"""Tests for the formula AST, normal forms and the parser."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormulaError, ParseError
+from repro.constraints.atoms import Atom, Op
+from repro.constraints.formula import (
+    And,
+    AtomFormula,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    conjunction,
+    disjunction,
+    fresh_variable,
+    FALSE,
+    TRUE,
+)
+from repro.constraints.normal_forms import dnf_to_formula, to_dnf, to_nnf
+from repro.constraints.parser import parse_formula, parse_term
+from repro.constraints.terms import LinearTerm
+
+F = Fraction
+x = LinearTerm.variable("x")
+y = LinearTerm.variable("y")
+
+
+def atom(term, op, rhs=0):
+    return AtomFormula(Atom.compare(term, op, LinearTerm.const(rhs)))
+
+
+class TestFormulaBasics:
+    def test_free_variables(self):
+        f = Exists("x", atom(x + y, Op.LE))
+        assert f.free_variables() == {"y"}
+
+    def test_evaluate_qf(self):
+        f = (atom(x, Op.GT) & atom(y, Op.LT)) | atom(x + y, Op.EQ)
+        assert f.evaluate({"x": F(1), "y": F(-1)})
+        assert f.evaluate({"x": F(2), "y": F(-2)})
+        assert not f.evaluate({"x": F(-1), "y": F(2)})
+
+    def test_quantified_evaluate_rejected(self):
+        with pytest.raises(FormulaError):
+            Exists("x", atom(x, Op.LE)).evaluate({})
+
+    def test_connective_builders(self):
+        assert conjunction([]) is TRUE
+        assert disjunction([]) is FALSE
+        assert conjunction([TRUE, atom(x, Op.LE)]) == atom(x, Op.LE)
+        assert conjunction([FALSE, atom(x, Op.LE)]) is FALSE
+        assert disjunction([TRUE, atom(x, Op.LE)]) is TRUE
+
+    def test_nested_flattening(self):
+        f = conjunction([And((atom(x, Op.LE), atom(y, Op.LE))), atom(x, Op.GT)])
+        assert isinstance(f, And)
+        assert len(f.operands) == 3
+
+    def test_size_positive(self):
+        f = Exists("x", Not(atom(x + y, Op.LE)))
+        assert f.size() > 3
+
+    def test_fresh_variable(self):
+        assert fresh_variable({"v_0", "v_1"}, "v") == "v_2"
+
+
+class TestSubstitution:
+    def test_simple_substitution(self):
+        f = atom(x + y, Op.LE)
+        g = f.substitute({"x": LinearTerm.const(1)})
+        assert g.evaluate({"y": F(-2)})
+        assert not g.evaluate({"y": F(0)})
+
+    def test_capture_avoidance(self):
+        # (EXISTS x. x <= y)[y := x] must NOT capture: result is
+        # EXISTS x'. x' <= x, which is always true.
+        f = Exists("x", atom(x - y, Op.LE))
+        g = f.substitute({"y": x})
+        assert isinstance(g, Exists)
+        assert g.variable != "x" or "x" not in g.body.free_variables()
+        assert g.free_variables() == {"x"}
+
+    def test_bound_variable_untouched(self):
+        f = Exists("x", atom(x - y, Op.LE))
+        g = f.substitute({"x": LinearTerm.const(99)})
+        assert g == f
+
+    def test_rename(self):
+        f = atom(x + y, Op.EQ)
+        g = f.rename({"x": "a"})
+        assert g.free_variables() == {"a", "y"}
+
+
+class TestNormalForms:
+    def test_nnf_removes_not(self):
+        f = Not(atom(x, Op.LE) & Not(atom(y, Op.GT)))
+        nnf = to_nnf(f)
+        assert "Not" not in type(nnf).__name__
+        for point in [{"x": F(v1), "y": F(v2)}
+                      for v1 in (-1, 0, 1) for v2 in (-1, 0, 1)]:
+            assert f.evaluate(point) == nnf.evaluate(point)
+
+    def test_nnf_eq_negation_splits(self):
+        f = Not(atom(x, Op.EQ))
+        nnf = to_nnf(f)
+        assert isinstance(nnf, Or)
+        assert nnf.evaluate({"x": F(1)})
+        assert not nnf.evaluate({"x": F(0)})
+
+    def test_dnf_structure(self):
+        f = (atom(x, Op.LE) | atom(y, Op.LE)) & atom(x + y, Op.GT)
+        disjuncts = to_dnf(f)
+        assert len(disjuncts) == 2
+        assert all(len(d) == 2 for d in disjuncts)
+
+    def test_dnf_drops_false_disjuncts(self):
+        contradiction = AtomFormula(
+            Atom.compare(LinearTerm.const(1), Op.LT, LinearTerm.const(0))
+        )
+        f = contradiction | atom(x, Op.LE)
+        assert len(to_dnf(f)) == 1
+
+    def test_dnf_true(self):
+        assert to_dnf(TRUE) == [()]
+        assert to_dnf(FALSE) == []
+
+    def test_dnf_quantifier_rejected(self):
+        with pytest.raises(FormulaError):
+            to_dnf(Exists("x", atom(x, Op.LE)))
+
+    @given(
+        values=st.lists(
+            st.tuples(st.integers(-2, 2), st.integers(-2, 2)),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dnf_preserves_semantics(self, values):
+        f = Not(
+            (atom(x - 1, Op.LE) & atom(y, Op.GT))
+            | Not(atom(x + y, Op.EQ) | atom(x - y, Op.LT))
+        )
+        g = dnf_to_formula(to_dnf(f))
+        for vx, vy in values:
+            env = {"x": F(vx), "y": F(vy)}
+            assert f.evaluate(env) == g.evaluate(env)
+
+
+class TestParser:
+    def test_parse_term(self):
+        term = parse_term("2*x + y - 3/2")
+        assert term.coefficient("x") == F(2)
+        assert term.constant == F(-3, 2)
+
+    def test_parse_comparison_chain(self):
+        f = parse_formula("0 <= x < 1")
+        assert f.evaluate({"x": F(1, 2)})
+        assert f.evaluate({"x": F(0)})
+        assert not f.evaluate({"x": F(1)})
+
+    def test_parse_connectives(self):
+        f = parse_formula("x > 0 & y > 0 | x = y")
+        assert f.evaluate({"x": F(1), "y": F(2)})
+        assert f.evaluate({"x": F(-1), "y": F(-1)})
+        assert not f.evaluate({"x": F(-1), "y": F(1)})
+
+    def test_parse_not_equal(self):
+        f = parse_formula("x != 0")
+        assert f.evaluate({"x": F(1)})
+        assert not f.evaluate({"x": F(0)})
+
+    def test_parse_quantifiers(self):
+        f = parse_formula("EXISTS x. x > y")
+        assert isinstance(f, Exists)
+        g = parse_formula("forall x, y. x + y = 0")
+        assert isinstance(g, Forall)
+        assert isinstance(g.body, Forall)
+
+    def test_parse_implication(self):
+        f = parse_formula("x > 0 -> x >= 0")
+        assert f.evaluate({"x": F(1)})
+        assert f.evaluate({"x": F(-1)})
+
+    def test_parse_iff(self):
+        f = parse_formula("x > 0 <-> 0 < x")
+        assert f.evaluate({"x": F(5)})
+        assert f.evaluate({"x": F(-5)})
+
+    def test_parenthesised_term_comparison(self):
+        f = parse_formula("(x + y) <= 2")
+        assert f.evaluate({"x": F(1), "y": F(1)})
+
+    def test_parse_negative_and_rationals(self):
+        f = parse_formula("-x <= 1/3")
+        assert f.evaluate({"x": F(0)})
+        assert not f.evaluate({"x": F(-1)})
+
+    def test_parse_true_false(self):
+        assert parse_formula("true") is TRUE
+        assert parse_formula("false") is FALSE
+
+    def test_parse_errors(self):
+        for bad in ["x +", "x <", "(x > 0", "x > 0)", "exists . x > 0",
+                    "x ** y", "3x"]:
+            with pytest.raises(ParseError):
+                parse_formula(bad)
+
+    def test_keyword_not_a_variable(self):
+        with pytest.raises(ParseError):
+            parse_formula("exists true. true > 0")
+
+    def test_roundtrip_str_parse(self):
+        f = parse_formula("(x > 0 & y > 0) | (x + y = 1)")
+        g = parse_formula(str(f))
+        for vx in (-1, 0, 1):
+            for vy in (-1, 0, 2):
+                env = {"x": F(vx), "y": F(vy)}
+                assert f.evaluate(env) == g.evaluate(env)

@@ -1,0 +1,134 @@
+"""Unit tests for DNF minimisation (redundancy, subsumption, merging)."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.atoms import Atom, Op
+from repro.constraints.parser import parse_formula
+from repro.constraints.relation import ConstraintRelation
+from repro.constraints.simplify import (
+    merge_equality_pairs,
+    minimise_dnf,
+    remove_redundant_atoms,
+)
+from repro.constraints.terms import LinearTerm
+
+F = Fraction
+
+
+def atom(text_coeff: int, op: Op, rhs: int, var: str = "x") -> Atom:
+    return Atom(LinearTerm.make({var: text_coeff}, -rhs), op)
+
+
+class TestRedundantAtoms:
+    def test_weaker_bound_removed(self):
+        # x <= 1 & x <= 5: the second is implied.
+        disjunct = (atom(1, Op.LE, 1), atom(1, Op.LE, 5))
+        reduced = remove_redundant_atoms(disjunct)
+        assert reduced == (atom(1, Op.LE, 1),)
+
+    def test_scaled_duplicate_removed(self):
+        # x <= 2 and 2x <= 4 are the same halfline.
+        disjunct = (atom(1, Op.LE, 2), atom(2, Op.LE, 4))
+        reduced = remove_redundant_atoms(disjunct)
+        assert len(reduced) == 1
+
+    def test_nothing_removed_when_independent(self):
+        disjunct = (atom(1, Op.GE, 0), atom(1, Op.LE, 1))
+        assert remove_redundant_atoms(disjunct) == disjunct
+
+    def test_equality_dominates_bounds(self):
+        disjunct = (atom(1, Op.EQ, 3), atom(1, Op.LE, 5), atom(1, Op.GE, 0))
+        reduced = remove_redundant_atoms(disjunct)
+        assert reduced == (atom(1, Op.EQ, 3),)
+
+    def test_two_variables(self):
+        # x <= y & x <= y + 1: second redundant.
+        a1 = Atom(
+            LinearTerm.make({"x": 1, "y": -1}), Op.LE
+        )
+        a2 = Atom(
+            LinearTerm.make({"x": 1, "y": -1}, -1), Op.LE
+        )
+        assert remove_redundant_atoms((a1, a2)) == (a1,)
+
+
+class TestEqualityMerging:
+    def test_le_ge_pair_merges(self):
+        disjunct = (atom(1, Op.LE, 3), atom(1, Op.GE, 3))
+        merged = merge_equality_pairs(disjunct)
+        assert len(merged) == 1
+        assert merged[0].op is Op.EQ
+
+    def test_opposite_terms_merge(self):
+        # x <= 3 and -x <= -3.
+        a1 = atom(1, Op.LE, 3)
+        a2 = Atom(LinearTerm.make({"x": -1}, 3), Op.LE)
+        merged = merge_equality_pairs((a1, a2))
+        assert len(merged) == 1
+        assert merged[0].op is Op.EQ
+
+    def test_unrelated_bounds_untouched(self):
+        disjunct = (atom(1, Op.LE, 3), atom(1, Op.GE, 0))
+        assert merge_equality_pairs(disjunct) == disjunct
+
+    def test_leading_coefficient_positive(self):
+        a1 = Atom(LinearTerm.make({"x": -1}, 1), Op.LE)  # -x <= -1
+        a2 = Atom(LinearTerm.make({"x": -1}, 1), Op.GE)
+        merged = merge_equality_pairs((a1, a2))
+        assert merged[0].term.coefficient("x") > 0
+
+
+class TestMinimise:
+    def test_subsumed_disjunct_dropped(self):
+        relation = ConstraintRelation.make(
+            ("x",),
+            parse_formula("(0 <= x & x <= 2) | (0 <= x & x <= 1)"),
+        )
+        minimal = minimise_dnf(relation.disjuncts())
+        assert len(minimal) == 1
+        rebuilt = ConstraintRelation.make(
+            ("x",),
+            parse_formula("0 <= x & x <= 2"),
+        )
+        from repro.constraints.relation import relation_from_disjuncts
+
+        assert relation_from_disjuncts(("x",), minimal).equivalent(rebuilt)
+
+    def test_identical_disjuncts_collapse(self):
+        relation = ConstraintRelation.make(
+            ("x",), parse_formula("(x > 0) | (x > 0)")
+        )
+        assert len(minimise_dnf(relation.disjuncts())) == 1
+
+    def test_mutual_subsumption_keeps_one(self):
+        relation = ConstraintRelation.make(
+            ("x",), parse_formula("(x <= 1) | (2*x <= 2)")
+        )
+        assert len(minimise_dnf(relation.disjuncts())) == 1
+
+    @given(
+        bounds=st.lists(
+            st.tuples(st.integers(-3, 3), st.integers(0, 3)),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_minimise_preserves_semantics(self, bounds):
+        parts = [
+            f"({lo} <= x & x <= {lo + width})" for lo, width in bounds
+        ]
+        relation = ConstraintRelation.make(
+            ("x",), parse_formula(" | ".join(parts))
+        )
+        from repro.constraints.relation import relation_from_disjuncts
+
+        minimal = relation_from_disjuncts(
+            ("x",), minimise_dnf(relation.disjuncts())
+        )
+        assert minimal.equivalent(relation)
+        assert minimal.representation_size() <= \
+            relation.representation_size()

@@ -1,0 +1,219 @@
+"""Tests for quantifier elimination, relations and databases."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormulaError
+from repro.constraints.database import ConstraintDatabase, default_schema
+from repro.constraints.parser import parse_formula
+from repro.constraints.qelim import (
+    eliminate_quantifiers,
+    formulas_equivalent,
+    is_satisfiable_qf,
+    is_valid_qf,
+)
+from repro.constraints.relation import ConstraintRelation
+
+F = Fraction
+
+
+def rel(variables, text):
+    return ConstraintRelation.make(tuple(variables), parse_formula(text))
+
+
+class TestQuantifierElimination:
+    def test_exists_projection(self):
+        f = parse_formula("EXISTS y. x < y & y < 1")
+        qf = eliminate_quantifiers(f)
+        assert qf.is_quantifier_free()
+        assert qf.evaluate({"x": F(0)})
+        assert not qf.evaluate({"x": F(1)})
+        assert not qf.evaluate({"x": F(2)})
+
+    def test_forall(self):
+        f = parse_formula("FORALL y. y > x -> y > 0")
+        qf = eliminate_quantifiers(f)
+        assert qf.is_quantifier_free()
+        assert qf.evaluate({"x": F(1)})
+        assert qf.evaluate({"x": F(0)})
+        assert not qf.evaluate({"x": F(-1)})
+
+    def test_nested_quantifiers(self):
+        # "x is between two points that straddle 0" — always true.
+        f = parse_formula("EXISTS a. EXISTS b. a < x & x < b")
+        qf = eliminate_quantifiers(f)
+        assert is_valid_qf(qf)
+
+    def test_equality_substitution_path(self):
+        f = parse_formula("EXISTS y. y = x + 1 & y <= 3")
+        qf = eliminate_quantifiers(f)
+        assert qf.evaluate({"x": F(2)})
+        assert not qf.evaluate({"x": F(3)})
+
+    def test_unsatisfiable_collapses(self):
+        f = parse_formula("EXISTS x. x < 0 & x > 0")
+        qf = eliminate_quantifiers(f)
+        assert not is_satisfiable_qf(qf)
+
+    def test_sentence_evaluates_to_truth(self):
+        assert is_valid_qf(eliminate_quantifiers(
+            parse_formula("EXISTS x. x > 1000")
+        ))
+        assert not is_satisfiable_qf(eliminate_quantifiers(
+            parse_formula("FORALL x. x > 0")
+        ))
+
+    def test_strictness_preserved(self):
+        f = parse_formula("EXISTS y. x < y & y < z")
+        qf = eliminate_quantifiers(f)
+        assert qf.evaluate({"x": F(0), "z": F(1)})
+        assert not qf.evaluate({"x": F(0), "z": F(0)})  # needs x < z strictly
+
+    def test_formulas_equivalent_across_representations(self):
+        # The paper's §2 example: two representations of (0, 10).
+        phi1 = parse_formula("0 < x & x < 10")
+        phi2 = parse_formula("(0 < x & x < 6) | (6 < x & x < 10) | x = 6")
+        assert formulas_equivalent(phi1, phi2)
+        phi3 = parse_formula("0 < x & x < 9")
+        assert not formulas_equivalent(phi1, phi3)
+
+    @given(
+        bound=st.integers(-5, 5),
+        samples=st.lists(st.integers(-8, 8), min_size=1, max_size=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_projection_agrees_with_semantics(self, bound, samples):
+        # ∃y (x <= y <= bound) ≡ x <= bound.
+        f = parse_formula(f"EXISTS y. x <= y & y <= {bound}".replace("-", "0 -"))
+        qf = eliminate_quantifiers(f)
+        for sample in samples:
+            assert qf.evaluate({"x": F(sample)}) == (sample <= bound)
+
+
+class TestRelations:
+    def test_membership(self):
+        r = rel(["x", "y"], "x > 0 & y > 0 & x + y < 1")
+        assert r.contains((F(1, 4), F(1, 4)))
+        assert not r.contains((F(1), F(1)))
+
+    def test_arity_check(self):
+        r = rel(["x"], "x > 0")
+        with pytest.raises(FormulaError):
+            r.contains((F(1), F(2)))
+
+    def test_schema_validation(self):
+        with pytest.raises(FormulaError):
+            ConstraintRelation.make(("x",), parse_formula("y > 0"))
+        with pytest.raises(FormulaError):
+            ConstraintRelation.make(("x", "x"), parse_formula("x > 0"))
+
+    def test_quantified_formula_auto_eliminated(self):
+        r = ConstraintRelation.make(
+            ("x",), parse_formula("EXISTS y. x < y & y < 1")
+        )
+        assert r.formula.is_quantifier_free()
+        assert r.contains((F(0),))
+
+    def test_algebra(self):
+        a = rel(["x"], "x > 0")
+        b = rel(["x"], "x < 1")
+        assert a.intersect(b).contains((F(1, 2),))
+        assert not a.intersect(b).contains((F(2),))
+        assert a.union(b).is_universal()
+        assert a.complement().contains((F(-1),))
+        assert a.difference(b).contains((F(2),))
+        assert not a.difference(b).contains((F(1, 2),))
+
+    def test_projection(self):
+        r = rel(["x", "y"], "x = 2*y & 0 < y & y < 1")
+        projected = r.project_out("y")
+        assert projected.variables == ("x",)
+        assert projected.contains((F(1),))
+        assert not projected.contains((F(3),))
+
+    def test_rename_overlapping_schemas(self):
+        r = rel(["x", "y"], "x < y")
+        swapped = r.rename_to(("y", "x"))
+        assert swapped.contains((F(0), F(1)))  # first column < second
+        assert not swapped.contains((F(1), F(0)))
+
+    def test_equivalence(self):
+        a = rel(["x"], "0 < x & x < 10")
+        b = rel(["u"], "(0 < u & u < 6) | (6 < u & u < 10) | u = 6")
+        assert a.equivalent(b)
+
+    def test_emptiness_and_universality(self):
+        assert rel(["x"], "x < 0 & x > 0").is_empty()
+        assert rel(["x"], "x < 0 | x >= 0").is_universal()
+        assert not rel(["x"], "x > 0").is_empty()
+
+    def test_simplify_drops_empty_disjuncts(self):
+        r = rel(["x"], "(x < 0 & x > 0) | x = 5")
+        simplified = r.simplify()
+        assert len(simplified.disjuncts()) == 1
+        assert simplified.contains((F(5),))
+
+    def test_polyhedra_and_samples(self):
+        r = rel(["x", "y"], "(x > 0 & y > 0) | (x < 0 & y < 0)")
+        polys = r.polyhedra()
+        assert len(polys) == 2
+        samples = r.sample_points()
+        assert len(samples) == 2
+        for point in samples:
+            assert r.contains(point)
+
+    def test_representation_size_grows(self):
+        small = rel(["x"], "x > 0")
+        big = rel(["x"], "x > 0 & x < 1 & 2*x < 1")
+        assert big.representation_size() > small.representation_size()
+
+    @given(
+        c1=st.integers(-3, 3),
+        c2=st.integers(-3, 3),
+        points=st.lists(
+            st.fractions(min_value=-5, max_value=5, max_denominator=4),
+            min_size=1, max_size=5,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_de_morgan_property(self, c1, c2, points):
+        a = rel(["x"], f"x <= {c1}".replace("-", "0 -"))
+        b = rel(["x"], f"x >= {c2}".replace("-", "0 -"))
+        lhs = a.intersect(b).complement()
+        rhs = a.complement().union(b.complement())
+        for p in points:
+            assert lhs.contains((p,)) == rhs.contains((p,))
+
+
+class TestDatabase:
+    def test_single(self):
+        db = ConstraintDatabase.from_formula(
+            parse_formula("x0 > 0 & x1 > 0"), arity=2
+        )
+        assert db.names() == ("S",)
+        assert db.spatial.contains((F(1), F(1)))
+        assert "S" in db
+        assert db.size() > 0
+
+    def test_multiple_relations(self):
+        db = ConstraintDatabase.make(
+            {
+                "A": rel(["x"], "x > 0"),
+                "B": rel(["x"], "x < 0"),
+            }
+        )
+        assert set(db.names()) == {"A", "B"}
+        with pytest.raises(FormulaError):
+            __ = db.spatial
+        with pytest.raises(FormulaError):
+            db.relation("C")
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(FormulaError):
+            ConstraintDatabase.make({})
+
+    def test_default_schema(self):
+        assert default_schema(3) == ("x0", "x1", "x2")

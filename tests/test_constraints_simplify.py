@@ -1,0 +1,121 @@
+"""Property tests for the pruned DNF algebra (repro.constraints.simplify).
+
+The two complement strategies and the pruned product are compared
+against plain pointwise semantics on rational sample grids — the ground
+truth no representation trick can fool.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.atoms import Atom, Op
+from repro.constraints.simplify import (
+    cell_complement,
+    disjunct_feasible,
+    dnf_product,
+    negate_dnf,
+    prune_disjuncts,
+)
+from repro.constraints.terms import LinearTerm
+
+F = Fraction
+
+_OPS = [Op.LT, Op.LE, Op.EQ, Op.GE, Op.GT]
+
+
+@st.composite
+def atoms_1d(draw):
+    coeff = draw(st.integers(1, 3))
+    rhs = draw(st.integers(-3, 3))
+    op = draw(st.sampled_from(_OPS))
+    term = LinearTerm.make({"x": coeff}, -rhs)
+    return Atom(term, op)
+
+
+@st.composite
+def dnfs_1d(draw):
+    n_disjuncts = draw(st.integers(0, 4))
+    return [
+        tuple(
+            draw(atoms_1d())
+            for __ in range(draw(st.integers(1, 3)))
+        )
+        for __ in range(n_disjuncts)
+    ]
+
+
+GRID = [F(n, 2) for n in range(-8, 9)]
+
+
+def dnf_holds(disjuncts, value: Fraction) -> bool:
+    env = {"x": value}
+    return any(
+        all(atom.holds_at(env) for atom in disjunct)
+        for disjunct in disjuncts
+    )
+
+
+class TestComplementStrategies:
+    @given(dnfs_1d())
+    @settings(max_examples=60, deadline=None)
+    def test_negate_dnf_pointwise(self, disjuncts):
+        negated = negate_dnf(disjuncts)
+        for value in GRID:
+            assert dnf_holds(negated, value) != dnf_holds(disjuncts, value)
+
+    @given(dnfs_1d())
+    @settings(max_examples=60, deadline=None)
+    def test_cell_complement_pointwise(self, disjuncts):
+        negated = cell_complement(disjuncts, ("x",))
+        for value in GRID:
+            assert dnf_holds(negated, value) != dnf_holds(disjuncts, value)
+
+    @given(dnfs_1d())
+    @settings(max_examples=40, deadline=None)
+    def test_strategies_agree_semantically(self, disjuncts):
+        by_product = negate_dnf(disjuncts)
+        by_cells = cell_complement(disjuncts, ("x",))
+        for value in GRID:
+            assert dnf_holds(by_product, value) == \
+                dnf_holds(by_cells, value)
+
+
+class TestProductAndPrune:
+    @given(dnfs_1d(), dnfs_1d())
+    @settings(max_examples=50, deadline=None)
+    def test_product_is_conjunction(self, left, right):
+        product = dnf_product([left, right])
+        for value in GRID:
+            expected = dnf_holds(left, value) and dnf_holds(right, value)
+            assert dnf_holds(product, value) == expected
+
+    @given(dnfs_1d())
+    @settings(max_examples=50, deadline=None)
+    def test_prune_preserves_semantics(self, disjuncts):
+        pruned = prune_disjuncts(disjuncts)
+        for value in GRID:
+            assert dnf_holds(pruned, value) == dnf_holds(disjuncts, value)
+
+    @given(dnfs_1d())
+    @settings(max_examples=50, deadline=None)
+    def test_pruned_disjuncts_all_feasible(self, disjuncts):
+        for disjunct in prune_disjuncts(disjuncts):
+            assert disjunct_feasible(disjunct)
+
+    def test_empty_product_is_true(self):
+        assert dnf_product([]) == [()]
+
+    def test_product_with_false_factor(self):
+        some = (Atom(LinearTerm.make({"x": 1}), Op.GT),)
+        assert dnf_product([[], [some]]) == []
+        assert dnf_product([[some], []]) == []
+
+    def test_negate_empty_dnf(self):
+        assert negate_dnf([]) == [()]
+        assert cell_complement([], ("x",)) == [()]
+
+    def test_nullary_cell_complement(self):
+        assert cell_complement([()], ()) == []
+        assert cell_complement([], ()) == [()]

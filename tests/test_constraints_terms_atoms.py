@@ -1,0 +1,167 @@
+"""Tests for linear terms and atoms."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NonLinearTermError
+from repro.constraints.atoms import Atom, Op, atom_from_constraint
+from repro.constraints.terms import LinearTerm, term_sum
+
+F = Fraction
+x = LinearTerm.variable("x")
+y = LinearTerm.variable("y")
+
+
+class TestTermArithmetic:
+    def test_build_and_str(self):
+        term = 2 * x + y - 3
+        assert term.coefficient("x") == F(2)
+        assert term.coefficient("y") == F(1)
+        assert term.constant == F(-3)
+
+    def test_zero_coefficients_dropped(self):
+        term = x - x + y
+        assert term.variables == ("y",)
+
+    def test_equality_is_structural(self):
+        assert 2 * x + 1 == x + x + 1
+        assert hash(2 * x + 1) == hash(x + x + 1)
+
+    def test_scale_and_neg(self):
+        term = (x + 2 * y).scale(F(1, 2))
+        assert term.coefficient("y") == F(1)
+        assert (-term).coefficient("x") == F(-1, 2)
+
+    def test_rsub(self):
+        term = 5 - x
+        assert term.constant == F(5)
+        assert term.coefficient("x") == F(-1)
+
+    def test_constant_product_ok(self):
+        assert (x * LinearTerm.const(3)).coefficient("x") == F(3)
+        assert (LinearTerm.const(3) * x).coefficient("x") == F(3)
+
+    def test_nonlinear_product_rejected(self):
+        with pytest.raises(NonLinearTermError):
+            __ = x * y
+
+    def test_evaluate(self):
+        term = 2 * x - y + 1
+        assert term.evaluate({"x": F(3), "y": F(2)}) == F(5)
+
+    def test_substitute(self):
+        term = 2 * x + y
+        replaced = term.substitute({"x": y + 1})  # 2(y+1) + y = 3y + 2
+        assert replaced.coefficient("y") == F(3)
+        assert replaced.constant == F(2)
+
+    def test_rename(self):
+        term = x + 2 * y
+        renamed = term.rename({"x": "a", "y": "b"})
+        assert renamed.variables == ("a", "b")
+
+    def test_rename_collision_rejected(self):
+        with pytest.raises(NonLinearTermError):
+            (x + y).rename({"x": "y"})
+
+    def test_vector_roundtrip(self):
+        term = 2 * x - 3 * y + 5
+        coeffs, const = term.to_vector(["x", "y", "z"])
+        assert coeffs == (F(2), F(-3), F(0))
+        assert const == F(5)
+        back = LinearTerm.from_vector(coeffs, const, ["x", "y", "z"])
+        assert back == term
+
+    def test_vector_missing_variable_rejected(self):
+        with pytest.raises(NonLinearTermError):
+            (x + y).to_vector(["x"])
+
+    def test_term_sum(self):
+        assert term_sum([x, y, LinearTerm.const(1)]) == x + y + 1
+        assert term_sum([]) == LinearTerm.const(0)
+
+    @given(
+        a=st.integers(-10, 10),
+        b=st.integers(-10, 10),
+        px=st.fractions(min_value=-5, max_value=5, max_denominator=6),
+        py=st.fractions(min_value=-5, max_value=5, max_denominator=6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_linearity_property(self, a, b, px, py):
+        term = a * x + b * y
+        assert term.evaluate({"x": px, "y": py}) == a * px + b * py
+
+
+class TestOps:
+    def test_complements(self):
+        assert Op.LT.complement() is Op.GE
+        assert Op.GE.complement() is Op.LT
+        assert Op.LE.complement() is Op.GT
+        assert Op.GT.complement() is Op.LE
+        assert Op.EQ.complement() is None
+
+    def test_flipped(self):
+        assert Op.LT.flipped() is Op.GT
+        assert Op.EQ.flipped() is Op.EQ
+
+    def test_holds(self):
+        assert Op.LT.holds(F(-1)) and not Op.LT.holds(F(0))
+        assert Op.LE.holds(F(0))
+        assert Op.EQ.holds(F(0)) and not Op.EQ.holds(F(1))
+        assert Op.GT.holds(F(1)) and not Op.GT.holds(F(0))
+
+
+class TestAtoms:
+    def test_compare_moves_rhs(self):
+        atom = Atom.compare(x, Op.LE, y + 1)
+        assert atom.holds_at({"x": F(1), "y": F(0)})
+        assert not atom.holds_at({"x": F(2), "y": F(0)})
+
+    def test_negated_atoms_eq_splits(self):
+        atom = Atom.compare(x, Op.EQ, LinearTerm.const(0))
+        negs = atom.negated_atoms()
+        assert len(negs) == 2
+        assert {a.op for a in negs} == {Op.LT, Op.GT}
+
+    def test_negation_is_complement_pointwise(self):
+        for op in Op:
+            atom = Atom.compare(x, op, LinearTerm.const(0))
+            for value in (F(-1), F(0), F(1)):
+                direct = atom.holds_at({"x": value})
+                via_negation = any(
+                    n.holds_at({"x": value}) for n in atom.negated_atoms()
+                )
+                assert direct != via_negation
+
+    def test_to_linear_constraint(self):
+        atom = Atom.compare(2 * x + y, Op.LE, LinearTerm.const(4))
+        constraint = atom.to_linear_constraint(["x", "y"])
+        assert constraint.satisfied_by((F(1), F(2)))
+        assert not constraint.satisfied_by((F(2), F(2)))
+
+    def test_constraint_roundtrip(self):
+        atom = Atom.compare(x - 3 * y, Op.LT, LinearTerm.const(7))
+        constraint = atom.to_linear_constraint(["x", "y"])
+        back = atom_from_constraint(constraint, ["x", "y"])
+        for point in [{"x": F(0), "y": F(0)}, {"x": F(8), "y": F(0)},
+                      {"x": F(7), "y": F(0)}]:
+            assert atom.holds_at(point) == back.holds_at(point)
+
+    def test_hyperplane_extraction(self):
+        atom = Atom.compare(2 * x, Op.LT, 4 + LinearTerm.const(0))
+        plane = atom.hyperplane(["x"])
+        assert plane is not None
+        assert plane.contains((F(2),))
+
+    def test_trivial_atom(self):
+        atom = Atom.compare(LinearTerm.const(1), Op.LT, LinearTerm.const(2))
+        assert atom.is_trivial()
+        assert atom.trivial_truth()
+        assert atom.hyperplane(["x"]) is None
+
+    def test_trivial_truth_requires_trivial(self):
+        with pytest.raises(ValueError):
+            Atom.compare(x, Op.LT, LinearTerm.const(0)).trivial_truth()

@@ -1,0 +1,127 @@
+"""Tests for the topological operators, incl. ε-adjacency validation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.parser import parse_formula
+from repro.constraints.relation import ConstraintRelation
+from repro.constraints.topology import (
+    boundary,
+    closure,
+    interior,
+    is_closed,
+    is_open,
+)
+
+F = Fraction
+
+
+def rel(text: str, variables=("x",)) -> ConstraintRelation:
+    return ConstraintRelation.make(tuple(variables), parse_formula(text))
+
+
+class TestClosure:
+    def test_open_interval(self):
+        closed = closure(rel("0 < x & x < 1"))
+        assert closed.contains((F(0),))
+        assert closed.contains((F(1),))
+        assert closed.contains((F(1, 2),))
+        assert not closed.contains((F(2),))
+
+    def test_closed_set_fixed(self):
+        segment = rel("0 <= x & x <= 1")
+        assert closure(segment).equivalent(segment)
+        assert is_closed(segment)
+
+    def test_idempotent(self):
+        s = rel("(0 < x & x < 1) | x = 3")
+        once = closure(s)
+        assert closure(once).equivalent(once)
+
+    def test_two_dimensional(self):
+        open_square = rel(
+            "0 < x & x < 1 & 0 < y & y < 1", variables=("x", "y")
+        )
+        closed = closure(open_square)
+        assert closed.contains((F(0), F(0)))
+        assert closed.contains((F(1), F(1, 2)))
+        assert not closed.contains((F(2), F(0)))
+
+    def test_isolated_point_stays(self):
+        point = rel("x = 5")
+        assert closure(point).equivalent(point)
+
+
+class TestInterior:
+    def test_closed_interval(self):
+        inner = interior(rel("0 <= x & x <= 1"))
+        assert inner.contains((F(1, 2),))
+        assert not inner.contains((F(0),))
+        assert not inner.contains((F(1),))
+
+    def test_open_set_fixed(self):
+        s = rel("0 < x & x < 1")
+        assert interior(s).equivalent(s)
+        assert is_open(s)
+
+    def test_point_has_empty_interior(self):
+        assert interior(rel("x = 5")).is_empty()
+
+    def test_duality_with_closure(self):
+        """interior(S) = ¬closure(¬S)."""
+        s = rel("(0 <= x & x < 1) | x = 2")
+        lhs = interior(s)
+        rhs = closure(s.complement()).complement()
+        assert lhs.equivalent(rhs)
+
+
+class TestBoundary:
+    def test_interval_boundary_is_endpoints(self):
+        edge = boundary(rel("0 < x & x < 1"))
+        assert edge.contains((F(0),))
+        assert edge.contains((F(1),))
+        assert not edge.contains((F(1, 2),))
+        assert not edge.contains((F(2),))
+
+    def test_boundary_shared_by_complement(self):
+        s = rel("x < 3")
+        assert boundary(s).equivalent(boundary(s.complement()))
+
+    def test_whole_space_has_no_boundary(self):
+        assert boundary(ConstraintRelation.universe(("x",))).is_empty()
+
+
+class TestEpsilonAdjacency:
+    """Definition 4.1's ε-neighbourhood adjacency, validated against the
+    sign-vector implementation: two faces are adjacent iff one meets the
+    closure of the other."""
+
+    @pytest.mark.parametrize("text,variables", [
+        ("(0 < x0 & x0 < 1) | x0 = 3", ("x0",)),
+        ("x0 >= 0 & x1 >= 0 & x0 + x1 <= 1", ("x0", "x1")),
+    ])
+    def test_adjacency_matches_epsilon_definition(self, text, variables):
+        from repro.constraints.database import ConstraintDatabase
+        from repro.twosorted.structure import RegionExtension
+
+        relation = rel(text, variables)
+        extension = RegionExtension.build(
+            ConstraintDatabase.single(relation)
+        )
+        regions = extension.regions
+        as_relations = [r.as_relation(variables) for r in regions]
+        closures = [closure(r) for r in as_relations]
+        for left in regions:
+            for right in regions:
+                if left.index >= right.index:
+                    continue
+                epsilon_adjacent = (
+                    not as_relations[left.index]
+                    .intersect(closures[right.index]).is_empty()
+                    or not as_relations[right.index]
+                    .intersect(closures[left.index]).is_empty()
+                )
+                assert epsilon_adjacent == extension.adjacent(
+                    left.index, right.index
+                ), (left.index, right.index)

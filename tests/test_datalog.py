@@ -1,0 +1,176 @@
+"""Tests for spatial datalog (the [5]-style reference point)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.parser import parse_formula
+from repro.datalog import DatalogAtom, Program, Rule, evaluate_program
+
+F = Fraction
+
+
+def db(text: str, arity: int = 1, name: str = "S") -> ConstraintDatabase:
+    return ConstraintDatabase.from_formula(parse_formula(text), arity, name)
+
+
+def atom(predicate: str, *variables: str) -> DatalogAtom:
+    return DatalogAtom(predicate, tuple(variables))
+
+
+def reach_program() -> Program:
+    """reach(x) :- S(x), x = 0.
+       reach(y) :- reach(x), S(y), |y - x| <= 1."""
+    return Program((
+        Rule(
+            atom("Reach", "x"),
+            (atom("S", "x"),),
+            parse_formula("x = 0"),
+        ),
+        Rule(
+            atom("Reach", "y"),
+            (atom("Reach", "x"), atom("S", "y")),
+            parse_formula("y - x <= 1 & x - y <= 1"),
+        ),
+    ))
+
+
+class TestTerminatingPrograms:
+    def test_reach_saturates_bounded_interval(self):
+        outcome = evaluate_program(reach_program(), db("0 <= x0 & x0 <= 3"))
+        assert outcome.converged
+        reach = outcome["Reach"]
+        assert reach.contains((F(3),))
+        assert reach.contains((F(1, 2),))
+        assert not reach.contains((F(4),))
+
+    def test_reach_stops_at_gaps(self):
+        outcome = evaluate_program(
+            reach_program(),
+            db("(0 <= x0 & x0 <= 1) | (5 <= x0 & x0 <= 6)"),
+        )
+        assert outcome.converged
+        reach = outcome["Reach"]
+        assert reach.contains((F(1),))
+        assert not reach.contains((F(5),))
+
+    def test_nonrecursive_program(self):
+        program = Program((
+            Rule(
+                atom("Big", "x"),
+                (atom("S", "x"),),
+                parse_formula("x > 1"),
+            ),
+        ))
+        outcome = evaluate_program(program, db("0 <= x0 & x0 <= 3"))
+        assert outcome.converged
+        assert outcome.stages <= 2
+        assert outcome["Big"].contains((F(2),))
+        assert not outcome["Big"].contains((F(1),))
+
+    def test_two_idb_predicates(self):
+        program = Program((
+            Rule(atom("A", "x"), (atom("S", "x"),),
+                 parse_formula("x <= 1")),
+            Rule(atom("B", "x"), (atom("A", "x"),),
+                 parse_formula("x >= 0")),
+        ))
+        outcome = evaluate_program(program, db("0 <= x0 & x0 <= 3"))
+        assert outcome.converged
+        assert outcome["B"].contains((F(1, 2),))
+        assert not outcome["B"].contains((F(2),))
+
+    def test_binary_idb(self):
+        # Between(x, y): pairs of S-points with x <= y, closed under
+        # nothing — a single non-recursive binary rule.
+        program = Program((
+            Rule(
+                atom("Between", "x", "y"),
+                (atom("S", "x"), atom("S", "y")),
+                parse_formula("x <= y"),
+            ),
+        ))
+        outcome = evaluate_program(program, db("0 <= x0 & x0 <= 2"))
+        assert outcome.converged
+        assert outcome["Between"].contains((F(0), F(2)))
+        assert not outcome["Between"].contains((F(2), F(0)))
+
+
+class TestDivergence:
+    def test_successor_program_diverges(self):
+        """The ℕ-style program: p(0); p(y) :- p(x), y = x + 1 on an
+        unbounded domain never converges (the paper's warning again,
+        now in datalog clothes)."""
+        program = Program((
+            Rule(atom("P", "x"), (atom("S", "x"),),
+                 parse_formula("x = 0")),
+            Rule(
+                atom("P", "y"),
+                (atom("P", "x"), atom("S", "y")),
+                parse_formula("y = x + 1"),
+            ),
+        ))
+        outcome = evaluate_program(
+            program, db("x0 >= 0"), max_stages=8
+        )
+        assert not outcome.converged
+        assert outcome.stages == 8
+        # Stage sizes grow monotonically — no convergence in sight.
+        assert outcome.stage_sizes == sorted(outcome.stage_sizes)
+        assert outcome["P"].contains((F(5),))
+
+    def test_same_program_converges_on_bounded_domain(self):
+        program = Program((
+            Rule(atom("P", "x"), (atom("S", "x"),),
+                 parse_formula("x = 0")),
+            Rule(
+                atom("P", "y"),
+                (atom("P", "x"), atom("S", "y")),
+                parse_formula("y = x + 1"),
+            ),
+        ))
+        outcome = evaluate_program(
+            program, db("0 <= x0 & x0 <= 3"), max_stages=10
+        )
+        assert outcome.converged
+        for value in range(4):
+            assert outcome["P"].contains((F(value),))
+        assert not outcome["P"].contains((F(1, 2),))
+
+
+class TestValidation:
+    def test_unknown_predicate(self):
+        program = Program((
+            Rule(atom("A", "x"), (atom("Nope", "x"),)),
+        ))
+        with pytest.raises(EvaluationError):
+            evaluate_program(program, db("x0 > 0"))
+
+    def test_arity_mismatch(self):
+        program = Program((
+            Rule(atom("A", "x"), (atom("S", "x", "y"),)),
+        ))
+        with pytest.raises(EvaluationError):
+            evaluate_program(program, db("x0 > 0"))
+
+    def test_repeated_variables_rejected(self):
+        program = Program((
+            Rule(atom("A", "x"), (atom("T", "x", "x"),)),
+        ))
+        database = db("x0 >= x1", arity=2, name="T")
+        with pytest.raises(EvaluationError):
+            evaluate_program(program, database)
+
+    def test_inconsistent_head_arity(self):
+        program = Program((
+            Rule(atom("A", "x"), (atom("S", "x"),)),
+            Rule(atom("A", "x", "y"), (atom("S", "x"), atom("S", "y"))),
+        ))
+        with pytest.raises(EvaluationError):
+            evaluate_program(program, db("x0 > 0"))
+
+    def test_program_str(self):
+        text = str(reach_program())
+        assert "Reach(x) :- S(x)" in text

@@ -1,0 +1,98 @@
+"""Tests for stratified negation in spatial datalog."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.parser import parse_formula
+from repro.datalog import evaluate_program
+from repro.datalog.parser import parse_program, parse_rule
+
+F = Fraction
+
+
+def db(text: str, arity: int = 1) -> ConstraintDatabase:
+    return ConstraintDatabase.from_formula(parse_formula(text), arity)
+
+
+UNREACHABLE = """
+Reach(x) :- S(x), x = 0.
+Reach(y) :- Reach(x), S(y), y - x <= 1, x - y <= 1.
+Stranded(x) :- S(x), !Reach(x).
+"""
+
+
+class TestStratifiedNegation:
+    def test_parse_negated_atom(self):
+        rule = parse_rule("Stranded(x) :- S(x), !Reach(x).")
+        assert len(rule.negated) == 1
+        assert rule.negated[0].predicate == "Reach"
+        assert "!Reach(x)" in str(rule)
+
+    def test_strata_computed(self):
+        program = parse_program(UNREACHABLE)
+        strata = program.strata()
+        assert len(strata) == 2
+        assert "Reach" in strata[0]
+        assert "Stranded" in strata[1]
+
+    def test_stranded_is_complement_within_s(self):
+        program = parse_program(UNREACHABLE)
+        database = db("(0 <= x0 & x0 <= 2) | (5 <= x0 & x0 <= 6)")
+        outcome = evaluate_program(program, database)
+        assert outcome.converged
+        stranded = outcome["Stranded"]
+        assert stranded.contains((F(5),))
+        assert stranded.contains((F(11, 2),))
+        assert not stranded.contains((F(1),))
+        assert not stranded.contains((F(3),))  # not in S at all
+        # Reach ∪ Stranded = S, and they are disjoint.
+        reach = outcome["Reach"].rename_to(("x0",))
+        union = reach.union(stranded.rename_to(("x0",)))
+        assert union.equivalent(database.spatial)
+        assert reach.intersect(
+            stranded.rename_to(("x0",))
+        ).is_empty()
+
+    def test_negation_of_edb(self):
+        program = parse_program("Out(x) :- T(x), !S(x).\n")
+        database = ConstraintDatabase.make({
+            "S": db("0 <= x0 & x0 <= 1").spatial,
+            "T": db("0 <= x0 & x0 <= 2").spatial,
+        })
+        outcome = evaluate_program(program, database)
+        assert outcome.converged
+        assert outcome["Out"].contains((F(3, 2),))
+        assert not outcome["Out"].contains((F(1, 2),))
+
+    def test_unstratifiable_rejected(self):
+        program = parse_program(
+            "A(x) :- S(x), !B(x).\n"
+            "B(x) :- S(x), !A(x).\n"
+        )
+        with pytest.raises(EvaluationError):
+            evaluate_program(program, db("x0 >= 0"))
+
+    def test_self_negation_rejected(self):
+        program = parse_program("A(x) :- S(x), !A(x).\n")
+        with pytest.raises(EvaluationError):
+            evaluate_program(program, db("x0 >= 0"))
+
+    def test_positive_cycles_still_fine(self):
+        program = parse_program(
+            "A(x) :- S(x), x = 0.\n"
+            "A(y) :- B(x), S(y), y = x.\n"
+            "B(x) :- A(x).\n"
+        )
+        outcome = evaluate_program(program, db("0 <= x0 & x0 <= 1"))
+        assert outcome.converged
+        assert outcome["B"].contains((F(0),))
+
+    def test_negated_arity_checked(self):
+        program = parse_program("A(x) :- S(x), !S(x, x).\n")
+        # Repeated variables are rejected earlier; use a fresh program:
+        program = parse_program("A(x) :- S(x), !T(x, y).\n")
+        with pytest.raises(EvaluationError):
+            evaluate_program(program, db("x0 > 0"))

@@ -1,0 +1,144 @@
+"""Randomised semantic soundness of the evaluator.
+
+Ground truth for quantifier-free element-only queries is direct
+pointwise evaluation; ground truth for one-variable existential /
+universal queries is checking witnesses over a fine rational grid plus
+the relation's own sample points.  Hypothesis drives random formulas
+and databases through both paths.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.parser import parse_formula
+from repro.logic.ast import (
+    ExistsElem,
+    ForallElem,
+    LinearAtom,
+    RAnd,
+    RNot,
+    ROr,
+    RegFormula,
+    RelationAtom,
+)
+from repro.logic.evaluator import Evaluator
+from repro.twosorted.structure import RegionExtension
+from repro.constraints.atoms import Atom, Op
+from repro.constraints.terms import LinearTerm
+
+F = Fraction
+
+_OPS = [Op.LT, Op.LE, Op.EQ, Op.GE, Op.GT]
+
+
+@st.composite
+def databases(draw):
+    pieces = draw(
+        st.lists(
+            st.tuples(st.integers(-3, 3), st.integers(1, 3)),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    parts = [
+        f"({lo} <= x0 & x0 <= {lo + width})" for lo, width in pieces
+    ]
+    return ConstraintDatabase.from_formula(
+        parse_formula(" | ".join(parts)), 1
+    )
+
+
+@st.composite
+def qf_queries(draw, depth=2) -> RegFormula:
+    if depth == 0 or draw(st.booleans()):
+        kind = draw(st.integers(0, 1))
+        if kind == 0:
+            coeff = draw(st.integers(1, 3))
+            rhs = draw(st.integers(-4, 4))
+            op = draw(st.sampled_from(_OPS))
+            return LinearAtom(
+                Atom(LinearTerm.make({"x": coeff}, -rhs), op)
+            )
+        shift = draw(st.integers(-2, 2))
+        return RelationAtom(
+            "S", (LinearTerm.variable("x") + shift,)
+        )
+    connective = draw(st.integers(0, 2))
+    if connective == 0:
+        return RNot(draw(qf_queries(depth=depth - 1)))
+    left = draw(qf_queries(depth=depth - 1))
+    right = draw(qf_queries(depth=depth - 1))
+    cls = RAnd if connective == 1 else ROr
+    return cls((left, right))
+
+
+def pointwise(formula: RegFormula, database, value: Fraction) -> bool:
+    """Direct semantics of an element-only QF query at a point."""
+    if isinstance(formula, LinearAtom):
+        return formula.atom.holds_at({"x": value})
+    if isinstance(formula, RelationAtom):
+        relation = database.relation(formula.name)
+        point = tuple(
+            term.evaluate({"x": value}) for term in formula.args
+        )
+        return relation.contains(point)
+    if isinstance(formula, RNot):
+        return not pointwise(formula.operand, database, value)
+    if isinstance(formula, RAnd):
+        return all(
+            pointwise(op, database, value) for op in formula.operands
+        )
+    if isinstance(formula, ROr):
+        return any(
+            pointwise(op, database, value) for op in formula.operands
+        )
+    raise AssertionError(type(formula))
+
+
+GRID = [F(n, 3) for n in range(-18, 19)]
+
+
+class TestEvaluatorSoundness:
+    @given(database=databases(), query=qf_queries())
+    @settings(max_examples=60, deadline=None)
+    def test_qf_queries_match_pointwise(self, database, query):
+        extension = RegionExtension.build(database)
+        answer = Evaluator(extension).evaluate(query)
+        for value in GRID:
+            point = (value,)
+            if answer.arity == 0:
+                break
+            assert answer.contains(point) == pointwise(
+                query, database, value
+            )
+
+    @given(database=databases(), query=qf_queries(depth=1))
+    @settings(max_examples=40, deadline=None)
+    def test_exists_matches_grid_witnesses(self, database, query):
+        extension = RegionExtension.build(database)
+        evaluator = Evaluator(extension)
+        closed = ExistsElem("x", query)
+        truth = evaluator.truth(closed)
+        grid_truth = any(
+            pointwise(query, database, value) for value in GRID
+        )
+        # The grid can miss witnesses but never invent them.
+        if grid_truth:
+            assert truth
+        # And the evaluator's own witnesses must be genuine.
+        answer = evaluator.evaluate(query)
+        if answer.arity == 1:
+            for point in answer.sample_points():
+                assert pointwise(query, database, point[0])
+
+    @given(database=databases(), query=qf_queries(depth=1))
+    @settings(max_examples=40, deadline=None)
+    def test_forall_dual(self, database, query):
+        extension = RegionExtension.build(database)
+        evaluator = Evaluator(extension)
+        forall = ForallElem("x", query)
+        exists_not = ExistsElem("x", RNot(query))
+        assert evaluator.truth(forall) == (not evaluator.truth(exists_not))

@@ -1,0 +1,38 @@
+"""Smoke tests for the reproduction-summary runner."""
+
+from repro import experiments
+
+
+class TestRunnerChecks:
+    def test_fast_checks_pass_individually(self):
+        # The cheapest checks run in well under a second each.
+        for check in (experiments._e1, experiments._e2, experiments._e3,
+                      experiments._e5, experiments._e13):
+            identifier, claim, measured, ok = check()
+            assert ok, (identifier, claim, measured)
+            assert identifier.startswith("E")
+            assert claim and measured
+
+    def test_check_registry_covers_all_experiments(self):
+        identifiers = [check()[0] for check in experiments.CHECKS[:3]]
+        assert identifiers == ["E1", "E2", "E3"]
+        assert len(experiments.CHECKS) == 16  # E1..E15 + E7b
+
+    def test_main_exit_code_contract(self, monkeypatch, capsys):
+        # Replace the registry with two tiny stub checks to validate the
+        # table printing and exit-code behaviour without the full cost.
+        monkeypatch.setattr(
+            experiments, "CHECKS",
+            [lambda: ("EX", "stub claim", "stub", True)],
+        )
+        assert experiments.main() == 0
+        out = capsys.readouterr().out
+        assert "all checks passed" in out
+
+        monkeypatch.setattr(
+            experiments, "CHECKS",
+            [lambda: ("EX", "stub claim", "stub", False)],
+        )
+        assert experiments.main() == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out

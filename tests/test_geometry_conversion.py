@@ -1,0 +1,123 @@
+"""Tests for H-rep → V-rep conversion (Minkowski–Weyl)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.conversion import extreme_rays, to_vrep
+from repro.geometry.fourier_motzkin import LinearConstraint
+from repro.geometry.polyhedron import Polyhedron
+
+F = Fraction
+
+
+def c(coeffs, rel, rhs):
+    return LinearConstraint.make(coeffs, rel, rhs)
+
+
+class TestExtremeRays:
+    def test_bounded_has_no_rays(self):
+        square = Polyhedron.make(2, [
+            c([1, 0], "<=", 1), c([-1, 0], "<=", 0),
+            c([0, 1], "<=", 1), c([0, -1], "<=", 0),
+        ])
+        assert extreme_rays(square) == []
+
+    def test_quadrant(self):
+        quadrant = Polyhedron.make(2, [
+            c([-1, 0], "<=", 0), c([0, -1], "<=", 0),
+        ])
+        rays = set(extreme_rays(quadrant))
+        assert rays == {(F(1), F(0)), (F(0), F(1))}
+
+    def test_halfplane_contains_line(self):
+        half = Polyhedron.make(2, [c([0, 1], "<=", 0)])  # y <= 0
+        rays = set(extreme_rays(half))
+        # The recession cone is a halfplane: extreme directions are the
+        # boundary line's both orientations plus... boundary rays only.
+        assert (F(1), F(0)) in rays
+        assert (F(-1), F(0)) in rays
+
+    def test_one_dimensional(self):
+        ray = Polyhedron.make(1, [c([-1], "<=", 0)])  # x >= 0
+        assert extreme_rays(ray) == [(F(1),)]
+        segment = Polyhedron.make(
+            1, [c([1], "<=", 1), c([-1], "<=", 0)]
+        )
+        assert extreme_rays(segment) == []
+
+    def test_wedge(self):
+        wedge = Polyhedron.make(2, [
+            c([0, -1], "<=", 0),      # y >= 0
+            c([-1, 1], "<=", 0),      # y <= x
+        ])
+        rays = set(extreme_rays(wedge))
+        assert rays == {(F(1), F(0)), (F(1), F(1))}
+
+
+class TestToVrep:
+    def test_square_roundtrip(self):
+        square = Polyhedron.make(2, [
+            c([1, 0], "<=", 1), c([-1, 0], "<=", 0),
+            c([0, 1], "<=", 1), c([0, -1], "<=", 0),
+        ])
+        body = to_vrep(square)
+        assert len(body.points) == 4
+        assert not body.rays
+        for probe in [(F(1, 2), F(1, 2)), (F(0), F(1)), (F(1), F(0))]:
+            assert body.closure_contains(probe)
+        assert not body.closure_contains((F(2), F(0)))
+
+    def test_wedge_roundtrip(self):
+        wedge = Polyhedron.make(2, [
+            c([0, -1], "<=", 0), c([-1, 1], "<=", 0),
+        ])
+        body = to_vrep(wedge)
+        assert body.points == ((F(0), F(0)),)
+        assert len(body.rays) == 2
+        assert body.closure_contains((F(10), F(3)))
+        assert not body.closure_contains((F(-1), F(0)))
+
+    def test_strip_without_vertices(self):
+        strip = Polyhedron.make(2, [
+            c([0, 1], "<=", 1), c([0, -1], "<=", 0),
+        ])  # 0 <= y <= 1, x free
+        body = to_vrep(strip)
+        assert body.closure_contains((F(100), F(1, 2)))
+        assert body.closure_contains((F(-100), F(1)))
+        assert not body.closure_contains((F(0), F(2)))
+
+    def test_empty_rejected(self):
+        empty = Polyhedron.make(1, [c([1], "<", 0), c([-1], "<", 0)])
+        with pytest.raises(GeometryError):
+            to_vrep(empty)
+
+    @given(
+        rows=st.lists(
+            st.tuples(st.integers(-2, 2), st.integers(-2, 2),
+                      st.integers(-3, 3)).filter(
+                lambda t: (t[0], t[1]) != (0, 0)
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        probe=st.tuples(
+            st.fractions(min_value=-4, max_value=4, max_denominator=4),
+            st.fractions(min_value=-4, max_value=4, max_denominator=4),
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_membership_agreement_property(self, rows, probe):
+        """closure(P) membership must agree between H-rep and V-rep."""
+        poly = Polyhedron.make(
+            2, [c([a, b], "<=", rhs) for a, b, rhs in rows]
+        )
+        if poly.is_empty():
+            return
+        body = to_vrep(poly)
+        assert body.closure_contains(probe) == poly.closure().contains(
+            probe
+        )

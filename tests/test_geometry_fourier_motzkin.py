@@ -1,0 +1,172 @@
+"""Tests for Fourier–Motzkin elimination.
+
+The key property: a point satisfies the projected system iff some value of
+the eliminated variable completes it to a solution of the original system.
+We check both directions — soundness by witness reconstruction, and
+completeness by sampling.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.fourier_motzkin import (
+    LinearConstraint,
+    Rel,
+    constraints_dimension,
+    eliminate_variable,
+    eliminate_variables,
+    simplify_system,
+)
+from repro.geometry.simplex import feasible, strict_feasible_point
+
+F = Fraction
+
+
+def c(coeffs, rel, rhs):
+    return LinearConstraint.make(coeffs, rel, rhs)
+
+
+class TestConstraintBasics:
+    def test_ge_normalised(self):
+        row = c([1, 2], ">=", 3)
+        assert row.rel is Rel.LE
+        assert row.coeffs == (F(-1), F(-2))
+        assert row.rhs == F(-3)
+
+    def test_gt_normalised(self):
+        row = c([1], ">", 0)
+        assert row.rel is Rel.LT
+        assert row.satisfied_by((F(1),))
+        assert not row.satisfied_by((F(-1),))
+        assert not row.satisfied_by((F(0),))
+
+    def test_satisfied_by(self):
+        row = c([1, 1], "<=", 2)
+        assert row.satisfied_by((F(1), F(1)))
+        assert not row.satisfied_by((F(2), F(1)))
+
+    def test_eq_satisfied(self):
+        row = c([2, -1], "=", 0)
+        assert row.satisfied_by((F(1), F(2)))
+        assert not row.satisfied_by((F(1), F(1)))
+
+    def test_trivial_rows(self):
+        assert c([0, 0], "<=", 1).trivially_true()
+        assert c([0, 0], "<", 0).trivially_false()
+        assert not c([1, 0], "<=", 1).is_trivial()
+
+    def test_unknown_relation(self):
+        with pytest.raises(ValueError):
+            c([1], "!=", 0)
+
+    def test_scaled_positive_only(self):
+        row = c([1, 2], "<=", 3)
+        assert row.scaled(F(2)).rhs == F(6)
+        with pytest.raises(ValueError):
+            row.scaled(F(-1))
+
+    def test_mixed_dimension_detected(self):
+        with pytest.raises(Exception):
+            constraints_dimension([c([1], "<=", 0), c([1, 2], "<=", 0)])
+
+
+class TestElimination:
+    def test_interval_projection(self):
+        # 0 <= x <= y, y <= 5  -- eliminating x leaves 0 <= y <= 5.
+        system = [c([1, -1], "<=", 0), c([-1, 0], "<=", 0), c([0, 1], "<=", 5)]
+        projected = eliminate_variable(system, 0)
+        assert all(row.coeffs[0] == 0 for row in projected)
+        # y = 3 admissible, y = -1 not.
+        assert all(row.satisfied_by((F(0), F(3))) for row in projected)
+        assert not all(row.satisfied_by((F(0), F(-1))) for row in projected)
+
+    def test_strictness_propagates(self):
+        # x > 0 and x < y  ->  y > 0 strictly.
+        system = [c([-1, 0], "<", 0), c([1, -1], "<", 0)]
+        projected = simplify_system(eliminate_variable(system, 0))
+        assert projected is not None
+        assert len(projected) == 1
+        row = projected[0]
+        assert row.rel is Rel.LT
+        assert not row.satisfied_by((F(0), F(0)))
+        assert row.satisfied_by((F(0), F(1)))
+
+    def test_equality_substitution(self):
+        # x = y + 1, x <= 3  ->  y <= 2.
+        system = [c([1, -1], "=", 1), c([1, 0], "<=", 3)]
+        projected = eliminate_variable(system, 0)
+        assert len(projected) == 1
+        assert projected[0].satisfied_by((F(0), F(2)))
+        assert not projected[0].satisfied_by((F(0), F(3)))
+
+    def test_unbounded_variable_drops_out(self):
+        # Only a lower bound on x: projection is unconstrained.
+        system = [c([-1, 0], "<=", 0), c([0, 1], "<=", 7)]
+        projected = eliminate_variable(system, 0)
+        assert len(projected) == 1
+        assert projected[0].coeffs == (F(0), F(0), F(1))[1:] or projected[
+            0
+        ].coeffs == (F(0), F(1))
+
+    def test_eliminate_variables_infeasible_collapses(self):
+        system = [c([1], "<", 0), c([-1], "<", 0)]
+        projected = eliminate_variables(system, [0])
+        assert len(projected) == 1
+        assert projected[0].trivially_false()
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            eliminate_variable([c([1], "<=", 0)], 3)
+
+
+@st.composite
+def small_systems(draw):
+    n_rows = draw(st.integers(1, 5))
+    rows = []
+    for __ in range(n_rows):
+        coeffs = [draw(st.integers(-3, 3)) for __ in range(3)]
+        rel = draw(st.sampled_from(["<=", "<", "="]))
+        rhs = draw(st.integers(-5, 5))
+        rows.append(c(coeffs, rel, rhs))
+    return rows
+
+
+class TestEliminationSemantics:
+    """FM's defining property, checked by exact LP on random systems."""
+
+    @given(system=small_systems())
+    @settings(max_examples=60, deadline=None)
+    def test_projection_preserves_feasibility(self, system):
+        projected = eliminate_variable(system, 0)
+        cleaned = simplify_system(projected)
+        original_feasible = feasible(system, dimension=3)
+        projected_feasible = cleaned is not None and feasible(
+            cleaned, dimension=3
+        )
+        assert original_feasible == projected_feasible
+
+    @given(system=small_systems())
+    @settings(max_examples=60, deadline=None)
+    def test_projected_point_lifts(self, system):
+        """Any point of the projection extends to a full solution."""
+        projected = simplify_system(eliminate_variable(system, 0))
+        if projected is None:
+            return
+        witness = strict_feasible_point(projected, dimension=3)
+        if witness is None:
+            return
+        # Fix the last two coordinates; the 1-D system over x0 must be
+        # feasible.
+        one_d = []
+        for row in system:
+            rest = sum(
+                coeff * value
+                for coeff, value in zip(row.coeffs[1:], witness[1:])
+            )
+            one_d.append(
+                LinearConstraint((row.coeffs[0],), row.rel, row.rhs - rest)
+            )
+        assert feasible(one_d, dimension=1)

@@ -1,0 +1,100 @@
+"""Tests for canonical hyperplanes and halfspaces."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.hyperplane import Halfspace, Hyperplane, Side
+
+F = Fraction
+
+
+class TestCanonicalisation:
+    def test_scaling_collapses(self):
+        a = Hyperplane.make([2, 4], 6)
+        b = Hyperplane.make([1, 2], 3)
+        c = Hyperplane.make([F(1, 2), 1], F(3, 2))
+        assert a == b == c
+
+    def test_sign_normalised(self):
+        a = Hyperplane.make([-1, -2], -3)
+        b = Hyperplane.make([1, 2], 3)
+        assert a == b
+
+    def test_distinct_offsets_distinct(self):
+        assert Hyperplane.make([1, 0], 0) != Hyperplane.make([1, 0], 1)
+
+    def test_zero_normal_rejected(self):
+        with pytest.raises(GeometryError):
+            Hyperplane.make([0, 0], 1)
+
+    def test_canonical_form_is_primitive_integer(self):
+        h = Hyperplane.make([F(2, 3), F(4, 3)], F(2))
+        assert all(coeff.denominator == 1 for coeff in h.normal)
+        assert h.offset.denominator == 1
+        assert h.normal == (F(1), F(2))
+
+    @given(
+        coeffs=st.tuples(st.integers(-20, 20), st.integers(-20, 20)).filter(
+            lambda t: t != (0, 0)
+        ),
+        offset=st.integers(-20, 20),
+        scale_num=st.integers(1, 7),
+        scale_den=st.integers(1, 7),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_scale_invariance_property(self, coeffs, offset, scale_num, scale_den):
+        factor = F(scale_num, scale_den)
+        original = Hyperplane.make(list(coeffs), offset)
+        scaled = Hyperplane.make(
+            [factor * c for c in map(F, coeffs)], factor * offset
+        )
+        assert original == scaled
+        assert hash(original) == hash(scaled)
+
+
+class TestSides:
+    def test_above_on_below(self):
+        h = Hyperplane.make([0, 1], 1)  # y = 1
+        assert h.side_of((F(0), F(2))) is Side.ABOVE
+        assert h.side_of((F(5), F(1))) is Side.ON
+        assert h.side_of((F(0), F(0))) is Side.BELOW
+
+    def test_contains_and_evaluate(self):
+        h = Hyperplane.make([1, -1], 0)  # x = y
+        assert h.contains((F(3), F(3)))
+        assert h.evaluate((F(4), F(1))) == F(3)
+
+
+class TestHalfspace:
+    def test_open_halfspace(self):
+        h = Hyperplane.make([1, 0], 0)
+        hs = Halfspace(h, Side.ABOVE, closed=False)  # x > 0
+        assert hs.contains((F(1), F(0)))
+        assert not hs.contains((F(0), F(0)))
+        assert not hs.contains((F(-1), F(0)))
+
+    def test_closed_halfspace(self):
+        h = Hyperplane.make([1, 0], 0)
+        hs = Halfspace(h, Side.BELOW, closed=True)  # x <= 0
+        assert hs.contains((F(0), F(5)))
+        assert hs.contains((F(-1), F(0)))
+
+    def test_complement_partitions_space(self):
+        h = Hyperplane.make([1, 1], 1)
+        hs = Halfspace(h, Side.ABOVE, closed=False)
+        comp = hs.complement()
+        for point in [(F(0), F(0)), (F(1), F(0)), (F(2), F(2))]:
+            assert hs.contains(point) != comp.contains(point)
+
+    def test_side_on_rejected(self):
+        with pytest.raises(GeometryError):
+            Halfspace(Hyperplane.make([1], 0), Side.ON, closed=True)
+
+    def test_str_ops(self):
+        h = Hyperplane.make([1, 0], 2)
+        assert ">" in str(Halfspace(h, Side.ABOVE, closed=False))
+        assert "<=" in str(Halfspace(h, Side.BELOW, closed=True))

@@ -1,0 +1,196 @@
+"""Unit and property tests for exact linear algebra."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DimensionMismatchError, SingularSystemError
+from repro.geometry import linalg
+from repro.geometry.linalg import (
+    affine_hull_equations,
+    affine_rank,
+    are_affinely_independent,
+    gaussian_elimination,
+    kernel_basis,
+    matrix_rank,
+    solve_linear_system,
+    solve_unique,
+    vec_add,
+    vec_dot,
+    vec_is_zero,
+    vec_midpoint,
+    vec_scale,
+    vec_sub,
+    vector,
+    zero_vector,
+    unit_vector,
+)
+
+F = Fraction
+
+rationals = st.fractions(
+    min_value=-100, max_value=100, max_denominator=20
+)
+
+
+def vectors(dim: int):
+    return st.tuples(*[rationals] * dim)
+
+
+class TestScalarCoercion:
+    def test_int_and_str(self):
+        assert linalg.as_fraction(3) == F(3)
+        assert linalg.as_fraction("2/5") == F(2, 5)
+
+    def test_fraction_passthrough(self):
+        assert linalg.as_fraction(F(1, 3)) == F(1, 3)
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            linalg.as_fraction(0.5)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            linalg.as_fraction(True)
+
+
+class TestVectorOps:
+    def test_add_sub_scale(self):
+        u = vector([1, 2])
+        v = vector([3, "1/2"])
+        assert vec_add(u, v) == (F(4), F(5, 2))
+        assert vec_sub(v, u) == (F(2), F(-3, 2))
+        assert vec_scale(F(2), u) == (F(2), F(4))
+
+    def test_dot(self):
+        assert vec_dot(vector([1, 2, 3]), vector([4, 5, 6])) == F(32)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            vec_add(vector([1]), vector([1, 2]))
+
+    def test_zero_and_unit(self):
+        assert zero_vector(3) == (F(0), F(0), F(0))
+        assert unit_vector(3, 1) == (F(0), F(1), F(0))
+        assert vec_is_zero(zero_vector(4))
+
+    def test_midpoint(self):
+        assert vec_midpoint(vector([0, 0]), vector([1, 3])) == (F(1, 2), F(3, 2))
+
+    def test_unit_vector_out_of_range(self):
+        with pytest.raises(IndexError):
+            unit_vector(2, 5)
+
+
+class TestGaussianElimination:
+    def test_identity_stays(self):
+        rows = [[F(1), F(0)], [F(0), F(1)]]
+        rref, pivots = gaussian_elimination(rows)
+        assert rref == rows
+        assert pivots == [0, 1]
+
+    def test_rank_deficient(self):
+        rows = [[F(1), F(2)], [F(2), F(4)]]
+        __, pivots = gaussian_elimination(rows)
+        assert pivots == [0]
+
+    def test_input_not_mutated(self):
+        rows = [[F(2), F(4)], [F(1), F(3)]]
+        snapshot = [list(r) for r in rows]
+        gaussian_elimination(rows)
+        assert rows == snapshot
+
+    def test_ragged_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            gaussian_elimination([[F(1)], [F(1), F(2)]])
+
+
+class TestSolving:
+    def test_unique_solution(self):
+        a = [[F(2), F(1)], [F(1), F(-1)]]
+        b = [F(5), F(1)]
+        assert solve_unique(a, b) == (F(2), F(1))
+
+    def test_inconsistent_returns_none(self):
+        a = [[F(1), F(1)], [F(1), F(1)]]
+        b = [F(1), F(2)]
+        assert solve_linear_system(a, b) is None
+
+    def test_underdetermined_gives_some_solution(self):
+        a = [[F(1), F(1)]]
+        b = [F(3)]
+        solution = solve_linear_system(a, b)
+        assert solution is not None
+        assert vec_dot(a[0], solution) == F(3)
+
+    def test_solve_unique_rejects_singular(self):
+        with pytest.raises(SingularSystemError):
+            solve_unique([[F(1), F(2)], [F(2), F(4)]], [F(1), F(2)])
+
+    @given(
+        matrix=st.lists(vectors(3), min_size=3, max_size=3),
+        solution=vectors(3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, matrix, solution):
+        """If we build b = A x, solving returns some x' with A x' = b."""
+        rows = [list(r) for r in matrix]
+        b = [vec_dot(row, solution) for row in rows]
+        found = solve_linear_system(rows, b)
+        assert found is not None
+        for row, rhs in zip(rows, b):
+            assert vec_dot(row, found) == rhs
+
+
+class TestKernelAndRank:
+    def test_kernel_orthogonal(self):
+        rows = [[F(1), F(2), F(3)]]
+        basis = kernel_basis(rows)
+        assert len(basis) == 2
+        for vec in basis:
+            assert vec_dot(rows[0], vec) == 0
+
+    def test_full_rank_kernel_empty(self):
+        rows = [[F(1), F(0)], [F(0), F(1)]]
+        assert kernel_basis(rows) == []
+
+    @given(st.lists(vectors(4), min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_rank_nullity(self, matrix):
+        rows = [list(r) for r in matrix]
+        assert matrix_rank(rows) + len(kernel_basis(rows)) == 4
+
+
+class TestAffine:
+    def test_affine_rank_cases(self):
+        assert affine_rank([]) == -1
+        assert affine_rank([vector([1, 1])]) == 0
+        assert affine_rank([vector([0, 0]), vector([1, 1])]) == 1
+        assert affine_rank(
+            [vector([0, 0]), vector([1, 0]), vector([0, 1])]
+        ) == 2
+
+    def test_collinear_points(self):
+        points = [vector([0, 0]), vector([1, 1]), vector([2, 2])]
+        assert affine_rank(points) == 1
+        assert not are_affinely_independent(points)
+
+    def test_affine_hull_equations_line(self):
+        points = [vector([0, 0]), vector([1, 1])]
+        equations = affine_hull_equations(points)
+        assert len(equations) == 1
+        normal, offset = equations[0]
+        for p in points:
+            assert vec_dot(normal, p) == offset
+
+    def test_affine_hull_full_dim_empty(self):
+        points = [vector([0, 0]), vector([1, 0]), vector([0, 1])]
+        assert affine_hull_equations(points) == []
+
+    def test_affine_hull_single_point(self):
+        equations = affine_hull_equations([vector([2, 3])])
+        assert len(equations) == 2
+        for normal, offset in equations:
+            assert vec_dot(normal, vector([2, 3])) == offset

@@ -1,0 +1,245 @@
+"""Tests for H-representation polyhedra."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.fourier_motzkin import LinearConstraint
+from repro.geometry.polyhedron import Polyhedron
+
+F = Fraction
+
+
+def c(coeffs, rel, rhs):
+    return LinearConstraint.make(coeffs, rel, rhs)
+
+
+def unit_square():
+    return Polyhedron.make(
+        2,
+        [
+            c([1, 0], "<=", 1),
+            c([-1, 0], "<=", 0),
+            c([0, 1], "<=", 1),
+            c([0, -1], "<=", 0),
+        ],
+    )
+
+
+def open_triangle():
+    # x > 0, y > 0, x + y < 1
+    return Polyhedron.make(
+        2, [c([-1, 0], "<", 0), c([0, -1], "<", 0), c([1, 1], "<", 1)]
+    )
+
+
+class TestBasics:
+    def test_universe(self):
+        u = Polyhedron.universe(3)
+        assert not u.is_empty()
+        assert u.affine_dimension() == 3
+        assert not u.is_bounded()
+
+    def test_contains(self):
+        square = unit_square()
+        assert square.contains((F(1, 2), F(1, 2)))
+        assert square.contains((F(1), F(1)))
+        assert not square.contains((F(2), F(0)))
+
+    def test_open_membership(self):
+        tri = open_triangle()
+        assert tri.contains((F(1, 4), F(1, 4)))
+        assert not tri.contains((F(0), F(0)))
+
+    def test_empty(self):
+        empty = Polyhedron.make(1, [c([1], "<", 0), c([-1], "<", 0)])
+        assert empty.is_empty()
+        assert empty.affine_dimension() == -1
+        assert empty.relative_interior_point() is None
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(GeometryError):
+            Polyhedron.make(2, [c([1], "<=", 0)])
+        with pytest.raises(GeometryError):
+            unit_square().contains((F(0),))
+
+    def test_intersect(self):
+        half = Polyhedron.make(2, [c([1, 0], "<=", F(1, 2))])
+        clipped = unit_square().intersect(half)
+        assert clipped.contains((F(1, 4), F(1, 2)))
+        assert not clipped.contains((F(3, 4), F(1, 2)))
+
+
+class TestAffineStructure:
+    def test_square_full_dim(self):
+        assert unit_square().affine_dimension() == 2
+
+    def test_segment_is_one_dimensional(self):
+        # x + y = 1, 0 <= x <= 1.
+        segment = Polyhedron.make(
+            2, [c([1, 1], "=", 1), c([1, 0], "<=", 1), c([-1, 0], "<=", 0)]
+        )
+        assert segment.affine_dimension() == 1
+
+    def test_implicit_equality_detected(self):
+        # x <= 0 and x >= 0 without an explicit equality.
+        line = Polyhedron.make(2, [c([1, 0], "<=", 0), c([-1, 0], "<=", 0)])
+        eqs = line.implicit_equalities()
+        assert len(eqs) >= 1
+        assert line.affine_dimension() == 1
+
+    def test_point_is_zero_dimensional(self):
+        point = Polyhedron.make(
+            2, [c([1, 0], "=", 3), c([0, 1], "=", 4)]
+        )
+        assert point.affine_dimension() == 0
+        assert point.relative_interior_point() == (F(3), F(4))
+
+    def test_relative_interior_point_inside(self):
+        square = unit_square()
+        p = square.relative_interior_point()
+        assert p is not None
+        assert all(F(0) < coord < F(1) for coord in p)
+
+    def test_relative_interior_of_face(self):
+        # The edge x = 1, 0 <= y <= 1 of the square.
+        edge = unit_square().with_constraints([c([1, 0], "=", 1)])
+        p = edge.relative_interior_point()
+        assert p is not None
+        assert p[0] == F(1)
+        assert F(0) < p[1] < F(1)
+
+
+class TestBoundedness:
+    def test_square_bounded(self):
+        assert unit_square().is_bounded()
+
+    def test_halfplane_unbounded(self):
+        half = Polyhedron.make(2, [c([1, 0], "<=", 0)])
+        assert not half.is_bounded()
+
+    def test_empty_is_bounded(self):
+        empty = Polyhedron.make(1, [c([1], "<", 0), c([-1], "<", 0)])
+        assert empty.is_bounded()
+
+    def test_extent(self):
+        low, high = unit_square().extent([F(1), F(0)])
+        assert (low, high) == (F(0), F(1))
+
+    def test_extent_unbounded_direction(self):
+        half = Polyhedron.make(2, [c([1, 0], "<=", 3)])
+        low, high = half.extent([F(1), F(0)])
+        assert low is None
+        assert high == F(3)
+
+    def test_extent_of_empty_rejected(self):
+        empty = Polyhedron.make(1, [c([1], "<", 0), c([-1], "<", 0)])
+        with pytest.raises(GeometryError):
+            empty.extent([F(1)])
+
+
+class TestVertices:
+    def test_square_vertices(self):
+        vertices = unit_square().vertices()
+        assert set(vertices) == {
+            (F(0), F(0)),
+            (F(0), F(1)),
+            (F(1), F(0)),
+            (F(1), F(1)),
+        }
+
+    def test_open_triangle_vertices_are_closure_vertices(self):
+        vertices = open_triangle().vertices()
+        assert set(vertices) == {(F(0), F(0)), (F(0), F(1)), (F(1), F(0))}
+
+    def test_unbounded_wedge_vertex(self):
+        wedge = Polyhedron.make(
+            2, [c([0, -1], "<=", 0), c([-1, 1], "<=", 0)]
+        )  # y >= 0, y <= x
+        assert wedge.vertices() == [(F(0), F(0))]
+
+    def test_redundant_constraint_adds_no_vertex(self):
+        square = unit_square().with_constraints([c([1, 1], "<=", 5)])
+        assert len(square.vertices()) == 4
+
+
+class TestSegments:
+    def test_segment_meets(self):
+        square = unit_square()
+        assert square.meets_segment((F(-1), F(1, 2)), (F(2), F(1, 2)))
+        assert not square.meets_segment((F(-1), F(2)), (F(2), F(2)))
+
+    def test_open_segment_endpoint_touch(self):
+        square = unit_square()
+        # Segment from outside that only touches the corner at endpoint.
+        assert square.meets_segment((F(1), F(1)), (F(2), F(2)))
+        assert not square.meets_segment(
+            (F(1), F(1)), (F(2), F(2)), include_endpoints=False
+        )
+
+    def test_interior_via_relative_interior(self):
+        square = unit_square()
+        interior = square.relative_interior()
+        # Boundary point is in the square but not the interior.
+        assert square.contains((F(0), F(1, 2)))
+        assert not interior.contains((F(0), F(1, 2)))
+        assert interior.contains((F(1, 2), F(1, 2)))
+
+
+class TestRecession:
+    def test_ray_in_closure(self):
+        wedge = Polyhedron.make(
+            2, [c([0, -1], "<=", 0), c([-1, 1], "<=", 0)]
+        )
+        assert wedge.recession_ray_contains((F(0), F(0)), (F(1), F(0)))
+        assert wedge.recession_ray_contains((F(0), F(0)), (F(1), F(1)))
+        assert not wedge.recession_ray_contains((F(0), F(0)), (F(0), F(1)))
+
+    def test_ray_from_outside_rejected(self):
+        wedge = Polyhedron.make(2, [c([0, -1], "<=", 0), c([-1, 1], "<=", 0)])
+        assert not wedge.recession_ray_contains((F(-5), F(0)), (F(1), F(0)))
+
+
+@st.composite
+def random_polyhedra(draw):
+    n_rows = draw(st.integers(1, 5))
+    rows = []
+    for __ in range(n_rows):
+        coeffs = [draw(st.integers(-3, 3)) for __ in range(2)]
+        rel = draw(st.sampled_from(["<=", "<", "="]))
+        rhs = draw(st.integers(-4, 4))
+        rows.append(c(coeffs, rel, rhs))
+    return Polyhedron.make(2, rows)
+
+
+class TestPolyhedronProperties:
+    @given(poly=random_polyhedra())
+    @settings(max_examples=50, deadline=None)
+    def test_feasible_point_is_member(self, poly):
+        point = poly.feasible_point()
+        if point is not None:
+            assert poly.contains(point)
+
+    @given(poly=random_polyhedra())
+    @settings(max_examples=50, deadline=None)
+    def test_relative_interior_point_is_member(self, poly):
+        point = poly.relative_interior_point()
+        if point is not None:
+            assert poly.contains(point)
+
+    @given(poly=random_polyhedra())
+    @settings(max_examples=40, deadline=None)
+    def test_vertices_lie_in_closure(self, poly):
+        closed = poly.closure()
+        for vertex in poly.vertices():
+            assert closed.contains(vertex)
+
+    @given(poly=random_polyhedra())
+    @settings(max_examples=40, deadline=None)
+    def test_affine_dimension_bounds(self, poly):
+        dim = poly.affine_dimension()
+        assert -1 <= dim <= 2
+        assert (dim == -1) == poly.is_empty()

@@ -1,0 +1,158 @@
+"""Tests for the exact simplex LP solver, incl. scipy cross-checks."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LPError
+from repro.geometry.fourier_motzkin import LinearConstraint, Rel
+from repro.geometry.simplex import (
+    LPStatus,
+    feasible,
+    solve_lp,
+    strict_feasible_point,
+)
+
+F = Fraction
+
+
+def le(coeffs, rhs):
+    return LinearConstraint.make(coeffs, "<=", rhs)
+
+
+def lt(coeffs, rhs):
+    return LinearConstraint.make(coeffs, "<", rhs)
+
+
+def eq(coeffs, rhs):
+    return LinearConstraint.make(coeffs, "=", rhs)
+
+
+class TestSolveLP:
+    def test_simple_max(self):
+        # max x + y st x <= 2, y <= 3, x + y <= 4
+        result = solve_lp(
+            [1, 1], [le([1, 0], 2), le([0, 1], 3), le([1, 1], 4)],
+            maximize=True,
+        )
+        assert result.status is LPStatus.OPTIMAL
+        assert result.value == F(4)
+
+    def test_simple_min_free_vars(self):
+        # min x st x >= -5  (free variable goes negative)
+        result = solve_lp([1], [LinearConstraint.make([1], ">=", -5)])
+        assert result.status is LPStatus.OPTIMAL
+        assert result.value == F(-5)
+        assert result.point == (F(-5),)
+
+    def test_infeasible(self):
+        result = solve_lp([1], [le([1], 0), LinearConstraint.make([1], ">=", 1)])
+        assert result.status is LPStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        result = solve_lp([1], [le([-1], 0)], maximize=True)
+        assert result.status is LPStatus.UNBOUNDED
+        assert result.point is not None
+
+    def test_equality_constraints(self):
+        # min x + y st x + y = 3, x - y = 1 -> unique point (2, 1)
+        result = solve_lp([1, 1], [eq([1, 1], 3), eq([1, -1], 1)])
+        assert result.status is LPStatus.OPTIMAL
+        assert result.point == (F(2), F(1))
+
+    def test_exact_rational_optimum(self):
+        # max y st 3y <= 1 -> y = 1/3 exactly.
+        result = solve_lp([0, 1], [le([0, 3], 1)], maximize=True)
+        assert result.status is LPStatus.OPTIMAL
+        assert result.value == F(1, 3)
+
+    def test_strict_rejected(self):
+        with pytest.raises(LPError):
+            solve_lp([1], [lt([1], 1)])
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(LPError):
+            solve_lp([1, 2], [le([1], 1)])
+
+    def test_degenerate_redundant_rows(self):
+        # Duplicate constraints must not break phase transitions.
+        rows = [le([1, 1], 2)] * 4 + [eq([1, -1], 0)]
+        result = solve_lp([1, 1], rows, maximize=True)
+        assert result.status is LPStatus.OPTIMAL
+        assert result.value == F(2)
+        assert result.point == (F(1), F(1))
+
+
+class TestStrictFeasibility:
+    def test_open_interval(self):
+        point = strict_feasible_point([lt([1], 1), lt([-1], 0)])
+        assert point is not None
+        assert 0 < point[0] < 1
+
+    def test_empty_open_system(self):
+        assert not feasible([lt([1], 0), lt([-1], 0)])
+
+    def test_boundary_only_closed_ok_open_not(self):
+        # x <= 0 and x >= 0: only x = 0; x < 0 and x >= 0 infeasible.
+        assert feasible([le([1], 0), le([-1], 0)])
+        assert not feasible([lt([1], 0), le([-1], 0)])
+
+    def test_equality_with_strict(self):
+        # x + y = 1, x > 0, y > 0 -> open segment.
+        point = strict_feasible_point(
+            [eq([1, 1], 1), lt([-1, 0], 0), lt([0, -1], 0)]
+        )
+        assert point is not None
+        x, y = point
+        assert x > 0 and y > 0 and x + y == 1
+
+    def test_empty_system_needs_dimension(self):
+        assert strict_feasible_point([], dimension=2) == (F(0), F(0))
+        with pytest.raises(LPError):
+            strict_feasible_point([])
+
+    def test_unbounded_open_region(self):
+        assert feasible([lt([-1], -10)])  # x > 10
+
+
+class TestScipyCrossCheck:
+    """Exact optimum values must agree with floating-point scipy."""
+
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.tuples(
+                    st.integers(-5, 5), st.integers(-5, 5)
+                ),
+                st.integers(-10, 10),
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        objective=st.tuples(st.integers(-3, 3), st.integers(-3, 3)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_against_scipy(self, data, objective):
+        from scipy.optimize import linprog
+
+        constraints = [le(list(coeffs), rhs) for coeffs, rhs in data]
+        # Keep the region bounded so both solvers report OPTIMAL.
+        box = [le([1, 0], 50), le([-1, 0], 50), le([0, 1], 50), le([0, -1], 50)]
+        exact = solve_lp(list(objective), constraints + box)
+        a_ub = [list(map(float, c.coeffs)) for c in constraints + box]
+        b_ub = [float(c.rhs) for c in constraints + box]
+        approx = linprog(
+            [float(c) for c in objective],
+            A_ub=a_ub,
+            b_ub=b_ub,
+            bounds=[(None, None), (None, None)],
+            method="highs",
+        )
+        if exact.status is LPStatus.INFEASIBLE:
+            assert not approx.success
+        else:
+            assert exact.status is LPStatus.OPTIMAL
+            assert approx.success
+            assert abs(float(exact.value) - approx.fun) < 1e-6

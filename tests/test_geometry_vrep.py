@@ -1,0 +1,185 @@
+"""Tests for V-representation convex bodies (open hulls, rays)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.vrep import VPolyhedron, canonical_ray
+
+F = Fraction
+
+
+def open_triangle():
+    return VPolyhedron.make([(F(0), F(0)), (F(2), F(0)), (F(0), F(2))])
+
+
+class TestCanonicalRay:
+    def test_primitive_scaling(self):
+        assert canonical_ray((F(2), F(4))) == (F(1), F(2))
+        assert canonical_ray((F(1, 2), F(1))) == (F(1), F(2))
+
+    def test_sign_kept(self):
+        assert canonical_ray((F(-2), F(4))) == (F(-1), F(2))
+
+    def test_zero_rejected(self):
+        with pytest.raises(GeometryError):
+            canonical_ray((F(0), F(0)))
+
+
+class TestOpenHulls:
+    def test_open_triangle_membership(self):
+        tri = open_triangle()
+        assert tri.contains((F(1, 2), F(1, 2)))
+        assert not tri.contains((F(0), F(0)))  # vertex excluded
+        assert not tri.contains((F(1), F(0)))  # edge excluded
+        assert not tri.contains((F(3), F(3)))
+
+    def test_closure_includes_boundary(self):
+        tri = open_triangle()
+        assert tri.closure_contains((F(0), F(0)))
+        assert tri.closure_contains((F(1), F(0)))
+        assert not tri.closure_contains((F(3), F(3)))
+
+    def test_open_segment(self):
+        seg = VPolyhedron.make([(F(0), F(0)), (F(2), F(2))])
+        assert seg.contains((F(1), F(1)))
+        assert not seg.contains((F(0), F(0)))
+        assert seg.affine_dimension() == 1
+
+    def test_single_point(self):
+        point = VPolyhedron.make([(F(3), F(4))])
+        assert point.contains((F(3), F(4)))
+        assert point.affine_dimension() == 0
+        assert point.is_bounded()
+
+    def test_duplicate_points_collapse(self):
+        a = VPolyhedron.make([(F(0), F(0)), (F(0), F(0)), (F(1), F(0))])
+        b = VPolyhedron.make([(F(0), F(0)), (F(1), F(0))])
+        assert a.generator_key() == b.generator_key()
+
+    def test_sample_point_is_member(self):
+        tri = open_triangle()
+        assert tri.contains(tri.sample_point())
+
+
+class TestRays:
+    def open_ray(self):
+        # {(1,1) + a*(1,0) : a > 0}
+        return VPolyhedron.make([(F(1), F(1))], rays=[(F(1), F(0))])
+
+    def test_open_ray_membership(self):
+        ray = self.open_ray()
+        assert ray.contains((F(2), F(1)))
+        assert not ray.contains((F(1), F(1)))  # base point excluded (a > 0)
+        assert not ray.contains((F(0), F(1)))
+        assert ray.closure_contains((F(1), F(1)))
+
+    def test_unbounded(self):
+        assert not self.open_ray().is_bounded()
+        assert self.open_ray().affine_dimension() == 1
+
+    def test_recession_cone(self):
+        wedge = VPolyhedron.make(
+            [(F(0), F(0))], rays=[(F(1), F(0)), (F(0), F(1))]
+        )
+        assert wedge.ray_in_recession_cone((F(1), F(1)))
+        assert wedge.ray_in_recession_cone((F(2), F(0)))
+        assert not wedge.ray_in_recession_cone((F(-1), F(0)))
+
+    def test_sample_point_with_rays(self):
+        ray = self.open_ray()
+        assert ray.contains(ray.sample_point())
+
+    def test_open_wedge_between_rays(self):
+        # openconv of two open rays from distinct base points.
+        wedge = VPolyhedron.make(
+            [(F(0), F(0)), (F(2), F(0))],
+            rays=[(F(0), F(1)), (F(1), F(1))],
+        )
+        assert wedge.contains((F(2), F(3)))
+        assert not wedge.contains((F(0), F(0)))
+
+
+class TestContainmentAndSegments:
+    def test_subset_of_closure(self):
+        tri = open_triangle()
+        edge = VPolyhedron.make([(F(0), F(0)), (F(2), F(0))])
+        assert edge.subset_of_closure(tri)
+        assert not tri.subset_of_closure(edge)
+
+    def test_subset_of_closure_with_rays(self):
+        big = VPolyhedron.make(
+            [(F(0), F(0))], rays=[(F(1), F(0)), (F(0), F(1))]
+        )
+        small = VPolyhedron.make([(F(1), F(1))], rays=[(F(1), F(1))])
+        assert small.subset_of_closure(big)
+        assert not big.subset_of_closure(small)
+
+    def test_meets_segment(self):
+        tri = open_triangle()
+        assert tri.meets_segment((F(-1), F(1, 2)), (F(3), F(1, 2)))
+        assert not tri.meets_segment((F(-1), F(3)), (F(3), F(3)))
+
+    def test_open_segment_vertex_touch(self):
+        tri = open_triangle()
+        # Segment ending exactly at the open triangle's closure vertex does
+        # not meet the OPEN hull at all.
+        assert not tri.meets_segment((F(-1), F(0)), (F(0), F(0)))
+        # But a segment passing through the interior does, even without
+        # endpoints.
+        assert tri.meets_segment(
+            (F(-1), F(1, 2)), (F(3), F(1, 2)), include_endpoints=False
+        )
+
+    def test_dimension_mismatch(self):
+        tri = open_triangle()
+        line = VPolyhedron.make([(F(0),), (F(1),)])
+        with pytest.raises(GeometryError):
+            line.subset_of_closure(tri)
+
+
+class TestVrepProperties:
+    @given(
+        points=st.lists(
+            st.tuples(st.integers(-5, 5), st.integers(-5, 5)),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sample_point_always_member(self, points):
+        body = VPolyhedron.make([(F(a), F(b)) for a, b in points])
+        assert body.contains(body.sample_point())
+
+    @given(
+        points=st.lists(
+            st.tuples(st.integers(-5, 5), st.integers(-5, 5)),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_open_subset_of_own_closure(self, points):
+        body = VPolyhedron.make([(F(a), F(b)) for a, b in points])
+        assert body.subset_of_closure(body)
+        for point in body.points:
+            assert body.closure_contains(point)
+
+    @given(
+        points=st.lists(
+            st.tuples(st.integers(-3, 3), st.integers(-3, 3)),
+            min_size=2,
+            max_size=4,
+            unique=True,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_generators_excluded_from_open_hull_when_extreme(self, points):
+        """Lexicographically smallest generator is extreme, so not inside."""
+        body = VPolyhedron.make([(F(a), F(b)) for a, b in points])
+        smallest = min(body.points)
+        if len(body.points) > 1:
+            assert not body.contains(smallest)

@@ -1,0 +1,171 @@
+"""Tests for serialisation and the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.errors import ParseError
+from repro.cli import main
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.io import (
+    dumps_database,
+    load_database,
+    loads_database,
+    save_database,
+)
+from repro.constraints.parser import parse_formula
+from repro.constraints.relation import ConstraintRelation
+
+
+def sample_database() -> ConstraintDatabase:
+    return ConstraintDatabase.make({
+        "S": ConstraintRelation.make(
+            ("x0", "x1"),
+            parse_formula("x0 >= 0 & x1 >= 0 & x0 + x1 <= 1"),
+        ),
+        "Zone": ConstraintRelation.make(
+            ("x0", "x1"), parse_formula("x0 = x1")
+        ),
+    })
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        database = sample_database()
+        text = dumps_database(database)
+        back = loads_database(text)
+        assert back.names() == database.names()
+        for name, relation in database:
+            assert back.relation(name).equivalent(relation)
+
+    def test_file_roundtrip(self, tmp_path):
+        database = sample_database()
+        path = tmp_path / "db.cdb"
+        save_database(database, path)
+        back = load_database(path)
+        assert back.relation("S").equivalent(database.relation("S"))
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = (
+            "# repro database v1\n\n"
+            "# a comment\n"
+            "RELATION S (x0)\n"
+            "x0 > 0\n\n"
+        )
+        database = loads_database(text)
+        assert database.names() == ("S",)
+
+    def test_format_errors(self):
+        for bad in [
+            "",                                     # no relations
+            "RELATION S (x0)\n",                    # missing formula
+            "x0 > 0\n",                             # no header line
+            "RELATION s (x0)\nx0 > 0\n",            # lowercase name
+            "RELATION S ()\nx0 > 0\n",              # empty schema
+            "RELATION S (x0)\nx0 > 0\n"
+            "RELATION S (x0)\nx0 < 0\n",            # duplicate
+        ]:
+            with pytest.raises(ParseError):
+                loads_database(bad)
+
+
+@pytest.fixture
+def db_file(tmp_path):
+    path = tmp_path / "db.cdb"
+    save_database(sample_database(), path)
+    return str(path)
+
+
+@pytest.fixture
+def one_dim_file(tmp_path):
+    database = ConstraintDatabase.make({
+        "S": ConstraintRelation.make(
+            ("x0",),
+            parse_formula("(0 < x0 & x0 < 1) | (2 < x0 & x0 < 3)"),
+        )
+    })
+    path = tmp_path / "db1.cdb"
+    save_database(database, path)
+    return str(path)
+
+
+def run_cli(*argv) -> tuple[int, str]:
+    buffer = io.StringIO()
+    code = main(list(argv), out=buffer)
+    return code, buffer.getvalue()
+
+
+class TestCli:
+    def test_check(self, db_file):
+        code, output = run_cli("check", db_file)
+        assert code == 0
+        assert "S(x0, x1)" in output
+        assert "Zone" in output
+
+    def test_regions(self, one_dim_file):
+        code, output = run_cli("regions", one_dim_file)
+        assert code == 0
+        assert "9 regions" in output
+        assert "in S" in output
+
+    def test_query_boolean(self, one_dim_file):
+        code, output = run_cli(
+            "query", one_dim_file, "exists x. S(x)"
+        )
+        assert code == 0
+        assert "answer: True" in output
+
+    def test_query_relation_answer(self, one_dim_file):
+        code, output = run_cli(
+            "query", one_dim_file, "S(x) & x < 1"
+        )
+        assert code == 0
+        assert "answer relation over (x)" in output
+        assert "sample points" in output
+
+    def test_query_free_region_var_rejected(self, one_dim_file):
+        code, output = run_cli("query", one_dim_file, "sub(R, S)")
+        assert code == 2
+        assert "free region" in output
+
+    def test_query_parse_error(self, one_dim_file):
+        code, output = run_cli("query", one_dim_file, "S(x")
+        assert code == 1
+        assert "error" in output
+
+    def test_arrangement(self, db_file):
+        code, output = run_cli("arrangement", db_file)
+        assert code == 0
+        assert "2-dimensional faces: 7" in output
+        assert "incidence edges" in output
+
+    def test_encode(self, one_dim_file):
+        code, output = run_cli("encode", one_dim_file)
+        assert code == 0
+        assert "word:" in output
+        assert "small coordinate property: True" in output
+
+    def test_render(self, db_file, tmp_path):
+        target = str(tmp_path / "out.svg")
+        code, output = run_cli("render", db_file, target)
+        assert code == 0
+        with open(target) as handle:
+            assert handle.read().startswith("<svg")
+
+    def test_render_bad_viewport(self, db_file, tmp_path):
+        target = str(tmp_path / "out.svg")
+        code, __ = run_cli(
+            "render", db_file, target, "--viewport", "1,2"
+        )
+        assert code == 2
+
+    def test_missing_file(self):
+        code, output = run_cli("check", "/nonexistent/db.cdb")
+        assert code == 1
+        assert "error" in output
+
+    def test_nc1_flag(self, one_dim_file):
+        code, output = run_cli(
+            "regions", one_dim_file, "--decomposition", "nc1"
+        )
+        assert code == 0

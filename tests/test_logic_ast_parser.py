@@ -1,0 +1,212 @@
+"""Tests for the region-logic AST and parser."""
+
+import pytest
+
+from repro.errors import FormulaError, ParseError
+from repro.logic.ast import (
+    Adj,
+    DTC,
+    ExistsElem,
+    ExistsRegion,
+    FixKind,
+    Fixpoint,
+    ForallElem,
+    ForallRegion,
+    InRegion,
+    LinearAtom,
+    RBit,
+    RNot,
+    RegionEq,
+    RelationAtom,
+    SetAtom,
+    SubsetAtom,
+    TC,
+    classify_language,
+    polarity_of_set_var,
+    reg_conjunction,
+)
+from repro.logic.parser import parse_query
+
+
+CONN = (
+    "forall x1, y1, x2, y2. (S(x1, y1) & S(x2, y2)) -> "
+    "(exists RX, RY. (x1, y1) in RX & (x2, y2) in RY & "
+    "[lfp M(R, Rp). ((R = Rp & sub(R, S)) | "
+    "(exists Z. M(R, Z) & adj(Z, Rp) & sub(Rp, S)))](RX, RY))"
+)
+
+
+class TestParserBasics:
+    def test_mixed_quantifier_sorts(self):
+        f = parse_query("exists x, R. (x) in R & x > 0")
+        assert isinstance(f, ExistsElem)
+        assert isinstance(f.body, ExistsRegion)
+
+    def test_case_convention(self):
+        f = parse_query("forall X. exists y. (y) in X")
+        assert isinstance(f, ForallRegion)
+        assert isinstance(f.body, ExistsElem)
+
+    def test_in_region_tuple(self):
+        f = parse_query("(x, y + 1) in R")
+        assert isinstance(f, InRegion)
+        assert len(f.args) == 2
+        assert f.region == "R"
+
+    def test_in_region_unparenthesised(self):
+        f = parse_query("x in R")
+        assert isinstance(f, InRegion)
+
+    def test_relation_atom(self):
+        f = parse_query("S(x, 2*y - 1)")
+        assert isinstance(f, RelationAtom)
+        assert f.name == "S"
+
+    def test_set_atom(self):
+        f = parse_query("exists R, Z. M(R, Z)")
+        body = f.body.body
+        assert isinstance(body, SetAtom)
+        assert body.args == ("R", "Z")
+
+    def test_relation_atom_with_region_like_start_falls_back(self):
+        # First arg is a bare region name but second is a term: this is a
+        # parse error for a relation atom (regions can't be terms).
+        with pytest.raises(ParseError):
+            parse_query("S(R, x + 1)")
+
+    def test_adjacency_and_subset(self):
+        f = parse_query("adj(R, Rp) & sub(R, S)")
+        assert isinstance(f.operands[0], Adj)
+        assert isinstance(f.operands[1], SubsetAtom)
+
+    def test_region_equality(self):
+        assert isinstance(parse_query("exists R, Z. R = Z").body.body,
+                          RegionEq)
+        neq = parse_query("exists R, Z. R != Z").body.body
+        assert isinstance(neq, RNot)
+
+    def test_linear_atoms_and_chains(self):
+        f = parse_query("0 <= x < 1")
+        assert isinstance(f, type(reg_conjunction([f])))
+        atoms = f.operands
+        assert all(isinstance(a, LinearAtom) for a in atoms)
+
+    def test_lfp_parse(self):
+        f = parse_query(
+            "exists RX, RY. [lfp M(R, Rp). R = Rp](RX, RY)"
+        )
+        fix = f.body.body
+        assert isinstance(fix, Fixpoint)
+        assert fix.kind is FixKind.LFP
+        assert fix.bound_vars == ("R", "Rp")
+        assert fix.args == ("RX", "RY")
+
+    def test_ifp_pfp_parse(self):
+        for kind, expected in (("ifp", FixKind.IFP), ("pfp", FixKind.PFP)):
+            f = parse_query(
+                f"exists RX. [{kind} M(R). M(R) | sub(R, S)](RX)"
+            )
+            assert f.body.kind is expected
+
+    def test_tc_parse(self):
+        f = parse_query("exists X, Y. [tc (R) -> (Rp). adj(R, Rp)](X; Y)")
+        tc = f.body.body
+        assert isinstance(tc, TC)
+        assert tc.left_args == ("X",)
+        assert tc.right_args == ("Y",)
+
+    def test_dtc_parse(self):
+        f = parse_query("exists X, Y. [dtc R -> Rp. adj(R, Rp)](X; Y)")
+        assert isinstance(f.body.body, DTC)
+
+    def test_rbit_parse(self):
+        f = parse_query(
+            "exists Rn, Rd, P. [rbit x. (x) in P](Rn, Rd)"
+        )
+        rbit = f.body.body.body
+        assert isinstance(rbit, RBit)
+        assert rbit.numerator == "Rn"
+        assert rbit.denominator == "Rd"
+
+    def test_conn_query_parses(self):
+        f = parse_query(CONN)
+        assert isinstance(f, ForallElem)
+        assert classify_language(f) == "RegLFP"
+
+    def test_parse_errors(self):
+        bad_inputs = [
+            "exists R. R",                     # bare region var
+            "[lfp M(R). M(R)](x)",             # lowercase arg
+            "[tc (R) -> (Rp). adj(R, Rp)](X)",  # missing ';'
+            "R + 1 > 0",                       # region in a term
+            "adj(x, y)",                       # lowercase adj args
+            "exists lfp. true",                # keyword as variable
+            "S(x,)",
+        ]
+        for text in bad_inputs:
+            with pytest.raises(ParseError):
+                parse_query(text)
+
+    def test_roundtrip_str(self):
+        f = parse_query(CONN)
+        g = parse_query(str(f))
+        assert classify_language(g) == "RegLFP"
+        assert g.free_element_vars() == f.free_element_vars() == frozenset()
+
+
+class TestAstValidation:
+    def test_lfp_positivity_enforced(self):
+        with pytest.raises(FormulaError):
+            parse_query("exists X. [lfp M(R). !M(R)](X)")
+        # IFP does not require positivity.
+        parse_query("exists X. [ifp M(R). !M(R)](X)")
+        parse_query("exists X. [pfp M(R). !M(R)](X)")
+
+    def test_double_negation_is_positive(self):
+        f = parse_query("exists X. [lfp M(R). !(!M(R))](X)")
+        assert isinstance(f.body, Fixpoint)
+
+    def test_fixpoint_free_element_vars_rejected(self):
+        with pytest.raises(FormulaError):
+            parse_query("exists X. [lfp M(R). (x) in R](X)")
+
+    def test_fixpoint_stray_region_vars_rejected(self):
+        with pytest.raises(FormulaError):
+            parse_query("exists X, W. [lfp M(R). adj(R, W)](X)")
+
+    def test_fixpoint_arity_mismatch(self):
+        with pytest.raises(FormulaError):
+            parse_query("exists X. [lfp M(R, Rp). R = Rp](X)")
+
+    def test_tc_distinct_vars(self):
+        with pytest.raises(FormulaError):
+            parse_query("exists X, Y. [tc (R) -> (R). true](X; Y)")
+
+    def test_rbit_body_needs_one_element_var(self):
+        with pytest.raises(FormulaError):
+            parse_query("exists Rn, Rd. [rbit x. true](Rn, Rd)")
+        with pytest.raises(FormulaError):
+            parse_query("exists Rn, Rd. [rbit x. x + y > 0](Rn, Rd)")
+
+    def test_free_variable_computation(self):
+        f = parse_query("S(x, y) & (exists z. z > x) & (y) in R")
+        assert f.free_element_vars() == {"x", "y"}
+        assert f.free_region_vars() == {"R"}
+
+    def test_polarity(self):
+        f = parse_query("exists Z. M(R, Z) & !N(R, Z)").body
+        assert polarity_of_set_var(f, "M") == {True}
+        assert polarity_of_set_var(f, "N") == {False}
+        assert polarity_of_set_var(f, "K") == set()
+
+    def test_classify_language(self):
+        assert classify_language(parse_query("S(x, y)")) == "RegFO"
+        assert classify_language(
+            parse_query("exists X, Y. [tc R -> Rp. adj(R, Rp)](X; Y)")
+        ) == "RegTC"
+        assert classify_language(
+            parse_query("exists X, Y. [dtc R -> Rp. adj(R, Rp)](X; Y)")
+        ) == "RegDTC"
+        assert classify_language(
+            parse_query("exists X. [pfp M(R). sub(R, S)](X)")
+        ) == "RegPFP"

@@ -1,0 +1,203 @@
+"""Unit tests for the induction engines and rBIT denotation helpers."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.parser import parse_formula
+from repro.constraints.relation import ConstraintRelation
+from repro.logic.fixpoint import (
+    all_region_tuples,
+    inflationary_fixpoint,
+    least_fixpoint,
+    partial_fixpoint,
+)
+from repro.logic.rbit import RBitDenotation, bit_is_set, unique_rational
+from repro.logic.transitive_closure import (
+    deterministic_edges,
+    deterministic_transitive_closure,
+    transitive_closure,
+)
+
+F = Fraction
+
+
+class TestFixpointEngines:
+    def test_lfp_reachability(self):
+        edges = {(0,): {(1,)}, (1,): {(2,)}}
+
+        def step(current):
+            out = {(0,)}
+            for node in current:
+                out |= edges.get(node, set())
+            return frozenset(out)
+
+        run = least_fixpoint(step, 10)
+        assert run.result == {(0,), (1,), (2,)}
+        assert run.converged
+        assert run.stages == 3
+
+    def test_lfp_nonmonotone_raises(self):
+        def flip(current):
+            return frozenset() if current else frozenset({(0,)})
+
+        with pytest.raises(RuntimeError):
+            least_fixpoint(flip, 5)
+
+    def test_ifp_union_semantics(self):
+        def forget(current):
+            # Non-inflationary step; IFP still accumulates.
+            return frozenset({(len(current),)}) if len(current) < 3 \
+                else frozenset()
+
+        run = inflationary_fixpoint(forget, 10)
+        assert run.result == {(0,), (1,), (2,)}
+
+    def test_pfp_cycle_gives_empty(self):
+        def flip(current):
+            return frozenset() if current else frozenset({(0,)})
+
+        run = partial_fixpoint(flip)
+        assert run.result == frozenset()
+        assert not run.converged
+
+    def test_pfp_convergent(self):
+        def close(current):
+            return frozenset(current | {(0,)})
+
+        run = partial_fixpoint(close)
+        assert run.result == {(0,)}
+        assert run.converged
+
+    def test_all_region_tuples(self):
+        tuples = list(all_region_tuples(3, 2))
+        assert len(tuples) == 9
+        assert tuples == sorted(tuples)
+
+    @given(st.integers(1, 4), st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_lfp_stage_bound_property(self, n, k):
+        """A monotone induction over Reg^k stabilises within n^k stages."""
+        universe = list(all_region_tuples(n, k))
+
+        def grow(current):
+            if len(current) < len(universe):
+                return frozenset(universe[: len(current) + 1])
+            return frozenset(universe)
+
+        run = least_fixpoint(grow, n**k + 1)
+        assert run.converged
+        assert run.stages <= n**k + 1
+
+
+class TestTransitiveClosureEngine:
+    NODES = [(0,), (1,), (2,), (3,)]
+
+    def test_simple_path(self):
+        edges = {((0,), (1,)), ((1,), (2,))}
+        closure = transitive_closure(self.NODES, edges)
+        assert ((0,), (2,)) in closure
+        assert ((0,), (1,)) in closure
+        assert ((2,), (0,)) not in closure
+
+    def test_non_reflexive_by_default(self):
+        edges = {((0,), (1,))}
+        closure = transitive_closure(self.NODES, edges)
+        assert ((0,), (0,)) not in closure
+        reflexive = transitive_closure(self.NODES, edges, reflexive=True)
+        assert ((3,), (3,)) in reflexive
+
+    def test_cycle(self):
+        edges = {((0,), (1,)), ((1,), (0,))}
+        closure = transitive_closure(self.NODES, edges)
+        assert ((0,), (0,)) in closure
+        assert ((1,), (1,)) in closure
+
+    def test_deterministic_edges_restriction(self):
+        edges = {((0,), (1,)), ((0,), (2,)), ((1,), (2,))}
+        det = deterministic_edges(self.NODES, edges)
+        assert det == {((1,), (2,))}
+
+    def test_dtc_subset_of_tc(self):
+        edges = {((0,), (1,)), ((0,), (2,)), ((1,), (2,)), ((2,), (3,))}
+        tc = transitive_closure(self.NODES, edges)
+        dtc = deterministic_transitive_closure(self.NODES, edges)
+        assert dtc <= tc
+        assert ((1,), (3,)) in dtc
+        assert ((0,), (3,)) not in dtc  # 0 has two successors
+
+    @given(
+        st.sets(
+            st.tuples(st.integers(0, 4), st.integers(0, 4)),
+            max_size=12,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_tc_transitivity_property(self, raw_edges):
+        nodes = [(i,) for i in range(5)]
+        edges = {((a,), (b,)) for a, b in raw_edges}
+        closure = transitive_closure(nodes, edges)
+        for left, middle in closure:
+            for middle2, right in closure:
+                if middle == middle2:
+                    assert (left, right) in closure
+
+
+class TestRBitHelpers:
+    def test_bit_is_set(self):
+        # 6 = 0b110: bits 2 and 3.
+        assert not bit_is_set(6, 1)
+        assert bit_is_set(6, 2)
+        assert bit_is_set(6, 3)
+        with pytest.raises(ValueError):
+            bit_is_set(6, 0)
+
+    def test_unique_rational(self):
+        single = ConstraintRelation.make(("x",), parse_formula("2*x = 3"))
+        assert unique_rational(single) == F(3, 2)
+        interval = ConstraintRelation.make(
+            ("x",), parse_formula("0 < x & x < 1")
+        )
+        assert unique_rational(interval) is None
+        empty = ConstraintRelation.make(("x",), parse_formula("x < x"))
+        assert unique_rational(empty) is None
+
+    def test_unique_rational_multi_disjunct(self):
+        same = ConstraintRelation.make(
+            ("x",), parse_formula("x = 2 | 2*x = 4")
+        )
+        assert unique_rational(same) == F(2)
+        different = ConstraintRelation.make(
+            ("x",), parse_formula("x = 2 | x = 3")
+        )
+        assert unique_rational(different) is None
+
+    def test_unique_rational_arity_check(self):
+        with pytest.raises(ValueError):
+            unique_rational(
+                ConstraintRelation.make(("x", "y"), parse_formula("x = y"))
+            )
+
+    def test_denotation_bits(self):
+        deno = RBitDenotation(F(3, 4))  # numerator 0b11, denominator 0b100
+        assert deno.holds(0, 1, 0, 3, False)
+        assert deno.holds(0, 2, 0, 3, False)
+        assert not deno.holds(0, 1, 0, 1, False)
+        assert not deno.holds(0, 3, 0, 3, False)
+
+    def test_denotation_zero_case(self):
+        deno = RBitDenotation(F(0))
+        assert deno.holds(1, None, 1, None, True)
+        assert not deno.holds(1, None, 1, None, False)
+        assert not deno.holds(0, 1, 0, 1, True)
+
+    def test_denotation_empty(self):
+        deno = RBitDenotation(None)
+        assert not deno.holds(0, 1, 0, 1, True)
+
+    def test_denotation_negative_value_uses_magnitude(self):
+        deno = RBitDenotation(F(-3, 1))
+        assert deno.holds(0, 1, 0, 1, False)
+        assert deno.holds(0, 2, 0, 1, False)

@@ -1,0 +1,152 @@
+"""Tests for NNF and miniscoping on region formulas."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.parser import parse_formula
+from repro.logic import ast
+from repro.logic.evaluator import Evaluator
+from repro.logic.parser import parse_query
+from repro.logic.transform import miniscope, optimize, to_nnf
+from repro.twosorted.structure import RegionExtension
+
+F = Fraction
+
+DB = ConstraintDatabase.from_formula(
+    parse_formula("(0 < x0 & x0 < 1) | (2 < x0 & x0 < 3)"), 1
+)
+
+
+def count_nodes(formula, kind) -> int:
+    total = int(isinstance(formula, kind))
+    if isinstance(formula, (ast.RAnd, ast.ROr)):
+        return total + sum(count_nodes(op, kind) for op in formula.operands)
+    if isinstance(formula, ast.RNot):
+        return total + count_nodes(formula.operand, kind)
+    if isinstance(formula, (ast.ExistsElem, ast.ForallElem,
+                            ast.ExistsRegion, ast.ForallRegion)):
+        return total + count_nodes(formula.body, kind)
+    if isinstance(formula, (ast.Fixpoint, ast.TC, ast.DTC, ast.RBit)):
+        return total + count_nodes(formula.body, kind)
+    return total
+
+
+class TestNNF:
+    def test_not_exists_becomes_forall(self):
+        f = parse_query("!(exists x. S(x))")
+        nnf = to_nnf(f)
+        assert isinstance(nnf, ast.ForallElem)
+        assert isinstance(nnf.body, ast.RNot)
+
+    def test_not_forall_region(self):
+        f = parse_query("!(forall R. sub(R, S))")
+        nnf = to_nnf(f)
+        assert isinstance(nnf, ast.ExistsRegion)
+
+    def test_double_negation(self):
+        f = parse_query("!(!(S(x)))")
+        assert isinstance(to_nnf(f), ast.RelationAtom)
+
+    def test_de_morgan(self):
+        f = parse_query("!(S(x) & x > 0)")
+        nnf = to_nnf(f)
+        assert isinstance(nnf, ast.ROr)
+        assert all(isinstance(op, ast.RNot) for op in nnf.operands)
+
+    def test_negations_only_on_atoms(self):
+        f = parse_query(
+            "!(exists x, R. ((x) in R | S(x)) & !(x > 0))"
+        )
+        nnf = to_nnf(f)
+
+        def check(node, under_not=False):
+            if isinstance(node, ast.RNot):
+                assert isinstance(
+                    node.operand,
+                    (ast.LinearAtom, ast.RelationAtom, ast.InRegion,
+                     ast.Adj, ast.RegionEq, ast.SubsetAtom, ast.SetAtom,
+                     ast.Fixpoint, ast.TC, ast.DTC, ast.RBit),
+                )
+                return
+            for child in getattr(node, "operands", []):
+                check(child)
+            if hasattr(node, "body"):
+                check(node.body)
+
+        check(nnf)
+
+
+class TestMiniscope:
+    def test_exists_distributes_over_or(self):
+        f = to_nnf(parse_query("exists R. sub(R, S) | adj(R, R)"))
+        scoped = miniscope(f)
+        assert isinstance(scoped, ast.ROr)
+
+    def test_unused_quantifier_dropped(self):
+        f = parse_query("exists x. S(y)")
+        scoped = miniscope(to_nnf(f))
+        assert isinstance(scoped, ast.RelationAtom)
+
+    def test_independent_conjunct_pulled_out(self):
+        f = parse_query("exists R. sub(R, S) & S(x)")
+        scoped = miniscope(to_nnf(f))
+        assert isinstance(scoped, ast.RAnd)
+        quantified = [
+            op for op in scoped.operands
+            if isinstance(op, ast.ExistsRegion)
+        ]
+        assert len(quantified) == 1
+        assert quantified[0].free_region_vars() == frozenset()
+
+    def test_region_scope_shrinks(self):
+        f = parse_query(
+            "exists R, Z. sub(R, S) & sub(Z, S) & adj(R, Z)"
+        )
+        scoped = optimize(f)
+        # Both quantifiers still present, no semantic claim here — just
+        # structure sanity.
+        assert count_nodes(scoped, ast.ExistsRegion) == 2
+
+
+QUERIES = [
+    "exists x. S(x) & x > 0",
+    "!(exists x. S(x) & x > 10)",
+    "forall x. S(x) -> (exists R. (x) in R & sub(R, S))",
+    "exists R. sub(R, S) | (exists x. x = 0 & (x) in R)",
+    "forall R. sub(R, S) -> (exists Z. adj(R, Z))",
+    "exists RX, RY. [lfp M(R, Rp). ((R = Rp & sub(R, S)) | "
+    "(exists Z. M(R, Z) & adj(Z, Rp)))](RX, RY)",
+    "exists X, Y. X != Y & [tc R -> Rp. adj(R, Rp)](X; Y)",
+]
+
+
+class TestSemanticPreservation:
+    def test_all_queries_preserved(self):
+        extension = RegionExtension.build(DB)
+        evaluator = Evaluator(extension)
+        for text in QUERIES:
+            original = parse_query(text)
+            transformed = optimize(original)
+            if original.free_element_vars():
+                a = evaluator.evaluate(original)
+                b = evaluator.evaluate(transformed)
+                assert a.equivalent(b), text
+            else:
+                assert evaluator.truth(original) == \
+                    evaluator.truth(transformed), text
+
+    @given(shift=st.integers(-2, 4), bound=st.integers(-1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_random_instances_preserved(self, shift, bound):
+        extension = RegionExtension.build(DB)
+        evaluator = Evaluator(extension)
+        text = (
+            f"!(exists x. S(x + {shift}) & x > {bound}) | "
+            f"(forall y. S(y) -> y < {bound + 5})"
+        )
+        original = parse_query(text)
+        transformed = optimize(original)
+        assert evaluator.truth(original) == evaluator.truth(transformed)

@@ -1,0 +1,83 @@
+"""Tests for the naive element-sort LFP — the introduction's warning."""
+
+from fractions import Fraction
+
+from repro.naive.element_fixpoint import (
+    bounded_saturation_body,
+    define_naturals_body,
+    naive_lfp,
+)
+
+F = Fraction
+
+
+class TestDivergence:
+    def test_naturals_diverge(self):
+        """The paper's ℕ-defining induction never converges."""
+        result = naive_lfp(("n",), define_naturals_body, max_stages=12)
+        assert result.diverged
+        assert result.fixpoint is None
+        assert result.stages == 12
+
+    def test_natural_stages_are_initial_segments(self):
+        result = naive_lfp(("n",), define_naturals_body, max_stages=6)
+        stage = result.last_stage
+        # After k stages the set is {0, 1, ..., k-1}.
+        for value in range(6):
+            assert stage.contains((F(value),))
+        assert not stage.contains((F(6),))
+        assert not stage.contains((F(1, 2),))
+
+    def test_representation_grows_monotonically(self):
+        sizes = []
+        for cap in (2, 4, 6, 8):
+            result = naive_lfp(("n",), define_naturals_body, max_stages=cap)
+            sizes.append(result.last_stage.representation_size())
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0]
+
+
+class TestConvergence:
+    def test_bounded_saturation_converges(self):
+        result = naive_lfp(("n",), bounded_saturation_body, max_stages=10)
+        assert result.converged
+        assert result.fixpoint is not None
+        # The fixed point is [0, 1].
+        assert result.fixpoint.contains((F(0),))
+        assert result.fixpoint.contains((F(1),))
+        assert result.fixpoint.contains((F(3, 4),))
+        assert not result.fixpoint.contains((F(5, 4),))
+        assert not result.fixpoint.contains((F(-1, 4),))
+
+    def test_empty_induction_converges_immediately(self):
+        from repro.constraints.formula import FALSE
+
+        result = naive_lfp(("n",), lambda stage: FALSE, max_stages=3)
+        assert result.converged
+        assert result.stages == 0
+        assert result.fixpoint.is_empty()
+
+
+class TestContrastWithRegionLogic:
+    def test_region_fixpoints_always_terminate(self):
+        """The same style of reachability induction, restricted to the
+        finite region sort, terminates by construction (Section 5)."""
+        from repro.constraints.database import ConstraintDatabase
+        from repro.constraints.parser import parse_formula
+        from repro.logic.evaluator import Evaluator
+        from repro.logic.parser import parse_query
+        from repro.twosorted.structure import RegionExtension
+
+        database = ConstraintDatabase.from_formula(
+            parse_formula("0 <= x0 & x0 <= 3"), 1
+        )
+        extension = RegionExtension.build(database)
+        evaluator = Evaluator(extension)
+        query = parse_query(
+            "exists X, Y. [lfp M(R, Rp). (R = Rp) | "
+            "(exists Z. M(R, Z) & adj(Z, Rp))](X, Y)"
+        )
+        assert evaluator.truth(query)
+        # The induction converged within the |Reg|^2 bound.
+        assert evaluator.stats["fixpoint_stages"] <= \
+            len(extension.regions) ** 2

@@ -1,0 +1,114 @@
+"""Quantifier-alternation battery for QE over (ℝ, <, +).
+
+Classical validities and non-validities of the theory of divisible
+ordered abelian groups — density, no endpoints, divisibility by
+integers, averaging — each decided by full quantifier elimination.
+These exercise ∀∃ and ∃∀ alternations that the single-block tests
+don't reach.
+"""
+
+import pytest
+
+from repro.constraints.parser import parse_formula
+from repro.constraints.qelim import (
+    eliminate_quantifiers,
+    is_satisfiable_qf,
+    is_valid_qf,
+)
+
+
+def decide(text: str) -> bool:
+    """Truth value of a sentence over (ℝ, <, +)."""
+    qf = eliminate_quantifiers(parse_formula(text))
+    assert qf.is_quantifier_free()
+    return is_valid_qf(qf) if not qf.free_variables() else False
+
+
+VALID = [
+    # Density.
+    "forall x, y. x < y -> (exists z. x < z & z < y)",
+    # No endpoints.
+    "forall x. exists y. y > x",
+    "forall x. exists y. y < x",
+    # Divisibility by 2 and 3 (unique halving).
+    "forall x. exists y. y + y = x",
+    "forall x. exists y. y + y + y = x",
+    # Averaging.
+    "forall x, y. exists z. z + z = x + y",
+    # Unboundedness of solutions of inequalities.
+    "forall a. exists x. x > a & x > 0",
+    # An ∃∀ truth: some x is below-or-equal nothing positive... trivial
+    # form: there is x with x <= x.
+    "exists x. forall y. y > x -> y > x",
+    # Triple alternation: between any two there is one, and below it
+    # another.
+    "forall x, y. x < y -> (exists z. x < z & z < y & "
+    "(exists w. x < w & w < z))",
+    # Archimedean-flavoured (with fixed coefficient): for every x there
+    # is y with 2y > x.
+    "forall x. exists y. y + y > x",
+]
+
+INVALID = [
+    # A least element does not exist.
+    "exists x. forall y. x <= y",
+    # A greatest element does not exist.
+    "exists x. forall y. y <= x",
+    # Discreteness fails (no immediate successor).
+    "exists x. exists y. x < y & !(exists z. x < z & z < y)",
+    # ∀∃ with an impossible witness.
+    "forall x. exists y. y < x & y > x",
+    # Wrong direction of density.
+    "exists x, y. x < y & (forall z. z <= x | z >= y)",
+]
+
+
+class TestSentences:
+    @pytest.mark.parametrize("text", VALID)
+    def test_valid_sentences(self, text):
+        assert decide(text), text
+
+    @pytest.mark.parametrize("text", INVALID)
+    def test_invalid_sentences(self, text):
+        assert not decide(text), text
+
+
+class TestOpenFormulas:
+    def test_between_characterisation(self):
+        """∃z (x < z < y) reduces to x < y."""
+        from fractions import Fraction as F
+
+        qf = eliminate_quantifiers(
+            parse_formula("exists z. x < z & z < y")
+        )
+        assert qf.evaluate({"x": F(0), "y": F(1)})
+        assert not qf.evaluate({"x": F(1), "y": F(0)})
+        assert not qf.evaluate({"x": F(1), "y": F(1)})
+
+    def test_forall_bound_transfer(self):
+        """∀y (y > x → y > c) reduces to x >= c."""
+        from fractions import Fraction as F
+
+        qf = eliminate_quantifiers(
+            parse_formula("forall y. y > x -> y > 3")
+        )
+        assert qf.evaluate({"x": F(3)})
+        assert qf.evaluate({"x": F(4)})
+        assert not qf.evaluate({"x": F(2)})
+
+    def test_alternation_with_parameters(self):
+        """∀u ∃v (u < v ∧ v < w) reduces to false (u unbounded)."""
+        qf = eliminate_quantifiers(
+            parse_formula("forall u. exists v. u < v & v < w")
+        )
+        assert not is_satisfiable_qf(qf)
+
+    def test_halving_with_offset(self):
+        """∃y (2y = x ∧ y > 1) reduces to x > 2."""
+        from fractions import Fraction as F
+
+        qf = eliminate_quantifiers(
+            parse_formula("exists y. y + y = x & y > 1")
+        )
+        assert qf.evaluate({"x": F(3)})
+        assert not qf.evaluate({"x": F(2)})

@@ -1,0 +1,128 @@
+"""Tests for the query library: connectivity, river, topology."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.parser import parse_formula
+from repro.queries.connectivity import (
+    connectivity_ground_truth,
+    connectivity_query_lfp,
+    connectivity_query_tc,
+    is_connected,
+)
+from repro.queries.river import (
+    RiverMap,
+    build_river_database,
+    river_has_chemical_sequence,
+)
+from repro.queries.topology import (
+    contains_origin_query,
+    has_interior_query,
+    is_empty_query,
+    relation_bounded,
+    run_boolean,
+)
+from repro.twosorted.structure import RegionExtension
+from repro.workloads.generators import (
+    chain_of_boxes,
+    interval_chain,
+    river_scenario,
+    stripes,
+)
+from repro.errors import WorkloadError
+
+F = Fraction
+
+
+def db(text: str, arity: int) -> ConstraintDatabase:
+    return ConstraintDatabase.from_formula(parse_formula(text), arity)
+
+
+class TestConnectivityLibrary:
+    @pytest.mark.parametrize("segments,gap,expected", [
+        (1, False, True),
+        (3, False, True),   # touching chain
+        (2, True, False),   # separated
+        (4, True, False),
+    ])
+    def test_interval_chains(self, segments, gap, expected):
+        database = interval_chain(segments, gap=gap)
+        assert is_connected(database, "lfp") is expected
+        assert is_connected(database, "ground") is expected
+
+    def test_lfp_and_ground_agree_2d(self):
+        for database in (chain_of_boxes(2), stripes(2)):
+            assert is_connected(database, "lfp") == \
+                is_connected(database, "ground")
+
+    def test_tc_variant_1d(self):
+        assert is_connected(interval_chain(2), "tc")
+        assert not is_connected(interval_chain(2, gap=True), "tc")
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            is_connected(interval_chain(1), "magic")
+
+    def test_ground_truth_on_nc1(self):
+        ext = RegionExtension.build(interval_chain(2), "nc1")
+        assert connectivity_ground_truth(ext)
+
+    def test_query_objects_have_no_free_vars(self):
+        for arity in (1, 2):
+            assert not connectivity_query_lfp(arity).free_element_vars()
+            assert not connectivity_query_tc(arity).free_region_vars()
+
+
+class TestRiverScenario:
+    def test_polluted_river_detected(self):
+        database = river_scenario(6, polluted=True)
+        assert river_has_chemical_sequence(database)
+
+    def test_clean_river_not_detected(self):
+        database = river_scenario(6, polluted=False)
+        assert not river_has_chemical_sequence(database)
+
+    def test_unreachable_pollution_not_detected(self):
+        database = river_scenario(6, polluted=True, reachable=False)
+        assert not river_has_chemical_sequence(database)
+
+    def test_map_validation(self):
+        with pytest.raises(WorkloadError):
+            RiverMap(length=0)
+        with pytest.raises(WorkloadError):
+            RiverMap(length=5, chem1_zones=((F(3), F(2)),))
+
+    def test_database_shape(self):
+        database = build_river_database(
+            RiverMap(length=4, chem1_zones=((F(1), F(2)),))
+        )
+        assert set(database.names()) == {"S", "Chem1", "Chem2"}
+        assert database.relation("S").contains((F(2),))
+        assert database.relation("Chem1").contains((F(3, 2),))
+        assert not database.relation("Chem2").contains((F(3, 2),))
+
+
+class TestTopology:
+    def test_is_empty(self):
+        assert run_boolean(is_empty_query(1), db("x0 < 0 & x0 > 0", 1))
+        assert not run_boolean(is_empty_query(1), db("x0 > 0", 1))
+
+    def test_contains_origin(self):
+        assert run_boolean(contains_origin_query(2),
+                           db("x0 >= 0 & x1 >= 0", 2))
+        assert not run_boolean(contains_origin_query(2),
+                               db("x0 > 0 & x1 > 0", 2))
+
+    def test_has_interior(self):
+        assert run_boolean(has_interior_query(1), db("0 < x0 & x0 < 1", 1))
+        assert not run_boolean(has_interior_query(1), db("x0 = 0", 1))
+
+    def test_relation_bounded(self):
+        assert relation_bounded(db("0 <= x0 & x0 <= 1", 1))
+        assert not relation_bounded(db("x0 >= 0", 1))
+        assert relation_bounded(
+            db("x0 >= 0 & x1 >= 0 & x0 + x1 <= 1", 2)
+        )
+        assert not relation_bounded(db("x0 >= x1", 2))

@@ -1,0 +1,84 @@
+"""The Theorem 6.4 definability claims, checked against the geometry.
+
+For every region of several databases, the RegFO formulas of
+``repro.queries.definable`` must agree with the engine's geometric
+predicates: singleton ⇔ dimension 0, bounded ⇔ is_bounded(), and
+lex_less must reproduce the canonical order of the 0-dimensional
+regions.
+"""
+
+import pytest
+
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.parser import parse_formula
+from repro.logic.evaluator import Evaluator
+from repro.queries.definable import (
+    bounded_region_formula,
+    lex_less_formula,
+    singleton_region_formula,
+)
+from repro.twosorted.structure import RegionExtension
+
+
+def db(text: str, arity: int) -> ConstraintDatabase:
+    return ConstraintDatabase.from_formula(parse_formula(text), arity)
+
+
+DATABASES = [
+    db("(0 < x0 & x0 < 1) | x0 = 3", 1),
+    db("(0 <= x0 & x0 <= 1) | (2 <= x0 & x0 <= 3)", 1),
+    db("x0 >= 0 & x1 >= 0 & x0 + x1 <= 1", 2),
+]
+
+
+@pytest.mark.parametrize("database", DATABASES)
+def test_singleton_formula_matches_dimension(database):
+    extension = RegionExtension.build(database)
+    evaluator = Evaluator(extension)
+    arity = extension.spatial.arity
+    formula = singleton_region_formula(arity)
+    for region in extension.regions:
+        expected = region.dimension == 0
+        assert evaluator.truth(formula, {"R": region.index}) == expected
+
+
+@pytest.mark.parametrize("database", DATABASES)
+def test_bounded_formula_matches_geometry(database):
+    extension = RegionExtension.build(database)
+    evaluator = Evaluator(extension)
+    arity = extension.spatial.arity
+    formula = bounded_region_formula(arity)
+    for region in extension.regions:
+        assert evaluator.truth(formula, {"R": region.index}) == \
+            region.is_bounded()
+
+
+@pytest.mark.parametrize("database", DATABASES[:2])
+def test_lex_less_reproduces_canonical_order(database):
+    extension = RegionExtension.build(database)
+    evaluator = Evaluator(extension)
+    arity = extension.spatial.arity
+    formula = lex_less_formula(arity)
+    zero_dim = extension.zero_dimensional_regions()
+    for i, left in enumerate(zero_dim):
+        for j, right in enumerate(zero_dim):
+            expected = i < j  # canonical order is lex on sample points
+            actual = evaluator.truth(
+                formula, {"R1": left.index, "R2": right.index}
+            )
+            assert actual == expected, (left.index, right.index)
+
+
+def test_lex_less_2d_order():
+    database = DATABASES[2]
+    extension = RegionExtension.build(database)
+    evaluator = Evaluator(extension)
+    formula = lex_less_formula(2)
+    zero_dim = extension.zero_dimensional_regions()
+    samples = [r.sample_point() for r in zero_dim]
+    assert samples == sorted(samples)
+    for i, left in enumerate(zero_dim):
+        for j, right in enumerate(zero_dim):
+            assert evaluator.truth(
+                formula, {"R1": left.index, "R2": right.index}
+            ) == (samples[i] < samples[j])

@@ -1,0 +1,87 @@
+"""Tests for the connected-component (non-boolean) query."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.parser import parse_formula
+from repro.constraints.relation import ConstraintRelation
+from repro.queries.reachability import (
+    connected_component,
+    reachable_region_indices,
+)
+from repro.twosorted.structure import RegionExtension
+
+F = Fraction
+
+
+def db(text: str, arity: int = 1) -> ConstraintDatabase:
+    return ConstraintDatabase.from_formula(parse_formula(text), arity)
+
+
+TWO_PIECES = db("(0 <= x0 & x0 <= 1) | (2 <= x0 & x0 <= 3)")
+
+
+class TestConnectedComponent:
+    def test_component_of_first_piece(self):
+        component = connected_component(TWO_PIECES, (F(1, 2),))
+        expected = ConstraintRelation.make(
+            ("x0",), parse_formula("0 <= x0 & x0 <= 1")
+        )
+        assert component.equivalent(expected)
+
+    def test_component_of_second_piece(self):
+        component = connected_component(TWO_PIECES, (F(5, 2),))
+        expected = ConstraintRelation.make(
+            ("x0",), parse_formula("2 <= x0 & x0 <= 3")
+        )
+        assert component.equivalent(expected)
+
+    def test_point_outside_s_gives_empty(self):
+        component = connected_component(TWO_PIECES, (F(3, 2),))
+        assert component.is_empty()
+
+    def test_connected_relation_returns_everything(self):
+        database = db("0 <= x0 & x0 <= 3")
+        component = connected_component(database, (F(1),))
+        assert component.equivalent(database.spatial)
+
+    def test_touching_pieces_merge(self):
+        database = db("(0 <= x0 & x0 <= 1) | (1 <= x0 & x0 <= 2)")
+        component = connected_component(database, (F(1, 2),))
+        expected = ConstraintRelation.make(
+            ("x0",), parse_formula("0 <= x0 & x0 <= 2")
+        )
+        assert component.equivalent(expected)
+
+    def test_two_dimensional_component(self):
+        database = db(
+            "(0 <= x0 & x0 <= 1 & 0 <= x1 & x1 <= 1) | "
+            "(3 <= x0 & x0 <= 4 & 0 <= x1 & x1 <= 1)",
+            arity=2,
+        )
+        component = connected_component(database, (F(1, 2), F(1, 2)))
+        assert component.contains((F(1), F(1)))
+        assert not component.contains((F(7, 2), F(1, 2)))
+
+    def test_arity_mismatch(self):
+        with pytest.raises(EvaluationError):
+            connected_component(TWO_PIECES, (F(0), F(0)))
+
+
+class TestReachableIndices:
+    def test_start_region_included_when_in_s(self):
+        extension = RegionExtension.build(TWO_PIECES)
+        start = extension.decomposition.regions_containing((F(1, 2),))[0]
+        reached = reachable_region_indices(extension, start.index)
+        assert start.index in reached
+        # Every reached region is inside S.
+        for index in reached:
+            assert extension.region_subset_of_spatial(index)
+
+    def test_start_outside_s_reaches_nothing(self):
+        extension = RegionExtension.build(TWO_PIECES)
+        gap = extension.decomposition.regions_containing((F(3, 2),))[0]
+        assert reachable_region_indices(extension, gap.index) == frozenset()

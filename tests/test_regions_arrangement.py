@@ -1,0 +1,128 @@
+"""Tests for arrangement-backed regions and the canonical ordering."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.parser import parse_formula
+from repro.constraints.relation import ConstraintRelation
+from repro.regions.arrangement_regions import (
+    ArrangementDecomposition,
+    ArrangementRegion,
+)
+from repro.regions.nc1 import NC1Decomposition
+from repro.regions.ordering import region_sort_key, sort_regions
+
+F = Fraction
+
+
+def triangle() -> ConstraintRelation:
+    return ConstraintRelation.make(
+        ("x", "y"), parse_formula("x >= 0 & y >= 0 & x + y <= 1")
+    )
+
+
+@pytest.fixture(scope="module")
+def decomposition() -> ArrangementDecomposition:
+    return ArrangementDecomposition(triangle())
+
+
+class TestArrangementDecomposition:
+    def test_region_count(self, decomposition):
+        assert len(decomposition) == 19
+        assert decomposition.count_by_dimension() == {2: 7, 1: 9, 0: 3}
+
+    def test_indices_canonical_and_dense(self, decomposition):
+        assert [r.index for r in decomposition.regions] == list(range(19))
+        keys = [region_sort_key(r) for r in decomposition.regions]
+        assert keys == sorted(keys)
+
+    def test_bounded_before_unbounded(self, decomposition):
+        flags = [r.is_bounded() for r in decomposition.regions]
+        first_unbounded = flags.index(False)
+        assert all(not b for b in flags[first_unbounded:])
+
+    def test_zero_dim_lex_ordered(self, decomposition):
+        zero = decomposition.zero_dimensional()
+        samples = [r.sample_point() for r in zero]
+        assert samples == sorted(samples)
+        # And they come first among bounded regions in the global order.
+        assert [r.index for r in zero] == [0, 1, 2]
+
+    def test_membership_and_locate(self, decomposition):
+        region = decomposition.locate((F(1, 4), F(1, 4)))
+        assert region.dimension == 2
+        assert region.contains((F(1, 4), F(1, 4)))
+        assert decomposition.covers((F(10), F(10)))
+
+    def test_every_point_in_exactly_one_region(self, decomposition):
+        probes = [
+            (F(0), F(0)), (F(1, 2), F(0)), (F(1, 4), F(1, 4)),
+            (F(2), F(2)), (F(-1), F(5)),
+        ]
+        for probe in probes:
+            assert len(decomposition.regions_containing(probe)) == 1
+
+    def test_subset_of_relation_uses_face_bit(self, decomposition):
+        inside = [
+            r.index for r in decomposition
+            if decomposition.region_subset_of_relation(r.index)
+        ]
+        assert len(inside) == 7  # interior + 3 edges + 3 vertices
+
+    def test_adjacency_matches_dimensions(self, decomposition):
+        for left in decomposition:
+            for right in decomposition:
+                if decomposition.adjacent(left.index, right.index):
+                    assert left.dimension != right.dimension
+
+    def test_adjacency_cached_and_symmetric(self, decomposition):
+        for left in list(decomposition)[:6]:
+            for right in list(decomposition)[:6]:
+                assert decomposition.adjacent(left.index, right.index) == \
+                    decomposition.adjacent(right.index, left.index)
+
+    def test_vertex_adjacent_to_incident_edges(self, decomposition):
+        origin = decomposition.locate((F(0), F(0)))
+        adjacent = [
+            r for r in decomposition
+            if decomposition.adjacent(origin.index, r.index)
+        ]
+        # 2 lines meet at the origin: 4 edges + 4 sectors touch it.
+        assert len([r for r in adjacent if r.dimension == 1]) == 4
+        assert len([r for r in adjacent if r.dimension == 2]) == 4
+
+    def test_defining_formula(self, decomposition):
+        region = decomposition.locate((F(1, 4), F(1, 4)))
+        rel = region.as_relation(("x", "y"))
+        assert rel.contains((F(1, 8), F(1, 8)))
+        assert not rel.contains((F(5), F(5)))
+
+    def test_region_str(self, decomposition):
+        assert "dim=" in str(decomposition.regions[0])
+
+    def test_cross_type_closure_rejected(self, decomposition):
+        nc1 = NC1Decomposition(triangle())
+        with pytest.raises(TypeError):
+            decomposition.regions[0].closure_contains_region(
+                nc1.regions[0]
+            )
+
+
+class TestOrderingGeneric:
+    def test_sort_regions_deterministic(self, decomposition):
+        regions = list(decomposition.regions)
+        import random
+
+        shuffled = regions[:]
+        random.Random(7).shuffle(shuffled)
+        assert [r.index for r in sort_regions(shuffled)] == [
+            r.index for r in regions
+        ]
+
+    def test_nc1_ordering_same_scheme(self):
+        decomposition = NC1Decomposition(triangle())
+        keys = [region_sort_key(r) for r in decomposition.regions]
+        assert keys == sorted(keys)
+        flags = [r.is_bounded() for r in decomposition.regions]
+        assert all(flags)  # triangle is bounded: all regions bounded

