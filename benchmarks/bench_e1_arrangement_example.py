@@ -7,10 +7,15 @@ each vertex's incidence neighbourhood contains ∅ below and four edges
 above (Figure 4).
 """
 
+import time
+
 from repro.arrangement.builder import build_arrangement
 from repro.arrangement.incidence import EMPTY_FACE, IncidenceGraph
+from repro.constraints.database import ConstraintDatabase
 from repro.constraints.parser import parse_formula
 from repro.constraints.relation import ConstraintRelation
+from repro.engine import EngineCache, QueryEngine
+from repro.obs.metrics import MetricsRegistry
 
 
 def running_example() -> ConstraintRelation:
@@ -53,3 +58,38 @@ def test_e1_incidence_neighbourhood(benchmark, report):
              "down:", about["down"], "up:", about["up"])
         )
     report("E1: incidence neighbourhoods (Figure 4 shape)", rows)
+
+
+def test_e1_engine_cache_reuses_arrangement(report):
+    """Re-running the same query through fresh engines hits the cache.
+
+    The first run pays for the Theorem-3.1 construction; the second
+    engine (same database content, new objects) resolves the region
+    extension from the cross-query cache and must be measurably faster.
+    """
+    query = "exists x, y. S(x, y)"
+    cache = EngineCache(metrics=MetricsRegistry())
+
+    def run() -> float:
+        database = ConstraintDatabase.make({"S": running_example()})
+        engine = QueryEngine(database, cache=cache)
+        start = time.perf_counter()
+        assert engine.truth(query)
+        return time.perf_counter() - start
+
+    cold = run()
+    warm = run()
+
+    stats = cache.stats()
+    assert stats["extension_misses"] == 1
+    assert stats["extension_hits"] == 1
+    assert stats["arrangement_misses"] == 1
+    assert warm < cold
+
+    report("E1: cross-query arrangement cache", [
+        ("cold run:", f"{cold * 1000:.2f} ms"),
+        ("warm run:", f"{warm * 1000:.2f} ms"),
+        ("speedup:", f"{cold / max(warm, 1e-9):.1f}x"),
+        ("extension hits/misses:",
+         f"{stats['extension_hits']}/{stats['extension_misses']}"),
+    ])

@@ -31,6 +31,14 @@ from repro.constraints.relation import ConstraintRelation
 from repro.constraints.terms import LinearTerm
 from repro.arrangement.builder import Arrangement, build_arrangement
 from repro.arrangement.incidence import IncidenceGraph
+from repro.engine import (
+    EngineCache,
+    QueryEngine,
+    database_fingerprint,
+    invalidate_cache,
+    shared_cache,
+)
+from repro.obs import MetricsRegistry, Span, TRACER, get_registry
 from repro.regions.arrangement_regions import ArrangementDecomposition
 from repro.regions.nc1 import NC1Decomposition
 from repro.twosorted.structure import RegionExtension
@@ -42,7 +50,7 @@ from repro.logic.evaluator import (
 from repro.logic.parser import parse_query
 from repro.logic.properties import has_small_coordinate_property
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ConstraintDatabase",
@@ -58,6 +66,15 @@ __all__ = [
     "NC1Decomposition",
     "RegionExtension",
     "Evaluator",
+    "QueryEngine",
+    "EngineCache",
+    "database_fingerprint",
+    "shared_cache",
+    "invalidate_cache",
+    "MetricsRegistry",
+    "Span",
+    "TRACER",
+    "get_registry",
     "evaluate_query",
     "query_truth",
     "parse_query",

@@ -25,7 +25,14 @@ from repro.geometry.fourier_motzkin import LinearConstraint
 from repro.geometry.hyperplane import Hyperplane
 from repro.geometry.linalg import Vector
 from repro.geometry.simplex import strict_feasible_point
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import TRACER
 from repro.constraints.relation import ConstraintRelation
+
+#: Sign-vector DFS telemetry: explored search-tree nodes and faces kept.
+_DFS_NODES = get_registry().counter("arrangement.dfs_nodes")
+_FACES = get_registry().counter("arrangement.faces")
+_BUILDS = get_registry().counter("arrangement.builds")
 from repro.arrangement.faces import (
     Face,
     SignVector,
@@ -111,6 +118,7 @@ def enumerate_sign_vectors(
         system: list[LinearConstraint],
         witness: Vector,
     ) -> Iterator[tuple[SignVector, Vector]]:
+        _DFS_NODES.inc()
         if len(prefix) == n:
             yield tuple(prefix), witness
             return
@@ -177,11 +185,18 @@ def build_arrangement(
                 f"hyperplane dimension {plane.dimension} != ambient {ambient}"
             )
 
-    faces: list[Face] = []
-    for index, (signs, witness) in enumerate(
-        enumerate_sign_vectors(planes, ambient)
-    ):
-        dim = face_dimension(planes, signs, ambient)
-        inside = relation.contains(witness) if relation is not None else False
-        faces.append(Face(index, signs, dim, witness, inside))
-    return Arrangement(ambient, tuple(planes), tuple(faces), relation)
+    _BUILDS.inc()
+    with TRACER.span("arrangement.build") as build_span:
+        faces: list[Face] = []
+        for index, (signs, witness) in enumerate(
+            enumerate_sign_vectors(planes, ambient)
+        ):
+            dim = face_dimension(planes, signs, ambient)
+            inside = (
+                relation.contains(witness) if relation is not None else False
+            )
+            faces.append(Face(index, signs, dim, witness, inside))
+        _FACES.inc(len(faces))
+        build_span.set("hyperplanes", len(planes))
+        build_span.set("faces", len(faces))
+        return Arrangement(ambient, tuple(planes), tuple(faces), relation)

@@ -28,8 +28,14 @@ from repro.errors import GeometryError
 from repro.geometry.hyperplane import Hyperplane
 from repro.geometry.linalg import Vector
 from repro.geometry.simplex import strict_feasible_point
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import TRACER
 from repro.constraints.relation import ConstraintRelation
 from repro.arrangement.builder import Arrangement
+
+#: Incremental-insertion telemetry (mirrors the batch builder's counters).
+_INSERTIONS = get_registry().counter("arrangement.insertions")
+_SPLIT_FACES = get_registry().counter("arrangement.split_faces")
 from repro.arrangement.faces import (
     Face,
     SignVector,
@@ -74,6 +80,11 @@ class IncrementalArrangement:
             ]
             return 0
 
+        _INSERTIONS.inc()
+        with TRACER.span("arrangement.insert", aggregate=True):
+            return self._insert_new(hyperplane)
+
+    def _insert_new(self, hyperplane: Hyperplane) -> int:
         new_signs: list[SignVector] = []
         new_witnesses: list[Vector] = []
         created = 0
@@ -100,6 +111,7 @@ class IncrementalArrangement:
         self.hyperplanes.append(hyperplane)
         self._signs = new_signs
         self._witnesses = new_witnesses
+        _SPLIT_FACES.inc(created)
         return created
 
     def insert_all(self, hyperplanes: Sequence[Hyperplane]) -> None:

@@ -22,12 +22,13 @@ from typing import Sequence
 
 from repro.errors import ReproError
 from repro.constraints.io import load_database
-from repro.logic.evaluator import Evaluator
+from repro.engine import QueryEngine
 from repro.logic.parser import parse_query
 from repro.logic.properties import (
     coordinate_bound,
     has_small_coordinate_property,
 )
+from repro.obs import TRACER, get_registry
 from repro.twosorted.structure import RegionExtension
 
 
@@ -48,6 +49,14 @@ def _add_spatial_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print a span tree of where the command's time went",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -58,23 +67,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     check = commands.add_parser("check", help="validate a database file")
     check.add_argument("database")
+    _add_trace_flag(check)
 
     regions = commands.add_parser("regions", help="list the region sort")
     regions.add_argument("database")
     _add_decomposition_flag(regions)
     _add_spatial_flag(regions)
+    _add_trace_flag(regions)
 
     query = commands.add_parser("query", help="evaluate a query")
     query.add_argument("database")
     query.add_argument("text", help="query in the region-logic syntax")
     _add_decomposition_flag(query)
     _add_spatial_flag(query)
+    _add_trace_flag(query)
+
+    profile = commands.add_parser(
+        "profile",
+        help="evaluate a query and dump a JSON span tree plus metrics",
+    )
+    profile.add_argument("database")
+    profile.add_argument("text", help="query in the region-logic syntax")
+    _add_decomposition_flag(profile)
+    _add_spatial_flag(profile)
 
     arrangement = commands.add_parser(
         "arrangement", help="arrangement census and incidence statistics"
     )
     arrangement.add_argument("database")
     _add_spatial_flag(arrangement)
+    _add_trace_flag(arrangement)
 
     encode = commands.add_parser(
         "encode", help="print the capture encoding word"
@@ -82,6 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
     encode.add_argument("database")
     _add_decomposition_flag(encode)
     _add_spatial_flag(encode)
+    _add_trace_flag(encode)
 
     render = commands.add_parser(
         "render", help="render a 2-D database to SVG"
@@ -129,17 +152,14 @@ def _cmd_regions(args: argparse.Namespace, out) -> int:
 def _cmd_query(args: argparse.Namespace, out) -> int:
     database = load_database(args.database)
     formula = parse_query(args.text)
-    extension = RegionExtension.build(
-        database, args.decomposition, args.spatial
-    )
-    evaluator = Evaluator(extension)
+    engine = QueryEngine(database, args.decomposition, args.spatial)
     if formula.free_region_vars() or formula.free_set_vars():
         print(
             "error: queries must not have free region or set variables",
             file=out,
         )
         return 2
-    answer = evaluator.evaluate(formula)
+    answer = engine.evaluate(formula)
     if answer.arity == 0:
         print(f"answer: {not answer.is_empty()}", file=out)
         return 0
@@ -155,6 +175,50 @@ def _cmd_query(args: argparse.Namespace, out) -> int:
         print(f"  sample points: {shown}", file=out)
     else:
         print("  (empty)", file=out)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace, out) -> int:
+    """Evaluate a query under tracing; emit a JSON span tree + metrics.
+
+    The metrics registry is reset first so the dump reflects this one
+    command; the span tree covers database load, the Theorem-3.1
+    construction (or its cache hit), LP activity and the evaluator.
+    """
+    import json
+
+    registry = get_registry()
+    registry.reset()
+    TRACER.start("profile")
+    try:
+        with TRACER.span("load"):
+            database = load_database(args.database)
+            formula = parse_query(args.text)
+        if formula.free_region_vars() or formula.free_set_vars():
+            print(
+                "error: queries must not have free region or set variables",
+                file=out,
+            )
+            return 2
+        engine = QueryEngine(database, args.decomposition, args.spatial)
+        answer = engine.evaluate(formula)
+        empty = answer.is_empty()
+    finally:
+        root = TRACER.stop()
+    payload = {
+        "command": "profile",
+        "database": args.database,
+        "query": args.text,
+        "decomposition": args.decomposition,
+        "fingerprint": engine.fingerprint,
+        "answer": {
+            "variables": list(answer.variables),
+            "empty": empty,
+        },
+        "spans": root.to_dict(),
+        "metrics": registry.snapshot(),
+    }
+    print(json.dumps(payload, indent=2), file=out)
     return 0
 
 
@@ -214,6 +278,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "regions": _cmd_regions,
     "query": _cmd_query,
+    "profile": _cmd_profile,
     "arrangement": _cmd_arrangement,
     "encode": _cmd_encode,
     "render": _cmd_render,
@@ -225,6 +290,9 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     out = out or sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    tracing = getattr(args, "trace", False)
+    if tracing:
+        TRACER.start(args.command)
     try:
         return _COMMANDS[args.command](args, out)
     except ReproError as error:
@@ -233,6 +301,11 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     except FileNotFoundError as error:
         print(f"error: {error}", file=out)
         return 1
+    finally:
+        if tracing:
+            root = TRACER.stop()
+            print("\ntrace:", file=out)
+            print(root.format(indent=1), file=out)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -63,14 +63,17 @@ def _eliminate_exists(variable: str, body: Formula) -> Formula:
     Fourier–Motzkin projects each disjunct.
     """
     from repro.constraints.simplify import to_dnf_pruned
+    from repro.obs.tracing import TRACER
 
-    disjuncts = to_dnf_pruned(body)
-    surviving: list[Formula] = []
-    for disjunct in disjuncts:
-        projected = _project_disjunct(disjunct, variable)
-        if projected is not None:
-            surviving.append(projected)
-    return disjunction(surviving)
+    with TRACER.span("fm.eliminate", aggregate=True) as fm_span:
+        disjuncts = to_dnf_pruned(body)
+        fm_span.add("disjuncts", len(disjuncts))
+        surviving: list[Formula] = []
+        for disjunct in disjuncts:
+            projected = _project_disjunct(disjunct, variable)
+            if projected is not None:
+                surviving.append(projected)
+        return disjunction(surviving)
 
 
 def _project_disjunct(disjunct: Disjunct, variable: str) -> Formula | None:

@@ -34,6 +34,12 @@ from repro.constraints.relation import (
     intersect_relations,
     union_relations,
 )
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import TRACER
+
+#: Immediate-consequence telemetry (Grohe–Schwandtner-style stage counts).
+_DATALOG_RUNS = get_registry().counter("datalog.runs")
+_DATALOG_STAGES = get_registry().counter("datalog.stages")
 
 
 @dataclass(frozen=True)
@@ -258,6 +264,7 @@ def evaluate_program(
     datalog's non-termination.
     """
     program.validate(database)
+    _DATALOG_RUNS.inc()
     idb: dict[str, ConstraintRelation] = {}
     for predicate in program.idb_predicates():
         arity = program.arity_of(predicate)
@@ -266,34 +273,42 @@ def evaluate_program(
 
     sizes: list[int] = []
     total_stages = 0
-    for stratum in program.strata():
-        members = set(stratum)
-        for __ in range(1, max_stages + 1):
-            updated = dict(idb)
-            for predicate in stratum:
-                current = idb[predicate]
-                derived = [current]
-                for rule in program.rules:
-                    if rule.head.predicate != predicate:
-                        continue
-                    derived.append(
-                        _rule_once(rule, database, idb).rename_to(
-                            current.variables
+    with TRACER.span("datalog.run") as run_span:
+        for stratum in program.strata():
+            members = set(stratum)
+            for __ in range(1, max_stages + 1):
+                with TRACER.span("datalog.stage", aggregate=True):
+                    updated = dict(idb)
+                    for predicate in stratum:
+                        current = idb[predicate]
+                        derived = [current]
+                        for rule in program.rules:
+                            if rule.head.predicate != predicate:
+                                continue
+                            derived.append(
+                                _rule_once(rule, database, idb).rename_to(
+                                    current.variables
+                                )
+                            )
+                        updated[predicate] = union_relations(
+                            derived
+                        ).simplify()
+                    sizes.append(
+                        sum(
+                            updated[p].representation_size()
+                            for p in stratum
                         )
                     )
-                updated[predicate] = union_relations(derived).simplify()
-            sizes.append(
-                sum(
-                    updated[p].representation_size() for p in stratum
-                )
-            )
-            converged_now = all(
-                updated[p].equivalent(idb[p]) for p in members
-            )
-            idb = updated
-            if converged_now:
-                break
-            total_stages += 1
-        else:
-            return EvaluationOutcome(idb, total_stages, False, sizes)
+                    converged_now = all(
+                        updated[p].equivalent(idb[p]) for p in members
+                    )
+                    idb = updated
+                if converged_now:
+                    break
+                total_stages += 1
+                _DATALOG_STAGES.inc()
+            else:
+                run_span.set("stages", total_stages)
+                return EvaluationOutcome(idb, total_stages, False, sizes)
+        run_span.set("stages", total_stages)
     return EvaluationOutcome(idb, total_stages, True, sizes)

@@ -1,0 +1,344 @@
+"""The query engine: unified entry point and cross-query caching.
+
+The arrangement A(S) — the PTIME bottleneck of Theorem 3.1 — used to be
+rebuilt from scratch for every query against the same database.  This
+module adds the missing layer between the logic and the geometry:
+
+* **fingerprints** — a canonical SHA-256 digest of a database (relation
+  names, schemas and the structural rendering of their defining
+  formulas).  Two databases with structurally equal content share a
+  fingerprint regardless of object identity; renaming a relation or
+  changing any constraint changes it.
+* :class:`EngineCache` — a bounded LRU cache of arrangements and
+  :meth:`RegionExtension.build <repro.twosorted.structure.\
+  RegionExtension.build>` results keyed by those fingerprints, with
+  hit/miss/invalidation counters in the process metrics registry.
+* :class:`QueryEngine` — the façade the rest of the library (CLI, the
+  deprecated ``evaluate_query`` / ``query_truth`` helpers, benchmarks)
+  routes through::
+
+      engine = QueryEngine(db)
+      answer = engine.evaluate("S(x) & x < 1")
+      assert engine.truth("exists x. S(x)")
+
+All caching is safe because :class:`ConstraintDatabase`,
+:class:`ConstraintRelation` and the formula AST are immutable; explicit
+invalidation (:meth:`EngineCache.invalidate`) exists for long-running
+processes that want to bound memory, not for correctness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+from repro.errors import EvaluationError
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.relation import ConstraintRelation
+from repro.arrangement.builder import Arrangement, build_arrangement
+from repro.geometry.hyperplane import Hyperplane
+from repro.logic import ast
+from repro.logic.evaluator import Evaluator
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracing import TRACER
+from repro.twosorted.structure import RegionExtension
+
+
+def relation_fingerprint(relation: ConstraintRelation) -> str:
+    """Canonical digest of one relation (schema + structural formula)."""
+    digest = hashlib.sha256()
+    digest.update(",".join(relation.variables).encode())
+    digest.update(b"\x00")
+    digest.update(str(relation.formula).encode())
+    return digest.hexdigest()
+
+
+def database_fingerprint(database: ConstraintDatabase) -> str:
+    """Canonical digest of a whole database.
+
+    Relations are visited in their stored (sorted-by-name) order, so the
+    digest is independent of construction order; it changes whenever a
+    relation is renamed, added, dropped, or its defining formula differs
+    structurally.  Cached on the (immutable) database object.
+    """
+    cached = database.__dict__.get("_fingerprint")
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for name, relation in database:
+        digest.update(name.encode())
+        digest.update(b"\x00")
+        digest.update(relation_fingerprint(relation).encode())
+        digest.update(b"\x01")
+    fingerprint = digest.hexdigest()
+    object.__setattr__(database, "_fingerprint", fingerprint)
+    return fingerprint
+
+
+class EngineCache:
+    """Bounded LRU cache of arrangements and region extensions.
+
+    One instance (:func:`shared_cache`) is shared process-wide so that
+    independent :class:`QueryEngine` instances — and the deprecated
+    ``evaluate_query`` one-shot helpers — reuse each other's work.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._extensions: OrderedDict[tuple, RegionExtension] = OrderedDict()
+        self._arrangements: OrderedDict[tuple, Arrangement] = OrderedDict()
+        registry = metrics if metrics is not None else get_registry()
+        self._c_ext_hits = registry.counter("engine.cache.extension.hits")
+        self._c_ext_misses = registry.counter("engine.cache.extension.misses")
+        self._c_arr_hits = registry.counter("engine.cache.arrangement.hits")
+        self._c_arr_misses = registry.counter(
+            "engine.cache.arrangement.misses"
+        )
+        self._c_invalidations = registry.counter(
+            "engine.cache.invalidations"
+        )
+
+    # ------------------------------------------------------------------
+    # Arrangements
+    # ------------------------------------------------------------------
+    def arrangement(
+        self,
+        relation: ConstraintRelation,
+        extra_hyperplanes: tuple[Hyperplane, ...] | None = None,
+    ) -> Arrangement:
+        """A(S) for a relation, built once per structural fingerprint."""
+        extra_key = (
+            tuple(
+                (plane.normal, plane.offset)
+                for plane in extra_hyperplanes
+            )
+            if extra_hyperplanes
+            else ()
+        )
+        key = (relation_fingerprint(relation), extra_key)
+        cached = self._arrangements.get(key)
+        if cached is not None:
+            self._arrangements.move_to_end(key)
+            self._c_arr_hits.inc()
+            TRACER.current().add("arrangement_cache_hits", 1)
+            return cached
+        self._c_arr_misses.inc()
+        arrangement = build_arrangement(
+            relation, hyperplanes=extra_hyperplanes or None
+        )
+        self._arrangements[key] = arrangement
+        while len(self._arrangements) > self.capacity:
+            self._arrangements.popitem(last=False)
+        return arrangement
+
+    # ------------------------------------------------------------------
+    # Region extensions (decomposition + database bundle)
+    # ------------------------------------------------------------------
+    def extension(
+        self,
+        database: ConstraintDatabase,
+        decomposition: str = "arrangement",
+        spatial_name: str = "S",
+    ) -> RegionExtension:
+        """The region extension, reused across structurally equal builds."""
+        key = (
+            database_fingerprint(database),
+            decomposition,
+            spatial_name,
+        )
+        cached = self._extensions.get(key)
+        if cached is not None:
+            self._extensions.move_to_end(key)
+            self._c_ext_hits.inc()
+            TRACER.current().add("extension_cache_hits", 1)
+            return cached
+        self._c_ext_misses.inc()
+        extension = RegionExtension.build(
+            database,
+            decomposition,
+            spatial_name,
+            arrangement_factory=self.arrangement,
+        )
+        self._extensions[key] = extension
+        while len(self._extensions) > self.capacity:
+            self._extensions.popitem(last=False)
+        return extension
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def invalidate(self, database: ConstraintDatabase | None = None) -> None:
+        """Drop cached entries — all of them, or one database's.
+
+        Passing a database also drops the arrangements of each of its
+        relations (they may be shared with other databases holding the
+        same relation; dropping is always safe, merely un-warm).
+        """
+        if database is None:
+            dropped = len(self._extensions) + len(self._arrangements)
+            self._extensions.clear()
+            self._arrangements.clear()
+            self._c_invalidations.inc(dropped)
+            return
+        fingerprint = database_fingerprint(database)
+        stale_ext = [
+            key for key in self._extensions if key[0] == fingerprint
+        ]
+        relation_prints = {
+            relation_fingerprint(relation) for __, relation in database
+        }
+        stale_arr = [
+            key
+            for key in self._arrangements
+            if key[0] in relation_prints
+        ]
+        for key in stale_ext:
+            del self._extensions[key]
+        for key in stale_arr:
+            del self._arrangements[key]
+        self._c_invalidations.inc(len(stale_ext) + len(stale_arr))
+
+    def stats(self) -> dict[str, int]:
+        """Current hit/miss/size numbers (plain dict snapshot)."""
+        return {
+            "extension_hits": self._c_ext_hits.value,
+            "extension_misses": self._c_ext_misses.value,
+            "arrangement_hits": self._c_arr_hits.value,
+            "arrangement_misses": self._c_arr_misses.value,
+            "invalidations": self._c_invalidations.value,
+            "extensions_cached": len(self._extensions),
+            "arrangements_cached": len(self._arrangements),
+        }
+
+    def __len__(self) -> int:
+        return len(self._extensions) + len(self._arrangements)
+
+
+_SHARED_CACHE = EngineCache()
+
+
+def shared_cache() -> EngineCache:
+    """The process-wide engine cache."""
+    return _SHARED_CACHE
+
+
+def invalidate_cache(database: ConstraintDatabase | None = None) -> None:
+    """Invalidate the process-wide engine cache."""
+    _SHARED_CACHE.invalidate(database)
+
+
+class QueryEngine:
+    """The unified entry point for querying one constraint database.
+
+    Owns the region-extension backend choice (``decomposition`` /
+    ``spatial_name``), resolves the extension through the cross-query
+    :class:`EngineCache`, and keeps one memoising
+    :class:`~repro.logic.evaluator.Evaluator` alive across queries, so::
+
+        engine = QueryEngine(db)
+        engine.truth("exists x. S(x)")     # builds (or reuses) A(S)
+        engine.evaluate("S(x) & x < 1")    # reuses everything
+
+    Queries may be :class:`~repro.logic.ast.RegFormula` values or source
+    strings (parsed with :func:`repro.logic.parser.parse_query`).
+    """
+
+    def __init__(
+        self,
+        database: ConstraintDatabase,
+        decomposition: str = "arrangement",
+        spatial_name: str = "S",
+        cache: EngineCache | None = None,
+    ) -> None:
+        self.database = database
+        self.decomposition = decomposition
+        self.spatial_name = spatial_name
+        self.cache = cache if cache is not None else _SHARED_CACHE
+        self._extension: RegionExtension | None = None
+        self._evaluator: Evaluator | None = None
+
+    # ------------------------------------------------------------------
+    # Lazily resolved backends
+    # ------------------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """The database's canonical fingerprint (the cache key)."""
+        return database_fingerprint(self.database)
+
+    @property
+    def extension(self) -> RegionExtension:
+        """The region extension 𝔅^Reg (cached across engines)."""
+        if self._extension is None:
+            self._extension = self.cache.extension(
+                self.database, self.decomposition, self.spatial_name
+            )
+        return self._extension
+
+    @property
+    def evaluator(self) -> Evaluator:
+        """The engine's memoising evaluator (one per engine instance)."""
+        if self._evaluator is None:
+            self._evaluator = Evaluator(self.extension)
+        return self._evaluator
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _parse(self, query: "ast.RegFormula | str") -> ast.RegFormula:
+        if isinstance(query, str):
+            from repro.logic.parser import parse_query
+
+            return parse_query(query)
+        return query
+
+    def evaluate(self, query: "ast.RegFormula | str") -> ConstraintRelation:
+        """The answer relation of a query over its free element variables.
+
+        The query must not have free region or set variables (the
+        paper's notion of a RegFO/RegLFP/RegTC *query*).
+        """
+        formula = self._parse(query)
+        if formula.free_region_vars() or formula.free_set_vars():
+            raise EvaluationError(
+                "queries must not have free region or set variables"
+            )
+        with TRACER.span("evaluate"):
+            return self.evaluator.evaluate(formula)
+
+    def truth(self, query: "ast.RegFormula | str") -> bool:
+        """Truth of a boolean query (no free variables of any sort)."""
+        formula = self._parse(query)
+        if formula.free_element_vars():
+            raise EvaluationError("boolean queries have no free variables")
+        return not self.evaluate(formula).is_empty()
+
+    # ------------------------------------------------------------------
+    # Maintenance / introspection
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop this database's cached construction (engine-wide)."""
+        self.cache.invalidate(self.database)
+        self._extension = None
+        self._evaluator = None
+
+    def stats(self) -> dict[str, object]:
+        """One dict with the engine's caches and evaluator telemetry."""
+        numbers: dict[str, object] = {"cache": self.cache.stats()}
+        if self._evaluator is not None:
+            numbers["evaluator"] = self._evaluator.stats.snapshot()
+        if self._extension is not None:
+            numbers["regions"] = self._extension.region_count()
+        return numbers
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryEngine({self.spatial_name!r}, "
+            f"decomposition={self.decomposition!r}, "
+            f"fingerprint={self.fingerprint[:12]}…)"
+        )

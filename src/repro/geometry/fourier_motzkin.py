@@ -18,8 +18,15 @@ from typing import Iterable, Sequence
 
 from repro.errors import DimensionMismatchError
 from repro.geometry.linalg import Vector, as_fraction, vec_dot
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import TRACER
 
 ZERO = Fraction(0)
+
+#: Elimination telemetry (Giusti–Heintz-style phase accounting): how many
+#: variables were projected away and how many rows the combinations made.
+_FM_ELIMINATED = get_registry().counter("fm.eliminated_variables")
+_FM_GENERATED = get_registry().counter("fm.generated_constraints")
 
 
 class Rel(enum.Enum):
@@ -160,11 +167,15 @@ def eliminate_variable(
         (c for c in constraints if c.rel is Rel.EQ and c.coeffs[index] != 0), None
     )
     if pivot is not None:
-        return [
+        _FM_ELIMINATED.inc()
+        rewritten = [
             _substitute_equality(c, pivot, index)
             for c in constraints
             if c is not pivot
         ]
+        _FM_GENERATED.inc(len(rewritten))
+        return rewritten
+    _FM_ELIMINATED.inc()
 
     lower: list[tuple[LinearConstraint, Fraction]] = []  # a.x >= expr forms
     upper: list[tuple[LinearConstraint, Fraction]] = []
@@ -196,6 +207,10 @@ def eliminate_variable(
             rel = Rel.LT if (low.rel is Rel.LT or high.rel is Rel.LT) else Rel.LE
             combined.append(LinearConstraint(coeffs, rel, rhs))
 
+    _FM_GENERATED.inc(len(combined))
+    if TRACER.enabled:
+        fm_span = TRACER.current()
+        fm_span.add("fm.generated", len(combined))
     result = unrelated + combined
     return [_zero_out(c, index) for c in result]
 
@@ -227,6 +242,15 @@ def eliminate_variables(
 ) -> list[LinearConstraint]:
     """Eliminate several variables in sequence, dropping trivial output."""
     system = list(constraints)
+    with TRACER.span("fm.eliminate", aggregate=True):
+        return _eliminate_variables_inner(system, indices, constraints)
+
+
+def _eliminate_variables_inner(
+    system: list[LinearConstraint],
+    indices: Iterable[int],
+    constraints: Sequence[LinearConstraint],
+) -> list[LinearConstraint]:
     for index in indices:
         system = eliminate_variable(system, index)
         system = simplify_system(system)

@@ -23,6 +23,8 @@ from typing import Sequence
 from repro.errors import LPError
 from repro.geometry.fourier_motzkin import LinearConstraint, Rel
 from repro.geometry.linalg import Vector, as_fraction
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import TRACER
 
 ZERO = Fraction(0)
 ONE = Fraction(1)
@@ -310,9 +312,19 @@ def _solve_component(
     """Feasibility core for one variable-connected subsystem (cached)."""
     cached = _FEASIBILITY_CACHE.get(constraints, _MISS)
     if cached is not _MISS:
-        _STATS["cache_hits"] += 1
+        _LP_CACHE_HITS.inc()
         return cached
-    _STATS["solves"] += 1
+    _LP_SOLVES.inc()
+    if TRACER.enabled:
+        with TRACER.span("lp.feasible", aggregate=True) as lp_span:
+            lp_span.add("rows", len(constraints))
+            return _solve_component_inner(constraints, dim)
+    return _solve_component_inner(constraints, dim)
+
+
+def _solve_component_inner(
+    constraints: tuple[LinearConstraint, ...], dim: int
+) -> Vector | None:
     if dim == 1:
         point = _solve_interval(constraints)
         if len(_FEASIBILITY_CACHE) > _CACHE_LIMIT:
@@ -350,24 +362,32 @@ _MISS = object()
 _FEASIBILITY_CACHE: dict[tuple, Vector | None] = {}
 _CACHE_LIMIT = 200_000
 
-#: Instrumentation counters (see :func:`lp_statistics`).
-_STATS = {"solves": 0, "cache_hits": 0}
+#: Instrumentation counters, owned by the process-wide metrics registry
+#: (:mod:`repro.obs.metrics`).  Bound once: ``inc`` on the hot path is a
+#: plain attribute add.
+_LP_SOLVES = get_registry().counter("lp.solves")
+_LP_CACHE_HITS = get_registry().counter("lp.cache_hits")
 
 
 def lp_statistics() -> dict[str, int]:
-    """Counters of simplex solves and feasibility-cache hits.
+    """Deprecated: counters of simplex solves and feasibility-cache hits.
 
-    Exposed for the experiments: LP calls are the dominant cost of
-    arrangement construction and relation algebra, so reporting them
-    alongside wall-clock time makes the scaling results interpretable.
+    Thin shim over the process-wide :class:`~repro.obs.metrics.\
+    MetricsRegistry` counters ``lp.solves`` / ``lp.cache_hits``; prefer
+    ``repro.obs.get_registry().snapshot("lp.")``.  Kept because LP calls
+    are the dominant cost of arrangement construction and the scaling
+    experiments report them alongside wall-clock time.
     """
-    return dict(_STATS)
+    return {
+        "solves": _LP_SOLVES.value,
+        "cache_hits": _LP_CACHE_HITS.value,
+    }
 
 
 def reset_lp_statistics() -> None:
-    """Zero the counters (benchmarks call this between measurements)."""
-    _STATS["solves"] = 0
-    _STATS["cache_hits"] = 0
+    """Deprecated: zero the LP counters (shim over the metrics registry)."""
+    _LP_SOLVES.reset()
+    _LP_CACHE_HITS.reset()
 
 
 def clear_feasibility_cache() -> None:

@@ -34,6 +34,8 @@ from repro.errors import EvaluationError, UnboundVariableError
 from repro.constraints.formula import FALSE, TRUE
 from repro.constraints.relation import ConstraintRelation
 from repro.constraints.database import ConstraintDatabase
+from repro.obs.metrics import MetricsRegistry, MetricsView, get_registry
+from repro.obs.tracing import TRACER
 from repro.twosorted.structure import RegionExtension
 from repro.logic import ast
 from repro.logic.fixpoint import (
@@ -65,20 +67,73 @@ def _bool_relation(value: bool) -> ConstraintRelation:
     return _true_relation() if value else _false_relation()
 
 
+class _StructuralKey:
+    """A memo key wrapping a formula with a precomputed structural hash.
+
+    Earlier revisions keyed the evaluator memos on ``id(formula)``,
+    which collides when a formula object is garbage-collected and a new
+    one is allocated at the same address — silently returning the stale
+    entry.  Keying on the formula itself (structural ``==`` / ``hash``
+    of the frozen AST dataclasses) is immune to id reuse, and this
+    wrapper caches the — otherwise O(subtree) — hash so memo lookups
+    stay cheap.
+    """
+
+    __slots__ = ("formula", "_hash")
+
+    def __init__(self, formula: ast.RegFormula) -> None:
+        self.formula = formula
+        self._hash = hash(formula)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, _StructuralKey):
+            return NotImplemented
+        return self._hash == other._hash and self.formula == other.formula
+
+
+def _structural_key(formula: ast.RegFormula) -> _StructuralKey:
+    """The cached structural memo key of a formula node."""
+    key = formula.__dict__.get("_structural_memo_key")
+    if key is None:
+        key = _StructuralKey(formula)
+        object.__setattr__(formula, "_structural_memo_key", key)
+    return key
+
+
 class Evaluator:
     """Evaluates region-logic queries over one region extension."""
 
-    def __init__(self, extension: RegionExtension) -> None:
+    def __init__(
+        self,
+        extension: RegionExtension,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.extension = extension
         self._memo: dict[tuple, ConstraintRelation] = {}
-        self._tc_memo: dict[int, set] = {}
+        self._tc_memo: dict[_StructuralKey, set] = {}
         self._fixpoint_memo: dict[tuple, FixpointRun] = {}
         self._zero_dim_ranks: dict[int, int] | None = None
-        self.stats: dict[str, int] = {
-            "evaluations": 0,
-            "memo_hits": 0,
-            "fixpoint_stages": 0,
-        }
+        # Per-evaluator metrics that roll up into the process registry.
+        self.metrics = (
+            metrics
+            if metrics is not None
+            else MetricsRegistry(parent=get_registry(), prefix="evaluator.")
+        )
+        self._c_evaluations = self.metrics.counter("evaluations")
+        self._c_memo_hits = self.metrics.counter("memo_hits")
+        self._c_fixpoint_stages = self.metrics.counter("fixpoint_stages")
+        #: Live mapping view over the evaluator's counters; kept for
+        #: backward compatibility with the old bare ``stats`` dict.
+        self.stats = MetricsView(self.metrics, {
+            "evaluations": "evaluations",
+            "memo_hits": "memo_hits",
+            "fixpoint_stages": "fixpoint_stages",
+        })
 
     # ------------------------------------------------------------------
     # Public API
@@ -130,10 +185,16 @@ class Evaluator:
         key = self._memo_key(formula, region_env, set_env)
         cached = self._memo.get(key)
         if cached is not None:
-            self.stats["memo_hits"] += 1
+            self._c_memo_hits.inc()
             return cached
-        self.stats["evaluations"] += 1
-        result = self._dispatch(formula, region_env, set_env)
+        self._c_evaluations.inc()
+        if TRACER.enabled:
+            with TRACER.span(
+                "eval." + type(formula).__name__, aggregate=True
+            ):
+                result = self._dispatch(formula, region_env, set_env)
+        else:
+            result = self._dispatch(formula, region_env, set_env)
         self._memo[key] = result
         return result
 
@@ -154,7 +215,7 @@ class Evaluator:
                 (name, set_env[name]) for name in formula.free_set_vars()
             )
         )
-        return (id(formula), regions, sets)
+        return (_structural_key(formula), regions, sets)
 
     def _dispatch(
         self,
@@ -429,7 +490,7 @@ class Evaluator:
                 for name in formula.free_set_vars()
             )
         )
-        memo_key = (id(formula), outer)
+        memo_key = (_structural_key(formula), outer)
         cached = self._fixpoint_memo.get(memo_key)
         if cached is not None:
             return cached
@@ -455,13 +516,15 @@ class Evaluator:
             return frozenset(members)
 
         bound = len(universe) + 1
-        if formula.kind is ast.FixKind.LFP:
-            run = least_fixpoint(step, bound)
-        elif formula.kind is ast.FixKind.IFP:
-            run = inflationary_fixpoint(step, bound)
-        else:
-            run = partial_fixpoint(step)
-        self.stats["fixpoint_stages"] += run.stages
+        with TRACER.span("eval.fixpoint", aggregate=True) as fp_span:
+            if formula.kind is ast.FixKind.LFP:
+                run = least_fixpoint(step, bound)
+            elif formula.kind is ast.FixKind.IFP:
+                run = inflationary_fixpoint(step, bound)
+            else:
+                run = partial_fixpoint(step)
+            fp_span.add("stages", run.stages)
+        self._c_fixpoint_stages.inc(run.stages)
         self._fixpoint_memo[memo_key] = run
         return run
 
@@ -471,10 +534,12 @@ class Evaluator:
         region_env: RegionEnv,
         set_env: SetEnv,
     ) -> ConstraintRelation:
-        closure = self._tc_memo.get(id(formula))
+        memo_key = _structural_key(formula)
+        closure = self._tc_memo.get(memo_key)
         if closure is None:
-            closure = self._compute_closure(formula, set_env)
-            self._tc_memo[id(formula)] = closure
+            with TRACER.span("eval.transitive_closure", aggregate=True):
+                closure = self._compute_closure(formula, set_env)
+            self._tc_memo[memo_key] = closure
         left = tuple(region_env[name] for name in formula.left_args)
         right = tuple(region_env[name] for name in formula.right_args)
         return _bool_relation((left, right) in closure)
@@ -544,16 +609,15 @@ def evaluate_query(
 ) -> ConstraintRelation:
     """Evaluate a closed-region-variable query against a database.
 
-    The formula may have free element variables (the query's output
-    columns) but no free region or set variables — the paper's notion of
-    a RegFO/RegLFP/RegTC *query*.
+    Deprecated one-line wrapper over :class:`repro.engine.QueryEngine`
+    (which caches the Theorem-3.1 construction across calls); the
+    formula may have free element variables (the query's output columns)
+    but no free region or set variables — the paper's notion of a
+    RegFO/RegLFP/RegTC *query*.
     """
-    if formula.free_region_vars() or formula.free_set_vars():
-        raise EvaluationError(
-            "queries must not have free region or set variables"
-        )
-    extension = RegionExtension.build(database, decomposition, spatial_name)
-    return Evaluator(extension).evaluate(formula)
+    from repro.engine import QueryEngine
+
+    return QueryEngine(database, decomposition, spatial_name).evaluate(formula)
 
 
 def query_truth(
@@ -562,9 +626,10 @@ def query_truth(
     decomposition: str = "arrangement",
     spatial_name: str = "S",
 ) -> bool:
-    """Truth of a boolean query (no free variables of any sort)."""
-    if formula.free_element_vars():
-        raise EvaluationError("boolean queries have no free variables")
-    return not evaluate_query(
-        formula, database, decomposition, spatial_name
-    ).is_empty()
+    """Truth of a boolean query (no free variables of any sort).
+
+    Deprecated one-line wrapper over :class:`repro.engine.QueryEngine`.
+    """
+    from repro.engine import QueryEngine
+
+    return QueryEngine(database, decomposition, spatial_name).truth(formula)

@@ -1,0 +1,46 @@
+"""repro.obs — observability: tracing spans and metrics registries.
+
+The subsystem has two halves, both with near-zero cost while idle:
+
+* :mod:`repro.obs.metrics` — named counters in (possibly nested)
+  registries; the process-wide registry aggregates everything and the
+  legacy telemetry surfaces (``lp_statistics``, ``Evaluator.stats``)
+  are live views over it.
+* :mod:`repro.obs.tracing` — a span tree recorded by the process-wide
+  :data:`TRACER`, disabled by default; ``repro profile`` and the
+  ``--trace`` CLI flag turn it on around one command.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    MetricsRegistry,
+    MetricsView,
+    get_registry,
+    metrics_snapshot,
+    reset_metrics,
+)
+from repro.obs.tracing import (
+    NULL_SPAN,
+    Span,
+    TRACER,
+    Tracer,
+    span,
+    traced,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "MetricsRegistry",
+    "MetricsView",
+    "get_registry",
+    "metrics_snapshot",
+    "reset_metrics",
+    "NULL_SPAN",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "span",
+    "traced",
+    "tracing_enabled",
+]

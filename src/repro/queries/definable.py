@@ -47,7 +47,7 @@ def bounded_region_formula(arity: int, region: str = "R") -> RegFormula:
     xs = _coords("w", arity)
     box = " & ".join(f"0 - b < {x} & {x} < b" for x in xs)
     text = (
-        f"exists b. b > 0 & "
+        "exists b. b > 0 & "
         f"(forall {', '.join(xs)}. ({', '.join(xs)}) in {region} -> "
         f"({box}))"
     )

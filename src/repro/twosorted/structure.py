@@ -28,6 +28,7 @@ from typing import Sequence
 from repro.errors import EvaluationError
 from repro.constraints.database import ConstraintDatabase
 from repro.constraints.relation import ConstraintRelation
+from repro.obs.tracing import TRACER
 from repro.regions.arrangement_regions import ArrangementDecomposition
 from repro.regions.base import Decomposition, Region
 from repro.regions.nc1 import NC1Decomposition
@@ -55,6 +56,7 @@ class RegionExtension:
         database: ConstraintDatabase,
         decomposition: str = "arrangement",
         spatial_name: str = "S",
+        arrangement_factory=None,
     ) -> "RegionExtension":
         """Construct the region extension of a database.
 
@@ -67,36 +69,61 @@ class RegionExtension:
         auxiliary relations' atoms makes every region homogeneous with
         respect to each of them, exactly as the paper's single-relation
         encoding via an extra dimension would.
+
+        ``arrangement_factory`` — optional ``(relation,
+        extra_hyperplanes) -> Arrangement`` used in place of a fresh
+        build; :mod:`repro.engine` passes its cross-query arrangement
+        cache here so repeated builds of the same database skip the
+        Theorem-3.1 construction.
         """
         if spatial_name not in database:
             raise EvaluationError(
                 f"database has no spatial relation {spatial_name!r}"
             )
         spatial = database.relation(spatial_name)
-        if decomposition == "arrangement":
-            regions: Decomposition = ArrangementDecomposition(spatial)
-        elif decomposition == "refined":
-            from repro.arrangement.hyperplanes import hyperplanes_of_relation
+        with TRACER.span("extension.build") as build_span:
+            build_span.set("decomposition", decomposition)
+            if decomposition == "arrangement":
+                if arrangement_factory is not None:
+                    regions: Decomposition = ArrangementDecomposition(
+                        spatial,
+                        arrangement=arrangement_factory(spatial, None),
+                    )
+                else:
+                    regions = ArrangementDecomposition(spatial)
+            elif decomposition == "refined":
+                from repro.arrangement.hyperplanes import (
+                    hyperplanes_of_relation,
+                )
 
-            extra: list = []
-            for name, relation in database:
-                if name != spatial_name:
-                    if relation.arity != spatial.arity:
-                        raise EvaluationError(
-                            "refined decomposition requires all relations "
-                            "to share the spatial arity"
-                        )
-                    extra.extend(hyperplanes_of_relation(relation))
-            regions = ArrangementDecomposition(
-                spatial, extra_hyperplanes=tuple(extra)
-            )
-        elif decomposition == "nc1":
-            regions = NC1Decomposition(spatial)
-        else:
-            raise EvaluationError(
-                f"unknown decomposition {decomposition!r}; "
-                "use 'arrangement', 'refined' or 'nc1'"
-            )
+                extra: list = []
+                for name, relation in database:
+                    if name != spatial_name:
+                        if relation.arity != spatial.arity:
+                            raise EvaluationError(
+                                "refined decomposition requires all "
+                                "relations to share the spatial arity"
+                            )
+                        extra.extend(hyperplanes_of_relation(relation))
+                if arrangement_factory is not None:
+                    regions = ArrangementDecomposition(
+                        spatial,
+                        arrangement=arrangement_factory(
+                            spatial, tuple(extra)
+                        ),
+                    )
+                else:
+                    regions = ArrangementDecomposition(
+                        spatial, extra_hyperplanes=tuple(extra)
+                    )
+            elif decomposition == "nc1":
+                regions = NC1Decomposition(spatial)
+            else:
+                raise EvaluationError(
+                    f"unknown decomposition {decomposition!r}; "
+                    "use 'arrangement', 'refined' or 'nc1'"
+                )
+            build_span.set("regions", len(regions))
         return RegionExtension(database, regions, spatial_name)
 
     # ------------------------------------------------------------------

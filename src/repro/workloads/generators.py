@@ -78,7 +78,7 @@ def chain_of_boxes(count: int, touching: bool = True) -> ConstraintDatabase:
     step = 1 if touching else 2
     parts = [
         f"({i * step} <= x0 & x0 <= {i * step + 1} & "
-        f"0 <= x1 & x1 <= 1)"
+        "0 <= x1 & x1 <= 1)"
         for i in range(count)
     ]
     return ConstraintDatabase.from_formula(

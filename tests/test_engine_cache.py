@@ -1,0 +1,223 @@
+"""Tests for repro.engine: fingerprints, the cross-query cache and
+the QueryEngine entry point.
+
+The satellite criteria: structurally equal databases hit the cache; a
+mutated formula or a renamed relation misses; invalidation drops the
+entries; the deprecated one-shot helpers still work and agree with the
+engine.
+"""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.parser import parse_formula
+from repro.constraints.relation import ConstraintRelation
+from repro.engine import (
+    EngineCache,
+    QueryEngine,
+    database_fingerprint,
+    relation_fingerprint,
+    shared_cache,
+)
+from repro.logic.evaluator import evaluate_query, query_truth
+from repro.logic.parser import parse_query
+from repro.obs.metrics import MetricsRegistry
+
+
+def interval_db(text: str = "(0 < x0 & x0 < 1) | (2 < x0 & x0 < 3)",
+                name: str = "S") -> ConstraintDatabase:
+    return ConstraintDatabase.make({
+        name: ConstraintRelation.make(("x0",), parse_formula(text)),
+    })
+
+
+def fresh_cache() -> EngineCache:
+    return EngineCache(metrics=MetricsRegistry())
+
+
+class TestFingerprints:
+    def test_structurally_equal_databases_share_fingerprint(self):
+        assert database_fingerprint(interval_db()) == \
+            database_fingerprint(interval_db())
+
+    def test_mutated_formula_changes_fingerprint(self):
+        original = interval_db()
+        mutated = interval_db("(0 < x0 & x0 < 1) | (2 < x0 & x0 < 4)")
+        assert database_fingerprint(original) != \
+            database_fingerprint(mutated)
+
+    def test_renamed_relation_changes_fingerprint(self):
+        assert database_fingerprint(interval_db(name="S")) != \
+            database_fingerprint(interval_db(name="T"))
+
+    def test_schema_matters(self):
+        left = ConstraintRelation.make(("x0",), parse_formula("x0 > 0"))
+        right = ConstraintRelation.make(("x1",), parse_formula("x1 > 0"))
+        assert relation_fingerprint(left) != relation_fingerprint(right)
+
+    def test_fingerprint_is_cached_on_the_database(self):
+        database = interval_db()
+        first = database_fingerprint(database)
+        assert database.__dict__.get("_fingerprint") == first
+        assert database_fingerprint(database) == first
+
+
+class TestEngineCache:
+    def test_same_database_hits(self):
+        cache = fresh_cache()
+        first = cache.extension(interval_db())
+        second = cache.extension(interval_db())   # distinct object
+        assert second is first
+        stats = cache.stats()
+        assert stats["extension_hits"] == 1
+        assert stats["extension_misses"] == 1
+
+    def test_mutated_formula_misses(self):
+        cache = fresh_cache()
+        cache.extension(interval_db())
+        cache.extension(interval_db("(0 < x0 & x0 < 1)"))
+        stats = cache.stats()
+        assert stats["extension_hits"] == 0
+        assert stats["extension_misses"] == 2
+
+    def test_renamed_relation_misses(self):
+        cache = fresh_cache()
+        cache.extension(interval_db(name="S"), spatial_name="S")
+        cache.extension(interval_db(name="T"), spatial_name="T")
+        stats = cache.stats()
+        assert stats["extension_hits"] == 0
+        assert stats["extension_misses"] == 2
+
+    def test_decomposition_is_part_of_the_key(self):
+        cache = fresh_cache()
+        arr = cache.extension(interval_db(), "arrangement")
+        nc1 = cache.extension(interval_db(), "nc1")
+        assert arr is not nc1
+        assert cache.stats()["extension_misses"] == 2
+
+    def test_arrangement_reused_across_databases(self):
+        # Two different databases sharing the spatial relation S reuse
+        # the Theorem-3.1 arrangement even though the extensions differ.
+        cache = fresh_cache()
+        shared = "(0 < x0 & x0 < 1)"
+        first = ConstraintDatabase.make({
+            "S": ConstraintRelation.make(
+                ("x0",), parse_formula(shared)
+            ),
+        })
+        second = ConstraintDatabase.make({
+            "S": ConstraintRelation.make(
+                ("x0",), parse_formula(shared)
+            ),
+            "Zone": ConstraintRelation.make(
+                ("x0",), parse_formula("x0 > 5")
+            ),
+        })
+        assert database_fingerprint(first) != database_fingerprint(second)
+        cache.extension(first)
+        cache.extension(second)
+        stats = cache.stats()
+        assert stats["extension_misses"] == 2
+        assert stats["arrangement_hits"] == 1
+
+    def test_invalidate_all(self):
+        cache = fresh_cache()
+        cache.extension(interval_db())
+        assert len(cache) > 0
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.stats()["invalidations"] > 0
+
+    def test_invalidate_one_database(self):
+        cache = fresh_cache()
+        keep = interval_db("(0 < x0 & x0 < 1)")
+        drop = interval_db()
+        cache.extension(keep)
+        cache.extension(drop)
+        cache.invalidate(drop)
+        # keep is still warm, drop is gone.
+        cache.extension(keep)
+        stats = cache.stats()
+        assert stats["extension_hits"] == 1
+        cache.extension(drop)
+        assert cache.stats()["extension_misses"] == 3
+
+    def test_lru_eviction(self):
+        cache = EngineCache(capacity=1, metrics=MetricsRegistry())
+        cache.extension(interval_db("0 < x0 & x0 < 1"))
+        cache.extension(interval_db("1 < x0 & x0 < 2"))
+        assert cache.stats()["extensions_cached"] == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EngineCache(capacity=0)
+
+
+class TestQueryEngine:
+    def test_truth_and_evaluate(self):
+        engine = QueryEngine(interval_db(), cache=fresh_cache())
+        assert engine.truth("exists x. S(x)")
+        answer = engine.evaluate("S(x) & x < 1")
+        assert answer.variables == ("x",)
+        assert not answer.is_empty()
+
+    def test_accepts_parsed_formulas(self):
+        engine = QueryEngine(interval_db(), cache=fresh_cache())
+        assert engine.truth(parse_query("exists x. S(x)"))
+
+    def test_rejects_free_region_vars(self):
+        engine = QueryEngine(interval_db(), cache=fresh_cache())
+        with pytest.raises(EvaluationError):
+            engine.evaluate("sub(R, S)")
+
+    def test_truth_rejects_free_element_vars(self):
+        engine = QueryEngine(interval_db(), cache=fresh_cache())
+        with pytest.raises(EvaluationError):
+            engine.truth("S(x)")
+
+    def test_two_engines_share_the_cache(self):
+        cache = fresh_cache()
+        first = QueryEngine(interval_db(), cache=cache)
+        second = QueryEngine(interval_db(), cache=cache)
+        first.truth("exists x. S(x)")
+        second.truth("exists x. S(x)")
+        assert second.extension is first.extension
+        assert cache.stats()["extension_hits"] == 1
+
+    def test_invalidate_resets_the_engine(self):
+        cache = fresh_cache()
+        engine = QueryEngine(interval_db(), cache=cache)
+        engine.truth("exists x. S(x)")
+        engine.invalidate()
+        assert len(cache) == 0
+        engine.truth("exists x. S(x)")   # rebuilds without error
+        assert cache.stats()["extension_misses"] == 2
+
+    def test_stats_shape(self):
+        engine = QueryEngine(interval_db(), cache=fresh_cache())
+        engine.truth("exists x. S(x)")
+        stats = engine.stats()
+        assert "cache" in stats
+        assert stats["evaluator"]["evaluations"] > 0
+        assert stats["regions"] == 9
+
+    def test_agrees_with_deprecated_helpers(self):
+        database = interval_db()
+        engine = QueryEngine(database, cache=fresh_cache())
+        query = "forall x. S(x) -> x < 3"
+        assert engine.truth(query) == query_truth(
+            parse_query(query), database
+        )
+        relational = "S(x) & x < 1"
+        from_engine = engine.evaluate(relational)
+        from_helper = evaluate_query(parse_query(relational), database)
+        assert from_engine.equivalent(from_helper)
+
+    def test_shared_cache_is_the_default(self):
+        engine = QueryEngine(interval_db())
+        assert engine.cache is shared_cache()
+
+    def test_repr_mentions_fingerprint(self):
+        engine = QueryEngine(interval_db(), cache=fresh_cache())
+        assert engine.fingerprint[:12] in repr(engine)

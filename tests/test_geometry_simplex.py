@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import LPError
-from repro.geometry.fourier_motzkin import LinearConstraint, Rel
+from repro.geometry.fourier_motzkin import LinearConstraint
 from repro.geometry.simplex import (
     LPStatus,
     feasible,

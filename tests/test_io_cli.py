@@ -169,3 +169,89 @@ class TestCli:
             "regions", one_dim_file, "--decomposition", "nc1"
         )
         assert code == 0
+
+    def test_trace_flag_prints_span_tree(self, one_dim_file):
+        code, output = run_cli(
+            "query", one_dim_file, "exists x. S(x)", "--trace"
+        )
+        assert code == 0
+        assert "answer: True" in output
+        assert "trace:" in output
+        assert "query:" in output          # root span named after command
+        assert "evaluate:" in output
+        from repro.obs import TRACER
+        assert not TRACER.enabled          # collection ended cleanly
+
+
+class TestProfileCommand:
+    def run_profile(self, db_path, query, *extra):
+        import json
+
+        code, output = run_cli("profile", db_path, query, *extra)
+        assert code == 0
+        return json.loads(output)
+
+    def test_golden_span_tree_shape(self, one_dim_file):
+        from repro.engine import invalidate_cache
+        from repro.geometry.simplex import clear_feasibility_cache
+
+        invalidate_cache()                 # force a cold build ...
+        clear_feasibility_cache()          # ... with real LP solves
+        payload = self.run_profile(one_dim_file, "exists x. S(x)")
+
+        assert payload["command"] == "profile"
+        assert payload["query"] == "exists x. S(x)"
+        assert payload["decomposition"] == "arrangement"
+        assert len(payload["fingerprint"]) == 64
+        assert payload["answer"] == {"variables": [], "empty": False}
+
+        # The span tree: profile -> {load, evaluate -> extension.build
+        # -> arrangement.build -> lp.feasible (aggregated)}.
+        spans = payload["spans"]
+        assert spans["name"] == "profile"
+        assert set(spans) == {"name", "calls", "wall_ms", "children"}
+        names = [child["name"] for child in spans["children"]]
+        assert names[0] == "load"
+
+        def find(node, name):
+            if node["name"] == name:
+                return node
+            for child in node["children"]:
+                found = find(child, name)
+                if found is not None:
+                    return found
+            return None
+
+        evaluate = find(spans, "evaluate")
+        assert evaluate is not None
+        build = find(evaluate, "extension.build")
+        assert build is not None
+        assert build["attrs"]["regions"] == 9
+        arrangement = find(build, "arrangement.build")
+        assert arrangement is not None
+        lp = find(spans, "lp.feasible")
+        assert lp is not None and lp["calls"] > 1   # aggregated
+
+        # The metrics dump sits next to the tree and covers the layers.
+        metrics = payload["metrics"]
+        assert metrics["lp.solves"] > 0
+        assert metrics["arrangement.dfs_nodes"] > 0
+        assert metrics["evaluator.evaluations"] > 0
+
+    def test_second_profile_hits_the_cache(self, one_dim_file):
+        from repro.engine import invalidate_cache
+
+        invalidate_cache()
+        cold = self.run_profile(one_dim_file, "exists x. S(x)")
+        warm = self.run_profile(one_dim_file, "exists x. S(x)")
+        assert cold["metrics"]["engine.cache.extension.misses"] == 1
+        assert warm["metrics"]["engine.cache.extension.hits"] == 1
+        assert warm["metrics"].get("engine.cache.extension.misses", 0) == 0
+        assert warm["fingerprint"] == cold["fingerprint"]
+
+    def test_profile_rejects_free_region_vars(self, one_dim_file):
+        code, output = run_cli("profile", one_dim_file, "sub(R, S)")
+        assert code == 2
+        assert "free region" in output
+        from repro.obs import TRACER
+        assert not TRACER.enabled

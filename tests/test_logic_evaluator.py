@@ -296,3 +296,42 @@ class TestMemoisation:
         second = ev.evaluate(f)
         assert ev.stats["evaluations"] == before
         assert first.equivalent(second)
+
+    def test_memo_keys_are_structural_not_identity(self):
+        # Regression: the memos used to key on id(formula), which both
+        # misses structurally equal formulas and — worse — can collide
+        # when a collected object's id is reused.  Two independent
+        # parses of the same query must share one memo entry.
+        ext = RegionExtension.build(TRIANGLE)
+        ev = Evaluator(ext)
+        first = parse_query("exists R. sub(R, S) & (x, y) in R")
+        second = parse_query("exists R. sub(R, S) & (x, y) in R")
+        assert first is not second
+        ev.evaluate(first)
+        evaluations = ev.stats["evaluations"]
+        answer = ev.evaluate(second)
+        assert ev.stats["evaluations"] == evaluations
+        assert answer.equivalent(ev.evaluate(first))
+
+    def test_fixpoint_memo_shared_across_equal_parses(self):
+        ext = RegionExtension.build(TWO_INTERVALS)
+        ev = Evaluator(ext)
+        query = (
+            "exists RX, RY. sub(RX, S) & sub(RY, S) & "
+            "[lfp M(R, Rp). ((R = Rp & sub(R, S)) | "
+            "(exists Z. M(R, Z) & adj(Z, Rp) & sub(Rp, S)))](RX, RY)"
+        )
+        assert ev.truth(parse_query(query))
+        assert len(ev._fixpoint_memo) == 1
+        stages = ev.stats["fixpoint_stages"]
+        # A fresh parse is a different object but the same structure:
+        # the fixpoint run must come from the memo, not be recomputed.
+        assert ev.truth(parse_query(query))
+        assert len(ev._fixpoint_memo) == 1
+        assert ev.stats["fixpoint_stages"] == stages
+
+    def test_distinct_formulas_do_not_collide(self):
+        ext = RegionExtension.build(TWO_INTERVALS)
+        ev = Evaluator(ext)
+        assert ev.truth(parse_query("exists x. S(x)"))
+        assert not ev.truth(parse_query("exists x. S(x) & x > 10"))

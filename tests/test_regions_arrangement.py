@@ -6,10 +6,7 @@ import pytest
 
 from repro.constraints.parser import parse_formula
 from repro.constraints.relation import ConstraintRelation
-from repro.regions.arrangement_regions import (
-    ArrangementDecomposition,
-    ArrangementRegion,
-)
+from repro.regions.arrangement_regions import ArrangementDecomposition
 from repro.regions.nc1 import NC1Decomposition
 from repro.regions.ordering import region_sort_key, sort_regions
 

@@ -13,7 +13,6 @@ import pytest
 
 from repro.constraints.parser import parse_formula
 from repro.constraints.relation import ConstraintRelation
-from repro.geometry.polyhedron import Polyhedron
 from repro.regions.nc1 import (
     NC1Decomposition,
     _icube_constraints,
