@@ -87,3 +87,58 @@ def test_e15_reach_benchmark(benchmark):
     database = interval_chain(2)
     outcome = benchmark(evaluate_program, REACH, database)
     assert outcome.converged
+
+
+def test_e15_seminaive_agrees_with_naive(report):
+    """Semi-naive delta evaluation is a pure speedup: identical IDB
+    relations and stage counts on both converging and diverging runs."""
+    rows = []
+    for k in (1, 2, 3):
+        database = interval_chain(k)
+        naive = evaluate_program(REACH, database, strategy="naive")
+        fast = evaluate_program(REACH, database, strategy="seminaive")
+        assert fast.converged == naive.converged
+        assert fast.stages == naive.stages
+        for predicate in fast.relations:
+            assert fast[predicate].equivalent(naive[predicate])
+        rows.append(
+            (f"chain k={k}:",
+             f"both converge in {fast.stages} stages,",
+             "identical Reach relation")
+        )
+    report("E15: semi-naive ≡ naive evaluation", rows)
+
+
+def test_e15_seminaive_agrees_on_divergence():
+    database = db("x0 >= 0")
+    naive = evaluate_program(
+        SUCCESSOR, database, max_stages=8, strategy="naive"
+    )
+    fast = evaluate_program(
+        SUCCESSOR, database, max_stages=8, strategy="seminaive"
+    )
+    assert not naive.converged and not fast.converged
+    assert fast.stages == naive.stages == 8
+    assert fast["P"].equivalent(naive["P"])
+
+
+def test_e15_before_after_seminaive(report):
+    """Before/after mode: naive vs semi-naive timings at small chain
+    lengths.  Set ``REPRO_BENCH_RECORD=1`` to write ``BENCH_E15.json``
+    (the committed record is produced by ``repro bench e15`` at larger
+    sizes)."""
+    import os
+
+    from repro.bench import run_bench_e15, write_record
+
+    record = run_bench_e15(sizes=(2, 4))
+    assert record["all_match"], record
+    if os.environ.get("REPRO_BENCH_RECORD"):
+        write_record(record, "BENCH_E15.json")
+    report("E15: naive vs semi-naive evaluation", [
+        (f"k={row['k']}:",
+         f"naive {row['baseline_s'] * 1000:.0f} ms,",
+         f"semi-naive {row['fast_s'] * 1000:.0f} ms,",
+         f"{row['stages']} stages")
+        for row in record["results"]
+    ])

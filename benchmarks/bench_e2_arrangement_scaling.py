@@ -140,3 +140,43 @@ def test_e2_incremental_benchmark(benchmark):
         build_arrangement_incremental, hyperplanes=planes, dimension=2
     )
     assert len(arrangement) == expected_faces_2d(5)
+
+
+def test_e2_before_after_fast_path(report):
+    """Before/after mode: the witness-reuse fast path against the naive
+    DFS — identical face lists, recorded speedup.  Set
+    ``REPRO_BENCH_RECORD=1`` to write ``BENCH_E2.json`` (the committed
+    record is produced by ``repro bench e2`` at larger sizes)."""
+    import os
+
+    from repro.bench import run_bench_e2, write_record
+
+    record = run_bench_e2(sizes=(3, 4, 5))
+    assert record["all_match"], record
+    if os.environ.get("REPRO_BENCH_RECORD"):
+        write_record(record, "BENCH_E2.json")
+    report("E2: naive DFS vs witness-reuse fast path", [
+        (f"n={row['n']}:",
+         f"baseline {row['baseline_s'] * 1000:.0f} ms,",
+         f"fast {row['fast_s'] * 1000:.0f} ms,",
+         f"{row['lp_skipped']} LP solves skipped")
+        for row in record["results"]
+    ])
+
+
+def test_e2_parallel_matches_sequential(report):
+    """Process-parallel construction yields the exact same face list."""
+    from repro.arrangement.parallel import resolve_jobs
+
+    planes = generic_lines(5)
+    sequential = build_arrangement(hyperplanes=planes, dimension=2)
+    parallel = build_arrangement(
+        hyperplanes=planes, dimension=2, parallel=2
+    )
+    assert [f.signs for f in parallel.faces] == [
+        f.signs for f in sequential.faces
+    ]
+    assert resolve_jobs(None) >= 1
+    report("E2: parallel construction is deterministic", [
+        ("faces (sequential == 2 workers):", len(parallel)),
+    ])

@@ -12,11 +12,36 @@ one face, so the number of explored nodes is at most n times the number
 of faces; for fixed dimension d the face count is O(n^d) and the whole
 construction runs in polynomial time — the constructive content of
 Theorem 3.1.
+
+Fast path
+---------
+
+Exact simplex solves dominate the DFS, so the enumerator works hard to
+avoid them (all three prunings are exact — they never change the face
+set, only who pays for the feasibility certificate):
+
+* **witness reuse** — the parent prefix carries a rational witness point;
+  its side of the next hyperplane decides one child branch for free.
+* **derived witnesses** — the parent region is a relatively open convex
+  polyhedron, so if it meets the new hyperplane (the sign-0 child is
+  feasible, witness ``x0``) and the parent witness ``w`` lies strictly on
+  one side, the segment through ``w`` and ``x0`` extended slightly past
+  ``x0`` stays inside the region and lands strictly on the *other* side.
+  A closed-form rational step length replaces the third LP solve.
+* **system dedup** — candidate systems are normalised (sorted, duplicate
+  rows removed) and memoised per build, so repeated hyperplane multiples
+  and recurring subsystems hit a dictionary instead of the solver.
+
+``witness_reuse=False`` / ``dedup=False`` select the naive baseline used
+by the E2 before/after benchmark (``repro bench e2``); ``parallel`` fans
+top-level sign-vector subtrees out to worker processes (see
+:mod:`repro.arrangement.parallel`) while preserving the sequential face
+order exactly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Iterator, Sequence
 
@@ -29,10 +54,14 @@ from repro.obs.metrics import get_registry
 from repro.obs.tracing import TRACER
 from repro.constraints.relation import ConstraintRelation
 
-#: Sign-vector DFS telemetry: explored search-tree nodes and faces kept.
+#: Sign-vector DFS telemetry: explored search-tree nodes, faces kept,
+#: and LP solves avoided by the fast-path prunings.
 _DFS_NODES = get_registry().counter("arrangement.dfs_nodes")
 _FACES = get_registry().counter("arrangement.faces")
 _BUILDS = get_registry().counter("arrangement.builds")
+_LP_SKIPPED = get_registry().counter("arrangement.lp_skipped")
+_DEDUP_HITS = get_registry().counter("arrangement.dedup_hits")
+_SIGN_INDEX_BUILDS = get_registry().counter("arrangement.sign_index_builds")
 from repro.arrangement.faces import (
     Face,
     SignVector,
@@ -50,6 +79,12 @@ class Arrangement:
     hyperplanes: tuple[Hyperplane, ...]
     faces: tuple[Face, ...]
     relation: ConstraintRelation | None
+    #: Lazily built ``signs -> face`` lookup.  An explicit non-field
+    #: cache (excluded from ``__eq__`` / ``__hash__`` / ``repr``) instead
+    #: of ``object.__setattr__`` tricks on the frozen dataclass.
+    _face_index: dict = field(
+        default_factory=dict, compare=False, repr=False, hash=False
+    )
 
     # -- lookups ---------------------------------------------------------
     def face_by_signs(self, signs: SignVector) -> Face | None:
@@ -57,13 +92,11 @@ class Arrangement:
         return self._sign_index().get(tuple(signs))
 
     def _sign_index(self) -> dict[SignVector, Face]:
-        if not hasattr(self, "_signs_cached"):
-            object.__setattr__(
-                self,
-                "_signs_cached",
-                {face.signs: face for face in self.faces},
-            )
-        return getattr(self, "_signs_cached")
+        index = self._face_index
+        if not index and self.faces:
+            _SIGN_INDEX_BUILDS.inc()
+            index.update({face.signs: face for face in self.faces})
+        return index
 
     def locate(self, point: Sequence[Fraction]) -> Face:
         """The unique face containing a rational point."""
@@ -103,15 +136,143 @@ class Arrangement:
         return len(self.faces)
 
 
+def _plane_rows(
+    plane: Hyperplane,
+) -> dict[int, LinearConstraint]:
+    """The three sign-condition rows of one hyperplane, built once."""
+    return {
+        sign: sign_vector_constraints([plane], (sign,))[0]
+        for sign in (-1, 0, 1)
+    }
+
+
+def _step_beyond(
+    system: Sequence[LinearConstraint],
+    anchor: Vector,
+    inside: Vector,
+) -> Vector:
+    """A point ``anchor + t·(anchor - inside)`` still satisfying ``system``.
+
+    Both ``anchor`` and ``inside`` satisfy every row (equality rows
+    exactly, strict rows strictly), so equality rows hold for every ``t``
+    and each strict row ``a·x < b`` bounds ``t`` only when the slack at
+    ``anchor`` is smaller than at ``inside``; half the tightest bound is
+    a valid step.
+    """
+    t = Fraction(1)
+    for row in system:
+        a_anchor = sum(c * x for c, x in zip(row.coeffs, anchor))
+        a_inside = sum(c * x for c, x in zip(row.coeffs, inside))
+        growth = a_anchor - a_inside
+        if growth > 0:
+            slack = row.rhs - a_anchor
+            if slack > 0:
+                bound = slack / growth
+                if bound < t:
+                    t = bound
+    t = t / 2
+    return tuple(
+        a + t * (a - i) for a, i in zip(anchor, inside)
+    )
+
+
+def _satisfies(
+    system: Sequence[LinearConstraint], point: Vector
+) -> bool:
+    return all(row.satisfied_by(point) for row in system)
+
+
 def enumerate_sign_vectors(
-    hyperplanes: Sequence[Hyperplane], dimension: int
+    hyperplanes: Sequence[Hyperplane],
+    dimension: int,
+    witness_reuse: bool = True,
+    dedup: bool = True,
+    prefix: SignVector = (),
+    prefix_witness: Vector | None = None,
 ) -> Iterator[tuple[SignVector, Vector]]:
     """Yield every feasible full sign vector with a witness point.
 
     Depth-first search over partial sign vectors; a branch is cut as soon
-    as its (mixed strict/equality) system is infeasible.
+    as its (mixed strict/equality) system is infeasible.  With
+    ``witness_reuse`` the inherited witness and derived witnesses (see
+    the module docstring) skip most LP solves; with ``dedup`` normalised
+    candidate systems are memoised per enumeration.  Both flags exist so
+    the benchmarks can run the naive baseline; disabling them never
+    changes the yielded faces or their order.
+
+    ``prefix`` / ``prefix_witness`` seed the DFS at a feasible partial
+    sign vector — the parallel builder uses this to enumerate one
+    subtree per worker (the seeded enumeration equals the contiguous
+    slice of the full enumeration below that prefix).
     """
     n = len(hyperplanes)
+    rows = [_plane_rows(plane) for plane in hyperplanes]
+    memo: dict[frozenset, Vector | None] = {}
+
+    def solve(
+        candidate: list[LinearConstraint],
+    ) -> Vector | None:
+        if not dedup:
+            return strict_feasible_point(candidate, dimension)
+        key = frozenset(candidate)
+        if key in memo:
+            _DEDUP_HITS.inc()
+            _LP_SKIPPED.inc()
+            return memo[key]
+        point = strict_feasible_point(candidate, dimension)
+        memo[key] = point
+        return point
+
+    def children(
+        system: list[LinearConstraint],
+        witness: Vector,
+        level: int,
+    ) -> dict[int, Vector | None]:
+        """Feasibility witness (or None) for each sign of the next plane."""
+        plane = hyperplanes[level]
+        plane_rows = rows[level]
+        if not witness_reuse:
+            return {
+                sign: solve(system + [plane_rows[sign]])
+                for sign in (-1, 0, 1)
+            }
+        result: dict[int, Vector | None] = {}
+        witness_sign = int(plane.side_of(witness))
+        result[witness_sign] = witness
+        _LP_SKIPPED.inc()
+        if witness_sign == 0:
+            # Witness on the plane: solve one open side; a hit yields the
+            # other side by stepping through the witness.
+            above = solve(system + [plane_rows[1]])
+            result[1] = above
+            if above is not None:
+                derived = _step_beyond(system, witness, above)
+                if _satisfies(system + [plane_rows[-1]], derived):
+                    result[-1] = derived
+                    _LP_SKIPPED.inc()
+                else:  # pragma: no cover - the step length is exact
+                    result[-1] = solve(system + [plane_rows[-1]])
+            else:
+                result[-1] = solve(system + [plane_rows[-1]])
+            return result
+        # Witness strictly on one side: the parent region is convex, so
+        # it meets the opposite open side iff it meets the plane — and a
+        # point on the plane yields the opposite-side witness by a
+        # rational step, no second LP.
+        on_plane = solve(system + [plane_rows[0]])
+        result[0] = on_plane
+        opposite = -witness_sign
+        if on_plane is None:
+            result[opposite] = None
+            _LP_SKIPPED.inc()
+        else:
+            derived = _step_beyond(system, on_plane, witness)
+            if _satisfies(system + [plane_rows[opposite]], derived):
+                result[opposite] = derived
+                _LP_SKIPPED.inc()
+            else:  # pragma: no cover - the step length is exact
+                result[opposite] = solve(system + [plane_rows[opposite]])
+        return result
 
     def extend(
         prefix: list[int],
@@ -122,46 +283,33 @@ def enumerate_sign_vectors(
         if len(prefix) == n:
             yield tuple(prefix), witness
             return
-        plane = hyperplanes[len(prefix)]
-        # The inherited witness already picks a side of the next plane, so
-        # that branch is feasible without an LP; only the two other signs
-        # need a solve.
-        witness_sign = int(plane.side_of(witness))
+        level = len(prefix)
+        branch = children(system, witness, level)
         for sign in (-1, 0, 1):
-            extra = sign_vector_constraints([plane], (sign,))
-            candidate = system + extra
-            if sign == witness_sign:
-                child_witness: Vector | None = witness
-            else:
-                child_witness = strict_feasible_point(candidate, dimension)
+            child_witness = branch[sign]
             if child_witness is None:
                 continue
             prefix.append(sign)
-            yield from extend(prefix, candidate, child_witness)
+            yield from extend(
+                prefix, system + [rows[level][sign]], child_witness
+            )
             prefix.pop()
 
+    if prefix:
+        if prefix_witness is None:
+            raise GeometryError("a seeded prefix needs its witness point")
+        base_system = [rows[i][sign] for i, sign in enumerate(prefix)]
+        yield from extend(list(prefix), base_system, prefix_witness)
+        return
     origin: Vector = (Fraction(0),) * dimension
     yield from extend([], [], origin)
 
 
-def build_arrangement(
-    relation: ConstraintRelation | None = None,
-    hyperplanes: Sequence[Hyperplane] | None = None,
-    dimension: int | None = None,
-) -> Arrangement:
-    """Build A(S) from a relation, or from an explicit hyperplane set.
-
-    When a relation is given, 𝕳(S) is extracted from its DNF atoms and
-    every face is classified as inside or outside S by evaluating the
-    representation at the face's witness point (faces are in-or-out by
-    construction).  An explicit hyperplane list can be supplied instead
-    (for raw geometric experiments, with ``dimension``), or *in addition*
-    to the relation — then the union of both hyperplane sets is used,
-    which yields a refinement of A(S); every face of a refinement is
-    still in-or-out of S, so all region-logic semantics carry over
-    (the paper notes the languages do not depend on the particular
-    decomposition).
-    """
+def _resolve_planes(
+    relation: ConstraintRelation | None,
+    hyperplanes: Sequence[Hyperplane] | None,
+    dimension: int | None,
+) -> tuple[Sequence[Hyperplane], int]:
     if relation is not None:
         extracted = hyperplanes_of_relation(relation)
         if hyperplanes is not None:
@@ -184,13 +332,61 @@ def build_arrangement(
             raise GeometryError(
                 f"hyperplane dimension {plane.dimension} != ambient {ambient}"
             )
+    return planes, ambient
 
+
+def build_arrangement(
+    relation: ConstraintRelation | None = None,
+    hyperplanes: Sequence[Hyperplane] | None = None,
+    dimension: int | None = None,
+    parallel: int | None = None,
+    witness_reuse: bool = True,
+    dedup: bool = True,
+) -> Arrangement:
+    """Build A(S) from a relation, or from an explicit hyperplane set.
+
+    When a relation is given, 𝕳(S) is extracted from its DNF atoms and
+    every face is classified as inside or outside S by evaluating the
+    representation at the face's witness point (faces are in-or-out by
+    construction).  An explicit hyperplane list can be supplied instead
+    (for raw geometric experiments, with ``dimension``), or *in addition*
+    to the relation — then the union of both hyperplane sets is used,
+    which yields a refinement of A(S); every face of a refinement is
+    still in-or-out of S, so all region-logic semantics carry over
+    (the paper notes the languages do not depend on the particular
+    decomposition).
+
+    ``parallel`` requests process-parallel construction with that many
+    workers (``None`` consults the ``REPRO_JOBS`` environment variable,
+    default sequential); the face set and its order are identical to the
+    sequential build, and construction falls back to sequential when
+    worker processes are unavailable.  ``witness_reuse`` / ``dedup``
+    toggle the fast-path prunings (see :func:`enumerate_sign_vectors`).
+    """
+    planes, ambient = _resolve_planes(relation, hyperplanes, dimension)
+
+    from repro.arrangement.parallel import enumerate_parallel, resolve_jobs
+
+    jobs = resolve_jobs(parallel)
     _BUILDS.inc()
     with TRACER.span("arrangement.build") as build_span:
+        if jobs > 1 and len(planes) > 1:
+            pairs = enumerate_parallel(
+                planes,
+                ambient,
+                jobs,
+                witness_reuse=witness_reuse,
+                dedup=dedup,
+            )
+        else:
+            pairs = enumerate_sign_vectors(
+                planes,
+                ambient,
+                witness_reuse=witness_reuse,
+                dedup=dedup,
+            )
         faces: list[Face] = []
-        for index, (signs, witness) in enumerate(
-            enumerate_sign_vectors(planes, ambient)
-        ):
+        for index, (signs, witness) in enumerate(pairs):
             dim = face_dimension(planes, signs, ambient)
             inside = (
                 relation.contains(witness) if relation is not None else False
@@ -199,4 +395,5 @@ def build_arrangement(
         _FACES.inc(len(faces))
         build_span.set("hyperplanes", len(planes))
         build_span.set("faces", len(faces))
+        build_span.set("jobs", jobs)
         return Arrangement(ambient, tuple(planes), tuple(faces), relation)

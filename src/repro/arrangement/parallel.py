@@ -1,0 +1,143 @@
+"""Process-parallel sign-vector enumeration.
+
+The DFS of :func:`repro.arrangement.builder.enumerate_sign_vectors` is
+embarrassingly parallel below any fixed depth: the subtrees rooted at
+the feasible sign prefixes of the first few hyperplanes are independent.
+This module enumerates those prefixes sequentially (cheap — there are at
+most ``3^depth``), fans each subtree out to a
+:class:`~concurrent.futures.ProcessPoolExecutor` worker, and
+concatenates the results in prefix order, which is exactly the order
+the sequential DFS would have produced — parallelism never changes the
+face list, only who computes it.
+
+Knobs:
+
+* ``parallel=`` on :func:`~repro.arrangement.builder.build_arrangement`
+  (and ``jobs=`` on :class:`~repro.engine.QueryEngine`, ``--jobs`` on
+  the CLI) selects the worker count explicitly;
+* the ``REPRO_JOBS`` environment variable supplies a process-wide
+  default when the knob is not given (``1`` = sequential).
+
+When worker processes cannot be created (restricted sandboxes, missing
+semaphores) the build falls back to the sequential enumerator and
+counts the event in ``arrangement.parallel_fallbacks``.  Metric
+counters incremented inside workers stay in the worker process; the
+parent's counters still reflect the sequential prefix enumeration and
+the per-build aggregates on the ``arrangement.build`` span.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from repro.geometry.hyperplane import Hyperplane
+from repro.geometry.linalg import Vector
+from repro.obs.metrics import get_registry
+
+from repro.arrangement.faces import SignVector
+
+_PARALLEL_BUILDS = get_registry().counter("arrangement.parallel_builds")
+_PARALLEL_SUBTREES = get_registry().counter("arrangement.parallel_subtrees")
+_PARALLEL_FALLBACKS = get_registry().counter(
+    "arrangement.parallel_fallbacks"
+)
+
+
+def resolve_jobs(parallel: int | None) -> int:
+    """The effective worker count: explicit knob, else ``REPRO_JOBS``.
+
+    Values below 1 (and unparsable environment values) mean sequential.
+    """
+    if parallel is not None:
+        return max(1, int(parallel))
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def _subtree_worker(
+    args: tuple[
+        tuple[Hyperplane, ...], SignVector, Vector, int, bool, bool
+    ],
+) -> list[tuple[SignVector, Vector]]:
+    """Enumerate one sign-vector subtree (runs in a worker process)."""
+    hyperplanes, prefix, witness, dimension, witness_reuse, dedup = args
+    from repro.arrangement.builder import enumerate_sign_vectors
+
+    return list(
+        enumerate_sign_vectors(
+            hyperplanes,
+            dimension,
+            witness_reuse=witness_reuse,
+            dedup=dedup,
+            prefix=prefix,
+            prefix_witness=witness,
+        )
+    )
+
+
+def _split_depth(n_planes: int, jobs: int) -> int:
+    """DFS depth below which subtrees are distributed to workers."""
+    depth = 1
+    while 3 ** depth < 2 * jobs and depth < n_planes - 1:
+        depth += 1
+    return min(depth, n_planes - 1)
+
+
+def enumerate_parallel(
+    hyperplanes: Sequence[Hyperplane],
+    dimension: int,
+    jobs: int,
+    witness_reuse: bool = True,
+    dedup: bool = True,
+) -> list[tuple[SignVector, Vector]]:
+    """All feasible sign vectors, computed by a process pool.
+
+    Deterministic: the concatenation over subtree prefixes in DFS order
+    reproduces the sequential enumeration order exactly.  Falls back to
+    the sequential enumerator when the pool cannot be created.
+    """
+    from repro.arrangement.builder import enumerate_sign_vectors
+
+    planes = tuple(hyperplanes)
+    depth = _split_depth(len(planes), jobs)
+    prefixes = list(
+        enumerate_sign_vectors(
+            planes[:depth],
+            dimension,
+            witness_reuse=witness_reuse,
+            dedup=dedup,
+        )
+    )
+    tasks = [
+        (planes, signs, witness, dimension, witness_reuse, dedup)
+        for signs, witness in prefixes
+    ]
+    try:
+        import concurrent.futures
+
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(jobs, max(1, len(tasks)))
+        ) as pool:
+            chunks = list(pool.map(_subtree_worker, tasks))
+    except Exception:
+        _PARALLEL_FALLBACKS.inc()
+        return list(
+            enumerate_sign_vectors(
+                planes,
+                dimension,
+                witness_reuse=witness_reuse,
+                dedup=dedup,
+            )
+        )
+    _PARALLEL_BUILDS.inc()
+    _PARALLEL_SUBTREES.inc(len(tasks))
+    results: list[tuple[SignVector, Vector]] = []
+    for chunk in chunks:
+        results.extend(chunk)
+    return results

@@ -1,0 +1,187 @@
+"""Named before/after benchmarks with JSON records (``repro bench``).
+
+Each runner measures a *baseline* path and the *fast* path of one
+subsystem on a ladder of sizes, verifies that both paths produce
+identical results (face sign vectors for E2, equivalent IDB relations
+for E15 — the speedups must be free), and returns a JSON-ready record.
+The CLI writes the record to ``BENCH_E2.json`` / ``BENCH_E15.json`` at
+the repository root so the performance trajectory is versioned next to
+the code; CI re-runs small sizes with ``--check-only`` to guard the
+equivalences without timing noise.
+
+* **E2 (arrangement scaling)** — the naive sign-vector DFS (no witness
+  reuse, no system dedup) against the fast path of
+  :func:`repro.arrangement.builder.build_arrangement`; with ``jobs > 1``
+  the fast path also fans subtrees out to worker processes.
+* **E15 (spatial datalog)** — naive immediate-consequence iteration
+  against semi-naive delta evaluation on the unit-step reachability
+  program over growing interval chains.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Sequence
+
+from repro.obs.metrics import get_registry
+
+
+def _timed(function, *args, **kwargs):
+    start = time.perf_counter()
+    result = function(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def run_bench_e2(
+    sizes: Sequence[int] = (4, 6, 8, 10),
+    jobs: int | None = None,
+    check_only: bool = False,
+) -> dict:
+    """Arrangement construction: naive DFS vs witness-reuse fast path.
+
+    ``check_only`` skips nothing but timing *assertions* are left to the
+    caller either way; every run verifies that both paths enumerate the
+    identical face list.  The feasibility memo is cleared before each
+    measurement so timings are hermetic.
+    """
+    from repro.arrangement.builder import build_arrangement
+    from repro.arrangement.parallel import resolve_jobs
+    from repro.geometry.hyperplane import Hyperplane
+    from repro.geometry.simplex import clear_feasibility_cache
+
+    registry = get_registry()
+    effective_jobs = resolve_jobs(jobs)
+    results = []
+    for n in sizes:
+        planes = [
+            Hyperplane.make([2 * i, -1], i * i) for i in range(1, n + 1)
+        ]
+        clear_feasibility_cache()
+        baseline, baseline_s = _timed(
+            build_arrangement,
+            hyperplanes=planes,
+            dimension=2,
+            witness_reuse=False,
+            dedup=False,
+            parallel=1,
+        )
+        clear_feasibility_cache()
+        skipped_before = registry.get("arrangement.lp_skipped")
+        fast, fast_s = _timed(
+            build_arrangement,
+            hyperplanes=planes,
+            dimension=2,
+            parallel=effective_jobs,
+        )
+        lp_skipped = registry.get("arrangement.lp_skipped") - skipped_before
+        match = [f.signs for f in baseline.faces] == [
+            f.signs for f in fast.faces
+        ]
+        results.append(
+            {
+                "n": n,
+                "faces": len(fast),
+                "baseline_s": round(baseline_s, 4),
+                "fast_s": round(fast_s, 4),
+                "speedup": round(baseline_s / fast_s, 2)
+                if fast_s > 0
+                else None,
+                "lp_skipped": lp_skipped,
+                "match": match,
+            }
+        )
+    largest = results[-1] if results else None
+    return {
+        "benchmark": "E2",
+        "subject": "arrangement construction (Theorem 3.1 DFS)",
+        "baseline": "sign-vector DFS, LP solve per child branch",
+        "fast": "witness-reuse pruning + derived witnesses + system dedup"
+        + (f" + {effective_jobs} worker processes"
+           if effective_jobs > 1 else ""),
+        "jobs": effective_jobs,
+        "check_only": check_only,
+        "sizes": list(sizes),
+        "results": results,
+        "all_match": all(row["match"] for row in results),
+        "largest_speedup": largest["speedup"] if largest else None,
+    }
+
+
+def run_bench_e15(
+    sizes: Sequence[int] = (4, 8, 12, 16),
+    check_only: bool = False,
+) -> dict:
+    """Spatial datalog: naive vs semi-naive on unit-step reachability."""
+    from repro.datalog import evaluate_program
+    from repro.datalog.parser import parse_program
+    from repro.workloads.generators import interval_chain
+
+    registry = get_registry()
+    program = parse_program(
+        "Reach(x) :- S(x), x = 0.\n"
+        "Reach(y) :- Reach(x), S(y), y - x <= 1, x - y <= 1.\n"
+    )
+    results = []
+    for k in sizes:
+        database = interval_chain(k)
+        naive, naive_s = _timed(
+            evaluate_program,
+            program,
+            database,
+            max_stages=4 * k + 8,
+            strategy="naive",
+        )
+        delta_before = registry.get("datalog.delta_disjuncts")
+        fast, fast_s = _timed(
+            evaluate_program,
+            program,
+            database,
+            max_stages=4 * k + 8,
+            strategy="seminaive",
+        )
+        delta_disjuncts = (
+            registry.get("datalog.delta_disjuncts") - delta_before
+        )
+        equivalent = all(
+            fast[predicate].equivalent(naive[predicate])
+            for predicate in fast.relations
+        )
+        results.append(
+            {
+                "k": k,
+                "stages": fast.stages,
+                "converged": fast.converged and naive.converged,
+                "baseline_s": round(naive_s, 4),
+                "fast_s": round(fast_s, 4),
+                "speedup": round(naive_s / fast_s, 2)
+                if fast_s > 0
+                else None,
+                "delta_disjuncts": delta_disjuncts,
+                "match": equivalent and fast.stages == naive.stages,
+            }
+        )
+    largest = results[-1] if results else None
+    return {
+        "benchmark": "E15",
+        "subject": "spatial datalog evaluation (unit-step reachability)",
+        "baseline": "naive immediate consequence (full re-derivation)",
+        "fast": "semi-naive delta iteration with canonical-form caching",
+        "check_only": check_only,
+        "sizes": list(sizes),
+        "results": results,
+        "all_match": all(row["match"] for row in results),
+        "largest_speedup": largest["speedup"] if largest else None,
+    }
+
+
+BENCHMARKS = {
+    "e2": (run_bench_e2, "BENCH_E2.json"),
+    "e15": (run_bench_e15, "BENCH_E15.json"),
+}
+
+
+def write_record(record: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")

@@ -57,6 +57,17 @@ def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for arrangement construction "
+        "(default: $REPRO_JOBS, else sequential)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -81,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_decomposition_flag(query)
     _add_spatial_flag(query)
     _add_trace_flag(query)
+    _add_jobs_flag(query)
 
     profile = commands.add_parser(
         "profile",
@@ -90,6 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("text", help="query in the region-logic syntax")
     _add_decomposition_flag(profile)
     _add_spatial_flag(profile)
+    _add_jobs_flag(profile)
 
     arrangement = commands.add_parser(
         "arrangement", help="arrangement census and incidence statistics"
@@ -97,6 +110,35 @@ def build_parser() -> argparse.ArgumentParser:
     arrangement.add_argument("database")
     _add_spatial_flag(arrangement)
     _add_trace_flag(arrangement)
+    _add_jobs_flag(arrangement)
+
+    bench = commands.add_parser(
+        "bench",
+        help="run a named before/after benchmark and emit its JSON record",
+    )
+    bench.add_argument(
+        "name", choices=("e2", "e15"),
+        help="benchmark to run (E2 arrangement scaling, E15 spatial "
+             "datalog)",
+    )
+    bench.add_argument(
+        "--sizes",
+        default=None,
+        help="comma-separated size ladder (default: the benchmark's own)",
+    )
+    bench.add_argument(
+        "--check-only",
+        action="store_true",
+        help="verify baseline/fast equivalence without requiring a "
+             "speedup (exit 1 on mismatch); used by CI",
+    )
+    bench.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the JSON record to PATH (e.g. BENCH_E2.json)",
+    )
+    _add_jobs_flag(bench)
 
     encode = commands.add_parser(
         "encode", help="print the capture encoding word"
@@ -152,7 +194,9 @@ def _cmd_regions(args: argparse.Namespace, out) -> int:
 def _cmd_query(args: argparse.Namespace, out) -> int:
     database = load_database(args.database)
     formula = parse_query(args.text)
-    engine = QueryEngine(database, args.decomposition, args.spatial)
+    engine = QueryEngine(
+        database, args.decomposition, args.spatial, jobs=args.jobs
+    )
     if formula.free_region_vars() or formula.free_set_vars():
         print(
             "error: queries must not have free region or set variables",
@@ -200,7 +244,9 @@ def _cmd_profile(args: argparse.Namespace, out) -> int:
                 file=out,
             )
             return 2
-        engine = QueryEngine(database, args.decomposition, args.spatial)
+        engine = QueryEngine(
+            database, args.decomposition, args.spatial, jobs=args.jobs
+        )
         answer = engine.evaluate(formula)
         empty = answer.is_empty()
     finally:
@@ -228,7 +274,7 @@ def _cmd_arrangement(args: argparse.Namespace, out) -> int:
 
     database = load_database(args.database)
     relation = database.relation(args.spatial)
-    arrangement = build_arrangement(relation)
+    arrangement = build_arrangement(relation, parallel=args.jobs)
     census = arrangement.face_count_by_dimension()
     print(f"hyperplanes: {len(arrangement.hyperplanes)}", file=out)
     for dim in sorted(census, reverse=True):
@@ -274,6 +320,39 @@ def _cmd_render(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace, out) -> int:
+    """Run a named benchmark; print (and optionally write) its record.
+
+    With ``--check-only`` the exit code reflects only the baseline/fast
+    equivalence checks; otherwise a failed equivalence still fails the
+    run — the fast paths must never change answers.
+    """
+    import json
+
+    from repro.bench import BENCHMARKS, write_record
+
+    runner, __ = BENCHMARKS[args.name]
+    kwargs: dict = {"check_only": args.check_only}
+    if args.sizes:
+        try:
+            sizes = tuple(
+                int(part) for part in args.sizes.split(",") if part.strip()
+            )
+        except ValueError:
+            print("error: --sizes must be comma-separated integers",
+                  file=out)
+            return 2
+        kwargs["sizes"] = sizes
+    if args.name == "e2":
+        kwargs["jobs"] = args.jobs
+    record = runner(**kwargs)
+    print(json.dumps(record, indent=2), file=out)
+    if args.output:
+        write_record(record, args.output)
+        print(f"wrote {args.output}", file=out)
+    return 0 if record["all_match"] else 1
+
+
 _COMMANDS = {
     "check": _cmd_check,
     "regions": _cmd_regions,
@@ -282,6 +361,7 @@ _COMMANDS = {
     "arrangement": _cmd_arrangement,
     "encode": _cmd_encode,
     "render": _cmd_render,
+    "bench": _cmd_bench,
 }
 
 

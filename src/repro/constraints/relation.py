@@ -242,17 +242,26 @@ class ConstraintRelation:
     # Simplification
     # ------------------------------------------------------------------
     def simplify(self) -> "ConstraintRelation":
-        """A leaner, equivalent representation.
+        """A leaner, equivalent representation (cached).
 
         Drops LP-infeasible disjuncts, removes atoms implied by the rest
         of their conjunction, and eliminates disjuncts subsumed by
         others (see :func:`repro.constraints.simplify.minimise_dnf`).
+        The canonical form is memoised on the relation — and on the
+        result itself — so fixpoint engines that re-touch unchanged
+        relations never re-minimise them.
         """
+        cached = self._cache.get("simplified")
+        if cached is not None:
+            return cached
         from repro.constraints.simplify import minimise_dnf
 
-        return ConstraintRelation.make(
+        result = ConstraintRelation.make(
             self.variables, dnf_to_formula(minimise_dnf(self.disjuncts()))
         )
+        result._cache["simplified"] = result
+        self._cache["simplified"] = result
+        return result
 
     def sample_points(self) -> list[tuple[Fraction, ...]]:
         """One rational witness per non-empty disjunct."""

@@ -20,6 +20,7 @@ from repro.datalog.engine import (
     Rule,
     evaluate_program,
 )
+from repro.datalog.seminaive import evaluate_program_seminaive
 
 __all__ = [
     "DatalogAtom",
@@ -27,4 +28,5 @@ __all__ = [
     "Program",
     "Rule",
     "evaluate_program",
+    "evaluate_program_seminaive",
 ]

@@ -24,7 +24,7 @@ behaviour the paper's discussion of [5] describes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.errors import EvaluationError
 from repro.constraints.database import ConstraintDatabase
@@ -204,12 +204,23 @@ def _rule_once(
     rule: Rule,
     database: ConstraintDatabase,
     idb: Mapping[str, ConstraintRelation],
+    body_sources: Sequence[ConstraintRelation | None] | None = None,
 ) -> ConstraintRelation:
-    """One application of a rule: the derived head relation."""
+    """One application of a rule: the derived head relation.
+
+    ``body_sources`` optionally overrides the relation joined for each
+    body atom (by position); the semi-naive evaluator passes the
+    last-stage delta for one occurrence at a time.
+    """
     schema = rule.variables()
     pieces: list[ConstraintRelation] = []
-    for atom in rule.body:
-        if atom.predicate in idb:
+    for position, atom in enumerate(rule.body):
+        override = (
+            body_sources[position] if body_sources is not None else None
+        )
+        if override is not None:
+            source = override
+        elif atom.predicate in idb:
             source = idb[atom.predicate]
         else:
             source = database.relation(atom.predicate)
@@ -252,6 +263,7 @@ def evaluate_program(
     program: Program,
     database: ConstraintDatabase,
     max_stages: int = 25,
+    strategy: str = "seminaive",
 ) -> EvaluationOutcome:
     """Stratified immediate-consequence iteration, exact convergence.
 
@@ -262,7 +274,31 @@ def evaluate_program(
     fixed point when reached; otherwise evaluation stops at the stage
     cap with ``converged=False`` — the observable form of spatial
     datalog's non-termination.
+
+    ``strategy`` selects the iteration scheme: ``"seminaive"`` (the
+    default — delta-relation immediate consequence, see
+    :mod:`repro.datalog.seminaive`) or ``"naive"`` (re-derive the whole
+    IDB every stage; kept as the reference implementation and the
+    baseline of the E15 benchmark).  Both compute the same relations.
     """
+    if strategy == "seminaive":
+        from repro.datalog.seminaive import evaluate_program_seminaive
+
+        return evaluate_program_seminaive(program, database, max_stages)
+    if strategy != "naive":
+        raise EvaluationError(
+            f"unknown datalog strategy {strategy!r} "
+            "(expected 'seminaive' or 'naive')"
+        )
+    return _evaluate_naive(program, database, max_stages)
+
+
+def _evaluate_naive(
+    program: Program,
+    database: ConstraintDatabase,
+    max_stages: int,
+) -> EvaluationOutcome:
+    """The reference evaluator: full re-derivation at every stage."""
     program.validate(database)
     _DATALOG_RUNS.inc()
     idb: dict[str, ConstraintRelation] = {}

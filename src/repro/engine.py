@@ -111,8 +111,14 @@ class EngineCache:
         self,
         relation: ConstraintRelation,
         extra_hyperplanes: tuple[Hyperplane, ...] | None = None,
+        jobs: int | None = None,
     ) -> Arrangement:
-        """A(S) for a relation, built once per structural fingerprint."""
+        """A(S) for a relation, built once per structural fingerprint.
+
+        ``jobs`` requests process-parallel construction on a miss; the
+        cache key ignores it because the resulting arrangement is
+        identical for every worker count.
+        """
         extra_key = (
             tuple(
                 (plane.normal, plane.offset)
@@ -130,7 +136,9 @@ class EngineCache:
             return cached
         self._c_arr_misses.inc()
         arrangement = build_arrangement(
-            relation, hyperplanes=extra_hyperplanes or None
+            relation,
+            hyperplanes=extra_hyperplanes or None,
+            parallel=jobs,
         )
         self._arrangements[key] = arrangement
         while len(self._arrangements) > self.capacity:
@@ -145,6 +153,7 @@ class EngineCache:
         database: ConstraintDatabase,
         decomposition: str = "arrangement",
         spatial_name: str = "S",
+        jobs: int | None = None,
     ) -> RegionExtension:
         """The region extension, reused across structurally equal builds."""
         key = (
@@ -159,11 +168,15 @@ class EngineCache:
             TRACER.current().add("extension_cache_hits", 1)
             return cached
         self._c_ext_misses.inc()
+
+        def factory(relation, extra_hyperplanes):
+            return self.arrangement(relation, extra_hyperplanes, jobs=jobs)
+
         extension = RegionExtension.build(
             database,
             decomposition,
             spatial_name,
-            arrangement_factory=self.arrangement,
+            arrangement_factory=factory,
         )
         self._extensions[key] = extension
         while len(self._extensions) > self.capacity:
@@ -255,11 +268,15 @@ class QueryEngine:
         decomposition: str = "arrangement",
         spatial_name: str = "S",
         cache: EngineCache | None = None,
+        jobs: int | None = None,
     ) -> None:
         self.database = database
         self.decomposition = decomposition
         self.spatial_name = spatial_name
         self.cache = cache if cache is not None else _SHARED_CACHE
+        #: Worker processes for arrangement construction (``None`` =
+        #: consult the ``REPRO_JOBS`` environment variable).
+        self.jobs = jobs
         self._extension: RegionExtension | None = None
         self._evaluator: Evaluator | None = None
 
@@ -276,7 +293,10 @@ class QueryEngine:
         """The region extension 𝔅^Reg (cached across engines)."""
         if self._extension is None:
             self._extension = self.cache.extension(
-                self.database, self.decomposition, self.spatial_name
+                self.database,
+                self.decomposition,
+                self.spatial_name,
+                jobs=self.jobs,
             )
         return self._extension
 

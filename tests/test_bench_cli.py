@@ -1,0 +1,74 @@
+"""Smoke tests for ``repro bench`` and the benchmark runners."""
+
+import io
+import json
+
+from repro.bench import BENCHMARKS, run_bench_e2, run_bench_e15
+from repro.cli import main
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestBenchRunners:
+    def test_e2_record_shape(self):
+        record = run_bench_e2(sizes=(2, 3))
+        assert record["benchmark"] == "E2"
+        assert record["sizes"] == [2, 3]
+        assert record["all_match"] is True
+        assert record["largest_speedup"] is not None
+        for row in record["results"]:
+            assert row["match"] is True
+            assert row["faces"] > 0
+            assert row["lp_skipped"] > 0
+
+    def test_e15_record_shape(self):
+        record = run_bench_e15(sizes=(1, 2))
+        assert record["benchmark"] == "E15"
+        assert record["all_match"] is True
+        for row in record["results"]:
+            assert row["match"] is True
+            assert row["converged"] is True
+            assert row["stages"] == row["k"] + 1
+
+    def test_registry_names_files(self):
+        assert BENCHMARKS["e2"][1] == "BENCH_E2.json"
+        assert BENCHMARKS["e15"][1] == "BENCH_E15.json"
+
+
+class TestBenchCommand:
+    def test_bench_e2_check_only(self):
+        code, text = run_cli(
+            "bench", "e2", "--sizes", "2,3", "--check-only"
+        )
+        assert code == 0
+        record = json.loads(text)
+        assert record["check_only"] is True
+        assert record["all_match"] is True
+
+    def test_bench_e15_writes_output(self, tmp_path):
+        target = tmp_path / "BENCH_E15.json"
+        code, text = run_cli(
+            "bench", "e15", "--sizes", "1", "--check-only",
+            "--output", str(target),
+        )
+        assert code == 0
+        record = json.loads(target.read_text())
+        assert record["benchmark"] == "E15"
+        assert f"wrote {target}" in text
+
+    def test_bench_rejects_bad_sizes(self):
+        code, text = run_cli("bench", "e2", "--sizes", "2,banana")
+        assert code == 2
+        assert "comma-separated integers" in text
+
+    def test_bench_e2_jobs_flag(self):
+        code, text = run_cli(
+            "bench", "e2", "--sizes", "2", "--check-only", "--jobs", "2",
+        )
+        assert code == 0
+        record = json.loads(text)
+        assert record["jobs"] == 2

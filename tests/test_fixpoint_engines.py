@@ -1,0 +1,138 @@
+"""Unit tests for the fixed-point induction engines.
+
+The region-sort engines (:mod:`repro.logic.fixpoint`) iterate over a
+finite power set and must report exact stage counts; the element-sort
+engine (:mod:`repro.naive.element_fixpoint`) iterates over constraint
+relations and must surface divergence at its cap instead of looping.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic.fixpoint import (
+    FixpointRun,
+    all_region_tuples,
+    inflationary_fixpoint,
+    least_fixpoint,
+    partial_fixpoint,
+)
+from repro.naive.element_fixpoint import (
+    bounded_saturation_body,
+    define_naturals_body,
+    naive_lfp,
+)
+
+F = Fraction
+
+
+def reach_step(edges):
+    """Monotone: close {(0,)} under the successor edges."""
+
+    def step(current):
+        new = {(0,)}
+        for (node,) in current:
+            new.add((node,))
+            for a, b in edges:
+                if a == node:
+                    new.add((b,))
+        return frozenset(new)
+
+    return step
+
+
+class TestLeastFixpoint:
+    def test_chain_stage_count(self):
+        # 0 → 1 → 2 → 3: one new node per stage, stabilise at stage 4.
+        edges = [(0, 1), (1, 2), (2, 3)]
+        run = least_fixpoint(reach_step(edges), max_stages=10)
+        assert run.result == frozenset({(0,), (1,), (2,), (3,)})
+        assert run.stages == 4
+        assert run.converged
+
+    def test_empty_step_converges_immediately(self):
+        run = least_fixpoint(lambda current: frozenset(), max_stages=3)
+        assert run.result == frozenset()
+        assert run.stages == 0
+
+    def test_non_monotone_step_raises(self):
+        def alternating(current):
+            return frozenset() if current else frozenset({(0,)})
+
+        with pytest.raises(RuntimeError):
+            least_fixpoint(alternating, max_stages=5)
+
+
+class TestInflationaryFixpoint:
+    def test_matches_lfp_on_monotone_step(self):
+        edges = [(0, 1), (1, 2)]
+        lfp = least_fixpoint(reach_step(edges), max_stages=10)
+        ifp = inflationary_fixpoint(reach_step(edges), max_stages=10)
+        assert ifp.result == lfp.result
+        assert ifp.stages == lfp.stages
+
+    def test_non_monotone_step_still_stabilises(self):
+        # f drops everything once non-empty; IFP accumulates instead:
+        # ∅ → {0} → {0} — a fixed point LFP-iteration would never reach.
+        def spike(current):
+            return frozenset() if current else frozenset({(0,)})
+
+        run = inflationary_fixpoint(spike, max_stages=5)
+        assert run.result == frozenset({(0,)})
+        assert run.stages == 1
+        assert run.converged
+
+
+class TestPartialFixpoint:
+    def test_fixed_point_reached(self):
+        run = partial_fixpoint(reach_step([(0, 1)]))
+        assert run.result == frozenset({(0,), (1,)})
+        assert run.converged
+
+    def test_cycle_without_fixpoint_yields_empty(self):
+        # ∅ → {0} → {1} → {0} → …: a 2-cycle, never a fixed point.
+        def flip(current):
+            if (0,) in current:
+                return frozenset({(1,)})
+            return frozenset({(0,)})
+
+        run = partial_fixpoint(flip)
+        assert run.result == frozenset()
+        assert not run.converged
+        assert run.stages >= 2
+
+    def test_run_is_immutable_telemetry(self):
+        run = FixpointRun(frozenset(), 0, True)
+        with pytest.raises(AttributeError):
+            run.stages = 1
+
+
+class TestAllRegionTuples:
+    def test_lexicographic_square(self):
+        assert list(all_region_tuples(2, 2)) == [
+            (0, 0), (0, 1), (1, 0), (1, 1),
+        ]
+
+    def test_counts(self):
+        assert len(list(all_region_tuples(3, 2))) == 9
+        assert list(all_region_tuples(3, 0)) == [()]
+
+
+class TestNaiveElementLFP:
+    def test_bounded_saturation_converges(self):
+        result = naive_lfp(("n",), bounded_saturation_body)
+        assert result.converged
+        assert not result.diverged
+        assert result.fixpoint.contains((F(1),))
+        assert result.fixpoint.contains((F(0),))
+        assert not result.fixpoint.contains((F(3, 2),))
+
+    def test_naturals_hit_the_divergence_cap(self):
+        result = naive_lfp(("n",), define_naturals_body, max_stages=6)
+        assert result.diverged
+        assert result.fixpoint is None
+        assert result.stages == 6
+        # Stage k is {0, …, k-1}: the last stage is inspectable.
+        assert result.last_stage.contains((F(5),))
+        assert not result.last_stage.contains((F(6),))
+        assert not result.last_stage.contains((F(1, 2),))
