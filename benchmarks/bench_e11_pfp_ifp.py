@@ -34,7 +34,7 @@ def test_e11_flavours_agree_on_positive_bodies(report):
             extension = RegionExtension.build(database)
             evaluator = Evaluator(extension)
             verdicts[kind] = evaluator.truth(parse_query(reach_query(kind)))
-            stages[kind] = evaluator.stats["fixpoint_stages"]
+            stages[kind] = evaluator.metrics.get("fixpoint_stages")
         assert verdicts["lfp"] == verdicts["ifp"] == verdicts["pfp"]
         rows.append(
             (f"chain k={k}:", f"verdict={verdicts['lfp']},",

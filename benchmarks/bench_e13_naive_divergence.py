@@ -59,10 +59,10 @@ def test_e13_region_lfp_always_terminates(report):
             "(exists Z. M(R, Z) & adj(Z, Rp))](X, Y)"
         ))
         bound = len(extension.regions) ** 2
-        assert evaluator.stats["fixpoint_stages"] <= bound
+        assert evaluator.metrics.get("fixpoint_stages") <= bound
         rows.append(
             (f"|Reg| = {len(extension.regions)}:",
-             f"{evaluator.stats['fixpoint_stages']} stages",
+             f"{evaluator.metrics.get('fixpoint_stages')} stages",
              f"(bound {bound})")
         )
     report("E13: region-sort LFP terminates within |Reg|^k", rows)

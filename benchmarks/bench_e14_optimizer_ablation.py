@@ -44,13 +44,13 @@ def test_e14_agreement_and_speed(report):
         start = time.perf_counter()
         base_answer = evaluator.truth(original)
         base_time = time.perf_counter() - start
-        base_evals = evaluator.stats["evaluations"]
+        base_evals = evaluator.metrics.get("evaluations")
 
         evaluator = fresh_evaluator(database)
         start = time.perf_counter()
         opt_answer = evaluator.truth(transformed)
         opt_time = time.perf_counter() - start
-        opt_evals = evaluator.stats["evaluations"]
+        opt_evals = evaluator.metrics.get("evaluations")
 
         assert base_answer == opt_answer
         rows.append(

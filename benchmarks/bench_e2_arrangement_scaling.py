@@ -11,11 +11,8 @@ import time
 
 from repro.arrangement.builder import build_arrangement
 from repro.geometry.hyperplane import Hyperplane
-from repro.geometry.simplex import (
-    clear_feasibility_cache,
-    lp_statistics,
-    reset_lp_statistics,
-)
+from repro.geometry.simplex import clear_feasibility_cache
+from repro.obs.metrics import get_registry
 
 from conftest import empirical_exponent
 
@@ -64,9 +61,10 @@ def test_e2_scaling_dimension_1(report):
 def test_e2_scaling_dimension_2(report):
     # Start at n=4: the n=2 build is microseconds-level and its noise
     # dominates a log-log fit.
+    registry = get_registry()
     sizes, times, solves = [], [], []
     for n in (4, 6, 8, 10):
-        reset_lp_statistics()
+        before = registry.get("lp.solves") + registry.get("lp.cache_hits")
         clear_feasibility_cache()
         start = time.perf_counter()
         arrangement = build_arrangement(
@@ -74,10 +72,13 @@ def test_e2_scaling_dimension_2(report):
         )
         times.append(time.perf_counter() - start)
         sizes.append(n)
-        stats = lp_statistics()
         # solves alone depend on cache warmth from earlier tests; the
         # total number of feasibility queries is deterministic.
-        solves.append(stats["solves"] + stats["cache_hits"])
+        solves.append(
+            registry.get("lp.solves")
+            + registry.get("lp.cache_hits")
+            - before
+        )
         assert len(arrangement) == expected_faces_2d(n)
     # Feasibility queries: Θ(n) tree levels × Θ(n²) faces ⇒ cubic.
     solve_exponent = empirical_exponent(sizes, solves)

@@ -7,7 +7,7 @@ scales polynomially in the representation size.
 
 import time
 
-from repro.logic.evaluator import evaluate_query, query_truth
+from repro.engine import QueryEngine
 from repro.logic.parser import parse_query
 from repro.workloads.generators import interval_chain
 
@@ -30,7 +30,7 @@ def test_e3_regfo_scaling(report):
     for k in (1, 2, 4, 8):
         database = interval_chain(k)
         start = time.perf_counter()
-        answer = evaluate_query(MIXED, database)
+        answer = QueryEngine(database).evaluate(MIXED)
         elapsed = time.perf_counter() - start
         sizes.append(database.size())
         times.append(elapsed)
@@ -44,13 +44,13 @@ def test_e3_regfo_scaling(report):
 
 def test_e3_sentence_truth_all_sizes():
     for k in (1, 3, 5):
-        assert query_truth(SENTENCE, interval_chain(k))
-        assert query_truth(SENTENCE, interval_chain(k, gap=True))
+        assert QueryEngine(interval_chain(k)).truth(SENTENCE)
+        assert QueryEngine(interval_chain(k, gap=True)).truth(SENTENCE)
 
 
 def test_e3_answer_correct(benchmark):
     database = interval_chain(3)
-    answer = benchmark(evaluate_query, MIXED, database)
+    answer = benchmark(lambda: QueryEngine(database).evaluate(MIXED))
     from fractions import Fraction as F
 
     # The point 0 is a vertex region itself (not adjacent to itself);

@@ -31,7 +31,7 @@ def test_e4_connectivity_scaling(report):
         assert verdict  # touching chains are connected
         sizes.append(database.size())
         times.append(elapsed)
-        stages.append(evaluator.stats["fixpoint_stages"])
+        stages.append(evaluator.metrics.get("fixpoint_stages"))
     exponent = empirical_exponent(sizes, times)
     assert exponent < 6.0, exponent
     report("E4: RegLFP connectivity scaling (Theorem 6.1)", [

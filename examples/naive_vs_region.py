@@ -60,7 +60,7 @@ def main() -> None:
     )
     print(f"   reachability over regions: {evaluator.truth(query)}")
     print(
-        f"   stages used: {evaluator.stats['fixpoint_stages']} "
+        f"   stages used: {evaluator.metrics.get('fixpoint_stages')} "
         f"(bound: |Reg|^2 = {len(extension.regions) ** 2})\n"
     )
 

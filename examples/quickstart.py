@@ -11,11 +11,10 @@ from fractions import Fraction
 
 from repro import (
     ConstraintDatabase,
+    QueryEngine,
     RegionExtension,
-    evaluate_query,
     parse_formula,
     parse_query,
-    query_truth,
 )
 
 
@@ -42,8 +41,8 @@ def main() -> None:
     # ------------------------------------------------------------------
     # 3. RegFO: first-order queries mixing both sorts.
     # ------------------------------------------------------------------
-    answer = evaluate_query(
-        parse_query("exists y. S(y) & x < y"), db
+    answer = QueryEngine(db).evaluate(
+        parse_query("exists y. S(y) & x < y")
     )
     print("\nRegFO answer to 'exists y. S(y) & x < y':")
     print(f"  {answer}")
@@ -60,12 +59,12 @@ def main() -> None:
         "(exists Z. M(R, Z) & adj(Z, Rp) & sub(Rp, S)))](RX, RY))"
     )
     print("\nconnectivity (RegLFP):")
-    print(f"  two separated intervals: {query_truth(conn, db)}")
+    print(f"  two separated intervals: {QueryEngine(db).truth(conn)}")
 
     one_piece = ConstraintDatabase.from_formula(
         parse_formula("0 < x0 & x0 < 3"), arity=1
     )
-    print(f"  a single interval:       {query_truth(conn, one_piece)}")
+    print(f"  a single interval:       {QueryEngine(one_piece).truth(conn)}")
 
 
 if __name__ == "__main__":

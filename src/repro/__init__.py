@@ -8,17 +8,16 @@ RegPFP, RegTC and RegDTC, evaluated exactly over the rationals.
 
 Quickstart::
 
-    from repro import ConstraintDatabase, parse_formula, parse_query
-    from repro import query_truth
+    from repro import ConstraintDatabase, QueryEngine, parse_formula
 
     db = ConstraintDatabase.from_formula(
         parse_formula("(0 < x0 & x0 < 1) | (2 < x0 & x0 < 3)"), arity=1
     )
-    connected = query_truth(parse_query(
+    connected = QueryEngine(db).truth(
         "forall a, b. (S(a) & S(b)) -> (exists RX, RY. (a) in RX & "
         "(b) in RY & [lfp M(R, Rp). ((R = Rp & sub(R, S)) | (exists Z. "
         "M(R, Z) & adj(Z, Rp) & sub(Rp, S)))](RX, RY))"
-    ), db)
+    )
     assert not connected  # two separated intervals
 
 See DESIGN.md for the architecture and EXPERIMENTS.md for the

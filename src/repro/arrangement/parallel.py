@@ -31,6 +31,7 @@ from __future__ import annotations
 import os
 from typing import Sequence
 
+from repro.geometry import fastlp
 from repro.geometry.hyperplane import Hyperplane
 from repro.geometry.linalg import Vector
 from repro.obs.metrics import get_registry
@@ -62,13 +63,25 @@ def resolve_jobs(parallel: int | None) -> int:
 
 def _subtree_worker(
     args: tuple[
-        tuple[Hyperplane, ...], SignVector, Vector, int, bool, bool
+        tuple[Hyperplane, ...], SignVector, Vector, int, bool, bool, str
     ],
 ) -> list[tuple[SignVector, Vector]]:
     """Enumerate one sign-vector subtree (runs in a worker process)."""
-    hyperplanes, prefix, witness, dimension, witness_reuse, dedup = args
+    (
+        hyperplanes,
+        prefix,
+        witness,
+        dimension,
+        witness_reuse,
+        dedup,
+        lp_mode,
+    ) = args
     from repro.arrangement.builder import enumerate_sign_vectors
 
+    # The parent resolved its LP mode (knob, context manager or
+    # environment) at submit time; pin the worker to the same tier so
+    # spawn-based pools behave like fork-based ones.
+    fastlp.set_lp_mode(lp_mode)
     return list(
         enumerate_sign_vectors(
             hyperplanes,
@@ -114,8 +127,9 @@ def enumerate_parallel(
             dedup=dedup,
         )
     )
+    active_mode = fastlp.get_lp_mode()
     tasks = [
-        (planes, signs, witness, dimension, witness_reuse, dedup)
+        (planes, signs, witness, dimension, witness_reuse, dedup, active_mode)
         for signs, witness in prefixes
     ]
     try:

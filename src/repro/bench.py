@@ -13,9 +13,17 @@ equivalences without timing noise.
   reuse, no system dedup) against the fast path of
   :func:`repro.arrangement.builder.build_arrangement`; with ``jobs > 1``
   the fast path also fans subtrees out to worker processes.
+* **E3 (LP filter microbench)** — exact rational feasibility against the
+  certified float filter of :mod:`repro.geometry.fastlp` on batches of
+  seeded random strict/non-strict systems; both tiers must agree on
+  every status and every returned witness must satisfy its system
+  exactly.
 * **E15 (spatial datalog)** — naive immediate-consequence iteration
   against semi-naive delta evaluation on the unit-step reachability
   program over growing interval chains.
+
+Every record carries a ``metadata`` block with the active LP mode and
+the resolved worker count, so before/after records are self-describing.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ import json
 import time
 from typing import Sequence
 
+from repro.geometry import fastlp
 from repro.obs.metrics import get_registry
 
 
@@ -31,6 +40,11 @@ def _timed(function, *args, **kwargs):
     start = time.perf_counter()
     result = function(*args, **kwargs)
     return result, time.perf_counter() - start
+
+
+def _metadata(jobs: int) -> dict:
+    """The self-description block shared by every BENCH_*.json record."""
+    return {"lp_mode": fastlp.get_lp_mode(), "jobs": jobs}
 
 
 def run_bench_e2(
@@ -100,12 +114,145 @@ def run_bench_e2(
         + (f" + {effective_jobs} worker processes"
            if effective_jobs > 1 else ""),
         "jobs": effective_jobs,
+        "metadata": _metadata(effective_jobs),
         "check_only": check_only,
         "sizes": list(sizes),
         "results": results,
         "all_match": all(row["match"] for row in results),
         "largest_speedup": largest["speedup"] if largest else None,
     }
+
+
+def run_bench_e3(
+    sizes: Sequence[int] = (100, 200, 400),
+    seed: int = 20260806,
+    check_only: bool = False,
+) -> dict:
+    """LP feasibility: exact rational simplex vs the certified filter.
+
+    Each size is a batch of seeded random mixed strict/non-strict
+    systems in two and three variables (equality rows, duplicated and
+    near-parallel rows included), solved once per tier with a cold
+    feasibility memo.  Equivalence is exact: identical feasibility
+    statuses, and each filtered witness substituted into its system with
+    rational arithmetic.
+    """
+    import random
+
+    from repro.geometry.simplex import (
+        clear_feasibility_cache,
+        strict_feasible_point,
+    )
+
+    registry = get_registry()
+    results = []
+    for count in sizes:
+        rng = random.Random(seed + count)
+        systems = [
+            _random_lp_system(rng, rng.choice((2, 2, 3)))
+            for __ in range(count)
+        ]
+        with fastlp.lp_mode("exact"):
+            clear_feasibility_cache()
+            exact_points, exact_s = _timed(
+                lambda: [
+                    strict_feasible_point(rows, dim) for rows, dim in systems
+                ]
+            )
+        hits_before = registry.get("lp.filter_hits")
+        fallbacks_before = registry.get("lp.filter_fallbacks")
+        failures_before = registry.get("lp.certify_failures")
+        with fastlp.lp_mode("filtered"):
+            clear_feasibility_cache()
+            filtered_points, filtered_s = _timed(
+                lambda: [
+                    strict_feasible_point(rows, dim) for rows, dim in systems
+                ]
+            )
+        match = all(
+            (exact is None) == (filtered is None)
+            and (
+                filtered is None
+                or all(row.satisfied_by(filtered) for row in rows)
+            )
+            for (rows, __), exact, filtered in zip(
+                systems, exact_points, filtered_points
+            )
+        )
+        results.append(
+            {
+                "systems": count,
+                "baseline_s": round(exact_s, 4),
+                "fast_s": round(filtered_s, 4),
+                "speedup": round(exact_s / filtered_s, 2)
+                if filtered_s > 0
+                else None,
+                "solves_per_s": round(count / filtered_s, 1)
+                if filtered_s > 0
+                else None,
+                "filter_hits": registry.get("lp.filter_hits") - hits_before,
+                "filter_fallbacks": registry.get("lp.filter_fallbacks")
+                - fallbacks_before,
+                "certify_failures": registry.get("lp.certify_failures")
+                - failures_before,
+                "match": match,
+            }
+        )
+    largest = results[-1] if results else None
+    return {
+        "benchmark": "E3",
+        "subject": "LP feasibility (strict_feasible_point microbench)",
+        "baseline": "exact rational ε-simplex (lp_mode=exact)",
+        "fast": "certified float filter with exact fallback "
+        "(lp_mode=filtered)",
+        "seed": seed,
+        "metadata": _metadata(1),
+        "check_only": check_only,
+        "sizes": list(sizes),
+        "results": results,
+        "all_match": all(row["match"] for row in results),
+        "largest_speedup": largest["speedup"] if largest else None,
+    }
+
+
+def _random_lp_system(rng, dim: int):
+    """One seeded random constraint system ``(rows, dim)`` for E3.
+
+    Mirrors the property suite's stress shapes: mixed relations, small
+    integer data with occasional fractional right-hand sides, duplicate
+    rows and near-parallel perturbations that land inside the filter's
+    epsilon band.
+    """
+    from fractions import Fraction
+
+    from repro.geometry.fourier_motzkin import LinearConstraint, Rel
+
+    n_rows = rng.randint(2, dim + 5)
+    rows = []
+    for __ in range(n_rows):
+        coeffs = tuple(
+            Fraction(rng.randint(-5, 5)) for __ in range(dim)
+        )
+        roll = rng.random()
+        if roll < 0.15:
+            rel = Rel.EQ
+        elif roll < 0.6:
+            rel = Rel.LT
+        else:
+            rel = Rel.LE
+        rhs = Fraction(rng.randint(-10, 10), rng.choice((1, 1, 1, 2, 3)))
+        rows.append(LinearConstraint(coeffs, rel, rhs))
+    if rng.random() < 0.3:
+        base = rows[rng.randrange(len(rows))]
+        rows.append(base)
+    if rng.random() < 0.3:
+        base = rows[rng.randrange(len(rows))]
+        nudged = tuple(
+            c + Fraction(1, 10**9) if index == 0 else c
+            for index, c in enumerate(base.coeffs)
+        )
+        rows.append(LinearConstraint(nudged, base.rel, base.rhs))
+    return rows, dim
 
 
 def run_bench_e15(
@@ -167,6 +314,7 @@ def run_bench_e15(
         "subject": "spatial datalog evaluation (unit-step reachability)",
         "baseline": "naive immediate consequence (full re-derivation)",
         "fast": "semi-naive delta iteration with canonical-form caching",
+        "metadata": _metadata(1),
         "check_only": check_only,
         "sizes": list(sizes),
         "results": results,
@@ -177,6 +325,7 @@ def run_bench_e15(
 
 BENCHMARKS = {
     "e2": (run_bench_e2, "BENCH_E2.json"),
+    "e3": (run_bench_e3, "BENCH_E3.json"),
     "e15": (run_bench_e15, "BENCH_E15.json"),
 }
 

@@ -23,6 +23,7 @@ from typing import Sequence
 from repro.errors import ReproError
 from repro.constraints.io import load_database
 from repro.engine import QueryEngine
+from repro.geometry import fastlp
 from repro.logic.parser import parse_query
 from repro.logic.properties import (
     coordinate_bound,
@@ -68,6 +69,17 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_lp_mode_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--lp-mode",
+        choices=fastlp.LP_MODES,
+        default=None,
+        help="LP tier: 'filtered' = certified float filter with exact "
+        "fallback, 'exact' = rational simplex only "
+        "(default: $REPRO_LP_MODE, else filtered)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -93,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_spatial_flag(query)
     _add_trace_flag(query)
     _add_jobs_flag(query)
+    _add_lp_mode_flag(query)
 
     profile = commands.add_parser(
         "profile",
@@ -103,6 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_decomposition_flag(profile)
     _add_spatial_flag(profile)
     _add_jobs_flag(profile)
+    _add_lp_mode_flag(profile)
 
     arrangement = commands.add_parser(
         "arrangement", help="arrangement census and incidence statistics"
@@ -111,15 +125,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_spatial_flag(arrangement)
     _add_trace_flag(arrangement)
     _add_jobs_flag(arrangement)
+    _add_lp_mode_flag(arrangement)
 
     bench = commands.add_parser(
         "bench",
         help="run a named before/after benchmark and emit its JSON record",
     )
     bench.add_argument(
-        "name", choices=("e2", "e15"),
-        help="benchmark to run (E2 arrangement scaling, E15 spatial "
-             "datalog)",
+        "name", choices=("e2", "e3", "e15"),
+        help="benchmark to run (E2 arrangement scaling, E3 LP filter "
+             "microbench, E15 spatial datalog)",
     )
     bench.add_argument(
         "--sizes",
@@ -139,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON record to PATH (e.g. BENCH_E2.json)",
     )
     _add_jobs_flag(bench)
+    _add_lp_mode_flag(bench)
 
     encode = commands.add_parser(
         "encode", help="print the capture encoding word"
@@ -256,6 +272,7 @@ def _cmd_profile(args: argparse.Namespace, out) -> int:
         "database": args.database,
         "query": args.text,
         "decomposition": args.decomposition,
+        "lp_mode": fastlp.get_lp_mode(),
         "fingerprint": engine.fingerprint,
         "answer": {
             "variables": list(answer.variables),
@@ -374,7 +391,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     if tracing:
         TRACER.start(args.command)
     try:
-        return _COMMANDS[args.command](args, out)
+        with fastlp.lp_mode(getattr(args, "lp_mode", None)):
+            return _COMMANDS[args.command](args, out)
     except ReproError as error:
         print(f"error: {error}", file=out)
         return 1

@@ -1,0 +1,29 @@
+"""Once-per-process deprecation warnings for the legacy shims.
+
+The deprecated entry points (``evaluate_query``, ``query_truth``,
+``lp_statistics``, ``Evaluator.stats``) sit on hot paths of downstream
+scripts, so they warn exactly once per process per shim — enough for the
+message to surface, cheap enough to keep calling.  Tests that assert the
+warning call :func:`reset_deprecation_warnings` first; the tier-1 suite
+itself runs warning-clean (``filterwarnings`` in ``pyproject.toml``
+escalates these messages to errors).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+_SEEN: set[str] = set()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` for ``key`` once per process."""
+    if key in _SEEN:
+        return
+    _SEEN.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which shims have warned (for tests asserting the warning)."""
+    _SEEN.clear()

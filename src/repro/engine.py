@@ -36,6 +36,7 @@ from repro.errors import EvaluationError
 from repro.constraints.database import ConstraintDatabase
 from repro.constraints.relation import ConstraintRelation
 from repro.arrangement.builder import Arrangement, build_arrangement
+from repro.geometry import fastlp
 from repro.geometry.hyperplane import Hyperplane
 from repro.logic import ast
 from repro.logic.evaluator import Evaluator
@@ -269,6 +270,7 @@ class QueryEngine:
         spatial_name: str = "S",
         cache: EngineCache | None = None,
         jobs: int | None = None,
+        lp_mode: str | None = None,
     ) -> None:
         self.database = database
         self.decomposition = decomposition
@@ -277,6 +279,15 @@ class QueryEngine:
         #: Worker processes for arrangement construction (``None`` =
         #: consult the ``REPRO_JOBS`` environment variable).
         self.jobs = jobs
+        #: LP tier selection, ``"exact"`` or ``"filtered"`` (``None`` =
+        #: consult ``REPRO_LP_MODE``, defaulting to ``"filtered"``).
+        #: Both modes return identical statuses and exact witnesses, so
+        #: the engine cache is deliberately not keyed on it.
+        if lp_mode is not None and lp_mode not in fastlp.LP_MODES:
+            raise ValueError(
+                f"lp_mode must be one of {fastlp.LP_MODES}, got {lp_mode!r}"
+            )
+        self.lp_mode = lp_mode
         self._extension: RegionExtension | None = None
         self._evaluator: Evaluator | None = None
 
@@ -292,12 +303,13 @@ class QueryEngine:
     def extension(self) -> RegionExtension:
         """The region extension 𝔅^Reg (cached across engines)."""
         if self._extension is None:
-            self._extension = self.cache.extension(
-                self.database,
-                self.decomposition,
-                self.spatial_name,
-                jobs=self.jobs,
-            )
+            with fastlp.lp_mode(self.lp_mode):
+                self._extension = self.cache.extension(
+                    self.database,
+                    self.decomposition,
+                    self.spatial_name,
+                    jobs=self.jobs,
+                )
         return self._extension
 
     @property
@@ -328,7 +340,7 @@ class QueryEngine:
             raise EvaluationError(
                 "queries must not have free region or set variables"
             )
-        with TRACER.span("evaluate"):
+        with TRACER.span("evaluate"), fastlp.lp_mode(self.lp_mode):
             return self.evaluator.evaluate(formula)
 
     def truth(self, query: "ast.RegFormula | str") -> bool:
@@ -351,7 +363,7 @@ class QueryEngine:
         """One dict with the engine's caches and evaluator telemetry."""
         numbers: dict[str, object] = {"cache": self.cache.stats()}
         if self._evaluator is not None:
-            numbers["evaluator"] = self._evaluator.stats.snapshot()
+            numbers["evaluator"] = self._evaluator.metrics.snapshot()
         if self._extension is not None:
             numbers["regions"] = self._extension.region_count()
         return numbers

@@ -46,12 +46,12 @@ def _e2() -> Check:
 
 
 def _e3() -> Check:
-    from repro.logic.evaluator import evaluate_query
+    from repro.engine import QueryEngine
     from repro.logic.parser import parse_query
     from repro.workloads.generators import interval_chain
 
-    answer = evaluate_query(
-        parse_query("exists y. S(y) & x < y"), interval_chain(3)
+    answer = QueryEngine(interval_chain(3)).evaluate(
+        parse_query("exists y. S(y) & x < y")
     )
     ok = answer.formula.is_quantifier_free() and answer.contains((F(1),))
     return ("E3", "RegFO answers quantifier-free (closure)",

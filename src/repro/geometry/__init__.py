@@ -10,6 +10,10 @@ geometric machinery the paper's constructions rest on:
   halfspaces.
 * :mod:`repro.geometry.simplex` — an exact two-phase simplex LP solver
   (Bland's rule) with strict-inequality feasibility.
+* :mod:`repro.geometry.fastlp` — the certified floating-point feasibility
+  filter in front of the exact solver (``REPRO_LP_MODE`` / ``--lp-mode``);
+  float answers are certified with exact arithmetic, so no float ever
+  enters a semantic path here either.
 * :mod:`repro.geometry.fourier_motzkin` — Fourier–Motzkin elimination for
   systems of linear constraints.
 * :mod:`repro.geometry.polyhedron` — H-representation polyhedra:
@@ -18,6 +22,7 @@ geometric machinery the paper's constructions rest on:
   rays, open or closed hulls) used by the Appendix-A decomposition.
 """
 
+from repro.geometry.fastlp import get_lp_mode, lp_mode, set_lp_mode
 from repro.geometry.fourier_motzkin import LinearConstraint, Rel, eliminate_variable
 from repro.geometry.hyperplane import Halfspace, Hyperplane, Side
 from repro.geometry.linalg import (
@@ -57,6 +62,9 @@ __all__ = [
     "Polyhedron",
     "LPResult",
     "LPStatus",
+    "get_lp_mode",
+    "lp_mode",
+    "set_lp_mode",
     "lp_statistics",
     "reset_lp_statistics",
     "solve_lp",

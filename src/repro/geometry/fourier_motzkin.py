@@ -12,6 +12,7 @@ geometric predicates in Appendix A.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable, Sequence
@@ -112,6 +113,31 @@ class LinearConstraint:
     def trivially_false(self) -> bool:
         """For all-zero coefficients: does ``0 REL rhs`` fail?"""
         return self.is_trivial() and not self.trivially_true()
+
+    def integer_form(self) -> tuple[tuple[int, ...], int]:
+        """The row as coprime integers ``(coeffs, rhs)``, cached.
+
+        Both sides are multiplied by the (positive) lcm of the
+        denominators and divided by the gcd of the resulting integers, so
+        the relation is preserved and repeated consumers — the certified
+        float LP filter above all — pay the normalisation once per
+        constraint instead of one gcd per arithmetic operation.
+        """
+        cached = self.__dict__.get("_integer_form")
+        if cached is not None:
+            return cached
+        scale = math.lcm(
+            self.rhs.denominator, *(c.denominator for c in self.coeffs)
+        )
+        ints = tuple(c.numerator * (scale // c.denominator) for c in self.coeffs)
+        rhs_int = self.rhs.numerator * (scale // self.rhs.denominator)
+        common = math.gcd(rhs_int, *ints)
+        if common > 1:
+            ints = tuple(c // common for c in ints)
+            rhs_int //= common
+        form = (ints, rhs_int)
+        object.__setattr__(self, "_integer_form", form)
+        return form
 
     def scaled(self, factor: Fraction) -> "LinearConstraint":
         """Multiply both sides by a *positive* rational factor."""

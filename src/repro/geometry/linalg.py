@@ -237,6 +237,43 @@ def kernel_basis(rows: Sequence[Sequence[Fraction]]) -> list[Vector]:
     return basis
 
 
+def affine_parametrization(
+    coefficients: Sequence[Sequence[Fraction]],
+    constants: Sequence[Fraction],
+) -> tuple[Vector, list[Vector]] | None:
+    """Parametrise the solution set of ``A x = b`` as ``x0 + span(basis)``.
+
+    Returns ``(x0, basis)`` — a particular solution plus a kernel basis —
+    or ``None`` when the system is inconsistent.  One reduction serves
+    both, unlike calling :func:`solve_linear_system` and
+    :func:`kernel_basis` separately; the certified LP filter uses this to
+    eliminate equality rows exactly before handing the remaining
+    inequalities to floating point.
+    """
+    if len(coefficients) != len(constants):
+        raise DimensionMismatchError("need exactly one constant per equation")
+    if not coefficients:
+        return (), []
+    n_cols = len(coefficients[0])
+    augmented = [list(row) + [b] for row, b in zip(coefficients, constants)]
+    rref, pivots = gaussian_elimination(augmented)
+    if pivots and pivots[-1] == n_cols:
+        return None
+    solution = [ZERO] * n_cols
+    for row_index, col in enumerate(pivots):
+        solution[col] = rref[row_index][n_cols]
+    pivot_set = set(pivots)
+    free_columns = [c for c in range(n_cols) if c not in pivot_set]
+    basis: list[Vector] = []
+    for free in free_columns:
+        direction = [ZERO] * n_cols
+        direction[free] = ONE
+        for row_index, pivot_col in enumerate(pivots):
+            direction[pivot_col] = -rref[row_index][free]
+        basis.append(tuple(direction))
+    return tuple(solution), basis
+
+
 def affine_rank(points: Sequence[Sequence[Fraction]]) -> int:
     """Dimension of the affine hull of a point set.
 

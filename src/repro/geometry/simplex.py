@@ -20,7 +20,9 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Sequence
 
+from repro.deprecation import warn_once
 from repro.errors import LPError
+from repro.geometry import fastlp
 from repro.geometry.fourier_motzkin import LinearConstraint, Rel
 from repro.geometry.linalg import Vector, as_fraction
 from repro.obs.metrics import get_registry
@@ -325,37 +327,59 @@ def _solve_component(
 def _solve_component_inner(
     constraints: tuple[LinearConstraint, ...], dim: int
 ) -> Vector | None:
+    if dim >= 2 and fastlp.filter_enabled():
+        decided, point = fastlp.try_certified(constraints, dim, _exact_solve)
+        if decided:
+            _store_feasibility(constraints, point)
+            return point
+    if TRACER.enabled:
+        with TRACER.span("lp.exact", aggregate=True) as exact_span:
+            exact_span.add("rows", len(constraints))
+            point = _exact_solve(constraints, dim)
+    else:
+        point = _exact_solve(constraints, dim)
+    _store_feasibility(constraints, point)
+    return point
+
+
+def _exact_solve(
+    constraints: tuple[LinearConstraint, ...], dim: int
+) -> Vector | None:
+    """The exact tier: interval solve in one variable, ε-simplex above.
+
+    Also serves as the certification oracle of :mod:`repro.geometry.\
+    fastlp` — the float filter hands it reduced one-variable systems and
+    candidate infeasible subsystems, so it must not route back through
+    the filter.
+    """
     if dim == 1:
-        point = _solve_interval(constraints)
-        if len(_FEASIBILITY_CACHE) > _CACHE_LIMIT:
-            _FEASIBILITY_CACHE.clear()
-        _FEASIBILITY_CACHE[constraints] = point
-        return point
+        return _solve_interval(constraints)
     has_strict = any(c.rel is Rel.LT for c in constraints)
     if not has_strict:
         result = solve_lp([ZERO] * dim, constraints)
-        point = (
+        return (
             result.point
             if result.status is not LPStatus.INFEASIBLE
             else None
         )
-    else:
-        widened = _with_epsilon(constraints)
-        objective = [ZERO] * dim + [ONE]
-        result = solve_lp(objective, widened, maximize=True)
-        if result.status is LPStatus.INFEASIBLE:
-            point = None
-        else:
-            assert result.point is not None
-            epsilon = result.point[dim]
-            if result.status is LPStatus.OPTIMAL and epsilon <= 0:
-                point = None
-            else:
-                point = result.point[:dim]
+    widened = _with_epsilon(constraints)
+    objective = [ZERO] * dim + [ONE]
+    result = solve_lp(objective, widened, maximize=True)
+    if result.status is LPStatus.INFEASIBLE:
+        return None
+    assert result.point is not None
+    epsilon = result.point[dim]
+    if result.status is LPStatus.OPTIMAL and epsilon <= 0:
+        return None
+    return result.point[:dim]
+
+
+def _store_feasibility(
+    constraints: tuple[LinearConstraint, ...], point: Vector | None
+) -> None:
     if len(_FEASIBILITY_CACHE) > _CACHE_LIMIT:
         _FEASIBILITY_CACHE.clear()
     _FEASIBILITY_CACHE[constraints] = point
-    return point
 
 
 _MISS = object()
@@ -378,6 +402,11 @@ def lp_statistics() -> dict[str, int]:
     are the dominant cost of arrangement construction and the scaling
     experiments report them alongside wall-clock time.
     """
+    warn_once(
+        "lp_statistics",
+        "lp_statistics() is deprecated; read the 'lp.*' counters via "
+        "repro.obs.get_registry().snapshot('lp.') instead",
+    )
     return {
         "solves": _LP_SOLVES.value,
         "cache_hits": _LP_CACHE_HITS.value,
@@ -386,6 +415,11 @@ def lp_statistics() -> dict[str, int]:
 
 def reset_lp_statistics() -> None:
     """Deprecated: zero the LP counters (shim over the metrics registry)."""
+    warn_once(
+        "reset_lp_statistics",
+        "reset_lp_statistics() is deprecated; use "
+        "repro.obs.metrics.reset_metrics() instead",
+    )
     _LP_SOLVES.reset()
     _LP_CACHE_HITS.reset()
 

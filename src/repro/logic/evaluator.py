@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from repro.deprecation import warn_once
 from repro.errors import EvaluationError, UnboundVariableError
 from repro.constraints.formula import FALSE, TRUE
 from repro.constraints.relation import ConstraintRelation
@@ -127,13 +128,27 @@ class Evaluator:
         self._c_evaluations = self.metrics.counter("evaluations")
         self._c_memo_hits = self.metrics.counter("memo_hits")
         self._c_fixpoint_stages = self.metrics.counter("fixpoint_stages")
-        #: Live mapping view over the evaluator's counters; kept for
-        #: backward compatibility with the old bare ``stats`` dict.
-        self.stats = MetricsView(self.metrics, {
+        # Live mapping view over the evaluator's counters; kept for
+        # backward compatibility as the deprecated ``stats`` property.
+        self._stats_view = MetricsView(self.metrics, {
             "evaluations": "evaluations",
             "memo_hits": "memo_hits",
             "fixpoint_stages": "fixpoint_stages",
         })
+
+    @property
+    def stats(self) -> MetricsView:
+        """Deprecated: the live counter view with the old bare-dict keys.
+
+        Prefer ``evaluator.metrics.snapshot()`` (or the process registry,
+        ``repro.obs.get_registry()``).
+        """
+        warn_once(
+            "Evaluator.stats",
+            "Evaluator.stats is deprecated; use Evaluator.metrics.snapshot()"
+            " or repro.obs.get_registry() instead",
+        )
+        return self._stats_view
 
     # ------------------------------------------------------------------
     # Public API
@@ -617,6 +632,11 @@ def evaluate_query(
     """
     from repro.engine import QueryEngine
 
+    warn_once(
+        "evaluate_query",
+        "evaluate_query() is deprecated; use "
+        "repro.QueryEngine(database).evaluate(query) instead",
+    )
     return QueryEngine(database, decomposition, spatial_name).evaluate(formula)
 
 
@@ -632,4 +652,9 @@ def query_truth(
     """
     from repro.engine import QueryEngine
 
+    warn_once(
+        "query_truth",
+        "query_truth() is deprecated; use "
+        "repro.QueryEngine(database).truth(query) instead",
+    )
     return QueryEngine(database, decomposition, spatial_name).truth(formula)

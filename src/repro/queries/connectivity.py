@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from repro.constraints.database import ConstraintDatabase
 from repro.logic.ast import RegFormula
-from repro.logic.evaluator import query_truth
 from repro.logic.parser import parse_query
 from repro.twosorted.structure import RegionExtension
 
@@ -71,16 +70,16 @@ def is_connected(
 
     ``method`` is "lfp", "tc" or "ground" (the graph-based oracle).
     """
+    from repro.engine import QueryEngine
+
     arity = database.relation("S").arity
     if method == "lfp":
-        return query_truth(
-            connectivity_query_lfp(arity), database,
-            decomposition=decomposition,
+        return QueryEngine(database, decomposition).truth(
+            connectivity_query_lfp(arity)
         )
     if method == "tc":
-        return query_truth(
-            connectivity_query_tc(arity), database,
-            decomposition=decomposition,
+        return QueryEngine(database, decomposition).truth(
+            connectivity_query_tc(arity)
         )
     if method == "ground":
         extension = RegionExtension.build(database, decomposition)

@@ -31,7 +31,6 @@ from repro.constraints.database import ConstraintDatabase
 from repro.constraints.parser import parse_formula
 from repro.constraints.relation import ConstraintRelation
 from repro.logic.ast import RegFormula
-from repro.logic.evaluator import query_truth
 from repro.logic.parser import parse_query
 
 
@@ -120,6 +119,8 @@ def river_has_chemical_sequence(database: ConstraintDatabase) -> bool:
     homogeneous with respect to Chem1/Chem2 — the analogue of the
     paper's single-relation map encoding.
     """
-    return query_truth(
-        pollution_query(), database, decomposition="refined"
+    from repro.engine import QueryEngine
+
+    return QueryEngine(database, decomposition="refined").truth(
+        pollution_query()
     )

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from repro.constraints.database import ConstraintDatabase
 from repro.logic.ast import RegFormula
-from repro.logic.evaluator import query_truth
 from repro.logic.parser import parse_query
 from repro.twosorted.structure import RegionExtension
 
@@ -80,4 +79,6 @@ def relation_bounded(database: ConstraintDatabase) -> bool:
 
 def run_boolean(query: RegFormula, database: ConstraintDatabase) -> bool:
     """Evaluate a boolean topological query."""
-    return query_truth(query, database)
+    from repro.engine import QueryEngine
+
+    return QueryEngine(database).truth(query)

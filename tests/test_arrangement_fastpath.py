@@ -12,11 +12,7 @@ from repro.arrangement.builder import (
 )
 from repro.arrangement.parallel import resolve_jobs
 from repro.geometry.hyperplane import Hyperplane
-from repro.geometry.simplex import (
-    clear_feasibility_cache,
-    lp_statistics,
-    reset_lp_statistics,
-)
+from repro.geometry.simplex import clear_feasibility_cache
 from repro.obs.metrics import get_registry
 
 F = Fraction
@@ -62,17 +58,18 @@ class TestWitnessReuse:
 
     def test_fast_path_needs_fewer_lp_solves(self):
         planes = generic_lines(4)
+        registry = get_registry()
         clear_feasibility_cache()
-        reset_lp_statistics()
+        before = registry.get("lp.solves")
         build_arrangement(
             hyperplanes=planes, dimension=2,
             witness_reuse=False, dedup=False,
         )
-        naive_solves = lp_statistics()["solves"]
+        naive_solves = registry.get("lp.solves") - before
         clear_feasibility_cache()
-        reset_lp_statistics()
+        before = registry.get("lp.solves")
         build_arrangement(hyperplanes=planes, dimension=2)
-        fast_solves = lp_statistics()["solves"]
+        fast_solves = registry.get("lp.solves") - before
         assert fast_solves < naive_solves / 2
 
 

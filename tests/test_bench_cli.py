@@ -3,7 +3,12 @@
 import io
 import json
 
-from repro.bench import BENCHMARKS, run_bench_e2, run_bench_e15
+from repro.bench import (
+    BENCHMARKS,
+    run_bench_e2,
+    run_bench_e3,
+    run_bench_e15,
+)
 from repro.cli import main
 
 
@@ -25,6 +30,26 @@ class TestBenchRunners:
             assert row["faces"] > 0
             assert row["lp_skipped"] > 0
 
+    def test_e3_record_shape(self):
+        record = run_bench_e3(sizes=(20,))
+        assert record["benchmark"] == "E3"
+        assert record["all_match"] is True
+        assert record["metadata"]["jobs"] == 1
+        assert record["metadata"]["lp_mode"] in ("exact", "filtered")
+        for row in record["results"]:
+            assert row["match"] is True
+            assert row["systems"] == 20
+            # The float tier must decide most systems; fallbacks and
+            # certification retries are legal but bounded by the batch.
+            assert row["filter_hits"] > 0
+            assert row["filter_hits"] + row["filter_fallbacks"] >= 0
+
+    def test_e3_is_deterministic_under_its_seed(self):
+        first = run_bench_e3(sizes=(10,), seed=7)
+        second = run_bench_e3(sizes=(10,), seed=7)
+        assert [row["filter_hits"] for row in first["results"]] == \
+            [row["filter_hits"] for row in second["results"]]
+
     def test_e15_record_shape(self):
         record = run_bench_e15(sizes=(1, 2))
         assert record["benchmark"] == "E15"
@@ -36,7 +61,13 @@ class TestBenchRunners:
 
     def test_registry_names_files(self):
         assert BENCHMARKS["e2"][1] == "BENCH_E2.json"
+        assert BENCHMARKS["e3"][1] == "BENCH_E3.json"
         assert BENCHMARKS["e15"][1] == "BENCH_E15.json"
+
+    def test_records_carry_lp_mode_metadata(self):
+        record = run_bench_e2(sizes=(2,))
+        assert record["metadata"]["lp_mode"] in ("exact", "filtered")
+        assert record["metadata"]["jobs"] == record["jobs"]
 
 
 class TestBenchCommand:
@@ -72,3 +103,21 @@ class TestBenchCommand:
         assert code == 0
         record = json.loads(text)
         assert record["jobs"] == 2
+
+    def test_bench_e3_check_only(self):
+        code, text = run_cli(
+            "bench", "e3", "--sizes", "15", "--check-only"
+        )
+        assert code == 0
+        record = json.loads(text)
+        assert record["benchmark"] == "E3"
+        assert record["all_match"] is True
+
+    def test_bench_respects_lp_mode_flag(self):
+        code, text = run_cli(
+            "bench", "e2", "--sizes", "2", "--check-only",
+            "--lp-mode", "exact",
+        )
+        assert code == 0
+        record = json.loads(text)
+        assert record["metadata"]["lp_mode"] == "exact"

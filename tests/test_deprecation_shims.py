@@ -1,0 +1,116 @@
+"""The deprecated shims warn exactly once, and the new paths don't.
+
+Satellite criteria: every legacy entry point (``evaluate_query``,
+``query_truth``, ``lp_statistics`` / ``reset_lp_statistics``,
+``Evaluator.stats``) emits one ``DeprecationWarning`` per process while
+still returning the right answer; a second call is silent (the shims sit
+on hot paths); and the replacement ``QueryEngine`` / ``metrics`` APIs
+are warning-clean, which is what lets ``pyproject.toml`` escalate the
+shim messages to errors for the rest of the suite.
+"""
+
+import warnings
+
+import pytest
+
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.parser import parse_formula
+from repro.deprecation import reset_deprecation_warnings, warn_once
+from repro.engine import QueryEngine
+from repro.logic.evaluator import Evaluator, evaluate_query, query_truth
+from repro.logic.parser import parse_query
+from repro.twosorted.structure import RegionExtension
+
+
+@pytest.fixture(autouse=True)
+def _fresh_deprecation_state():
+    reset_deprecation_warnings()
+    yield
+    reset_deprecation_warnings()
+
+
+def interval_db() -> ConstraintDatabase:
+    return ConstraintDatabase.from_formula(
+        parse_formula("0 < x0 & x0 < 1"), 1
+    )
+
+
+class TestWarnOnce:
+    def test_first_call_warns_second_is_silent(self):
+        with pytest.warns(DeprecationWarning, match="gone soon"):
+            warn_once("probe", "probe() is gone soon")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            warn_once("probe", "probe() is gone soon")
+
+    def test_keys_are_independent(self):
+        with pytest.warns(DeprecationWarning):
+            warn_once("probe-a", "a is deprecated")
+        with pytest.warns(DeprecationWarning):
+            warn_once("probe-b", "b is deprecated")
+
+
+class TestQueryShims:
+    def test_evaluate_query_warns_and_answers(self):
+        database = interval_db()
+        query = parse_query("S(x) & x < 1")
+        with pytest.warns(DeprecationWarning, match="evaluate_query"):
+            answer = evaluate_query(query, database)
+        assert answer.equivalent(QueryEngine(database).evaluate(query))
+
+    def test_query_truth_warns_and_answers(self):
+        database = interval_db()
+        query = parse_query("exists x. S(x)")
+        with pytest.warns(DeprecationWarning, match="query_truth"):
+            assert query_truth(query, database) is True
+
+    def test_second_call_is_silent(self):
+        database = interval_db()
+        query = parse_query("exists x. S(x)")
+        with pytest.warns(DeprecationWarning):
+            query_truth(query, database)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            query_truth(query, database)
+
+
+class TestLpStatisticsShims:
+    def test_lp_statistics_warns(self):
+        from repro.geometry.simplex import lp_statistics
+
+        with pytest.warns(DeprecationWarning, match="lp_statistics"):
+            stats = lp_statistics()
+        assert set(stats) == {"solves", "cache_hits"}
+
+    def test_reset_lp_statistics_warns(self):
+        from repro.geometry.simplex import reset_lp_statistics
+
+        with pytest.warns(DeprecationWarning, match="reset_lp_statistics"):
+            reset_lp_statistics()
+
+
+class TestEvaluatorStatsShim:
+    def test_stats_property_warns_and_stays_a_view(self):
+        evaluator = Evaluator(RegionExtension.build(interval_db()))
+        with pytest.warns(DeprecationWarning, match="Evaluator.stats"):
+            view = evaluator.stats
+        assert view["evaluations"] == evaluator.metrics.get("evaluations")
+
+    def test_metrics_replacement_is_warning_free(self):
+        evaluator = Evaluator(RegionExtension.build(interval_db()))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            evaluator.truth(parse_query("exists x. S(x)"))
+            assert evaluator.metrics.get("evaluations") > 0
+            assert "evaluations" in evaluator.metrics.snapshot()
+
+
+class TestReplacementPathIsClean:
+    def test_query_engine_emits_no_deprecation_warnings(self):
+        database = interval_db()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            engine = QueryEngine(database)
+            assert engine.truth("exists x. S(x)")
+            engine.evaluate("S(x) & x < 1")
+            engine.stats()

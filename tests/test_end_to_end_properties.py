@@ -13,7 +13,7 @@ from hypothesis import strategies as st
 
 from repro.constraints.database import ConstraintDatabase
 from repro.constraints.parser import parse_formula
-from repro.geometry.simplex import lp_statistics, reset_lp_statistics
+from repro.obs.metrics import get_registry, reset_metrics
 from repro.queries.connectivity import is_connected
 from repro.regions.nc1 import decompose_disjunct
 from repro.twosorted.structure import RegionExtension
@@ -153,14 +153,16 @@ class TestDecompositionInvariance:
 
 class TestInstrumentation:
     def test_lp_counters_move(self):
-        reset_lp_statistics()
+        registry = get_registry()
+        reset_metrics("lp.")
         database = ConstraintDatabase.from_formula(
             parse_formula("0 < x0 & x0 < 1"), 1
         )
         RegionExtension.build(database)
-        stats = lp_statistics()
+        stats = registry.snapshot("lp.")
         # The module-level feasibility cache may satisfy everything, so
         # only the combined activity is guaranteed.
-        assert stats["solves"] + stats["cache_hits"] > 0
-        reset_lp_statistics()
-        assert lp_statistics() == {"solves": 0, "cache_hits": 0}
+        assert stats["lp.solves"] + stats["lp.cache_hits"] > 0
+        reset_metrics("lp.")
+        assert registry.get("lp.solves") == 0
+        assert registry.get("lp.cache_hits") == 0

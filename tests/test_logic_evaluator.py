@@ -9,10 +9,11 @@ from fractions import Fraction
 
 import pytest
 
+from repro.engine import QueryEngine
 from repro.errors import EvaluationError, UnboundVariableError
 from repro.constraints.database import ConstraintDatabase
 from repro.constraints.parser import parse_formula
-from repro.logic.evaluator import Evaluator, evaluate_query, query_truth
+from repro.logic.evaluator import Evaluator
 from repro.logic.parser import parse_query
 from repro.twosorted.structure import RegionExtension
 
@@ -24,7 +25,11 @@ def db(text: str, arity: int) -> ConstraintDatabase:
 
 
 def truth(query: str, database: ConstraintDatabase, **kw) -> bool:
-    return query_truth(parse_query(query), database, **kw)
+    return QueryEngine(database, **kw).truth(parse_query(query))
+
+
+def evaluate(query: str, database: ConstraintDatabase):
+    return QueryEngine(database).evaluate(parse_query(query))
 
 
 INTERVAL = db("0 < x0 & x0 < 1", 1)
@@ -54,14 +59,14 @@ CONN_2D = (
 
 class TestRegFOEvaluation:
     def test_linear_atom_relation(self):
-        answer = evaluate_query(parse_query("x > 0 & x < 1"), INTERVAL)
+        answer = evaluate("x > 0 & x < 1", INTERVAL)
         assert answer.variables == ("x",)
         assert answer.contains((F(1, 2),))
         assert not answer.contains((F(2),))
 
     def test_relation_atom_substitution(self):
         # S(2x) over S = (0,1) is 0 < 2x < 1.
-        answer = evaluate_query(parse_query("S(2*x)"), INTERVAL)
+        answer = evaluate("S(2*x)", INTERVAL)
         assert answer.contains((F(1, 4),))
         assert not answer.contains((F(3, 4),))
 
@@ -95,24 +100,20 @@ class TestRegFOEvaluation:
 
     def test_answer_is_quantifier_free_relation(self):
         """Closure: the output of any query is again a linear relation."""
-        answer = evaluate_query(
-            parse_query("exists y. S(y) & x < y"), INTERVAL
-        )
+        answer = evaluate("exists y. S(y) & x < y", INTERVAL)
         assert answer.formula.is_quantifier_free()
         assert answer.contains((F(0),))
         assert answer.contains((F(1, 2),))
         assert not answer.contains((F(1),))
 
     def test_two_dimensional(self):
-        answer = evaluate_query(
-            parse_query("exists y. S(x, y) & y > 0"), TRIANGLE
-        )
+        answer = evaluate("exists y. S(x, y) & y > 0", TRIANGLE)
         assert answer.contains((F(1, 2),))
         assert not answer.contains((F(2),))
 
     def test_free_region_variable_rejected_at_top(self):
         with pytest.raises(EvaluationError):
-            evaluate_query(parse_query("sub(R, S)"), INTERVAL)
+            evaluate("sub(R, S)", INTERVAL)
 
     def test_unbound_region_variable(self):
         ext = RegionExtension.build(INTERVAL)
@@ -121,7 +122,7 @@ class TestRegFOEvaluation:
 
     def test_boolean_queries_need_no_free_vars(self):
         with pytest.raises(EvaluationError):
-            query_truth(parse_query("S(x)"), INTERVAL)
+            truth("S(x)", INTERVAL)
 
 
 class TestConnectivity:
@@ -176,8 +177,8 @@ class TestFixpointOperators:
         evaluator = Evaluator(ext)
         formula = parse_query(CONN_1D)
         evaluator.truth(formula)
-        assert evaluator.stats["fixpoint_stages"] > 0
-        assert evaluator.stats["memo_hits"] > 0
+        assert evaluator.metrics.get("fixpoint_stages") > 0
+        assert evaluator.metrics.get("memo_hits") > 0
 
 
 class TestTransitiveClosure:
@@ -292,9 +293,9 @@ class TestMemoisation:
         ev = Evaluator(ext)
         f = parse_query("exists R. sub(R, S) & (x, y) in R")
         first = ev.evaluate(f)
-        before = ev.stats["evaluations"]
+        before = ev.metrics.get("evaluations")
         second = ev.evaluate(f)
-        assert ev.stats["evaluations"] == before
+        assert ev.metrics.get("evaluations") == before
         assert first.equivalent(second)
 
     def test_memo_keys_are_structural_not_identity(self):
@@ -308,9 +309,9 @@ class TestMemoisation:
         second = parse_query("exists R. sub(R, S) & (x, y) in R")
         assert first is not second
         ev.evaluate(first)
-        evaluations = ev.stats["evaluations"]
+        evaluations = ev.metrics.get("evaluations")
         answer = ev.evaluate(second)
-        assert ev.stats["evaluations"] == evaluations
+        assert ev.metrics.get("evaluations") == evaluations
         assert answer.equivalent(ev.evaluate(first))
 
     def test_fixpoint_memo_shared_across_equal_parses(self):
@@ -323,12 +324,12 @@ class TestMemoisation:
         )
         assert ev.truth(parse_query(query))
         assert len(ev._fixpoint_memo) == 1
-        stages = ev.stats["fixpoint_stages"]
+        stages = ev.metrics.get("fixpoint_stages")
         # A fresh parse is a different object but the same structure:
         # the fixpoint run must come from the memo, not be recomputed.
         assert ev.truth(parse_query(query))
         assert len(ev._fixpoint_memo) == 1
-        assert ev.stats["fixpoint_stages"] == stages
+        assert ev.metrics.get("fixpoint_stages") == stages
 
     def test_distinct_formulas_do_not_collide(self):
         ext = RegionExtension.build(TWO_INTERVALS)

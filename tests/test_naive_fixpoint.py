@@ -79,5 +79,5 @@ class TestContrastWithRegionLogic:
         )
         assert evaluator.truth(query)
         # The induction converged within the |Reg|^2 bound.
-        assert evaluator.stats["fixpoint_stages"] <= \
+        assert evaluator.metrics.get("fixpoint_stages") <= \
             len(extension.regions) ** 2

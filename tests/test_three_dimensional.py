@@ -16,7 +16,7 @@ from repro.constraints.database import ConstraintDatabase
 from repro.constraints.parser import parse_formula
 from repro.constraints.relation import ConstraintRelation
 from repro.geometry.hyperplane import Hyperplane
-from repro.logic.evaluator import query_truth
+from repro.engine import QueryEngine
 from repro.logic.parser import parse_query
 from repro.queries.connectivity import is_connected
 from repro.regions.nc1 import decompose_disjunct
@@ -109,7 +109,7 @@ class TestThreeDimensionalQueries:
         q = parse_query(
             "forall x, y, z. S(x, y, z) -> x + y + z <= 1"
         )
-        assert query_truth(q, database)
+        assert QueryEngine(database).truth(q)
 
     @pytest.mark.parametrize("touching,expected", [
         (True, True),
@@ -131,4 +131,4 @@ class TestThreeDimensionalQueries:
             "exists x, y, z, R. (x, y, z) in R & sub(R, S) & "
             "x = 0 & y = 0 & z = 0"
         )
-        assert query_truth(q, database)
+        assert QueryEngine(database).truth(q)
