@@ -43,7 +43,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from repro.store.disk import DiskStore
 
 from repro.errors import GeometryError
 from repro.geometry.fourier_motzkin import LinearConstraint
@@ -342,6 +345,7 @@ def build_arrangement(
     parallel: int | None = None,
     witness_reuse: bool = True,
     dedup: bool = True,
+    store: "DiskStore | None" = None,
 ) -> Arrangement:
     """Build A(S) from a relation, or from an explicit hyperplane set.
 
@@ -362,8 +366,45 @@ def build_arrangement(
     sequential build, and construction falls back to sequential when
     worker processes are unavailable.  ``witness_reuse`` / ``dedup``
     toggle the fast-path prunings (see :func:`enumerate_sign_vectors`).
+
+    ``store`` (default: :func:`repro.store.active_store`, i.e. the
+    ``--cache-dir`` / ``REPRO_CACHE_DIR`` setting) persists the finished
+    arrangement on disk and answers later builds of the same content
+    from it — including in other processes.  Only the default fast path
+    goes through the store: the naive baseline (``witness_reuse=False``
+    or ``dedup=False``) exists to *measure* construction, so it always
+    rebuilds, and its witness points may legitimately differ from the
+    fast path's.  A disk hit skips sign-vector enumeration (and worker
+    pools) entirely; corrupted or mismatched entries are ignored and
+    the arrangement is rebuilt.
     """
     planes, ambient = _resolve_planes(relation, hyperplanes, dimension)
+
+    disk = None
+    key = None
+    if witness_reuse and dedup:
+        # Deferred import: repro.store's codec imports this module.
+        from repro import store as store_pkg
+
+        disk = store if store is not None else store_pkg.active_store()
+        if disk is not None:
+            key = store_pkg.arrangement_key(planes, ambient, relation)
+            cached = disk.load("arrangement", key)
+            if (
+                isinstance(cached, Arrangement)
+                and cached.dimension == ambient
+                and cached.hyperplanes == tuple(planes)
+            ):
+                if relation is not None:
+                    # Reattach the caller's relation object so its memoised
+                    # DNF/simplification caches keep working downstream.
+                    cached = Arrangement(
+                        cached.dimension,
+                        cached.hyperplanes,
+                        cached.faces,
+                        relation,
+                    )
+                return cached
 
     from repro.arrangement.parallel import enumerate_parallel, resolve_jobs
 
@@ -396,4 +437,9 @@ def build_arrangement(
         build_span.set("hyperplanes", len(planes))
         build_span.set("faces", len(faces))
         build_span.set("jobs", jobs)
-        return Arrangement(ambient, tuple(planes), tuple(faces), relation)
+        arrangement = Arrangement(
+            ambient, tuple(planes), tuple(faces), relation
+        )
+        if disk is not None and key is not None:
+            disk.save("arrangement", key, arrangement)
+        return arrangement

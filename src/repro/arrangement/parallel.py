@@ -24,6 +24,14 @@ counts the event in ``arrangement.parallel_fallbacks``.  Metric
 counters incremented inside workers stay in the worker process; the
 parent's counters still reflect the sequential prefix enumeration and
 the per-build aggregates on the ``arrangement.build`` span.
+
+Disk warm-start (:mod:`repro.store`) composes with parallelism in the
+parent: :func:`~repro.arrangement.builder.build_arrangement` consults
+the store *before* any pool is created, so a disk hit skips worker
+startup entirely, and a miss persists the (order-identical) parallel
+result for the next process.  Workers inherit ``REPRO_CACHE_DIR``
+through the environment like every subprocess, but they only enumerate
+sign vectors — they never read or write the store themselves.
 """
 
 from __future__ import annotations

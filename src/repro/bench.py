@@ -22,8 +22,15 @@ equivalences without timing noise.
   against semi-naive delta evaluation on the unit-step reachability
   program over growing interval chains.
 
-Every record carries a ``metadata`` block with the active LP mode and
-the resolved worker count, so before/after records are self-describing.
+Every record carries a ``metadata`` block with the active LP mode, the
+resolved worker count and the disk store in effect (directory plus
+``store.*`` counter values), so before/after records are
+self-describing — a warm-start E2 run shows ``store.hits > 0`` and the
+CI store job compares cold/warm records on exactly that.
+
+Only the *fast* paths consult the disk store (the naive baselines exist
+to measure construction), so cold-run baseline timings are unaffected
+by ``REPRO_CACHE_DIR``.
 """
 
 from __future__ import annotations
@@ -43,8 +50,21 @@ def _timed(function, *args, **kwargs):
 
 
 def _metadata(jobs: int) -> dict:
-    """The self-description block shared by every BENCH_*.json record."""
-    return {"lp_mode": fastlp.get_lp_mode(), "jobs": jobs}
+    """The self-description block shared by every BENCH_*.json record.
+
+    Computed after the measurements, so the ``store`` block reflects the
+    hits/misses/writes this run performed against the active cache
+    directory (``None`` when persistence is off).
+    """
+    from repro.store import active_store
+
+    store = active_store()
+    return {
+        "lp_mode": fastlp.get_lp_mode(),
+        "jobs": jobs,
+        "cache_dir": str(store.root) if store is not None else None,
+        "store": store.stats() if store is not None else None,
+    }
 
 
 def run_bench_e2(

@@ -30,6 +30,7 @@ from repro.logic.properties import (
     has_small_coordinate_property,
 )
 from repro.obs import TRACER, get_registry
+from repro.store import store_scope
 from repro.twosorted.structure import RegionExtension
 
 
@@ -66,6 +67,17 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="worker processes for arrangement construction "
         "(default: $REPRO_JOBS, else sequential)",
+    )
+
+
+def _add_cache_dir_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist arrangements and query answers under DIR so later "
+        "runs warm-start from disk (default: $REPRO_CACHE_DIR, else no "
+        "persistence; $REPRO_CACHE_BUDGET bounds the store in bytes)",
     )
 
 
@@ -106,6 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_flag(query)
     _add_jobs_flag(query)
     _add_lp_mode_flag(query)
+    _add_cache_dir_flag(query)
 
     profile = commands.add_parser(
         "profile",
@@ -117,6 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_spatial_flag(profile)
     _add_jobs_flag(profile)
     _add_lp_mode_flag(profile)
+    _add_cache_dir_flag(profile)
 
     arrangement = commands.add_parser(
         "arrangement", help="arrangement census and incidence statistics"
@@ -126,6 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_flag(arrangement)
     _add_jobs_flag(arrangement)
     _add_lp_mode_flag(arrangement)
+    _add_cache_dir_flag(arrangement)
 
     bench = commands.add_parser(
         "bench",
@@ -155,6 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_flag(bench)
     _add_lp_mode_flag(bench)
+    _add_cache_dir_flag(bench)
 
     encode = commands.add_parser(
         "encode", help="print the capture encoding word"
@@ -273,6 +289,8 @@ def _cmd_profile(args: argparse.Namespace, out) -> int:
         "query": args.text,
         "decomposition": args.decomposition,
         "lp_mode": fastlp.get_lp_mode(),
+        "cache_dir": args.cache_dir,
+        "store": engine.stats().get("store"),
         "fingerprint": engine.fingerprint,
         "answer": {
             "variables": list(answer.variables),
@@ -391,7 +409,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     if tracing:
         TRACER.start(args.command)
     try:
-        with fastlp.lp_mode(getattr(args, "lp_mode", None)):
+        with fastlp.lp_mode(getattr(args, "lp_mode", None)), \
+                store_scope(getattr(args, "cache_dir", None)):
             return _COMMANDS[args.command](args, out)
     except ReproError as error:
         print(f"error: {error}", file=out)

@@ -11,6 +11,7 @@ the rest of the library needs.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Iterable, Mapping, Sequence
@@ -100,6 +101,25 @@ class ConstraintRelation:
     def representation_size(self) -> int:
         """The paper's size measure: length of the representing formula."""
         return self.formula.size()
+
+    def fingerprint(self) -> str:
+        """Canonical SHA-256 digest of schema + structural formula.
+
+        The digest depends only on the ordered schema and the formula's
+        deterministic structural rendering — never on object identity,
+        dict/set iteration order or ``PYTHONHASHSEED`` — so it is safe
+        as a cross-process disk key (:mod:`repro.store`).  Cached, since
+        engine caches and the disk store recompute it on every lookup.
+        """
+        cached = self._cache.get("fingerprint")
+        if cached is None:
+            digest = hashlib.sha256()
+            digest.update(",".join(self.variables).encode())
+            digest.update(b"\x00")
+            digest.update(str(self.formula).encode())
+            cached = digest.hexdigest()
+            self._cache["fingerprint"] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Semantics

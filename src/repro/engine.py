@@ -43,15 +43,18 @@ from repro.logic.evaluator import Evaluator
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.tracing import TRACER
 from repro.twosorted.structure import RegionExtension
+from repro import store as store_pkg
+from repro.store.disk import DiskStore
 
 
 def relation_fingerprint(relation: ConstraintRelation) -> str:
-    """Canonical digest of one relation (schema + structural formula)."""
-    digest = hashlib.sha256()
-    digest.update(",".join(relation.variables).encode())
-    digest.update(b"\x00")
-    digest.update(str(relation.formula).encode())
-    return digest.hexdigest()
+    """Canonical digest of one relation (schema + structural formula).
+
+    Delegates to :meth:`ConstraintRelation.fingerprint`, which memoises
+    the digest on the relation — engine caches and the disk store look
+    relations up far more often than they build them.
+    """
+    return relation.fingerprint()
 
 
 def database_fingerprint(database: ConstraintDatabase) -> str:
@@ -88,10 +91,17 @@ class EngineCache:
         self,
         capacity: int = 64,
         metrics: MetricsRegistry | None = None,
+        store: DiskStore | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be positive")
         self.capacity = capacity
+        #: Optional pinned disk store for arrangement warm-starts.  When
+        #: ``None`` every miss consults :func:`repro.store.active_store`
+        #: (the ``--cache-dir`` / ``REPRO_CACHE_DIR`` setting), so the
+        #: process-wide shared cache honours the CLI flags without being
+        #: rebuilt.
+        self.store = store
         self._extensions: OrderedDict[tuple, RegionExtension] = OrderedDict()
         self._arrangements: OrderedDict[tuple, Arrangement] = OrderedDict()
         registry = metrics if metrics is not None else get_registry()
@@ -118,7 +128,9 @@ class EngineCache:
 
         ``jobs`` requests process-parallel construction on a miss; the
         cache key ignores it because the resulting arrangement is
-        identical for every worker count.
+        identical for every worker count.  Misses consult the disk
+        store (when one is pinned or active) before enumerating, and
+        persist freshly built arrangements for later processes.
         """
         extra_key = (
             tuple(
@@ -140,6 +152,7 @@ class EngineCache:
             relation,
             hyperplanes=extra_hyperplanes or None,
             parallel=jobs,
+            store=self.store,
         )
         self._arrangements[key] = arrangement
         while len(self._arrangements) > self.capacity:
@@ -271,11 +284,18 @@ class QueryEngine:
         cache: EngineCache | None = None,
         jobs: int | None = None,
         lp_mode: str | None = None,
+        cache_dir: "DiskStore | str | None" = None,
     ) -> None:
         self.database = database
         self.decomposition = decomposition
         self.spatial_name = spatial_name
         self.cache = cache if cache is not None else _SHARED_CACHE
+        #: Disk warm-start: an explicit ``cache_dir`` (path or
+        #: :class:`~repro.store.disk.DiskStore`) pins persistence for
+        #: this engine; ``None`` defers to the process-wide setting
+        #: (``--cache-dir`` / ``REPRO_CACHE_DIR``) at use time.
+        self._pinned_store = store_pkg.resolve_store(cache_dir)
+        self._results: OrderedDict[str, ConstraintRelation] = OrderedDict()
         #: Worker processes for arrangement construction (``None`` =
         #: consult the ``REPRO_JOBS`` environment variable).
         self.jobs = jobs
@@ -299,11 +319,29 @@ class QueryEngine:
         """The database's canonical fingerprint (the cache key)."""
         return database_fingerprint(self.database)
 
+    def _store(self) -> DiskStore | None:
+        """The disk store in effect for this engine right now."""
+        if self._pinned_store is not None:
+            return self._pinned_store
+        return store_pkg.active_store()
+
+    def _store_scope(self):
+        """A context pinning this engine's store for nested builds.
+
+        A no-op when no ``cache_dir`` was pinned, so process-wide
+        ``--cache-dir`` / ``REPRO_CACHE_DIR`` settings stay in effect.
+        """
+        if self._pinned_store is None:
+            from contextlib import nullcontext
+
+            return nullcontext()
+        return store_pkg.store_scope(self._pinned_store)
+
     @property
     def extension(self) -> RegionExtension:
         """The region extension 𝔅^Reg (cached across engines)."""
         if self._extension is None:
-            with fastlp.lp_mode(self.lp_mode):
+            with fastlp.lp_mode(self.lp_mode), self._store_scope():
                 self._extension = self.cache.extension(
                     self.database,
                     self.decomposition,
@@ -340,8 +378,39 @@ class QueryEngine:
             raise EvaluationError(
                 "queries must not have free region or set variables"
             )
-        with TRACER.span("evaluate"), fastlp.lp_mode(self.lp_mode):
-            return self.evaluator.evaluate(formula)
+        disk = self._store()
+        key = None
+        if disk is not None:
+            key = store_pkg.query_result_key(
+                self.fingerprint,
+                self.decomposition,
+                self.spatial_name,
+                str(formula),
+            )
+            cached = self._results.get(key)
+            if cached is not None:
+                self._results.move_to_end(key)
+                return cached
+            loaded = disk.load("relation", key)
+            if isinstance(loaded, ConstraintRelation):
+                self._remember(key, loaded)
+                return loaded
+        with TRACER.span("evaluate"), fastlp.lp_mode(self.lp_mode), \
+                self._store_scope():
+            answer = self.evaluator.evaluate(formula)
+        if disk is not None and key is not None:
+            disk.save("relation", key, answer)
+            self._remember(key, answer)
+        return answer
+
+    #: In-memory bound on remembered per-query answer relations.
+    _RESULT_CAPACITY = 256
+
+    def _remember(self, key: str, answer: ConstraintRelation) -> None:
+        self._results[key] = answer
+        self._results.move_to_end(key)
+        while len(self._results) > self._RESULT_CAPACITY:
+            self._results.popitem(last=False)
 
     def truth(self, query: "ast.RegFormula | str") -> bool:
         """Truth of a boolean query (no free variables of any sort)."""
@@ -354,10 +423,15 @@ class QueryEngine:
     # Maintenance / introspection
     # ------------------------------------------------------------------
     def invalidate(self) -> None:
-        """Drop this database's cached construction (engine-wide)."""
+        """Drop this database's cached construction (engine-wide).
+
+        Does not touch the disk store: entries there are content-
+        addressed, so a changed database simply resolves different keys.
+        """
         self.cache.invalidate(self.database)
         self._extension = None
         self._evaluator = None
+        self._results.clear()
 
     def stats(self) -> dict[str, object]:
         """One dict with the engine's caches and evaluator telemetry."""
@@ -366,6 +440,9 @@ class QueryEngine:
             numbers["evaluator"] = self._evaluator.metrics.snapshot()
         if self._extension is not None:
             numbers["regions"] = self._extension.region_count()
+        disk = self._store()
+        if disk is not None:
+            numbers["store"] = disk.stats()
         return numbers
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -9,6 +9,12 @@ The subsystem has two halves, both with near-zero cost while idle:
 * :mod:`repro.obs.tracing` — a span tree recorded by the process-wide
   :data:`TRACER`, disabled by default; ``repro profile`` and the
   ``--trace`` CLI flag turn it on around one command.
+
+Subsystems register their counters here on first use; the disk
+warm-start layer (:mod:`repro.store`) contributes ``store.hits`` /
+``store.misses`` / ``store.writes`` / ``store.corrupt_entries`` /
+``store.evictions`` plus aggregate ``store.load`` / ``store.save``
+spans, all visible in the ``repro profile`` dump.
 """
 
 from repro.obs.metrics import (

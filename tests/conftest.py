@@ -1,0 +1,25 @@
+"""Shared test configuration.
+
+Adds the ``--update-golden`` flag used by ``tests/test_golden_figures.py``
+to rewrite the committed golden files from the current implementation
+(``PYTHONPATH=src python -m pytest tests/test_golden_figures.py
+--update-golden``).  Regular runs compare against the committed files
+and fail on any drift.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from the current results "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    return request.config.getoption("--update-golden")

@@ -1,0 +1,150 @@
+"""Golden-file pins of the paper's worked examples.
+
+The committed JSON files under ``tests/golden/`` freeze the combinatorial
+content of the paper's figures (EXPERIMENTS.md: E1 triangle census, E8
+Appendix-A decompositions) and a set of query truth values, so a future
+refactor cannot silently drift from the paper.  On mismatch the diff is
+the failure message; when a change is *intended*, regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_figures.py \
+        --update-golden
+
+and review the golden diff in the commit.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.arrangement.builder import build_arrangement
+from repro.constraints.io import parse_formula
+from repro.constraints.relation import ConstraintRelation
+from repro.queries.connectivity import is_connected
+from repro.regions.nc1 import decompose_nc1
+from repro.workloads.generators import interval_chain
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+
+
+def check_golden(name: str, payload: dict, update: bool) -> None:
+    path = GOLDEN_DIR / f"{name}.json"
+    rendered = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if update:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(rendered)
+    if not path.exists():
+        pytest.fail(
+            f"golden file {path.name} missing — generate it with "
+            "pytest --update-golden and commit it"
+        )
+    assert json.loads(path.read_text()) == payload, (
+        f"golden drift in {path.name}; if intended, regenerate with "
+        "--update-golden and review the diff"
+    )
+
+
+def triangle() -> ConstraintRelation:
+    return ConstraintRelation.make(
+        ("x", "y"), parse_formula("x >= 0 & y >= 0 & x + y <= 1")
+    )
+
+
+def pentagon() -> ConstraintRelation:
+    return ConstraintRelation.make(
+        ("x", "y"),
+        parse_formula(
+            "y >= 0 & 3*x - 2*y <= 12 & 3*x + 4*y <= 30 & "
+            "3*x - 4*y >= -18 & 3*x + 2*y >= 0"
+        ),
+    )
+
+
+def wedge() -> ConstraintRelation:
+    return ConstraintRelation.make(
+        ("x", "y"), parse_formula("x >= 0 & y <= x & y >= -1")
+    )
+
+
+def test_e1_triangle_arrangement(update_golden):
+    """Figure 4: the triangle's 7/9/3 census and full face table."""
+    arrangement = build_arrangement(triangle())
+    payload = {
+        "hyperplanes": [str(h) for h in arrangement.hyperplanes],
+        "census": {
+            str(dim): count
+            for dim, count in arrangement.face_count_by_dimension().items()
+        },
+        "total_faces": len(arrangement),
+        "faces_in_relation": len(arrangement.faces_in_relation()),
+        "faces": [
+            {
+                "signs": list(face.signs),
+                "dim": face.dimension,
+                "in_relation": face.in_relation,
+            }
+            for face in arrangement.faces
+        ],
+        "vertices": [
+            [str(coordinate) for coordinate in face.sample]
+            for face in arrangement.vertices
+        ],
+    }
+    # The paper's numbers are load-bearing: guard them directly so a
+    # stale golden file cannot hide a regression either.
+    assert payload["census"] == {"2": 7, "1": 9, "0": 3}
+    assert payload["faces_in_relation"] == 7
+    check_golden("e1_triangle_arrangement", payload, update_golden)
+
+
+@pytest.mark.parametrize(
+    "name, factory, expected_census",
+    [
+        ("e8_pentagon_nc1", pentagon, {"2": 3, "1": 7, "0": 5}),
+        ("e8_wedge_nc1", wedge, {"2": 3, "1": 7, "0": 4}),
+    ],
+)
+def test_e8_nc1_decompositions(update_golden, name, factory,
+                               expected_census):
+    """Appendix A: the NC¹ censuses (wedge incl. the documented chord)."""
+    regions = decompose_nc1(factory())
+    census: dict[str, int] = {}
+    kinds: dict[str, int] = {}
+    for region in regions:
+        census[str(region.dimension)] = census.get(
+            str(region.dimension), 0
+        ) + 1
+        kinds[region.kind] = kinds.get(region.kind, 0) + 1
+    payload = {
+        "census": census,
+        "kinds": dict(sorted(kinds.items())),
+        "regions": len(regions),
+        "unbounded": sum(1 for r in regions if not r.is_bounded()),
+    }
+    assert payload["census"] == expected_census
+    check_golden(name, payload, update_golden)
+
+
+def test_e4_query_verdicts(update_golden):
+    """Conn and basic RegFO truth values on the interval chains."""
+    from repro.engine import EngineCache, QueryEngine
+    from repro.obs.metrics import MetricsRegistry
+
+    touching = interval_chain(2)
+    gapped = interval_chain(2, gap=True)
+    engine = QueryEngine(
+        touching, cache=EngineCache(metrics=MetricsRegistry())
+    )
+    answer = engine.evaluate("S(x) & x < 1")
+    payload = {
+        "conn_touching": is_connected(touching),
+        "conn_gapped": is_connected(gapped),
+        "conn_single": is_connected(interval_chain(1)),
+        "exists_point": engine.truth("exists x. S(x)"),
+        "all_below_three": engine.truth("forall x. S(x) -> x < 3"),
+        "clipped_formula": str(answer.formula),
+        "clipped_variables": list(answer.variables),
+    }
+    assert payload["conn_touching"] is True
+    assert payload["conn_gapped"] is False
+    check_golden("e4_query_verdicts", payload, update_golden)
