@@ -37,7 +37,22 @@ from repro.engine import (
     invalidate_cache,
     shared_cache,
 )
-from repro.obs import MetricsRegistry, Span, TRACER, get_registry
+from repro.explain import (
+    ExplainResult,
+    PlanNode,
+    explain_datalog,
+    explain_query,
+)
+from repro.obs import (
+    JOURNAL,
+    MetricsRegistry,
+    Span,
+    TRACER,
+    get_registry,
+    journal_scope,
+    replay,
+    reset_all,
+)
 from repro.regions.arrangement_regions import ArrangementDecomposition
 from repro.regions.nc1 import NC1Decomposition
 from repro.twosorted.structure import RegionExtension
@@ -73,7 +88,15 @@ __all__ = [
     "MetricsRegistry",
     "Span",
     "TRACER",
+    "JOURNAL",
     "get_registry",
+    "journal_scope",
+    "replay",
+    "reset_all",
+    "ExplainResult",
+    "PlanNode",
+    "explain_query",
+    "explain_datalog",
     "evaluate_query",
     "query_truth",
     "parse_query",

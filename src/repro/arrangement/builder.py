@@ -206,7 +206,10 @@ def enumerate_sign_vectors(
     ``prefix`` / ``prefix_witness`` seed the DFS at a feasible partial
     sign vector — the parallel builder uses this to enumerate one
     subtree per worker (the seeded enumeration equals the contiguous
-    slice of the full enumeration below that prefix).
+    slice of the full enumeration below that prefix).  A seeded run does
+    not count the seed node itself in ``arrangement.dfs_nodes``: the
+    caller already counted it while enumerating prefixes, so sequential
+    and parallel builds report identical node totals.
     """
     n = len(hyperplanes)
     rows = [_plane_rows(plane) for plane in hyperplanes]
@@ -281,8 +284,10 @@ def enumerate_sign_vectors(
         prefix: list[int],
         system: list[LinearConstraint],
         witness: Vector,
+        seeded: bool = False,
     ) -> Iterator[tuple[SignVector, Vector]]:
-        _DFS_NODES.inc()
+        if not seeded:
+            _DFS_NODES.inc()
         if len(prefix) == n:
             yield tuple(prefix), witness
             return
@@ -302,7 +307,9 @@ def enumerate_sign_vectors(
         if prefix_witness is None:
             raise GeometryError("a seeded prefix needs its witness point")
         base_system = [rows[i][sign] for i, sign in enumerate(prefix)]
-        yield from extend(list(prefix), base_system, prefix_witness)
+        yield from extend(
+            list(prefix), base_system, prefix_witness, seeded=True
+        )
         return
     origin: Vector = (Fraction(0),) * dimension
     yield from extend([], [], origin)

@@ -19,11 +19,22 @@ Knobs:
   default when the knob is not given (``1`` = sequential).
 
 When worker processes cannot be created (restricted sandboxes, missing
-semaphores) the build falls back to the sequential enumerator and
-counts the event in ``arrangement.parallel_fallbacks``.  Metric
-counters incremented inside workers stay in the worker process; the
-parent's counters still reflect the sequential prefix enumeration and
-the per-build aggregates on the ``arrangement.build`` span.
+semaphores) the build falls back to enumerating the same subtree tasks
+sequentially in the parent and counts the event in
+``arrangement.parallel_fallbacks``.  Workers measure the counter deltas
+their subtree produced (:func:`~repro.obs.metrics.metrics_snapshot`
+before and after — fork-started workers inherit the parent's counter
+*values*, so absolute numbers would double-count) and ship them home
+with the face batch; the parent folds every delta into its registry via
+:func:`~repro.obs.metrics.merge_snapshot`.  Workers likewise export the
+feasibility-memo entries their subtree added and the parent folds them
+into its memo, so the process ends in the same cache state a sequential
+build would have produced.  A parallel build therefore reports the same
+``lp.solves`` / ``arrangement.dfs_nodes`` totals as the sequential
+build of the same arrangement — and downstream evaluation keeps
+matching too, because it warm-starts from the identical memo.  The
+journal records one ``worker.spawn`` event per build plus one
+``worker.merge`` event per subtree batch.
 
 Disk warm-start (:mod:`repro.store`) composes with parallelism in the
 parent: :func:`~repro.arrangement.builder.build_arrangement` consults
@@ -42,7 +53,8 @@ from typing import Sequence
 from repro.geometry import fastlp
 from repro.geometry.hyperplane import Hyperplane
 from repro.geometry.linalg import Vector
-from repro.obs.metrics import get_registry
+from repro.obs.journal import JOURNAL
+from repro.obs.metrics import get_registry, merge_snapshot, metrics_snapshot
 
 from repro.arrangement.faces import SignVector
 
@@ -73,8 +85,18 @@ def _subtree_worker(
     args: tuple[
         tuple[Hyperplane, ...], SignVector, Vector, int, bool, bool, str
     ],
-) -> list[tuple[SignVector, Vector]]:
-    """Enumerate one sign-vector subtree (runs in a worker process)."""
+) -> tuple[
+    list[tuple[SignVector, Vector]], dict[str, int], dict
+]:
+    """Enumerate one sign-vector subtree (runs in a worker process).
+
+    Returns the subtree's faces, the counter *deltas* the enumeration
+    produced in this process, and the feasibility-memo entries it added.
+    Deltas, not absolute values: fork-started workers inherit the
+    parent's counter state, so only the before/after difference is the
+    subtree's own work — and likewise only memo entries beyond the
+    inherited key set are the subtree's own solves.
+    """
     (
         hyperplanes,
         prefix,
@@ -85,12 +107,18 @@ def _subtree_worker(
         lp_mode,
     ) = args
     from repro.arrangement.builder import enumerate_sign_vectors
+    from repro.geometry.simplex import (
+        export_feasibility_entries,
+        snapshot_feasibility_keys,
+    )
 
     # The parent resolved its LP mode (knob, context manager or
     # environment) at submit time; pin the worker to the same tier so
     # spawn-based pools behave like fork-based ones.
     fastlp.set_lp_mode(lp_mode)
-    return list(
+    before = metrics_snapshot()
+    inherited = snapshot_feasibility_keys()
+    pairs = list(
         enumerate_sign_vectors(
             hyperplanes,
             dimension,
@@ -100,6 +128,13 @@ def _subtree_worker(
             prefix_witness=witness,
         )
     )
+    after = metrics_snapshot()
+    deltas = {
+        name: value - before.get(name, 0)
+        for name, value in after.items()
+        if value - before.get(name, 0)
+    }
+    return pairs, deltas, export_feasibility_entries(inherited)
 
 
 def _split_depth(n_planes: int, jobs: int) -> int:
@@ -140,6 +175,8 @@ def enumerate_parallel(
         (planes, signs, witness, dimension, witness_reuse, dedup, active_mode)
         for signs, witness in prefixes
     ]
+    if JOURNAL.enabled:
+        JOURNAL.emit("worker.spawn", jobs=jobs, subtrees=len(tasks))
     try:
         import concurrent.futures
 
@@ -149,17 +186,36 @@ def enumerate_parallel(
             chunks = list(pool.map(_subtree_worker, tasks))
     except Exception:
         _PARALLEL_FALLBACKS.inc()
-        return list(
-            enumerate_sign_vectors(
-                planes,
-                dimension,
-                witness_reuse=witness_reuse,
-                dedup=dedup,
+        # Enumerate the same subtree tasks in-process: with seeded
+        # enumeration not re-counting its seed node, the fallback
+        # reports the same totals a sequential build would.
+        results = []
+        for signs, witness in prefixes:
+            results.extend(
+                enumerate_sign_vectors(
+                    planes,
+                    dimension,
+                    witness_reuse=witness_reuse,
+                    dedup=dedup,
+                    prefix=signs,
+                    prefix_witness=witness,
+                )
             )
-        )
+        return results
+    from repro.geometry.simplex import merge_feasibility_entries
+
     _PARALLEL_BUILDS.inc()
     _PARALLEL_SUBTREES.inc(len(tasks))
-    results: list[tuple[SignVector, Vector]] = []
-    for chunk in chunks:
-        results.extend(chunk)
+    results = []
+    for index, (pairs, counters, memo_entries) in enumerate(chunks):
+        merge_snapshot(counters)
+        merge_feasibility_entries(memo_entries)
+        if JOURNAL.enabled:
+            JOURNAL.emit(
+                "worker.merge",
+                worker=index,
+                faces=len(pairs),
+                counters=counters,
+            )
+        results.extend(pairs)
     return results

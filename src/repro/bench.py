@@ -23,10 +23,15 @@ equivalences without timing noise.
   program over growing interval chains.
 
 Every record carries a ``metadata`` block with the active LP mode, the
-resolved worker count and the disk store in effect (directory plus
-``store.*`` counter values), so before/after records are
-self-describing — a warm-start E2 run shows ``store.hits > 0`` and the
-CI store job compares cold/warm records on exactly that.
+resolved worker count, the disk store in effect (directory plus
+``store.*`` counter values) and the run's provenance — the repository's
+``git_sha`` (``None`` outside a git checkout), the UTC timestamp and
+the Python version — so before/after records are self-describing: a
+warm-start E2 run shows ``store.hits > 0`` and the CI store job
+compares cold/warm records on exactly that.  ``repro bench
+--append-history PATH`` additionally appends a one-line JSON summary of
+the run to PATH (see :func:`append_history`), building a queryable
+performance history across commits.
 
 Only the *fast* paths consult the disk store (the naive baselines exist
 to measure construction), so cold-run baseline timings are unaffected
@@ -36,7 +41,10 @@ by ``REPRO_CACHE_DIR``.
 from __future__ import annotations
 
 import json
+import pathlib
+import platform
 import time
+from datetime import datetime, timezone
 from typing import Sequence
 
 from repro.geometry import fastlp
@@ -47,6 +55,26 @@ def _timed(function, *args, **kwargs):
     start = time.perf_counter()
     result = function(*args, **kwargs)
     return result, time.perf_counter() - start
+
+
+def _git_sha() -> str | None:
+    """The checkout's HEAD commit, or ``None`` outside a git repository."""
+    import subprocess
+
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=pathlib.Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    sha = completed.stdout.strip()
+    return sha or None
 
 
 def _metadata(jobs: int) -> dict:
@@ -64,6 +92,11 @@ def _metadata(jobs: int) -> dict:
         "jobs": jobs,
         "cache_dir": str(store.root) if store is not None else None,
         "store": store.stats() if store is not None else None,
+        "git_sha": _git_sha(),
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python_version": platform.python_version(),
     }
 
 
@@ -353,4 +386,34 @@ BENCHMARKS = {
 def write_record(record: dict, path: str) -> None:
     with open(path, "w") as handle:
         json.dump(record, handle, indent=2)
+        handle.write("\n")
+
+
+def history_line(record: dict) -> dict:
+    """The one-line summary of a benchmark record for the history log."""
+    metadata = record.get("metadata") or {}
+    return {
+        "benchmark": record.get("benchmark"),
+        "timestamp_utc": metadata.get("timestamp_utc"),
+        "git_sha": metadata.get("git_sha"),
+        "python_version": metadata.get("python_version"),
+        "lp_mode": metadata.get("lp_mode"),
+        "jobs": metadata.get("jobs"),
+        "sizes": record.get("sizes"),
+        "all_match": record.get("all_match"),
+        "largest_speedup": record.get("largest_speedup"),
+    }
+
+
+def append_history(record: dict, path: str) -> None:
+    """Append a record's :func:`history_line` to a JSON Lines file.
+
+    One compact line per run (``repro bench --append-history``), so the
+    performance trajectory across commits stays greppable and
+    machine-readable without storing every full record.
+    """
+    with open(path, "a") as handle:
+        handle.write(
+            json.dumps(history_line(record), separators=(",", ":"))
+        )
         handle.write("\n")

@@ -7,16 +7,27 @@ Usage (also via ``python -m repro``):
     repro check DB.cdb                     validate + structural report
     repro regions DB.cdb [--decomposition arrangement|refined|nc1]
     repro query DB.cdb "forall x. S(x) -> x < 5"
+    repro explain DB.cdb "..." [--analyze] annotated query plan tree
     repro arrangement DB.cdb               face census + incidence stats
     repro encode DB.cdb                    the Theorem 6.4 encoding word
     repro render DB.cdb out.svg            2-D relations only
 
 Databases are text files in the format of :mod:`repro.constraints.io`.
+
+``--journal PATH`` (or ``REPRO_JOURNAL``) streams the structured event
+journal of the command — spans, cache and store decisions, fixpoint
+stages, worker lifecycle — to PATH as JSON Lines; see
+:mod:`repro.obs.journal` and ``repro.obs.replay``.
+
+Every invocation of :func:`main` starts from pristine observability
+state (:func:`repro.obs.reset_all`), so back-to-back calls in one
+process cannot leak counters, open spans or journal buffers.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -29,7 +40,8 @@ from repro.logic.properties import (
     coordinate_bound,
     has_small_coordinate_property,
 )
-from repro.obs import TRACER, get_registry
+from repro.obs import JOURNAL, TRACER, get_registry, reset_all
+from repro.obs.journal import ENV_JOURNAL
 from repro.store import store_scope
 from repro.twosorted.structure import RegionExtension
 
@@ -81,6 +93,16 @@ def _add_cache_dir_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_journal_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="append the command's structured event journal to PATH as "
+        "JSON Lines (default: $REPRO_JOURNAL, else no journal)",
+    )
+
+
 def _add_lp_mode_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--lp-mode",
@@ -119,6 +141,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_flag(query)
     _add_lp_mode_flag(query)
     _add_cache_dir_flag(query)
+    _add_journal_flag(query)
+
+    explain = commands.add_parser(
+        "explain",
+        help="compile a query into an annotated plan tree; --analyze "
+             "also executes it and attaches per-node measured costs",
+    )
+    explain.add_argument("database")
+    explain.add_argument(
+        "text",
+        help="query in the region-logic syntax (or a datalog program, "
+             "one rule per line, with --datalog)",
+    )
+    explain.add_argument(
+        "--analyze",
+        action="store_true",
+        help="execute the query and attach per-node wall time, LP "
+             "solves, DFS nodes, cache hits and fixpoint stage deltas",
+    )
+    explain.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the plan (and totals) as JSON instead of a tree",
+    )
+    explain.add_argument(
+        "--datalog",
+        action="store_true",
+        help="treat the query text as a spatial datalog program",
+    )
+    _add_decomposition_flag(explain)
+    _add_spatial_flag(explain)
+    _add_jobs_flag(explain)
+    _add_lp_mode_flag(explain)
+    _add_cache_dir_flag(explain)
+    _add_journal_flag(explain)
 
     profile = commands.add_parser(
         "profile",
@@ -131,6 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_flag(profile)
     _add_lp_mode_flag(profile)
     _add_cache_dir_flag(profile)
+    _add_journal_flag(profile)
 
     arrangement = commands.add_parser(
         "arrangement", help="arrangement census and incidence statistics"
@@ -168,9 +227,18 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the JSON record to PATH (e.g. BENCH_E2.json)",
     )
+    bench.add_argument(
+        "--append-history",
+        default=None,
+        metavar="PATH",
+        dest="append_history",
+        help="append a one-line summary (git sha, UTC timestamp, python "
+             "version, speedup) to PATH as JSON Lines",
+    )
     _add_jobs_flag(bench)
     _add_lp_mode_flag(bench)
     _add_cache_dir_flag(bench)
+    _add_journal_flag(bench)
 
     encode = commands.add_parser(
         "encode", help="print the capture encoding word"
@@ -251,6 +319,37 @@ def _cmd_query(args: argparse.Namespace, out) -> int:
         print(f"  sample points: {shown}", file=out)
     else:
         print("  (empty)", file=out)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace, out) -> int:
+    """EXPLAIN (ANALYZE) a query: print the annotated plan tree."""
+    import json
+
+    database = load_database(args.database)
+    if args.datalog:
+        from repro.datalog.parser import parse_program
+        from repro.explain import explain_datalog
+
+        program = parse_program(args.text)
+        result = explain_datalog(program, database, analyze=args.analyze)
+    else:
+        formula = parse_query(args.text)
+        if formula.free_region_vars() or formula.free_set_vars():
+            print(
+                "error: queries must not have free region or set "
+                "variables",
+                file=out,
+            )
+            return 2
+        engine = QueryEngine(
+            database, args.decomposition, args.spatial, jobs=args.jobs
+        )
+        result = engine.explain(formula, analyze=args.analyze)
+    if args.as_json:
+        print(json.dumps(result.to_dict(), indent=2), file=out)
+    else:
+        print(result.format(), file=out)
     return 0
 
 
@@ -364,7 +463,7 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
     """
     import json
 
-    from repro.bench import BENCHMARKS, write_record
+    from repro.bench import BENCHMARKS, append_history, write_record
 
     runner, __ = BENCHMARKS[args.name]
     kwargs: dict = {"check_only": args.check_only}
@@ -385,6 +484,9 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
     if args.output:
         write_record(record, args.output)
         print(f"wrote {args.output}", file=out)
+    if args.append_history:
+        append_history(record, args.append_history)
+        print(f"appended history to {args.append_history}", file=out)
     return 0 if record["all_match"] else 1
 
 
@@ -392,6 +494,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "regions": _cmd_regions,
     "query": _cmd_query,
+    "explain": _cmd_explain,
     "profile": _cmd_profile,
     "arrangement": _cmd_arrangement,
     "encode": _cmd_encode,
@@ -399,14 +502,38 @@ _COMMANDS = {
     "bench": _cmd_bench,
 }
 
+#: Commands that start and stop the process tracer themselves; ``main``
+#: must not wrap them in a second collection.
+_SELF_TRACING = ("profile", "explain")
+
 
 def main(argv: Sequence[str] | None = None, out=None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Starts from pristine observability state — counters zeroed, no open
+    spans, empty journal — so repeated in-process invocations (test
+    suites, notebooks) cannot leak telemetry into each other.  When a
+    journal sink is requested (``--journal`` or ``REPRO_JOURNAL``) the
+    command runs under the journal, and under the tracer too (without
+    printing the trace) so span events reach the sink.
+    """
     out = out or sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    reset_all()
+    journal_path = (
+        getattr(args, "journal", None)
+        or os.environ.get(ENV_JOURNAL, "").strip()
+        or None
+    )
+    if journal_path is not None:
+        JOURNAL.start(journal_path)
+        JOURNAL.emit("meta", command=args.command)
     tracing = getattr(args, "trace", False)
-    if tracing:
+    want_trace = tracing or (
+        journal_path is not None and args.command not in _SELF_TRACING
+    )
+    if want_trace:
         TRACER.start(args.command)
     try:
         with fastlp.lp_mode(getattr(args, "lp_mode", None)), \
@@ -419,10 +546,13 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         print(f"error: {error}", file=out)
         return 1
     finally:
-        if tracing:
+        if want_trace:
             root = TRACER.stop()
-            print("\ntrace:", file=out)
-            print(root.format(indent=1), file=out)
+            if tracing:
+                print("\ntrace:", file=out)
+                print(root.format(indent=1), file=out)
+        if journal_path is not None:
+            JOURNAL.stop()
 
 
 if __name__ == "__main__":  # pragma: no cover

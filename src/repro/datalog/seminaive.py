@@ -32,6 +32,7 @@ from repro.constraints.relation import (
     ConstraintRelation,
     union_relations,
 )
+from repro.obs.journal import JOURNAL
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import TRACER
 
@@ -94,7 +95,7 @@ def evaluate_program_seminaive(
                 for predicate in stratum
             }
             delta: dict[str, ConstraintRelation] | None = None
-            for __ in range(1, max_stages + 1):
+            for stage in range(1, max_stages + 1):
                 with TRACER.span("datalog.stage", aggregate=True):
                     new_delta: dict[str, ConstraintRelation] = {}
                     for predicate in stratum:
@@ -164,6 +165,18 @@ def evaluate_program_seminaive(
                     converged_now = all(
                         fresh.is_empty() for fresh in new_delta.values()
                     )
+                    if JOURNAL.enabled:
+                        JOURNAL.emit(
+                            "datalog.stage",
+                            strategy="seminaive",
+                            stage=stage,
+                            deltas={
+                                predicate: len(
+                                    new_delta[predicate].disjuncts()
+                                )
+                                for predicate in stratum
+                            },
+                        )
                 if converged_now:
                     break
                 total_stages += 1

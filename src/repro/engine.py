@@ -40,6 +40,7 @@ from repro.geometry import fastlp
 from repro.geometry.hyperplane import Hyperplane
 from repro.logic import ast
 from repro.logic.evaluator import Evaluator
+from repro.obs.journal import JOURNAL
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.tracing import TRACER
 from repro.twosorted.structure import RegionExtension
@@ -146,8 +147,18 @@ class EngineCache:
             self._arrangements.move_to_end(key)
             self._c_arr_hits.inc()
             TRACER.current().add("arrangement_cache_hits", 1)
+            if JOURNAL.enabled:
+                JOURNAL.emit(
+                    "cache", layer="engine", kind="arrangement",
+                    outcome="hit", key=key[0][:12],
+                )
             return cached
         self._c_arr_misses.inc()
+        if JOURNAL.enabled:
+            JOURNAL.emit(
+                "cache", layer="engine", kind="arrangement",
+                outcome="miss", key=key[0][:12],
+            )
         arrangement = build_arrangement(
             relation,
             hyperplanes=extra_hyperplanes or None,
@@ -180,8 +191,18 @@ class EngineCache:
             self._extensions.move_to_end(key)
             self._c_ext_hits.inc()
             TRACER.current().add("extension_cache_hits", 1)
+            if JOURNAL.enabled:
+                JOURNAL.emit(
+                    "cache", layer="engine", kind="extension",
+                    outcome="hit", key=key[0][:12],
+                )
             return cached
         self._c_ext_misses.inc()
+        if JOURNAL.enabled:
+            JOURNAL.emit(
+                "cache", layer="engine", kind="extension",
+                outcome="miss", key=key[0][:12],
+            )
 
         def factory(relation, extra_hyperplanes):
             return self.arrangement(relation, extra_hyperplanes, jobs=jobs)
@@ -196,6 +217,45 @@ class EngineCache:
         while len(self._extensions) > self.capacity:
             self._extensions.popitem(last=False)
         return extension
+
+    # ------------------------------------------------------------------
+    # Predictions (non-mutating, for ``repro explain``)
+    # ------------------------------------------------------------------
+    def peek_arrangement(
+        self,
+        relation: ConstraintRelation,
+        extra_hyperplanes: tuple[Hyperplane, ...] | None = None,
+    ) -> bool:
+        """Whether :meth:`arrangement` would hit, without touching state.
+
+        No counters move and the LRU order is left alone — this is how
+        ``repro explain`` predicts cache outcomes without perturbing
+        the run it is predicting.
+        """
+        extra_key = (
+            tuple(
+                (plane.normal, plane.offset)
+                for plane in extra_hyperplanes
+            )
+            if extra_hyperplanes
+            else ()
+        )
+        key = (relation_fingerprint(relation), extra_key)
+        return key in self._arrangements
+
+    def peek_extension(
+        self,
+        database: ConstraintDatabase,
+        decomposition: str = "arrangement",
+        spatial_name: str = "S",
+    ) -> bool:
+        """Whether :meth:`extension` would hit (no counters, no LRU)."""
+        key = (
+            database_fingerprint(database),
+            decomposition,
+            spatial_name,
+        )
+        return key in self._extensions
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -418,6 +478,27 @@ class QueryEngine:
         if formula.free_element_vars():
             raise EvaluationError("boolean queries have no free variables")
         return not self.evaluate(formula).is_empty()
+
+    def explain(
+        self,
+        query: "ast.RegFormula | str",
+        analyze: bool = False,
+    ):
+        """EXPLAIN (or EXPLAIN ANALYZE) a query: the annotated plan tree.
+
+        Compiles the query into a :class:`~repro.explain.PlanNode` tree
+        mirroring its quantifier/connective structure, annotated with
+        the relations and arrangements each node needs and the
+        *predicted* cache/store outcomes (by fingerprint, without
+        perturbing any cache).  With ``analyze=True`` the query is also
+        executed and each node carries its measured cost: wall time, LP
+        solves, DFS nodes, cache hits, per-stage fixpoint deltas.
+
+        Returns an :class:`~repro.explain.ExplainResult`.
+        """
+        from repro.explain import explain_query
+
+        return explain_query(self, self._parse(query), analyze=analyze)
 
     # ------------------------------------------------------------------
     # Maintenance / introspection

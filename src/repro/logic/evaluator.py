@@ -35,6 +35,7 @@ from repro.errors import EvaluationError, UnboundVariableError
 from repro.constraints.formula import FALSE, TRUE
 from repro.constraints.relation import ConstraintRelation
 from repro.constraints.database import ConstraintDatabase
+from repro.obs.journal import JOURNAL
 from repro.obs.metrics import MetricsRegistry, MetricsView, get_registry
 from repro.obs.tracing import TRACER
 from repro.twosorted.structure import RegionExtension
@@ -119,6 +120,12 @@ class Evaluator:
         self._tc_memo: dict[_StructuralKey, set] = {}
         self._fixpoint_memo: dict[tuple, FixpointRun] = {}
         self._zero_dim_ranks: dict[int, int] | None = None
+        #: Optional per-node cost collector (EXPLAIN ANALYZE).  When set
+        #: (see :class:`repro.explain.NodeProfiler`) every non-memoised
+        #: dispatch is bracketed by ``enter``/``exit`` and memo hits are
+        #: reported, attributing wall time and counter deltas to the
+        #: exact subformula being evaluated.
+        self.profiler = None
         # Per-evaluator metrics that roll up into the process registry.
         self.metrics = (
             metrics
@@ -201,17 +208,33 @@ class Evaluator:
         cached = self._memo.get(key)
         if cached is not None:
             self._c_memo_hits.inc()
+            if self.profiler is not None:
+                self.profiler.memo_hit(formula)
             return cached
         self._c_evaluations.inc()
+        if self.profiler is not None:
+            self.profiler.enter(formula)
+            try:
+                result = self._dispatch_traced(formula, region_env, set_env)
+            finally:
+                self.profiler.exit(formula)
+        else:
+            result = self._dispatch_traced(formula, region_env, set_env)
+        self._memo[key] = result
+        return result
+
+    def _dispatch_traced(
+        self,
+        formula: ast.RegFormula,
+        region_env: RegionEnv,
+        set_env: SetEnv,
+    ) -> ConstraintRelation:
         if TRACER.enabled:
             with TRACER.span(
                 "eval." + type(formula).__name__, aggregate=True
             ):
-                result = self._dispatch(formula, region_env, set_env)
-        else:
-            result = self._dispatch(formula, region_env, set_env)
-        self._memo[key] = result
-        return result
+                return self._dispatch(formula, region_env, set_env)
+        return self._dispatch(formula, region_env, set_env)
 
     def _memo_key(
         self,
@@ -518,7 +541,7 @@ class Evaluator:
         # complement needs re-evaluation.  IFP/PFP evaluate everything.
         keep_current = formula.kind is ast.FixKind.LFP
 
-        def step(current: frozenset) -> frozenset:
+        def raw_step(current: frozenset) -> frozenset:
             inner_sets = dict(set_env)
             inner_sets[formula.set_var] = current
             members = list(current) if keep_current else []
@@ -529,6 +552,23 @@ class Evaluator:
                 if self.truth(formula.body, env, inner_sets):
                     members.append(candidate)
             return frozenset(members)
+
+        step = raw_step
+        if JOURNAL.enabled:
+            operator = f"{formula.kind.value} {formula.set_var}"
+            stage_box = [0]
+
+            def step(current: frozenset) -> frozenset:
+                result = raw_step(current)
+                stage_box[0] += 1
+                JOURNAL.emit(
+                    "fixpoint.stage",
+                    operator=operator,
+                    stage=stage_box[0],
+                    size=len(result),
+                    delta=len(result - current),
+                )
+                return result
 
         bound = len(universe) + 1
         with TRACER.span("eval.fixpoint", aggregate=True) as fp_span:

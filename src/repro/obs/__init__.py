@@ -1,6 +1,6 @@
-"""repro.obs — observability: tracing spans and metrics registries.
+"""repro.obs — observability: spans, metrics and the event journal.
 
-The subsystem has two halves, both with near-zero cost while idle:
+The subsystem has three layers, all with near-zero cost while idle:
 
 * :mod:`repro.obs.metrics` — named counters in (possibly nested)
   registries; the process-wide registry aggregates everything and the
@@ -9,12 +9,23 @@ The subsystem has two halves, both with near-zero cost while idle:
 * :mod:`repro.obs.tracing` — a span tree recorded by the process-wide
   :data:`TRACER`, disabled by default; ``repro profile`` and the
   ``--trace`` CLI flag turn it on around one command.
+* :mod:`repro.obs.journal` — the flight recorder: a bounded ring buffer
+  of typed events (span open/close, cache and store decisions, fixpoint
+  stage summaries, worker lifecycle), optionally streamed to JSONL via
+  ``--journal PATH`` / ``REPRO_JOURNAL``; :func:`~repro.obs.journal.\
+  replay` folds a journal back into the exact span tree, which is what
+  ``repro explain --analyze`` consumes.
 
 Subsystems register their counters here on first use; the disk
 warm-start layer (:mod:`repro.store`) contributes ``store.hits`` /
 ``store.misses`` / ``store.writes`` / ``store.corrupt_entries`` /
 ``store.evictions`` plus aggregate ``store.load`` / ``store.save``
 spans, all visible in the ``repro profile`` dump.
+
+:func:`reset_all` returns every layer to its pristine state; the CLI
+entry point calls it so back-to-back ``repro.cli.main()`` invocations
+in one process (the test suite, notebook sessions) cannot leak
+counters, open traces or journal buffers into each other.
 """
 
 from repro.obs.metrics import (
@@ -22,6 +33,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     MetricsView,
     get_registry,
+    merge_snapshot,
     metrics_snapshot,
     reset_metrics,
 )
@@ -34,12 +46,36 @@ from repro.obs.tracing import (
     traced,
     tracing_enabled,
 )
+from repro.obs.journal import (
+    JOURNAL,
+    Journal,
+    ReplayResult,
+    journal_enabled,
+    journal_scope,
+    load_events,
+    replay,
+)
+
+
+def reset_all() -> None:
+    """Reset spans, metrics and the journal to their pristine state.
+
+    Zeroes every process-wide counter, discards any trace collection in
+    progress, and clears the journal ring (detaching its sink).  The
+    engine caches (:mod:`repro.engine`, :mod:`repro.store`) are *not*
+    touched — they are cross-invocation state by design.
+    """
+    reset_metrics()
+    TRACER.hard_reset()
+    JOURNAL.reset()
+
 
 __all__ = [
     "Counter",
     "MetricsRegistry",
     "MetricsView",
     "get_registry",
+    "merge_snapshot",
     "metrics_snapshot",
     "reset_metrics",
     "NULL_SPAN",
@@ -49,4 +85,12 @@ __all__ = [
     "span",
     "traced",
     "tracing_enabled",
+    "JOURNAL",
+    "Journal",
+    "ReplayResult",
+    "journal_enabled",
+    "journal_scope",
+    "load_events",
+    "replay",
+    "reset_all",
 ]

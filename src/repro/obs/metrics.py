@@ -159,3 +159,20 @@ def reset_metrics(prefix: str | None = None) -> None:
 def metrics_snapshot(prefix: str | None = None) -> dict[str, int]:
     """Snapshot of the process-wide registry."""
     return _GLOBAL.snapshot(prefix)
+
+
+def merge_snapshot(
+    snapshot: Mapping[str, int],
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Fold a ``{name: delta}`` snapshot into a registry (default global).
+
+    This is how parallel arrangement workers ship their counters home:
+    the worker returns ``metrics_snapshot()`` deltas with its face
+    batches and the parent merges them, so ``--jobs N`` totals match the
+    sequential run exactly.
+    """
+    target = registry if registry is not None else _GLOBAL
+    for name, delta in snapshot.items():
+        if delta:
+            target.counter(name).inc(delta)

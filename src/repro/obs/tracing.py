@@ -13,6 +13,15 @@ Aggregate spans keep the tree small on hot paths: entering a span with
 single child whose ``calls`` / ``wall_s`` accumulate, so ten thousand
 LP solves become one line of profile instead of ten thousand nodes.
 
+Spans are thread-aware: each thread keeps its own open-span stack, and
+the outermost span of a secondary thread (a ``ThreadPoolExecutor``
+worker, say) is adopted into the collection's root under a lock, so
+concurrent spans never corrupt the tree.
+
+When the structured event journal (:mod:`repro.obs.journal`) is
+recording, every span open/close is mirrored as a typed event, which is
+what lets ``replay()`` reconstruct the tree from a journal file.
+
 Usage::
 
     from repro.obs import span, traced, TRACER
@@ -29,14 +38,39 @@ Usage::
 
 from __future__ import annotations
 
+import itertools
+import threading
 import time
 from typing import Any, Callable
+
+
+class _NullJournal:
+    """Stands in until :mod:`repro.obs.journal` registers the real one."""
+
+    __slots__ = ()
+    enabled = False
+
+    def emit(self, type_: str, **fields: Any) -> None:  # pragma: no cover
+        pass
+
+
+#: The journal the tracer mirrors span events into; replaced by the real
+#: process journal when :mod:`repro.obs.journal` is imported (the import
+#: cannot go the other way — journal replays into Span trees).
+_JOURNAL: Any = _NullJournal()
+
+
+def _attach_journal(journal: Any) -> None:
+    global _JOURNAL
+    _JOURNAL = journal
 
 
 class Span:
     """One node of the trace tree."""
 
-    __slots__ = ("name", "calls", "wall_s", "attrs", "children", "_index")
+    __slots__ = (
+        "name", "calls", "wall_s", "attrs", "children", "_index", "_jid"
+    )
 
     def __init__(self, name: str, **attrs: Any) -> None:
         self.name = name
@@ -46,6 +80,8 @@ class Span:
         self.children: list[Span] = []
         # Aggregate children by name for O(1) merging.
         self._index: dict[str, Span] = {}
+        # Journal event id (0 = never journalled).
+        self._jid = 0
 
     def add(self, key: str, amount: Any = 1) -> None:
         """Accumulate a numeric attribute on this span."""
@@ -160,9 +196,16 @@ _NULL_CONTEXT = _NullContext()
 
 
 class _SpanContext:
-    """Context manager recording one span under the current parent."""
+    """Context manager recording one span under the current parent.
 
-    __slots__ = ("_tracer", "_span", "_aggregate", "_start")
+    The parent is the innermost open span *of the current thread*; the
+    outermost span of a secondary thread is adopted into the root span
+    under the tracer's lock.  ``__exit__`` always closes the span and
+    never swallows exceptions, so a raising body still produces a
+    complete (and correctly timed) node.
+    """
+
+    __slots__ = ("_tracer", "_span", "_aggregate", "_start", "_stack")
 
     def __init__(
         self,
@@ -175,19 +218,57 @@ class _SpanContext:
         self._span = Span(name, **attrs)
         self._aggregate = aggregate
         self._start = 0.0
+        self._stack: list[Span] | None = None
 
     def __enter__(self) -> Span:
-        self._tracer._stack.append(self._span)
+        tracer = self._tracer
+        stack = tracer._thread_stack()
+        self._stack = stack
+        span = self._span
+        if _JOURNAL.enabled:
+            span._jid = next(tracer._ids)
+            parent_id = tracer._root_id
+            if stack and stack[-1]._jid:
+                parent_id = stack[-1]._jid
+            _JOURNAL.emit(
+                "span.open",
+                id=span._jid,
+                parent=parent_id,
+                name=span.name,
+                aggregate=self._aggregate,
+                attrs=dict(span.attrs),
+            )
+        stack.append(span)
         self._start = time.perf_counter()
-        return self._span
+        return span
 
     def __exit__(self, *exc_info: object) -> bool:
         span = self._span
         span.wall_s += time.perf_counter() - self._start
-        stack = self._tracer._stack
-        stack.pop()
+        stack = self._stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack is not None:  # pragma: no cover - defensive
+            try:
+                stack.remove(span)
+            except ValueError:
+                pass
+        if _JOURNAL.enabled and span._jid:
+            _JOURNAL.emit(
+                "span.close",
+                id=span._jid,
+                wall_s=span.wall_s,
+                calls=span.calls,
+                attrs=dict(span.attrs),
+            )
+        tracer = self._tracer
         if stack:
             stack[-1].adopt(span, self._aggregate)
+        else:
+            root = tracer._root
+            if root is not None:
+                with tracer._lock:
+                    root.adopt(span, self._aggregate)
         return False
 
 
@@ -197,15 +278,30 @@ class Tracer:
     ``enabled`` is a plain attribute so instrumentation sites can guard
     with a single check; :meth:`span` returns a shared no-op context
     while disabled, so un-guarded ``with`` sites cost one allocation-free
-    call.
+    call.  Open-span stacks are per thread (an ``_epoch`` token retires
+    every thread's stack when a collection starts or stops).
     """
 
-    __slots__ = ("enabled", "_stack", "_root")
+    __slots__ = (
+        "enabled", "_root", "_root_id", "_local", "_lock", "_ids", "_epoch"
+    )
 
     def __init__(self) -> None:
         self.enabled = False
-        self._stack: list[Span] = []
         self._root: Span | None = None
+        self._root_id: int | None = None
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._epoch: object = object()
+
+    def _thread_stack(self) -> list[Span]:
+        """This thread's open-span stack for the current collection."""
+        local = self._local
+        if getattr(local, "epoch", None) is not self._epoch:
+            local.epoch = self._epoch
+            local.stack = []
+        return local.stack
 
     def start(self, name: str = "trace") -> "Tracer":
         """Begin collecting under a fresh root span.
@@ -216,20 +312,44 @@ class Tracer:
         """
         root = Span(name)
         root.wall_s = -time.perf_counter()
-        self._stack = [root]
+        self._epoch = object()
+        local = self._local
+        local.epoch = self._epoch
+        local.stack = [root]
         self._root = root
+        self._root_id = next(self._ids)
+        root._jid = self._root_id
         self.enabled = True
+        if _JOURNAL.enabled:
+            _JOURNAL.emit("trace.begin", id=self._root_id, name=name)
         return self
 
     def stop(self) -> Span:
         """End collection and return the finished root span."""
-        if not self.enabled or not self._stack:
+        if not self.enabled or self._root is None:
             raise RuntimeError("tracer is not started")
-        root = self._stack[0]
+        root = self._root
         root.wall_s += time.perf_counter()
         self.enabled = False
-        self._stack = []
+        self._root = None
+        root_id = self._root_id
+        self._root_id = None
+        self._epoch = object()
+        if _JOURNAL.enabled:
+            _JOURNAL.emit("trace.end", id=root_id, wall_s=root.wall_s)
         return root
+
+    def hard_reset(self) -> None:
+        """Discard any collection in progress (no tree is returned).
+
+        Used by :func:`repro.obs.reset_all` so back-to-back CLI
+        invocations in one process cannot leak an open trace into each
+        other; a no-op when nothing is being collected.
+        """
+        self.enabled = False
+        self._root = None
+        self._root_id = None
+        self._epoch = object()
 
     def __enter__(self) -> Span:
         if not self.enabled:
@@ -248,9 +368,18 @@ class Tracer:
         return self._root
 
     def current(self) -> Span | _NullSpan:
-        """The innermost open span, or a no-op span when disabled."""
-        if self.enabled and self._stack:
-            return self._stack[-1]
+        """The innermost open span of this thread (no-op when disabled).
+
+        A thread with no open span of its own reports the collection's
+        root, so counters attached via ``current().add`` from worker
+        threads still land in the tree.
+        """
+        if self.enabled:
+            stack = self._thread_stack()
+            if stack:
+                return stack[-1]
+            if self._root is not None:
+                return self._root
         return NULL_SPAN
 
     def span(

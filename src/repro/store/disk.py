@@ -37,6 +37,7 @@ from __future__ import annotations
 import os
 import pathlib
 
+from repro.obs.journal import JOURNAL
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.tracing import TRACER
 from repro.store import codec
@@ -109,10 +110,12 @@ class DiskStore:
             except FileNotFoundError:
                 self._c_misses.inc()
                 span.add("misses", 1)
+                self._journal(kind, key, "miss")
                 return None
             except OSError:
                 self._c_misses.inc()
                 span.add("misses", 1)
+                self._journal(kind, key, "miss")
                 return None
             try:
                 artifact = codec.loads(kind, data)
@@ -121,10 +124,12 @@ class DiskStore:
                 self._c_corrupt.inc()
                 self._c_misses.inc()
                 span.add("corrupt", 1)
+                self._journal(kind, key, "corrupt")
                 return None
             self._c_hits.inc()
             span.add("hits", 1)
             span.add("bytes", len(data))
+            self._journal(kind, key, "hit")
             self._touch(path)
             return artifact
 
@@ -147,9 +152,19 @@ class DiskStore:
                         pass
             self._c_writes.inc()
             span.add("bytes", len(data))
+            self._journal(kind, key, "write")
             if self.size_budget is not None:
                 self._evict()
         return path
+
+    @staticmethod
+    def _journal(kind: str, key: str, outcome: str) -> None:
+        """One ``cache`` journal event per load/save decision."""
+        if JOURNAL.enabled:
+            JOURNAL.emit(
+                "cache", layer="store", kind=kind,
+                outcome=outcome, key=key[:12],
+            )
 
     # ------------------------------------------------------------------
     # Maintenance

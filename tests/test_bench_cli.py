@@ -121,3 +121,48 @@ class TestBenchCommand:
         assert code == 0
         record = json.loads(text)
         assert record["metadata"]["lp_mode"] == "exact"
+
+
+class TestBenchMetadataAndHistory:
+    def test_metadata_carries_provenance(self):
+        from datetime import datetime
+        import platform
+
+        record = run_bench_e2(sizes=(2,), check_only=True)
+        metadata = record["metadata"]
+        assert metadata["python_version"] == platform.python_version()
+        # Parseable ISO-8601 UTC stamp.
+        stamp = datetime.fromisoformat(metadata["timestamp_utc"])
+        assert stamp.tzinfo is not None
+        sha = metadata["git_sha"]
+        assert sha is None or (
+            len(sha) == 40 and all(c in "0123456789abcdef" for c in sha)
+        )
+
+    def test_history_line_shape(self):
+        from repro.bench import history_line
+
+        record = run_bench_e2(sizes=(2,), check_only=True)
+        line = history_line(record)
+        assert line["benchmark"] == "E2"
+        assert line["sizes"] == [2]
+        assert line["all_match"] is True
+        assert line["timestamp_utc"] == \
+            record["metadata"]["timestamp_utc"]
+        assert line["git_sha"] == record["metadata"]["git_sha"]
+
+    def test_append_history_cli_accumulates(self, tmp_path):
+        path = tmp_path / "BENCH_HISTORY.jsonl"
+        for _ in range(2):
+            code, text = run_cli(
+                "bench", "e2", "--sizes", "2", "--check-only",
+                "--append-history", str(path),
+            )
+            assert code == 0
+            assert f"appended history to {path}" in text
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            entry = json.loads(line)
+            assert entry["benchmark"] == "E2"
+            assert entry["python_version"]
