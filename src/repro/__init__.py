@@ -30,10 +30,12 @@ from repro.constraints.relation import ConstraintRelation
 from repro.constraints.terms import LinearTerm
 from repro.arrangement.builder import Arrangement, build_arrangement
 from repro.arrangement.incidence import IncidenceGraph
+from repro.config import EngineConfig
 from repro.engine import (
     EngineCache,
     QueryEngine,
     database_fingerprint,
+    default_cache,
     invalidate_cache,
     shared_cache,
 )
@@ -82,7 +84,9 @@ __all__ = [
     "Evaluator",
     "QueryEngine",
     "EngineCache",
+    "EngineConfig",
     "database_fingerprint",
+    "default_cache",
     "shared_cache",
     "invalidate_cache",
     "MetricsRegistry",

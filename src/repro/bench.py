@@ -84,12 +84,14 @@ def _metadata(jobs: int) -> dict:
     hits/misses/writes this run performed against the active cache
     directory (``None`` when persistence is off).
     """
+    from repro.config import EngineConfig
     from repro.store import active_store
 
     store = active_store()
     return {
         "lp_mode": fastlp.get_lp_mode(),
         "jobs": jobs,
+        "config": EngineConfig.resolve(jobs=jobs).describe(),
         "cache_dir": str(store.root) if store is not None else None,
         "store": store.stats() if store is not None else None,
         "git_sha": _git_sha(),

@@ -11,6 +11,7 @@ Usage (also via ``python -m repro``):
     repro arrangement DB.cdb               face census + incidence stats
     repro encode DB.cdb                    the Theorem 6.4 encoding word
     repro render DB.cdb out.svg            2-D relations only
+    repro serve DB.cdb [NAME=DB2.cdb ...]  async multi-tenant HTTP API
 
 Databases are text files in the format of :mod:`repro.constraints.io`.
 
@@ -19,9 +20,12 @@ journal of the command — spans, cache and store decisions, fixpoint
 stages, worker lifecycle — to PATH as JSON Lines; see
 :mod:`repro.obs.journal` and ``repro.obs.replay``.
 
-Every invocation of :func:`main` starts from pristine observability
-state (:func:`repro.obs.reset_all`), so back-to-back calls in one
-process cannot leak counters, open spans or journal buffers.
+Every **one-shot** invocation of :func:`main` starts from pristine
+observability state (:func:`repro.obs.reset_all`), so back-to-back
+calls in one process cannot leak counters, open spans or journal
+buffers.  Long-running commands (``serve``) skip the reset: their
+counters are live operational state surfaced by ``GET /v1/stats`` and
+must survive for the life of the process.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ import sys
 from typing import Sequence
 
 from repro.errors import ReproError
+from repro.config import EngineConfig
 from repro.constraints.io import load_database
 from repro.engine import QueryEngine
 from repro.geometry import fastlp
@@ -248,6 +253,52 @@ def build_parser() -> argparse.ArgumentParser:
     _add_spatial_flag(encode)
     _add_trace_flag(encode)
 
+    serve = commands.add_parser(
+        "serve",
+        help="serve databases over the async multi-tenant HTTP/JSON API "
+             "(POST /v1/query, /v1/explain; GET /v1/healthz, /v1/stats)",
+    )
+    serve.add_argument(
+        "databases",
+        nargs="+",
+        metavar="DB",
+        help="database file(s) to serve; 'NAME=PATH' registers PATH "
+             "under NAME, a bare PATH under its file stem; the first "
+             "one is also the 'default' database",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="TCP port; 0 picks an ephemeral port "
+                            "(default: 8787)")
+    serve.add_argument(
+        "--max-concurrent", type=int, default=4, metavar="N",
+        help="requests evaluating at once (default: 4)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="requests allowed to wait before 503 (default: 64)",
+    )
+    serve.add_argument(
+        "--quota-rate", type=float, default=50.0, metavar="RPS",
+        help="per-tenant token refill rate in requests/second "
+             "(default: 50)",
+    )
+    serve.add_argument(
+        "--quota-burst", type=int, default=100, metavar="N",
+        help="per-tenant token bucket capacity (default: 100)",
+    )
+    serve.add_argument(
+        "--max-requests", type=int, default=None, metavar="N",
+        help="exit after serving N requests (smoke tests and CI)",
+    )
+    _add_decomposition_flag(serve)
+    _add_spatial_flag(serve)
+    _add_jobs_flag(serve)
+    _add_lp_mode_flag(serve)
+    _add_cache_dir_flag(serve)
+    _add_journal_flag(serve)
+
     render = commands.add_parser(
         "render", help="render a 2-D database to SVG"
     )
@@ -295,7 +346,8 @@ def _cmd_query(args: argparse.Namespace, out) -> int:
     database = load_database(args.database)
     formula = parse_query(args.text)
     engine = QueryEngine(
-        database, args.decomposition, args.spatial, jobs=args.jobs
+        database, args.decomposition, args.spatial,
+        config=EngineConfig(jobs=args.jobs),
     )
     if formula.free_region_vars() or formula.free_set_vars():
         print(
@@ -343,7 +395,8 @@ def _cmd_explain(args: argparse.Namespace, out) -> int:
             )
             return 2
         engine = QueryEngine(
-            database, args.decomposition, args.spatial, jobs=args.jobs
+            database, args.decomposition, args.spatial,
+            config=EngineConfig(jobs=args.jobs),
         )
         result = engine.explain(formula, analyze=args.analyze)
     if args.as_json:
@@ -376,7 +429,8 @@ def _cmd_profile(args: argparse.Namespace, out) -> int:
             )
             return 2
         engine = QueryEngine(
-            database, args.decomposition, args.spatial, jobs=args.jobs
+            database, args.decomposition, args.spatial,
+            config=EngineConfig(jobs=args.jobs),
         )
         answer = engine.evaluate(formula)
         empty = answer.is_empty()
@@ -490,6 +544,57 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
     return 0 if record["all_match"] else 1
 
 
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    """Run the async multi-tenant HTTP/JSON service until interrupted.
+
+    The engine configuration is pinned once at startup with
+    :meth:`EngineConfig.resolve` (flag > ``REPRO_*`` env > default): a
+    long-lived server must not change behaviour because an environment
+    variable moved under it mid-flight.
+    """
+    import asyncio
+    import pathlib
+
+    from repro.server import ConstraintService
+    from repro.server.service import serve as serve_async
+
+    databases = {}
+    for spec in args.databases:
+        name, sep, path = spec.partition("=")
+        if not sep:
+            name, path = pathlib.Path(spec).stem, spec
+        if not name or name in databases:
+            print(f"error: bad or duplicate database name {name!r}",
+                  file=out)
+            return 2
+        databases[name] = load_database(path)
+    config = EngineConfig.resolve(
+        lp_mode=args.lp_mode, jobs=args.jobs, cache_dir=args.cache_dir
+    )
+    service = ConstraintService(
+        databases,
+        config,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        max_concurrent=args.max_concurrent,
+        max_queue=args.max_queue,
+        decomposition=args.decomposition,
+        spatial_name=args.spatial,
+        max_requests=args.max_requests,
+    )
+
+    def announce(server) -> None:
+        names = ", ".join(sorted(databases))
+        print(f"serving [{names}] on {server.address}", file=out,
+              flush=True)
+
+    try:
+        asyncio.run(serve_async(service, args.host, args.port, announce))
+    except KeyboardInterrupt:
+        print("shutting down", file=out)
+    return 0
+
+
 _COMMANDS = {
     "check": _cmd_check,
     "regions": _cmd_regions,
@@ -500,19 +605,27 @@ _COMMANDS = {
     "encode": _cmd_encode,
     "render": _cmd_render,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
 }
 
 #: Commands that start and stop the process tracer themselves; ``main``
-#: must not wrap them in a second collection.
-_SELF_TRACING = ("profile", "explain")
+#: must not wrap them in a second collection.  ``serve`` is listed
+#: because EXPLAIN ANALYZE requests drive the tracer per request.
+_SELF_TRACING = ("profile", "explain", "serve")
+
+#: Long-running commands whose counters are live operational state
+#: (``GET /v1/stats``): ``main`` must NOT wipe observability for these.
+_LONG_RUNNING = ("serve",)
 
 
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     """Entry point; returns the process exit code.
 
-    Starts from pristine observability state — counters zeroed, no open
-    spans, empty journal — so repeated in-process invocations (test
-    suites, notebooks) cannot leak telemetry into each other.  When a
+    One-shot commands start from pristine observability state —
+    counters zeroed, no open spans, empty journal — so repeated
+    in-process invocations (test suites, notebooks) cannot leak
+    telemetry into each other; long-running commands (``serve``) keep
+    their counters for the life of the process.  When a
     journal sink is requested (``--journal`` or ``REPRO_JOURNAL``) the
     command runs under the journal, and under the tracer too (without
     printing the trace) so span events reach the sink.
@@ -520,7 +633,10 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     out = out or sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
-    reset_all()
+    if args.command not in _LONG_RUNNING:
+        # One-shot commands start pristine; a server's counters are its
+        # operational state and must survive for the process lifetime.
+        reset_all()
     journal_path = (
         getattr(args, "journal", None)
         or os.environ.get(ENV_JOURNAL, "").strip()

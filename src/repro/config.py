@@ -1,0 +1,225 @@
+"""`EngineConfig` — one object for every engine knob.
+
+The engine's tuning surface used to be a sprawl: constructor kwargs on
+:class:`~repro.engine.QueryEngine` (``lp_mode``, ``jobs``,
+``cache_dir``), a second set of CLI flags, and four ``REPRO_*``
+environment variables read at different times by different layers.
+This module consolidates all of it into a single frozen dataclass with
+one documented resolution order:
+
+    **explicit argument > environment variable > built-in default**
+
+=================  =====================  ===========================
+field              environment variable   default
+=================  =====================  ===========================
+``lp_mode``        ``REPRO_LP_MODE``      ``"filtered"``
+``jobs``           ``REPRO_JOBS``         ``1`` (sequential)
+``cache_dir``      ``REPRO_CACHE_DIR``    ``None`` (no persistence)
+``cache_budget``   ``REPRO_CACHE_BUDGET``  ``None`` (unbounded)
+``journal``        ``REPRO_JOURNAL``      ``None`` (no journal sink)
+``cache_capacity``  —                     ``64`` entries
+=================  =====================  ===========================
+
+Two construction styles, for two lifetimes:
+
+* :meth:`EngineConfig.resolve` applies the resolution order **once, at
+  construction** — the environment is snapshotted and the resulting
+  config is fully pinned.  This is what the CLI, the benchmarks and the
+  server use: a long-lived process should not change behaviour because
+  an environment variable moved under it.
+* ``EngineConfig(...)`` with ``None`` fields keeps the legacy *deferred*
+  semantics: a ``None`` field means "consult the environment at use
+  time", exactly as the old per-kwarg plumbing did.  This is what the
+  :class:`~repro.engine.QueryEngine` deprecation shim builds, so
+  existing callers observe identical behaviour.
+
+Consumers::
+
+    from repro.config import EngineConfig
+
+    config = EngineConfig.resolve(jobs=4)        # env fills the rest
+    engine = QueryEngine(db, config=config)
+    store = config.store()                        # the pinned DiskStore
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.geometry import fastlp
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.store.disk import DiskStore
+
+#: Environment variable names, in one place (the store/journal modules
+#: remain the authoritative readers for their own deferred paths).
+ENV_LP_MODE = "REPRO_LP_MODE"
+ENV_JOBS = "REPRO_JOBS"
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_CACHE_BUDGET = "REPRO_CACHE_BUDGET"
+ENV_JOURNAL = "REPRO_JOURNAL"
+
+#: Default in-memory LRU capacity of an :class:`~repro.engine.EngineCache`.
+DEFAULT_CACHE_CAPACITY = 64
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Frozen bundle of every engine/runtime knob.
+
+    ``None`` means *unresolved* (defer to the environment at use time)
+    for every field except ``cache_capacity``, which always has a
+    concrete value.  Use :meth:`resolve` to pin everything now.
+    """
+
+    #: LP tier: ``"filtered"`` or ``"exact"`` (``None`` = env at use).
+    lp_mode: str | None = None
+    #: Worker processes for arrangement construction (``None`` = env at
+    #: use time; ``1`` = sequential).
+    jobs: int | None = None
+    #: Disk warm-start directory or a :class:`DiskStore` instance
+    #: (``None`` = env at use time, which may also mean no persistence).
+    cache_dir: "DiskStore | str | os.PathLike[str] | None" = None
+    #: Byte budget for the disk store's LRU eviction (``None`` = env at
+    #: use time, else unbounded).
+    cache_budget: int | None = None
+    #: JSONL journal sink path (``None`` = env at use time, else none).
+    journal: str | None = None
+    #: In-memory LRU capacity of the engine cache.
+    cache_capacity: int = DEFAULT_CACHE_CAPACITY
+
+    def __post_init__(self) -> None:
+        if self.lp_mode is not None and self.lp_mode not in fastlp.LP_MODES:
+            raise ValueError(
+                f"lp_mode must be one of {fastlp.LP_MODES}, "
+                f"got {self.lp_mode!r}"
+            )
+        if self.jobs is not None and int(self.jobs) < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs!r}")
+        if self.cache_budget is not None and self.cache_budget <= 0:
+            raise ValueError(
+                f"cache_budget must be positive bytes, "
+                f"got {self.cache_budget!r}"
+            )
+        if self.cache_capacity < 1:
+            raise ValueError(
+                f"cache_capacity must be >= 1, got {self.cache_capacity!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def resolve(cls, **overrides: Any) -> "EngineConfig":
+        """A fully pinned config: explicit arg > environment > default.
+
+        The environment is read exactly once, here; the returned config
+        never consults it again.  Unknown keyword names raise
+        ``TypeError`` (same contract as the dataclass constructor).
+        """
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise TypeError(
+                f"unknown EngineConfig field(s): {sorted(unknown)}"
+            )
+
+        def pick(name: str, from_env, default):
+            value = overrides.get(name)
+            if value is not None:
+                return value
+            env_value = from_env()
+            return env_value if env_value is not None else default
+
+        from repro.arrangement.parallel import resolve_jobs
+
+        lp_mode = pick(
+            "lp_mode",
+            lambda: os.environ.get(ENV_LP_MODE, "").strip().lower() or None,
+            "filtered",
+        )
+        jobs = overrides.get("jobs")
+        jobs = resolve_jobs(jobs if jobs is not None else None)
+        cache_dir = pick(
+            "cache_dir",
+            lambda: os.environ.get(ENV_CACHE_DIR, "").strip() or None,
+            None,
+        )
+        cache_budget = pick("cache_budget", _env_cache_budget, None)
+        journal = pick(
+            "journal",
+            lambda: os.environ.get(ENV_JOURNAL, "").strip() or None,
+            None,
+        )
+        capacity = overrides.get("cache_capacity")
+        if capacity is None:
+            capacity = DEFAULT_CACHE_CAPACITY
+        return cls(
+            lp_mode=lp_mode,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            cache_budget=cache_budget,
+            journal=journal,
+            cache_capacity=capacity,
+        )
+
+    def with_overrides(self, **changes: Any) -> "EngineConfig":
+        """A copy with some fields replaced (the config itself is frozen)."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Derived resources
+    # ------------------------------------------------------------------
+    def store(self) -> "DiskStore | None":
+        """The disk store this config pins (``None`` when unresolved
+        *and* the environment names no directory)."""
+        from repro import store as store_pkg
+
+        if self.cache_dir is None:
+            return store_pkg.active_store()
+        return store_pkg.resolve_store(
+            self.cache_dir, size_budget=self.cache_budget
+        )
+
+    def make_cache(self, metrics=None) -> "Any":
+        """A fresh :class:`~repro.engine.EngineCache` honouring this
+        config's capacity and store pinning."""
+        from repro.engine import EngineCache
+
+        return EngineCache(
+            capacity=self.cache_capacity,
+            metrics=metrics,
+            store=self.store() if self.cache_dir is not None else None,
+        )
+
+    def describe(self) -> dict[str, Any]:
+        """A JSON-ready rendering (for ``/v1/stats`` and bench records)."""
+        cache_dir = self.cache_dir
+        if cache_dir is not None and not isinstance(cache_dir, str):
+            root = getattr(cache_dir, "root", None)
+            cache_dir = str(root if root is not None else cache_dir)
+        return {
+            "lp_mode": self.lp_mode,
+            "jobs": self.jobs,
+            "cache_dir": cache_dir,
+            "cache_budget": self.cache_budget,
+            "journal": self.journal,
+            "cache_capacity": self.cache_capacity,
+        }
+
+
+def _env_cache_budget() -> int | None:
+    """``REPRO_CACHE_BUDGET`` as a positive int, or ``None``."""
+    raw = os.environ.get(ENV_CACHE_BUDGET, "").strip()
+    if not raw:
+        return None
+    try:
+        budget = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{ENV_CACHE_BUDGET} must be an integer byte count, got {raw!r}"
+        ) from None
+    return budget if budget > 0 else None

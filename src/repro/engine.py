@@ -30,12 +30,15 @@ processes that want to bound memory, not for correctness.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 
 from repro.errors import EvaluationError
+from repro.config import EngineConfig
 from repro.constraints.database import ConstraintDatabase
 from repro.constraints.relation import ConstraintRelation
 from repro.arrangement.builder import Arrangement, build_arrangement
+from repro.deprecation import warn_once
 from repro.geometry import fastlp
 from repro.geometry.hyperplane import Hyperplane
 from repro.logic import ast
@@ -83,9 +86,14 @@ def database_fingerprint(database: ConstraintDatabase) -> str:
 class EngineCache:
     """Bounded LRU cache of arrangements and region extensions.
 
-    One instance (:func:`shared_cache`) is shared process-wide so that
-    independent :class:`QueryEngine` instances — and the deprecated
-    ``evaluate_query`` one-shot helpers — reuse each other's work.
+    An instance may be shared by many engines — including engines on
+    different threads (the server pool): all map access is serialised
+    behind one lock, and misses are **single-flight** per key.  When N
+    threads miss the same fingerprint concurrently, exactly one of them
+    builds (one ``arrangement.builds`` increment, one disk-store probe)
+    while the other N−1 wait on the in-flight build and then take a hit
+    — a thundering herd computes each arrangement once.  Waits are
+    counted in ``engine.cache.singleflight.coalesced``.
     """
 
     def __init__(
@@ -105,6 +113,10 @@ class EngineCache:
         self.store = store
         self._extensions: OrderedDict[tuple, RegionExtension] = OrderedDict()
         self._arrangements: OrderedDict[tuple, Arrangement] = OrderedDict()
+        self._lock = threading.Lock()
+        #: In-flight builds, keyed by ("arrangement"|"extension", key);
+        #: followers wait on the event, then re-check the map.
+        self._inflight: dict[tuple, threading.Event] = {}
         registry = metrics if metrics is not None else get_registry()
         self._c_ext_hits = registry.counter("engine.cache.extension.hits")
         self._c_ext_misses = registry.counter("engine.cache.extension.misses")
@@ -115,6 +127,50 @@ class EngineCache:
         self._c_invalidations = registry.counter(
             "engine.cache.invalidations"
         )
+        self._c_coalesced = registry.counter(
+            "engine.cache.singleflight.coalesced"
+        )
+
+    # ------------------------------------------------------------------
+    # Single-flight plumbing
+    # ------------------------------------------------------------------
+    def _get_or_build(self, family: str, table, key, hit, miss, build):
+        """Look ``key`` up in ``table`` with single-flight misses.
+
+        ``hit``/``miss`` record counters and journal events; ``build``
+        produces the value (called without the lock held, by exactly
+        one thread per in-flight key).
+        """
+        flight_key = (family, key)
+        while True:
+            with self._lock:
+                cached = table.get(key)
+                if cached is not None:
+                    table.move_to_end(key)
+                    event = None
+                else:
+                    event = self._inflight.get(flight_key)
+                    if event is None:
+                        self._inflight[flight_key] = threading.Event()
+                        break  # this thread builds
+            if cached is not None:
+                hit()
+                return cached
+            # Another thread is building this key: wait, then re-check.
+            self._c_coalesced.inc()
+            event.wait()
+        miss()
+        try:
+            value = build()
+            with self._lock:
+                table[key] = value
+                while len(table) > self.capacity:
+                    table.popitem(last=False)
+        finally:
+            with self._lock:
+                event = self._inflight.pop(flight_key)
+            event.set()
+        return value
 
     # ------------------------------------------------------------------
     # Arrangements
@@ -142,9 +198,8 @@ class EngineCache:
             else ()
         )
         key = (relation_fingerprint(relation), extra_key)
-        cached = self._arrangements.get(key)
-        if cached is not None:
-            self._arrangements.move_to_end(key)
+
+        def hit() -> None:
             self._c_arr_hits.inc()
             TRACER.current().add("arrangement_cache_hits", 1)
             if JOURNAL.enabled:
@@ -152,23 +207,26 @@ class EngineCache:
                     "cache", layer="engine", kind="arrangement",
                     outcome="hit", key=key[0][:12],
                 )
-            return cached
-        self._c_arr_misses.inc()
-        if JOURNAL.enabled:
-            JOURNAL.emit(
-                "cache", layer="engine", kind="arrangement",
-                outcome="miss", key=key[0][:12],
+
+        def miss() -> None:
+            self._c_arr_misses.inc()
+            if JOURNAL.enabled:
+                JOURNAL.emit(
+                    "cache", layer="engine", kind="arrangement",
+                    outcome="miss", key=key[0][:12],
+                )
+
+        def build() -> Arrangement:
+            return build_arrangement(
+                relation,
+                hyperplanes=extra_hyperplanes or None,
+                parallel=jobs,
+                store=self.store,
             )
-        arrangement = build_arrangement(
-            relation,
-            hyperplanes=extra_hyperplanes or None,
-            parallel=jobs,
-            store=self.store,
+
+        return self._get_or_build(
+            "arrangement", self._arrangements, key, hit, miss, build
         )
-        self._arrangements[key] = arrangement
-        while len(self._arrangements) > self.capacity:
-            self._arrangements.popitem(last=False)
-        return arrangement
 
     # ------------------------------------------------------------------
     # Region extensions (decomposition + database bundle)
@@ -186,9 +244,7 @@ class EngineCache:
             decomposition,
             spatial_name,
         )
-        cached = self._extensions.get(key)
-        if cached is not None:
-            self._extensions.move_to_end(key)
+        def hit() -> None:
             self._c_ext_hits.inc()
             TRACER.current().add("extension_cache_hits", 1)
             if JOURNAL.enabled:
@@ -196,27 +252,29 @@ class EngineCache:
                     "cache", layer="engine", kind="extension",
                     outcome="hit", key=key[0][:12],
                 )
-            return cached
-        self._c_ext_misses.inc()
-        if JOURNAL.enabled:
-            JOURNAL.emit(
-                "cache", layer="engine", kind="extension",
-                outcome="miss", key=key[0][:12],
-            )
+
+        def miss() -> None:
+            self._c_ext_misses.inc()
+            if JOURNAL.enabled:
+                JOURNAL.emit(
+                    "cache", layer="engine", kind="extension",
+                    outcome="miss", key=key[0][:12],
+                )
 
         def factory(relation, extra_hyperplanes):
             return self.arrangement(relation, extra_hyperplanes, jobs=jobs)
 
-        extension = RegionExtension.build(
-            database,
-            decomposition,
-            spatial_name,
-            arrangement_factory=factory,
+        def build() -> RegionExtension:
+            return RegionExtension.build(
+                database,
+                decomposition,
+                spatial_name,
+                arrangement_factory=factory,
+            )
+
+        return self._get_or_build(
+            "extension", self._extensions, key, hit, miss, build
         )
-        self._extensions[key] = extension
-        while len(self._extensions) > self.capacity:
-            self._extensions.popitem(last=False)
-        return extension
 
     # ------------------------------------------------------------------
     # Predictions (non-mutating, for ``repro explain``)
@@ -241,7 +299,8 @@ class EngineCache:
             else ()
         )
         key = (relation_fingerprint(relation), extra_key)
-        return key in self._arrangements
+        with self._lock:
+            return key in self._arrangements
 
     def peek_extension(
         self,
@@ -255,7 +314,8 @@ class EngineCache:
             decomposition,
             spatial_name,
         )
-        return key in self._extensions
+        with self._lock:
+            return key in self._extensions
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -268,56 +328,100 @@ class EngineCache:
         same relation; dropping is always safe, merely un-warm).
         """
         if database is None:
-            dropped = len(self._extensions) + len(self._arrangements)
-            self._extensions.clear()
-            self._arrangements.clear()
+            with self._lock:
+                dropped = len(self._extensions) + len(self._arrangements)
+                self._extensions.clear()
+                self._arrangements.clear()
             self._c_invalidations.inc(dropped)
             return
         fingerprint = database_fingerprint(database)
-        stale_ext = [
-            key for key in self._extensions if key[0] == fingerprint
-        ]
         relation_prints = {
             relation_fingerprint(relation) for __, relation in database
         }
-        stale_arr = [
-            key
-            for key in self._arrangements
-            if key[0] in relation_prints
-        ]
-        for key in stale_ext:
-            del self._extensions[key]
-        for key in stale_arr:
-            del self._arrangements[key]
+        with self._lock:
+            stale_ext = [
+                key for key in self._extensions if key[0] == fingerprint
+            ]
+            stale_arr = [
+                key
+                for key in self._arrangements
+                if key[0] in relation_prints
+            ]
+            for key in stale_ext:
+                del self._extensions[key]
+            for key in stale_arr:
+                del self._arrangements[key]
         self._c_invalidations.inc(len(stale_ext) + len(stale_arr))
 
     def stats(self) -> dict[str, int]:
         """Current hit/miss/size numbers (plain dict snapshot)."""
+        with self._lock:
+            extensions = len(self._extensions)
+            arrangements = len(self._arrangements)
         return {
             "extension_hits": self._c_ext_hits.value,
             "extension_misses": self._c_ext_misses.value,
             "arrangement_hits": self._c_arr_hits.value,
             "arrangement_misses": self._c_arr_misses.value,
             "invalidations": self._c_invalidations.value,
-            "extensions_cached": len(self._extensions),
-            "arrangements_cached": len(self._arrangements),
+            "singleflight_coalesced": self._c_coalesced.value,
+            "extensions_cached": extensions,
+            "arrangements_cached": arrangements,
         }
 
     def __len__(self) -> int:
-        return len(self._extensions) + len(self._arrangements)
+        with self._lock:
+            return len(self._extensions) + len(self._arrangements)
 
 
-_SHARED_CACHE = EngineCache()
+# The process-default cache: what ``QueryEngine(cache=None)`` uses, so
+# independent engines keep reusing each other's work.  New code that
+# wants an explicit lifetime constructs its own EngineCache (or calls
+# EngineConfig.make_cache()) and passes it via ``QueryEngine(cache=...)``.
+_DEFAULT_CACHE = EngineCache()
+
+
+def default_cache() -> EngineCache:
+    """The process-default :class:`EngineCache`.
+
+    Prefer constructing an explicit cache and passing it through
+    ``QueryEngine(cache=...)``; this accessor exists for code that
+    genuinely wants the process-wide default (tests asserting on it,
+    notebooks warming it deliberately).
+    """
+    return _DEFAULT_CACHE
 
 
 def shared_cache() -> EngineCache:
-    """The process-wide engine cache."""
-    return _SHARED_CACHE
+    """Deprecated: the process-wide engine cache.
+
+    .. deprecated:: 1.2
+       Construct an :class:`EngineCache` explicitly and pass it via
+       ``QueryEngine(cache=...)`` (or use :func:`default_cache` when the
+       process default is genuinely what you want).
+    """
+    warn_once(
+        "shared_cache",
+        "shared_cache() is deprecated; pass an explicit EngineCache via "
+        "QueryEngine(cache=...) or use repro.engine.default_cache()",
+    )
+    return _DEFAULT_CACHE
 
 
 def invalidate_cache(database: ConstraintDatabase | None = None) -> None:
-    """Invalidate the process-wide engine cache."""
-    _SHARED_CACHE.invalidate(database)
+    """Deprecated: invalidate the process-wide engine cache.
+
+    .. deprecated:: 1.2
+       Call :meth:`EngineCache.invalidate` on the cache you own (the
+       process default is reachable via :func:`default_cache`).
+    """
+    warn_once(
+        "invalidate_cache",
+        "invalidate_cache() is deprecated; call .invalidate() on an "
+        "explicit EngineCache (repro.engine.default_cache() for the "
+        "process default)",
+    )
+    _DEFAULT_CACHE.invalidate(database)
 
 
 class QueryEngine:
@@ -334,7 +438,16 @@ class QueryEngine:
 
     Queries may be :class:`~repro.logic.ast.RegFormula` values or source
     strings (parsed with :func:`repro.logic.parser.parse_query`).
+
+    Runtime knobs arrive as one :class:`~repro.config.EngineConfig`
+    (``QueryEngine(db, config=EngineConfig.resolve(jobs=4))``).  The
+    pre-1.2 per-knob kwargs (``jobs=``, ``lp_mode=``, ``cache_dir=``)
+    still work — they are folded into an unresolved config with the
+    identical deferred-environment semantics — but are deprecated.
     """
+
+    #: Sentinel distinguishing "kwarg not passed" from an explicit None.
+    _UNSET = object()
 
     def __init__(
         self,
@@ -342,32 +455,61 @@ class QueryEngine:
         decomposition: str = "arrangement",
         spatial_name: str = "S",
         cache: EngineCache | None = None,
-        jobs: int | None = None,
-        lp_mode: str | None = None,
-        cache_dir: "DiskStore | str | None" = None,
+        jobs: "int | None" = _UNSET,
+        lp_mode: "str | None" = _UNSET,
+        cache_dir: "DiskStore | str | None" = _UNSET,
+        *,
+        config: EngineConfig | None = None,
     ) -> None:
+        legacy = {
+            name: value
+            for name, value in (
+                ("jobs", jobs), ("lp_mode", lp_mode), ("cache_dir", cache_dir)
+            )
+            if value is not QueryEngine._UNSET
+        }
+        if config is not None and legacy:
+            raise ValueError(
+                "pass either config=EngineConfig(...) or the legacy "
+                f"kwargs {sorted(legacy)}, not both"
+            )
+        if config is None:
+            if legacy:
+                warn_once(
+                    "QueryEngine.legacy_kwargs",
+                    "QueryEngine(jobs=, lp_mode=, cache_dir=) is "
+                    "deprecated; pass config=repro.config.EngineConfig(...) "
+                    "instead",
+                )
+            # An *unresolved* config: None fields keep the historical
+            # consult-the-environment-at-use-time behaviour.
+            config = EngineConfig(
+                lp_mode=legacy.get("lp_mode"),
+                jobs=legacy.get("jobs"),
+                cache_dir=legacy.get("cache_dir"),
+            )
         self.database = database
         self.decomposition = decomposition
         self.spatial_name = spatial_name
-        self.cache = cache if cache is not None else _SHARED_CACHE
+        #: The engine's (frozen) runtime configuration.
+        self.config = config
+        self.cache = cache if cache is not None else _DEFAULT_CACHE
         #: Disk warm-start: an explicit ``cache_dir`` (path or
         #: :class:`~repro.store.disk.DiskStore`) pins persistence for
         #: this engine; ``None`` defers to the process-wide setting
         #: (``--cache-dir`` / ``REPRO_CACHE_DIR``) at use time.
-        self._pinned_store = store_pkg.resolve_store(cache_dir)
+        self._pinned_store = store_pkg.resolve_store(
+            config.cache_dir, size_budget=config.cache_budget
+        )
         self._results: OrderedDict[str, ConstraintRelation] = OrderedDict()
         #: Worker processes for arrangement construction (``None`` =
         #: consult the ``REPRO_JOBS`` environment variable).
-        self.jobs = jobs
+        self.jobs = config.jobs
         #: LP tier selection, ``"exact"`` or ``"filtered"`` (``None`` =
         #: consult ``REPRO_LP_MODE``, defaulting to ``"filtered"``).
         #: Both modes return identical statuses and exact witnesses, so
         #: the engine cache is deliberately not keyed on it.
-        if lp_mode is not None and lp_mode not in fastlp.LP_MODES:
-            raise ValueError(
-                f"lp_mode must be one of {fastlp.LP_MODES}, got {lp_mode!r}"
-            )
-        self.lp_mode = lp_mode
+        self.lp_mode = config.lp_mode
         self._extension: RegionExtension | None = None
         self._evaluator: Evaluator | None = None
 

@@ -50,6 +50,7 @@ from repro.obs.journal import (
     JOURNAL,
     Journal,
     ReplayResult,
+    journal_context,
     journal_enabled,
     journal_scope,
     load_events,
@@ -88,6 +89,7 @@ __all__ = [
     "JOURNAL",
     "Journal",
     "ReplayResult",
+    "journal_context",
     "journal_enabled",
     "journal_scope",
     "load_events",

@@ -49,6 +49,7 @@ BENCH_E2 fast path is measured in docs/OBSERVABILITY.md.
 
 from __future__ import annotations
 
+import contextvars
 import itertools
 import json
 import threading
@@ -67,6 +68,34 @@ ENV_JOURNAL = "REPRO_JOURNAL"
 #: two events per span context, so this comfortably holds the complete
 #: record of the example workloads while bounding memory.
 DEFAULT_CAPACITY = 262_144
+
+#: Ambient event fields for the current task/thread (see
+#: :func:`journal_context`).  A tuple of ``(key, value)`` pairs so the
+#: default is immutable and nesting is a cheap concatenation.
+_CONTEXT: contextvars.ContextVar[tuple[tuple[str, Any], ...]] = (
+    contextvars.ContextVar("repro_journal_context", default=())
+)
+
+
+@contextmanager
+def journal_context(**fields: Any) -> Iterator[None]:
+    """Stamp every event emitted in this block with extra fields.
+
+    The binding lives in a :mod:`contextvars` variable, so it follows
+    ``asyncio`` tasks and ``asyncio.to_thread`` workers but never leaks
+    between concurrent requests — this is how the server turns the one
+    process-global journal into a **per-request audit log**: each
+    request handler wraps its work in
+    ``journal_context(request="req-000042", tenant=...)`` and every
+    cache/store/span event it causes carries those fields.  Explicit
+    ``emit`` fields win over context fields on name clashes; nested
+    contexts stack (inner wins).
+    """
+    token = _CONTEXT.set(_CONTEXT.get() + tuple(fields.items()))
+    try:
+        yield
+    finally:
+        _CONTEXT.reset(token)
 
 
 class Journal:
@@ -161,6 +190,9 @@ class Journal:
             "t": round(time.perf_counter() - self._t0, 6),
             "type": type_,
         }
+        context = _CONTEXT.get()
+        if context:
+            event.update(context)
         event.update(fields)
         ring = self._ring
         if len(ring) == self.capacity:

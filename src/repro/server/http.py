@@ -1,0 +1,271 @@
+"""Minimal asyncio HTTP/1.1 layer (stdlib only, JSON in/out).
+
+The service needs exactly enough HTTP to speak JSON over TCP with
+keep-alive — not a framework.  This module implements that floor by
+hand on :mod:`asyncio` streams:
+
+* request line + headers + ``Content-Length`` bodies (no chunked
+  uploads, no multipart — the API is small JSON documents);
+* bounded header/body sizes and a per-request read timeout, so a slow
+  or hostile client cannot pin a connection open forever;
+* HTTP/1.1 keep-alive (``Connection: close`` honoured both ways);
+* structured JSON errors: every failure the layer itself produces is a
+  body of the form ``{"error": {"code": ..., "message": ...}}``.
+
+The handler passed to :class:`HttpServer` is an ``async`` callable
+``Request -> Response``; anything it raises that is not an
+:class:`HttpError` becomes a 500 with the exception class name.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable
+from urllib.parse import parse_qsl, urlsplit
+
+#: Hard caps keeping one request's memory bounded.
+MAX_HEADER_BYTES = 32_768
+MAX_BODY_BYTES = 4_194_304  # 4 MiB of JSON is far beyond any sane query
+
+#: Seconds a client may take to deliver one full request.
+READ_TIMEOUT_S = 30.0
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """An error with an HTTP status and a structured JSON body."""
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        **extra: Any,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.extra = extra
+
+    def to_response(self) -> "Response":
+        body = {"code": self.code, "message": str(self)}
+        body.update(self.extra)
+        return Response(self.status, {"error": body})
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]  # keys lower-cased
+    body: bytes
+
+    def json(self) -> Any:
+        """The body as JSON (``{}`` when empty); 400 on malformed input."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except (ValueError, UnicodeDecodeError) as error:
+            raise HttpError(
+                400, "malformed_json", f"request body is not JSON: {error}"
+            ) from None
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+@dataclass
+class Response:
+    """A JSON response (the payload is serialised by :func:`encode`)."""
+
+    status: int = 200
+    payload: Any = None
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+def encode(response: Response, keep_alive: bool) -> bytes:
+    """Serialise a :class:`Response` to wire bytes."""
+    body = json.dumps(
+        response.payload if response.payload is not None else {},
+        default=str,
+    ).encode() + b"\n"
+    reason = REASONS.get(response.status, "Unknown")
+    lines = [f"HTTP/1.1 {response.status} {reason}"]
+    headers = {
+        "content-type": "application/json",
+        "content-length": str(len(body)),
+        "connection": "keep-alive" if keep_alive else "close",
+    }
+    headers.update(
+        {name.lower(): value for name, value in response.headers.items()}
+    )
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode() + body
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request; ``None`` on a clean EOF before any bytes."""
+    try:
+        header_blob = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), READ_TIMEOUT_S
+        )
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean keep-alive close
+        raise HttpError(400, "truncated_request", "incomplete request head")
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, "headers_too_large", "request head too large")
+    except asyncio.TimeoutError:
+        raise HttpError(408, "timeout", "timed out reading request head")
+    if len(header_blob) > MAX_HEADER_BYTES:
+        raise HttpError(413, "headers_too_large", "request head too large")
+    head = header_blob.decode("latin-1").split("\r\n")
+    parts = head[0].split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, "bad_request_line", f"bad request line {head[0]!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    headers: dict[str, str] = {}
+    for line in head[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, "bad_header", f"malformed header {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "bad_content_length",
+                            "content-length is not an integer")
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise HttpError(413, "body_too_large",
+                            f"body of {length} bytes exceeds the limit")
+        if length:
+            try:
+                body = await asyncio.wait_for(
+                    reader.readexactly(length), READ_TIMEOUT_S
+                )
+            except asyncio.IncompleteReadError:
+                raise HttpError(400, "truncated_body",
+                                "connection closed mid-body")
+            except asyncio.TimeoutError:
+                raise HttpError(408, "timeout",
+                                "timed out reading request body")
+    return Request(
+        method=method.upper(),
+        path=split.path,
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+Handler = Callable[[Request], Awaitable[Response]]
+
+
+class HttpServer:
+    """An asyncio TCP server speaking the JSON dialect above."""
+
+    def __init__(self, handler: Handler, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.handler = handler
+        self.host = host
+        self.port = port  # 0 = ephemeral; replaced by the bound port
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.Task] = set()
+
+    async def start(self) -> "HttpServer":
+        self._server = await asyncio.start_server(
+            self._serve_client, self.host, self.port,
+            limit=MAX_HEADER_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._connections:
+            for task in tuple(self._connections):
+                task.cancel()
+            await asyncio.gather(
+                *self._connections, return_exceptions=True
+            )
+            self._connections.clear()
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def _serve_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                keep_alive = False
+                try:
+                    request = await read_request(reader)
+                    if request is None:
+                        break
+                    keep_alive = request.keep_alive
+                    response = await self.handler(request)
+                except HttpError as error:
+                    response = error.to_response()
+                except asyncio.CancelledError:
+                    raise
+                except Exception as error:  # noqa: BLE001 - boundary
+                    response = Response(500, {"error": {
+                        "code": "internal_error",
+                        "message": f"{type(error).__name__}: {error}",
+                    }})
+                writer.write(encode(response, keep_alive))
+                await writer.drain()
+                if not keep_alive or response.status in (400, 408, 413):
+                    break  # framing may be lost after a malformed request
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-exchange
+        except asyncio.CancelledError:
+            # Server shutdown: end the task normally so the streams
+            # machinery does not log a spurious CancelledError.
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionResetError,
+                    BrokenPipeError,
+                    OSError):  # pragma: no cover - teardown race
+                pass

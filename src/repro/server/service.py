@@ -1,0 +1,389 @@
+"""`ConstraintService` — the async multi-tenant query service.
+
+One service owns:
+
+* a set of named, immutable :class:`ConstraintDatabase`\\ s (the first
+  one registered is also aliased ``"default"``);
+* an :class:`~repro.server.pool.EnginePool` over **one** shared
+  :class:`~repro.engine.EngineCache` and disk store;
+* an :class:`~repro.server.quota.AdmissionController` (per-tenant token
+  buckets, bounded concurrency and queue depth);
+* the process journal, scoped per request via
+  :func:`repro.obs.journal.journal_context` — every event a request
+  causes carries its ``request`` id and ``tenant``, which turns the
+  JSONL sink into an audit log.
+
+Endpoints (all JSON; see docs/SERVER.md for full schemas):
+
+=========================  ===========================================
+``POST /v1/query``         evaluate a query; body ``{"query": ...,
+                           "database": "name"?, "tenant": ...?}``
+``POST /v1/explain``       EXPLAIN (ANALYZE) a query; body adds
+                           ``{"analyze": bool}``
+``GET /v1/healthz``        liveness + the registered databases
+``GET /v1/stats``          admission/pool/cache/store/journal counters
+=========================  ===========================================
+
+Evaluation is CPU-bound exact arithmetic, so requests run on worker
+threads (``asyncio.to_thread``) while the event loop keeps accepting
+connections; cold arrangement builds are **single-flight** at two
+layers (an async future per fingerprint here, a per-key event inside
+``EngineCache``), so a thundering herd on one database computes its
+region extension exactly once.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from typing import Any, Awaitable, Callable, Mapping
+
+from repro.errors import ReproError
+from repro.config import EngineConfig
+from repro.constraints.database import ConstraintDatabase
+from repro.engine import QueryEngine
+from repro.geometry import fastlp
+from repro.obs.journal import JOURNAL, journal_context
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.server.http import HttpError, HttpServer, Request, Response
+from repro.server.pool import EnginePool
+from repro.server.quota import (
+    DEFAULT_TENANT,
+    AdmissionController,
+    AdmissionError,
+)
+
+#: Header naming the tenant a request is billed to.
+TENANT_HEADER = "x-repro-tenant"
+
+#: Cap on sample witness points returned per answer.
+SAMPLE_POINTS = 5
+
+
+class ConstraintService:
+    """The HTTP-facing query service over a shared engine pool."""
+
+    def __init__(
+        self,
+        databases: Mapping[str, ConstraintDatabase],
+        config: EngineConfig | None = None,
+        *,
+        quota_rate: float = 50.0,
+        quota_burst: int = 100,
+        max_concurrent: int = 4,
+        max_queue: int = 64,
+        decomposition: str = "arrangement",
+        spatial_name: str = "S",
+        metrics: MetricsRegistry | None = None,
+        max_requests: int | None = None,
+    ) -> None:
+        if not databases:
+            raise ValueError("the service needs at least one database")
+        self.config = config if config is not None else EngineConfig.resolve()
+        self.databases = dict(databases)
+        if "default" not in self.databases:
+            first = next(iter(self.databases))
+            self.databases["default"] = self.databases[first]
+        self.decomposition = decomposition
+        self.spatial_name = spatial_name
+        self.pool = EnginePool(self.config, metrics=metrics)
+        self.admission = AdmissionController(
+            max_concurrent=max_concurrent,
+            max_queue=max_queue,
+            quota_rate=quota_rate,
+            quota_burst=quota_burst,
+            metrics=metrics,
+        )
+        self.max_requests = max_requests
+        self.requests_handled = 0
+        #: Set once ``max_requests`` responses have been sent (or via
+        #: :meth:`request_shutdown`); ``serve`` exits when it fires.
+        self.shutdown = asyncio.Event()
+        self._started = time.monotonic()
+        self._request_seq = itertools.count(1)
+        #: Async single-flight: one in-flight extension build per
+        #: (fingerprint, decomposition, spatial) key.
+        self._builds: dict[tuple, asyncio.Future] = {}
+        #: EXPLAIN ANALYZE drives the process-global tracer, which is
+        #: one collection at a time — explain requests are serialised.
+        self._explain_lock = asyncio.Lock()
+        registry = metrics if metrics is not None else get_registry()
+        self._registry = registry
+        self._c_requests = registry.counter("server.requests")
+        self._c_ok = registry.counter("server.responses.ok")
+        self._c_client_err = registry.counter("server.responses.client_error")
+        self._c_server_err = registry.counter("server.responses.server_error")
+        self._c_build_waits = registry.counter("server.build.coalesced")
+        self._routes: dict[str, tuple[str, Callable[..., Awaitable[Response]]]]
+        self._routes = {
+            "/v1/query": ("POST", self._handle_query),
+            "/v1/explain": ("POST", self._handle_explain),
+            "/v1/healthz": ("GET", self._handle_healthz),
+            "/v1/stats": ("GET", self._handle_stats),
+        }
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def handle(self, request: Request) -> Response:
+        """Route one request; every exit path is counted and journaled."""
+        self._c_requests.inc()
+        request_id = f"req-{next(self._request_seq):08d}"
+        tenant = (
+            request.header(TENANT_HEADER).strip() or DEFAULT_TENANT
+        )
+        route = self._routes.get(request.path)
+        started = time.perf_counter()
+        with journal_context(request=request_id, tenant=tenant):
+            if JOURNAL.enabled:
+                JOURNAL.emit(
+                    "request.begin", id=request_id,
+                    method=request.method, path=request.path,
+                )
+            try:
+                if route is None:
+                    raise HttpError(
+                        404, "not_found", f"no route {request.path!r}"
+                    )
+                method, handler = route
+                if request.method != method:
+                    raise HttpError(
+                        405, "method_not_allowed",
+                        f"{request.path} accepts {method} only",
+                    )
+                response = await handler(request, request_id, tenant)
+            except AdmissionError as error:
+                response = self._admission_response(error)
+            except HttpError as error:
+                response = error.to_response()
+            except ReproError as error:
+                response = Response(400, {"error": {
+                    "code": "invalid_query",
+                    "message": str(error),
+                    "request_id": request_id,
+                }})
+            if response.status < 400:
+                self._c_ok.inc()
+            elif response.status < 500:
+                self._c_client_err.inc()
+            else:  # pragma: no cover - no 5xx path constructs here
+                self._c_server_err.inc()
+            if JOURNAL.enabled:
+                JOURNAL.emit(
+                    "request.end", id=request_id, status=response.status,
+                    wall_ms=round(
+                        (time.perf_counter() - started) * 1000, 3
+                    ),
+                )
+        self.requests_handled += 1
+        if (
+            self.max_requests is not None
+            and self.requests_handled >= self.max_requests
+        ):
+            self.shutdown.set()
+        return response
+
+    @staticmethod
+    def _admission_response(error: AdmissionError) -> Response:
+        body: dict[str, Any] = {
+            "code": error.code, "message": str(error),
+        }
+        if hasattr(error, "retry_after_s"):
+            body["retry_after_s"] = error.retry_after_s
+        if hasattr(error, "queue_depth"):
+            body["queue_depth"] = error.queue_depth
+        headers = {}
+        if hasattr(error, "retry_after_s"):
+            headers["retry-after"] = str(
+                max(1, round(error.retry_after_s))
+            )
+        return Response(error.status, {"error": body}, headers)
+
+    def request_shutdown(self) -> None:
+        """Ask :func:`serve` to exit after in-flight work completes."""
+        self.shutdown.set()
+
+    # ------------------------------------------------------------------
+    # Shared request plumbing
+    # ------------------------------------------------------------------
+    def _database(self, body: Mapping[str, Any]) -> tuple[str, ConstraintDatabase]:
+        name = body.get("database", "default")
+        if not isinstance(name, str):
+            raise HttpError(400, "bad_database", "database must be a string")
+        database = self.databases.get(name)
+        if database is None:
+            raise HttpError(
+                404, "unknown_database",
+                f"no database {name!r}; have {sorted(self.databases)}",
+            )
+        return name, database
+
+    @staticmethod
+    def _query_text(body: Mapping[str, Any]) -> str:
+        text = body.get("query")
+        if not isinstance(text, str) or not text.strip():
+            raise HttpError(
+                400, "missing_query",
+                'the body needs a non-empty string field "query"',
+            )
+        return text
+
+    async def _ensure_warm(self, engine: QueryEngine) -> str:
+        """Single-flight the cold region-extension build for an engine.
+
+        Returns ``"warm"`` (already cached), ``"built"`` (this request
+        paid for the build) or ``"coalesced"`` (awaited another
+        request's in-flight build).
+        """
+        if engine.cache.peek_extension(
+            engine.database, engine.decomposition, engine.spatial_name
+        ):
+            # Touch through the cache: a counted hit (and an LRU
+            # refresh) for engines that have not memoised it yet.
+            engine.extension
+            return "warm"
+        key = (
+            engine.fingerprint, engine.decomposition, engine.spatial_name
+        )
+        future = self._builds.get(key)
+        if future is None:
+            future = asyncio.ensure_future(
+                asyncio.to_thread(lambda: engine.extension)
+            )
+            self._builds[key] = future
+            future.add_done_callback(
+                lambda _done, key=key: self._builds.pop(key, None)
+            )
+            await asyncio.shield(future)
+            return "built"
+        self._c_build_waits.inc()
+        await asyncio.shield(future)
+        return "coalesced"
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    async def _handle_query(
+        self, request: Request, request_id: str, tenant: str
+    ) -> Response:
+        body = request.json()
+        name, database = self._database(body)
+        text = self._query_text(body)
+        async with self.admission.admit(tenant):
+            engine = self.pool.checkout(
+                database, self.decomposition, self.spatial_name
+            )
+            try:
+                build = await self._ensure_warm(engine)
+                started = time.perf_counter()
+                answer = await asyncio.to_thread(engine.evaluate, text)
+                wall_ms = (time.perf_counter() - started) * 1000
+            finally:
+                self.pool.checkin(engine)
+        payload: dict[str, Any] = {
+            "request_id": request_id,
+            "database": name,
+            "fingerprint": engine.fingerprint,
+            "build": build,
+            "wall_ms": round(wall_ms, 3),
+            "answer": self._render_answer(answer),
+        }
+        return Response(200, payload)
+
+    @staticmethod
+    def _render_answer(answer) -> dict[str, Any]:
+        rendered: dict[str, Any] = {
+            "variables": list(answer.variables),
+            "empty": answer.is_empty(),
+        }
+        if answer.arity == 0:
+            rendered["truth"] = not answer.is_empty()
+        else:
+            rendered["formula"] = str(answer.formula)
+            rendered["sample_points"] = [
+                [str(coordinate) for coordinate in point]
+                for point in answer.sample_points()[:SAMPLE_POINTS]
+            ]
+        return rendered
+
+    async def _handle_explain(
+        self, request: Request, request_id: str, tenant: str
+    ) -> Response:
+        body = request.json()
+        name, database = self._database(body)
+        text = self._query_text(body)
+        analyze = bool(body.get("analyze", False))
+        async with self.admission.admit(tenant):
+            engine = self.pool.checkout(
+                database, self.decomposition, self.spatial_name
+            )
+            try:
+                # EXPLAIN drives the process-global tracer: serialise.
+                async with self._explain_lock:
+                    result = await asyncio.to_thread(
+                        engine.explain, text, analyze
+                    )
+            finally:
+                self.pool.checkin(engine)
+        payload = result.to_dict()
+        payload["request_id"] = request_id
+        payload["database"] = name
+        return Response(200, payload)
+
+    async def _handle_healthz(
+        self, request: Request, request_id: str, tenant: str
+    ) -> Response:
+        return Response(200, {
+            "status": "ok",
+            "databases": sorted(self.databases),
+            "uptime_s": round(time.monotonic() - self._started, 3),
+        })
+
+    async def _handle_stats(
+        self, request: Request, request_id: str, tenant: str
+    ) -> Response:
+        store = self.config.store()
+        return Response(200, {
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "requests": {
+                "total": self._c_requests.value,
+                "ok": self._c_ok.value,
+                "client_error": self._c_client_err.value,
+                "server_error": self._c_server_err.value,
+                "build_coalesced": self._c_build_waits.value,
+            },
+            "config": self.config.describe(),
+            "lp_mode": self.config.lp_mode or fastlp.get_lp_mode(),
+            "admission": self.admission.stats(),
+            "pool": self.pool.stats(),
+            "store": store.stats() if store is not None else None,
+            "journal": {
+                "enabled": JOURNAL.enabled,
+                "events": len(JOURNAL),
+                "dropped": JOURNAL.dropped,
+                "sink": JOURNAL.sink_path,
+            },
+            "metrics": self._registry.snapshot(),
+        })
+
+
+async def serve(
+    service: ConstraintService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    announce: Callable[[HttpServer], None] | None = None,
+) -> None:
+    """Run the service until its shutdown event fires.
+
+    ``announce`` is called with the started :class:`HttpServer` (the
+    CLI prints the bound address; tests read the ephemeral port).
+    """
+    server = HttpServer(service.handle, host, port)
+    await server.start()
+    try:
+        if announce is not None:
+            announce(server)
+        await service.shutdown.wait()
+    finally:
+        await server.close()

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Iterator
 
 from repro.store import codec
@@ -55,9 +56,14 @@ ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 #: Environment variable giving the LRU size budget in bytes.
 ENV_CACHE_BUDGET = "REPRO_CACHE_BUDGET"
 
-# Explicit process-wide override (set by the CLI); None means "no
-# override — fall through to the environment".
-_configured: DiskStore | None = None
+# Explicit override (set by the CLI); None means "no override — fall
+# through to the environment".  Context-local so concurrent engines
+# (server worker threads) can each pin their own store without racing
+# on a shared global; ``asyncio.to_thread`` copies the context, so a
+# scope entered on the event loop is visible inside request threads.
+_configured: ContextVar["DiskStore | None"] = ContextVar(
+    "repro_store_configured", default=None
+)
 
 # One DiskStore per (resolved path, budget) so counters and eviction
 # state are shared by every engine in the process.
@@ -91,13 +97,20 @@ def store_at(path: "str | os.PathLike[str]",
 
 def resolve_store(
     target: "DiskStore | str | os.PathLike[str] | None",
+    size_budget: int | None = None,
 ) -> DiskStore | None:
-    """Normalise a ``cache_dir``-style argument to a store (or None)."""
+    """Normalise a ``cache_dir``-style argument to a store (or None).
+
+    ``size_budget`` pins the LRU byte budget explicitly (the
+    :class:`~repro.config.EngineConfig` path); ``None`` keeps the
+    legacy behaviour of consulting ``REPRO_CACHE_BUDGET``.
+    """
     if target is None:
         return None
     if isinstance(target, DiskStore):
         return target
-    return store_at(target, size_budget=_env_budget())
+    budget = size_budget if size_budget is not None else _env_budget()
+    return store_at(target, size_budget=budget)
 
 
 def active_store() -> DiskStore | None:
@@ -107,8 +120,9 @@ def active_store() -> DiskStore | None:
     ``REPRO_CACHE_DIR`` environment variable, then ``None`` (no
     persistence).
     """
-    if _configured is not None:
-        return _configured
+    configured = _configured.get()
+    if configured is not None:
+        return configured
     path = os.environ.get(ENV_CACHE_DIR, "").strip()
     if not path:
         return None
@@ -118,14 +132,13 @@ def active_store() -> DiskStore | None:
 def configure_store(
     target: "DiskStore | str | os.PathLike[str] | None",
 ) -> DiskStore | None:
-    """Set the process-wide store override; returns the previous one.
+    """Set the store override for this context; returns the previous one.
 
     Passing ``None`` clears the override, so ``REPRO_CACHE_DIR``
     resolution applies again.
     """
-    global _configured
-    previous = _configured
-    _configured = resolve_store(target)
+    previous = _configured.get()
+    _configured.set(resolve_store(target))
     return previous
 
 
@@ -133,16 +146,17 @@ def configure_store(
 def store_scope(
     target: "DiskStore | str | os.PathLike[str] | None",
 ) -> Iterator[DiskStore | None]:
-    """Temporarily pin the process-wide store (the CLI's entry point).
+    """Temporarily pin the store for the current context (the CLI's
+    entry point).
 
     ``None`` is a no-op scope: the environment fallback stays live, so
     wrapping every CLI dispatch in ``store_scope(args.cache_dir)`` is
-    safe whether or not ``--cache-dir`` was given.
+    safe whether or not ``--cache-dir`` was given.  The pin is
+    context-local: engines scoping their own pinned stores on worker
+    threads never clobber each other (or the main thread).
     """
-    global _configured
-    saved = _configured
-    _configured = resolve_store(target)
+    token = _configured.set(resolve_store(target))
     try:
         yield active_store()
     finally:
-        _configured = saved
+        _configured.reset(token)

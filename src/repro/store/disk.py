@@ -34,8 +34,10 @@ simply starts a fresh subtree instead of misreading old entries.
 
 from __future__ import annotations
 
+import itertools
 import os
 import pathlib
+import threading
 
 from repro.obs.journal import JOURNAL
 from repro.obs.metrics import MetricsRegistry, get_registry
@@ -57,6 +59,13 @@ class DiskStore:
             raise ValueError("size_budget must be positive (bytes)")
         self.size_budget = size_budget
         self.root.mkdir(parents=True, exist_ok=True)
+        # One store may be shared by many engines across threads (the
+        # server pool): writes stay atomic per-file via os.replace, but
+        # temp-name allocation, quarantine moves and LRU eviction are
+        # serialised so interleaved save/load from two engines can never
+        # collide on a temp file or double-evict.
+        self._mutate_lock = threading.Lock()
+        self._temp_seq = itertools.count()
         registry = metrics if metrics is not None else get_registry()
         self._c_hits = registry.counter("store.hits")
         self._c_misses = registry.counter("store.misses")
@@ -140,7 +149,9 @@ class DiskStore:
             span.set("kind", kind)
             data = codec.dumps(kind, obj)
             path.parent.mkdir(parents=True, exist_ok=True)
-            temp = path.parent / f".{key}.{os.getpid()}.tmp"
+            temp = path.parent / (
+                f".{key}.{os.getpid()}.{next(self._temp_seq)}.tmp"
+            )
             try:
                 temp.write_bytes(data)
                 os.replace(temp, path)
@@ -154,7 +165,8 @@ class DiskStore:
             span.add("bytes", len(data))
             self._journal(kind, key, "write")
             if self.size_budget is not None:
-                self._evict()
+                with self._mutate_lock:
+                    self._evict()
         return path
 
     @staticmethod
@@ -178,20 +190,21 @@ class DiskStore:
 
     def _quarantine(self, path: pathlib.Path, kind: str) -> None:
         """Move a damaged entry aside (kept for inspection, never reused)."""
-        self.quarantine_root.mkdir(parents=True, exist_ok=True)
-        base = f"{kind}-{path.name}"
-        target = self.quarantine_root / base
-        suffix = 0
-        while target.exists():
-            suffix += 1
-            target = self.quarantine_root / f"{base}.{suffix}"
-        try:
-            os.replace(path, target)
-        except OSError:  # pragma: no cover - concurrent quarantine
+        with self._mutate_lock:
+            self.quarantine_root.mkdir(parents=True, exist_ok=True)
+            base = f"{kind}-{path.name}"
+            target = self.quarantine_root / base
+            suffix = 0
+            while target.exists():
+                suffix += 1
+                target = self.quarantine_root / f"{base}.{suffix}"
             try:
-                path.unlink()
-            except OSError:
-                pass
+                os.replace(path, target)
+            except OSError:  # pragma: no cover - concurrent quarantine
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
 
     def _evict(self) -> int:
         """Drop least-recently-used entries until the budget fits."""

@@ -1,0 +1,110 @@
+"""The ``repro serve`` subcommand and observability-reset scoping.
+
+``main()`` historically wiped all counters/spans/journal state on
+every invocation.  For a long-lived server that is a bug — the
+counters ARE the operational state ``GET /v1/stats`` reports — so the
+reset is scoped to one-shot commands only.  These tests pin both
+halves of that contract, plus a full in-process round trip of the
+subcommand itself.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import threading
+import time
+
+import pytest
+
+from repro import cli
+from repro.obs.metrics import get_registry
+
+
+@pytest.fixture
+def stub_command(monkeypatch):
+    """Replace a CLI command with a stub that samples a probe counter."""
+
+    def install(name: str) -> dict:
+        seen: dict = {}
+
+        def stub(args, out) -> int:
+            seen["probe"] = get_registry().get("test.cli.probe")
+            return 0
+
+        monkeypatch.setitem(cli._COMMANDS, name, stub)
+        return seen
+
+    return install
+
+
+def test_one_shot_command_resets_observability(stub_command):
+    seen = stub_command("check")
+    get_registry().counter("test.cli.probe").inc(5)
+    assert cli.main(["check", "ignored.cdb"], out=io.StringIO()) == 0
+    assert seen["probe"] == 0, "one-shot commands start pristine"
+
+
+def test_serve_keeps_counters_alive(stub_command):
+    """The regression: ``serve`` must NOT wipe live counters."""
+    seen = stub_command("serve")
+    get_registry().counter("test.cli.probe").inc(5)
+    assert cli.main(["serve", "ignored.cdb"], out=io.StringIO()) == 0
+    assert seen["probe"] == 5, (
+        "a long-running server's counters must survive main()"
+    )
+
+
+def test_serve_is_self_tracing_and_long_running():
+    assert "serve" in cli._SELF_TRACING
+    assert "serve" in cli._LONG_RUNNING
+
+
+def test_serve_round_trip(one_dim_file_path):
+    """`repro serve` in-process: announce, answer queries, exit after
+    ``--max-requests``."""
+    from repro.server.loadgen import get_json, post_json
+
+    buffer = io.StringIO()
+    result: dict = {}
+
+    def run() -> None:
+        result["code"] = cli.main(
+            ["serve", one_dim_file_path, "--port", "0",
+             "--max-requests", "2"],
+            out=buffer,
+        )
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 30
+    announced = ""
+    while time.monotonic() < deadline:
+        announced = buffer.getvalue()
+        if "serving" in announced:
+            break
+        time.sleep(0.05)
+    match = re.search(r"http://127\.0\.0\.1:(\d+)", announced)
+    assert match, f"no announce line in {announced!r}"
+    port = int(match.group(1))
+
+    status, body = get_json(port, "/v1/healthz")
+    assert status == 200 and body["status"] == "ok"
+    status, body = post_json(port, "/v1/query",
+                             {"query": "exists x. S(x)"})
+    assert status == 200
+    assert body["answer"]["truth"] is True
+
+    thread.join(timeout=30)
+    assert not thread.is_alive(), "--max-requests must stop the server"
+    assert result["code"] == 0
+
+
+@pytest.fixture
+def one_dim_file_path(tmp_path) -> str:
+    path = tmp_path / "one.cdb"
+    path.write_text(
+        "RELATION S (x0)\n"
+        "(x0 >= 0 & x0 <= 1) | (x0 >= 2 & x0 <= 3)\n"
+    )
+    return str(path)

@@ -1,0 +1,149 @@
+"""EngineConfig: the one documented resolution order for every knob.
+
+``EngineConfig.resolve`` pins **explicit argument > environment >
+default** once, at construction; a plain ``EngineConfig(...)`` keeps
+``None`` fields unresolved (environment consulted at use time), which
+is the contract the ``QueryEngine`` legacy-kwarg shim relies on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import ConstraintDatabase, QueryEngine, parse_formula
+from repro.config import (
+    ENV_CACHE_BUDGET,
+    ENV_CACHE_DIR,
+    ENV_JOBS,
+    ENV_JOURNAL,
+    ENV_LP_MODE,
+    DEFAULT_CACHE_CAPACITY,
+    EngineConfig,
+)
+
+
+@pytest.fixture
+def clean_env(monkeypatch):
+    for name in (ENV_LP_MODE, ENV_JOBS, ENV_CACHE_DIR,
+                 ENV_CACHE_BUDGET, ENV_JOURNAL):
+        monkeypatch.delenv(name, raising=False)
+    return monkeypatch
+
+
+def test_resolve_defaults(clean_env):
+    config = EngineConfig.resolve()
+    assert config.lp_mode == "filtered"
+    assert config.jobs == 1
+    assert config.cache_dir is None
+    assert config.cache_budget is None
+    assert config.journal is None
+    assert config.cache_capacity == DEFAULT_CACHE_CAPACITY
+
+
+def test_resolve_reads_environment(clean_env, tmp_path):
+    clean_env.setenv(ENV_LP_MODE, "exact")
+    clean_env.setenv(ENV_JOBS, "3")
+    clean_env.setenv(ENV_CACHE_DIR, str(tmp_path))
+    clean_env.setenv(ENV_CACHE_BUDGET, "4096")
+    clean_env.setenv(ENV_JOURNAL, "events.jsonl")
+    config = EngineConfig.resolve()
+    assert config.lp_mode == "exact"
+    assert config.jobs == 3
+    assert config.cache_dir == str(tmp_path)
+    assert config.cache_budget == 4096
+    assert config.journal == "events.jsonl"
+
+
+def test_explicit_argument_beats_environment(clean_env, tmp_path):
+    clean_env.setenv(ENV_LP_MODE, "exact")
+    clean_env.setenv(ENV_JOBS, "7")
+    config = EngineConfig.resolve(lp_mode="filtered", jobs=2)
+    assert config.lp_mode == "filtered"
+    assert config.jobs == 2
+
+
+def test_resolve_pins_once(clean_env):
+    """A resolved config never re-reads the environment."""
+    config = EngineConfig.resolve()
+    clean_env.setenv(ENV_LP_MODE, "exact")
+    assert config.lp_mode == "filtered"
+
+
+def test_frozen_and_with_overrides(clean_env):
+    config = EngineConfig.resolve()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        config.jobs = 4  # type: ignore[misc]
+    changed = config.with_overrides(jobs=4)
+    assert changed.jobs == 4 and config.jobs == 1
+
+
+def test_unknown_field_rejected(clean_env):
+    with pytest.raises(TypeError, match="unknown EngineConfig field"):
+        EngineConfig.resolve(worker_count=4)
+
+
+def test_validation_matches_engine_contract(clean_env):
+    with pytest.raises(ValueError, match="lp_mode must be one of"):
+        EngineConfig(lp_mode="approximate")
+    with pytest.raises(ValueError, match="jobs must be >= 1"):
+        EngineConfig(jobs=0)
+    with pytest.raises(ValueError, match="cache_budget must be positive"):
+        EngineConfig(cache_budget=-1)
+    with pytest.raises(ValueError, match="cache_capacity must be >= 1"):
+        EngineConfig(cache_capacity=0)
+
+
+def _interval_db() -> ConstraintDatabase:
+    return ConstraintDatabase.from_formula(
+        parse_formula("0 < x0 & x0 < 1"), arity=1
+    )
+
+
+def test_engine_accepts_config(clean_env):
+    config = EngineConfig.resolve(jobs=2, lp_mode="exact")
+    engine = QueryEngine(_interval_db(), config=config)
+    assert engine.config is config
+    assert engine.jobs == 2
+    assert engine.lp_mode == "exact"
+    assert not engine.evaluate("S(x0)").is_empty()
+
+
+def test_engine_rejects_config_plus_legacy_kwargs(clean_env):
+    with pytest.raises(ValueError, match="config"):
+        QueryEngine(
+            _interval_db(), config=EngineConfig.resolve(), jobs=2
+        )
+
+
+def test_legacy_kwargs_warn_but_work(clean_env):
+    with pytest.deprecated_call():
+        engine = QueryEngine(_interval_db(), jobs=2)
+    assert engine.jobs == 2
+    # The shim keeps env-at-use-time semantics for unset knobs.
+    assert engine.config.lp_mode is None
+
+
+def test_store_pins_explicit_budget(clean_env, tmp_path):
+    config = EngineConfig.resolve(
+        cache_dir=str(tmp_path / "store"), cache_budget=1 << 20
+    )
+    store = config.store()
+    assert store is not None
+    assert store.size_budget == 1 << 20
+
+
+def test_make_cache_honours_capacity(clean_env):
+    config = EngineConfig.resolve(cache_capacity=3)
+    cache = config.make_cache()
+    assert cache.capacity == 3
+
+
+def test_describe_is_json_ready(clean_env, tmp_path):
+    import json
+
+    config = EngineConfig.resolve(cache_dir=str(tmp_path))
+    described = config.describe()
+    assert json.loads(json.dumps(described)) == described
+    assert described["cache_dir"] == str(tmp_path)

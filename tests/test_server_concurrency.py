@@ -1,0 +1,220 @@
+"""Concurrency contracts: single-flight builds, quotas, shared store.
+
+The three guarantees the server architecture rests on:
+
+* a thundering herd of identical requests computes its arrangement
+  **exactly once** (single-flight, at the cache layer and end-to-end
+  over HTTP);
+* admission control rejects deterministically (429 with a retry hint,
+  503 with a queue depth) instead of degrading;
+* one :class:`DiskStore` shared by independent engines under
+  interleaved load/save stays uncorrupted and serves identical faces.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import ConstraintDatabase, QueryEngine, parse_formula
+from repro.config import EngineConfig
+from repro.engine import EngineCache
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.server import (
+    AdmissionController,
+    ConstraintService,
+    Overloaded,
+    QuotaExceeded,
+    ServerThread,
+    TokenBucket,
+    run_load,
+)
+
+
+def _db(text: str = "(0 < x0 & x0 < 1) | (2 < x0 & x0 < 3)"):
+    return ConstraintDatabase.from_formula(parse_formula(text), arity=1)
+
+
+# ----------------------------------------------------------------------
+# Single-flight
+# ----------------------------------------------------------------------
+def test_cache_single_flight_builds_extension_once():
+    """N threads, one cache, one database: one arrangement build."""
+    workers = 8
+    cache = EngineCache(metrics=MetricsRegistry())
+    database = _db()
+    engines = [
+        QueryEngine(database, cache=cache, config=EngineConfig())
+        for _ in range(workers)
+    ]
+    barrier = threading.Barrier(workers)
+    registry = get_registry()
+    builds_before = registry.get("arrangement.builds")
+
+    def build(engine: QueryEngine):
+        barrier.wait()
+        return engine.extension
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        extensions = list(pool.map(build, engines))
+
+    assert registry.get("arrangement.builds") - builds_before == 1
+    stats = cache.stats()
+    assert stats["extension_misses"] == 1, "exactly one thread built"
+    assert stats["extension_hits"] == workers - 1
+    assert all(ext is extensions[0] for ext in extensions), (
+        "every waiter receives the one shared extension object"
+    )
+
+
+def test_http_single_flight_builds_extension_once():
+    """The ISSUE contract, end-to-end: N concurrent identical queries
+    over HTTP increment ``arrangement.builds`` exactly once."""
+    workers = 6
+    service = ConstraintService(
+        {"demo": _db()}, max_concurrent=workers,
+        metrics=MetricsRegistry(),
+    )
+    registry = get_registry()
+    builds_before = registry.get("arrangement.builds")
+    with ServerThread(service) as server:
+        results = run_load(
+            server.port, [{"query": "S(x0)"}] * workers,
+            concurrency=workers,
+        )
+    assert [r["status"] for r in results] == [200] * workers
+    assert registry.get("arrangement.builds") - builds_before == 1
+    built = [r["body"]["build"] for r in results]
+    assert built.count("built") == 1, "exactly one request paid the build"
+    assert set(built) <= {"built", "coalesced", "warm"}
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+def test_token_bucket_refills_at_rate():
+    clock = [0.0]
+    bucket = TokenBucket(rate=2.0, burst=2, clock=lambda: clock[0])
+    assert bucket.try_acquire() and bucket.try_acquire()
+    assert not bucket.try_acquire(), "burst exhausted"
+    assert bucket.retry_after_s() == pytest.approx(0.5)
+    clock[0] += 0.5  # one token refilled at 2 tokens/s
+    assert bucket.try_acquire()
+    assert not bucket.try_acquire()
+
+
+def test_quota_rejection_is_per_tenant():
+    clock = [0.0]
+    controller = AdmissionController(
+        quota_rate=1.0, quota_burst=1, metrics=MetricsRegistry(),
+        clock=lambda: clock[0],
+    )
+
+    async def drive():
+        async with controller.admit("team-a"):
+            pass
+        with pytest.raises(QuotaExceeded) as caught:
+            async with controller.admit("team-a"):
+                pass
+        assert caught.value.status == 429
+        assert caught.value.retry_after_s > 0
+        # team-b has its own bucket and is unaffected.
+        async with controller.admit("team-b"):
+            pass
+
+    asyncio.run(drive())
+    stats = controller.stats()
+    assert stats["rejected_quota"] == 1
+    assert stats["admitted"] == 2
+
+
+def test_overload_rejection_reports_queue_depth():
+    controller = AdmissionController(
+        max_concurrent=1, max_queue=0, metrics=MetricsRegistry(),
+    )
+
+    async def drive():
+        release = asyncio.Event()
+
+        async def occupant():
+            async with controller.admit():
+                await release.wait()
+
+        task = asyncio.create_task(occupant())
+        await asyncio.sleep(0)  # let the occupant take the slot
+        with pytest.raises(Overloaded) as caught:
+            async with controller.admit():
+                pass
+        assert caught.value.status == 503
+        release.set()
+        await task
+
+    asyncio.run(drive())
+    assert controller.stats()["rejected_overload"] == 1
+
+
+def test_http_quota_rejection_returns_structured_429():
+    service = ConstraintService(
+        {"demo": _db()},
+        quota_rate=0.001, quota_burst=1,  # one request, then starve
+        metrics=MetricsRegistry(),
+    )
+    with ServerThread(service) as server:
+        results = run_load(
+            server.port, [{"query": "S(x0)"}] * 4, concurrency=1,
+            tenant="greedy",
+        )
+    statuses = [r["status"] for r in results]
+    assert statuses[0] == 200
+    assert statuses[1:] == [429] * 3
+    rejected = results[1]["body"]["error"]
+    assert rejected["code"] == "quota_exceeded"
+    assert rejected["retry_after_s"] > 0
+
+
+# ----------------------------------------------------------------------
+# Shared disk store
+# ----------------------------------------------------------------------
+def test_disk_store_shared_by_two_engines_interleaved(tmp_path):
+    """Independent engines over one store: no corruption, same faces."""
+    from repro.store import resolve_store
+
+    store = resolve_store(str(tmp_path / "store"))
+    database = _db()
+    queries = [
+        "S(x0)",
+        "exists y. S(y) & x0 - y <= 1 & y - x0 <= 1",
+        "forall x. S(x) -> x < 5",
+    ]
+
+    def worker(_index: int):
+        # Each worker is its own engine with a private in-memory cache;
+        # only the disk store is shared.
+        engine = QueryEngine(
+            database,
+            cache=EngineCache(metrics=MetricsRegistry()),
+            config=EngineConfig(cache_dir=store),
+        )
+        answers = [str(engine.evaluate(q).formula) for q in queries]
+        return engine, answers
+
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        outcomes = list(pool.map(worker, range(4)))
+
+    baseline_answers = outcomes[0][1]
+    for __, answers in outcomes[1:]:
+        assert answers == baseline_answers
+
+    stats = store.stats()
+    assert stats["corrupt_entries"] == 0
+    assert stats["writes"] >= 1
+    # Byte-identical faces: every engine's extension describes the same
+    # decomposition, region for region.
+    signatures = {
+        tuple(str(region) for region in engine.extension.regions)
+        for engine, __ in outcomes
+    }
+    assert len(signatures) == 1

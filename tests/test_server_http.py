@@ -1,0 +1,128 @@
+"""The HTTP wire path: real sockets, keep-alive, limits, parity.
+
+The load-bearing assertion is *parity*: an answer served over HTTP is
+exactly the answer :meth:`QueryEngine.evaluate` returns in-process —
+same formula rendering, same witnesses, same truth values.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro import ConstraintDatabase, QueryEngine, parse_formula
+from repro.config import EngineConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.server import (
+    ConstraintService,
+    ServerThread,
+    get_json,
+    post_json,
+    run_load,
+)
+
+QUERIES = (
+    "S(x0)",
+    "exists y. S(y) & x0 - y <= 1 & y - x0 <= 1",
+    "forall x. S(x) -> x < 5",
+)
+
+
+def _db():
+    return ConstraintDatabase.from_formula(
+        parse_formula("(0 < x0 & x0 < 1) | (2 < x0 & x0 < 3)"), arity=1
+    )
+
+
+@pytest.fixture
+def server():
+    service = ConstraintService({"demo": _db()}, metrics=MetricsRegistry())
+    with ServerThread(service) as running:
+        yield running
+
+
+def test_answers_match_direct_evaluation(server):
+    engine = QueryEngine(_db(), config=EngineConfig())
+    for query in QUERIES:
+        status, body = post_json(server.port, "/v1/query",
+                                 {"query": query})
+        assert status == 200, body
+        direct = engine.evaluate(query)
+        answer = body["answer"]
+        assert answer["empty"] == direct.is_empty()
+        assert answer["variables"] == list(direct.variables)
+        if direct.arity == 0:
+            assert answer["truth"] == (not direct.is_empty())
+        else:
+            assert answer["formula"] == str(direct.formula)
+            expected = [
+                [str(c) for c in point]
+                for point in direct.sample_points()[:5]
+            ]
+            assert answer["sample_points"] == expected
+
+
+def test_concurrent_mixed_load_all_succeed(server):
+    requests = [{"query": q} for q in QUERIES] * 4
+    results = run_load(server.port, requests, concurrency=6)
+    assert [r["status"] for r in results] == [200] * len(results)
+
+
+def test_keep_alive_reuses_one_connection(server):
+    connection = http.client.HTTPConnection("127.0.0.1", server.port,
+                                            timeout=30)
+    try:
+        for _round in range(3):
+            connection.request(
+                "POST", "/v1/query",
+                body=json.dumps({"query": "S(x0)"}),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 200
+            response.read()  # drain so the connection can be reused
+    finally:
+        connection.close()
+
+
+def test_oversized_body_is_413(server):
+    connection = http.client.HTTPConnection("127.0.0.1", server.port,
+                                            timeout=30)
+    try:
+        connection.putrequest("POST", "/v1/query")
+        connection.putheader("Content-Length", str(64 * 1024 * 1024))
+        connection.endheaders()
+        response = connection.getresponse()
+        assert response.status == 413
+        body = json.loads(response.read())
+        assert body["error"]["code"] == "body_too_large"
+    finally:
+        connection.close()
+
+
+def test_bad_request_line_is_400(server):
+    import socket
+
+    with socket.create_connection(("127.0.0.1", server.port),
+                                  timeout=30) as raw:
+        raw.sendall(b"NONSENSE\r\n\r\n")
+        reply = raw.recv(4096)
+    assert reply.startswith(b"HTTP/1.1 400 ")
+
+
+def test_explain_over_the_wire(server):
+    status, body = post_json(server.port, "/v1/explain",
+                             {"query": "S(x0)", "analyze": True})
+    assert status == 200
+    assert body["analyzed"] is True
+    assert body["plan"]["op"]
+
+
+def test_healthz_and_stats_over_the_wire(server):
+    status, body = get_json(server.port, "/v1/healthz")
+    assert status == 200 and body["status"] == "ok"
+    status, body = get_json(server.port, "/v1/stats")
+    assert status == 200
+    assert body["requests"]["total"] >= 1

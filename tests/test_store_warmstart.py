@@ -108,6 +108,34 @@ def test_store_scope_pins_and_restores(tmp_path, monkeypatch):
     assert store_pkg.active_store() is None
 
 
+def test_store_scope_is_thread_local(tmp_path, monkeypatch):
+    """Concurrent scopes on worker threads never leak across threads.
+
+    Regression: the override used to be a bare module global, so
+    interleaved enter/exit across threads could restore a stale value
+    and leave another thread's store pinned process-wide.
+    """
+    import threading
+    from concurrent.futures import ThreadPoolExecutor
+
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    workers = 4
+    barrier = threading.Barrier(workers)
+
+    def worker(index: int):
+        mine = store_pkg.store_at(tmp_path / f"store-{index}")
+        with store_pkg.store_scope(mine):
+            barrier.wait(timeout=10)  # everyone inside a scope at once
+            assert store_pkg.active_store() is mine
+        return store_pkg.active_store()
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        after = list(pool.map(worker, range(workers)))
+
+    assert after == [None] * workers
+    assert store_pkg.active_store() is None
+
+
 def test_naive_baseline_bypasses_store(tmp_path):
     store = private_store(tmp_path)
     relation = triangle()
