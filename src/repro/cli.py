@@ -36,7 +36,7 @@ import sys
 from typing import Sequence
 
 from repro.errors import ReproError
-from repro.config import EngineConfig
+from repro.config import EXECUTORS, EngineConfig
 from repro.constraints.io import load_database
 from repro.engine import QueryEngine
 from repro.geometry import fastlp
@@ -119,6 +119,18 @@ def _add_lp_mode_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_executor_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default=None,
+        help="fixpoint executor: 'compiled' = relational-algebra IR "
+        "over memoised kernels, 'interpreted' = the rule-at-a-time "
+        "oracle; both give byte-identical answers "
+        "(default: $REPRO_EXECUTOR, else compiled)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -180,6 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_spatial_flag(explain)
     _add_jobs_flag(explain)
     _add_lp_mode_flag(explain)
+    _add_executor_flag(explain)
     _add_cache_dir_flag(explain)
     _add_journal_flag(explain)
 
@@ -242,6 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_flag(bench)
     _add_lp_mode_flag(bench)
+    _add_executor_flag(bench)
     _add_cache_dir_flag(bench)
     _add_journal_flag(bench)
 
@@ -296,6 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_spatial_flag(serve)
     _add_jobs_flag(serve)
     _add_lp_mode_flag(serve)
+    _add_executor_flag(serve)
     _add_cache_dir_flag(serve)
     _add_journal_flag(serve)
 
@@ -384,7 +399,10 @@ def _cmd_explain(args: argparse.Namespace, out) -> int:
         from repro.explain import explain_datalog
 
         program = parse_program(args.text)
-        result = explain_datalog(program, database, analyze=args.analyze)
+        result = explain_datalog(
+            program, database, analyze=args.analyze,
+            executor=args.executor,
+        )
     else:
         formula = parse_query(args.text)
         if formula.free_region_vars() or formula.free_set_vars():
@@ -533,6 +551,8 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
         kwargs["sizes"] = sizes
     if args.name == "e2":
         kwargs["jobs"] = args.jobs
+    if args.name == "e15" and args.executor:
+        kwargs["executor"] = args.executor
     record = runner(**kwargs)
     print(json.dumps(record, indent=2), file=out)
     if args.output:
@@ -569,7 +589,8 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
             return 2
         databases[name] = load_database(path)
     config = EngineConfig.resolve(
-        lp_mode=args.lp_mode, jobs=args.jobs, cache_dir=args.cache_dir
+        lp_mode=args.lp_mode, jobs=args.jobs, cache_dir=args.cache_dir,
+        executor=args.executor,
     )
     service = ConstraintService(
         databases,

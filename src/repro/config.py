@@ -14,6 +14,8 @@ field              environment variable   default
 =================  =====================  ===========================
 ``lp_mode``        ``REPRO_LP_MODE``      ``"filtered"``
 ``jobs``           ``REPRO_JOBS``         ``1`` (sequential)
+``executor``       ``REPRO_EXECUTOR``     ``"compiled"``
+``backend``        ``REPRO_BACKEND``      ``"memory"``
 ``cache_dir``      ``REPRO_CACHE_DIR``    ``None`` (no persistence)
 ``cache_budget``   ``REPRO_CACHE_BUDGET``  ``None`` (unbounded)
 ``journal``        ``REPRO_JOURNAL``      ``None`` (no journal sink)
@@ -58,12 +60,58 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: remain the authoritative readers for their own deferred paths).
 ENV_LP_MODE = "REPRO_LP_MODE"
 ENV_JOBS = "REPRO_JOBS"
+ENV_EXECUTOR = "REPRO_EXECUTOR"
+ENV_BACKEND = "REPRO_BACKEND"
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE_BUDGET = "REPRO_CACHE_BUDGET"
 ENV_JOURNAL = "REPRO_JOURNAL"
 
 #: Default in-memory LRU capacity of an :class:`~repro.engine.EngineCache`.
 DEFAULT_CACHE_CAPACITY = 64
+
+#: Fixpoint executor tiers.  ``"compiled"`` lowers datalog rule bodies
+#: and ground RegLFP stage formulas to the relational-algebra IR of
+#: :mod:`repro.ir` (set-at-a-time evaluation, memoised decision kernels);
+#: ``"interpreted"`` keeps the per-stage AST walk and is the oracle the
+#: equivalence suite checks the compiled tier against.  Both produce
+#: byte-identical stage relations.
+EXECUTORS = ("compiled", "interpreted")
+
+#: Ground-fixpoint storage backends.  ``"memory"`` evaluates compiled
+#: ground (finite, region-sort) fixpoint stages with python sets;
+#: ``"sqlite"`` lowers them to SQL over a SQLite database (recursive
+#: CTEs for linear plans) for out-of-core evaluation.
+BACKENDS = ("memory", "sqlite")
+
+
+def resolve_executor(executor: "str | None" = None) -> str:
+    """The effective executor: explicit arg > ``REPRO_EXECUTOR`` > default.
+
+    The deferred twin of the ``executor`` field for code paths that
+    receive ``None`` (legacy call sites without a config object).
+    """
+    if executor is None:
+        executor = (
+            os.environ.get(ENV_EXECUTOR, "").strip().lower() or "compiled"
+        )
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"executor must be one of {EXECUTORS}, got {executor!r}"
+        )
+    return executor
+
+
+def resolve_backend(backend: "str | None" = None) -> str:
+    """The effective backend: explicit arg > ``REPRO_BACKEND`` > default."""
+    if backend is None:
+        backend = (
+            os.environ.get(ENV_BACKEND, "").strip().lower() or "memory"
+        )
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {BACKENDS}, got {backend!r}"
+        )
+    return backend
 
 
 @dataclass(frozen=True)
@@ -80,6 +128,13 @@ class EngineConfig:
     #: Worker processes for arrangement construction (``None`` = env at
     #: use time; ``1`` = sequential).
     jobs: int | None = None
+    #: Fixpoint executor: ``"compiled"`` (relational-algebra IR,
+    #: set-at-a-time) or ``"interpreted"`` (per-stage AST walk, the
+    #: oracle).  ``None`` = consult ``REPRO_EXECUTOR`` at use time.
+    executor: str | None = None
+    #: Ground-fixpoint backend: ``"memory"`` or ``"sqlite"``
+    #: (``None`` = consult ``REPRO_BACKEND`` at use time).
+    backend: str | None = None
     #: Disk warm-start directory or a :class:`DiskStore` instance
     #: (``None`` = env at use time, which may also mean no persistence).
     cache_dir: "DiskStore | str | os.PathLike[str] | None" = None
@@ -99,6 +154,15 @@ class EngineConfig:
             )
         if self.jobs is not None and int(self.jobs) < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs!r}")
+        if self.executor is not None and self.executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, "
+                f"got {self.executor!r}"
+            )
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
         if self.cache_budget is not None and self.cache_budget <= 0:
             raise ValueError(
                 f"cache_budget must be positive bytes, "
@@ -143,6 +207,8 @@ class EngineConfig:
         )
         jobs = overrides.get("jobs")
         jobs = resolve_jobs(jobs if jobs is not None else None)
+        executor = resolve_executor(overrides.get("executor"))
+        backend = resolve_backend(overrides.get("backend"))
         cache_dir = pick(
             "cache_dir",
             lambda: os.environ.get(ENV_CACHE_DIR, "").strip() or None,
@@ -160,6 +226,8 @@ class EngineConfig:
         return cls(
             lp_mode=lp_mode,
             jobs=jobs,
+            executor=executor,
+            backend=backend,
             cache_dir=cache_dir,
             cache_budget=cache_budget,
             journal=journal,
@@ -204,6 +272,8 @@ class EngineConfig:
         return {
             "lp_mode": self.lp_mode,
             "jobs": self.jobs,
+            "executor": self.executor,
+            "backend": self.backend,
             "cache_dir": cache_dir,
             "cache_budget": self.cache_budget,
             "journal": self.journal,

@@ -15,15 +15,27 @@ variables, polynomial for fixed arity.
 The functions here work on the ``Disjunct`` representation of
 :mod:`repro.constraints.normal_forms` (tuples of atoms, conjunction
 implied, list = disjunction).
+
+Every pruning entry point accepts an optional ``feasibility`` callable
+(``Disjunct -> bool``) replacing the default exact LP decision
+:func:`disjunct_feasible`.  The compiled executor
+(:mod:`repro.ir.kernels`) passes a memoised, prefiltered — but
+observationally identical — decision procedure this way, so both
+executors run the *same* control flow over the same disjunct orders and
+produce byte-identical formulas; only who pays for each feasibility
+verdict differs.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.geometry.simplex import feasible
 from repro.constraints.atoms import Atom
 from repro.constraints.normal_forms import Disjunct
+
+#: Signature of a pluggable feasibility decision over a conjunction.
+FeasibilityFn = Callable[[Disjunct], bool]
 
 
 def disjunct_feasible(disjunct: Disjunct) -> bool:
@@ -57,7 +69,11 @@ def _normalise(disjunct: Disjunct) -> Disjunct | None:
     return tuple(kept)
 
 
-def prune_disjuncts(disjuncts: Sequence[Disjunct]) -> list[Disjunct]:
+def prune_disjuncts(
+    disjuncts: Sequence[Disjunct],
+    *,
+    feasibility: FeasibilityFn = disjunct_feasible,
+) -> list[Disjunct]:
     """Normalise, dedupe and drop infeasible disjuncts."""
     output: list[Disjunct] = []
     seen: set[Disjunct] = set()
@@ -66,13 +82,15 @@ def prune_disjuncts(disjuncts: Sequence[Disjunct]) -> list[Disjunct]:
         if reduced is None or reduced in seen:
             continue
         seen.add(reduced)
-        if disjunct_feasible(reduced):
+        if feasibility(reduced):
             output.append(reduced)
     return output
 
 
 def dnf_product(
     factors: Sequence[Sequence[Disjunct]],
+    *,
+    feasibility: FeasibilityFn = disjunct_feasible,
 ) -> list[Disjunct]:
     """Conjunction of several DNFs, distributed with incremental pruning.
 
@@ -90,7 +108,7 @@ def dnf_product(
                 if candidate is None or candidate in seen:
                     continue
                 seen.add(candidate)
-                if disjunct_feasible(candidate):
+                if feasibility(candidate):
                     grown.append(candidate)
         partial = grown
         if not partial:
@@ -98,7 +116,11 @@ def dnf_product(
     return partial
 
 
-def remove_redundant_atoms(disjunct: Disjunct) -> Disjunct:
+def remove_redundant_atoms(
+    disjunct: Disjunct,
+    *,
+    feasibility: FeasibilityFn = disjunct_feasible,
+) -> Disjunct:
     """Drop atoms implied by the rest of their conjunction.
 
     Atom a is redundant in C iff (C ∖ {a}) ∧ ¬a is infeasible.  Greedy
@@ -112,7 +134,7 @@ def remove_redundant_atoms(disjunct: Disjunct) -> Disjunct:
         candidate = kept[index]
         rest = kept[:index] + kept[index + 1:]
         negated_feasible = any(
-            disjunct_feasible(tuple(rest) + (negated,))
+            feasibility(tuple(rest) + (negated,))
             for negated in candidate.negated_atoms()
         )
         if not negated_feasible:
@@ -163,22 +185,49 @@ def merge_equality_pairs(disjunct: Disjunct) -> Disjunct:
     return tuple(result)
 
 
-def _subsumed(smaller: Disjunct, larger: Disjunct) -> bool:
+def _subsumed(
+    smaller: Disjunct,
+    larger: Disjunct,
+    *,
+    feasibility: FeasibilityFn = disjunct_feasible,
+) -> bool:
     """Does ``larger`` contain ``smaller`` as a set (smaller ⟹ larger)?"""
     return all(
-        not disjunct_feasible(smaller + (negated,))
+        not feasibility(smaller + (negated,))
         for atom in larger
         for negated in atom.negated_atoms()
     )
 
 
-def minimise_dnf(disjuncts: Sequence[Disjunct]) -> list[Disjunct]:
-    """Feasibility-prune, remove redundant atoms, drop subsumed disjuncts."""
+def minimise_dnf(
+    disjuncts: Sequence[Disjunct],
+    *,
+    feasibility: FeasibilityFn = disjunct_feasible,
+    reduce_disjunct=None,
+    subsumes=None,
+) -> list[Disjunct]:
+    """Feasibility-prune, remove redundant atoms, drop subsumed disjuncts.
+
+    ``reduce_disjunct`` and ``subsumes`` optionally replace the
+    per-disjunct reduction (redundant-atom removal + equality merging)
+    and the pairwise subsumption test with observationally identical
+    implementations — the compiled executor passes memoised versions,
+    since fixpoint accumulators re-minimise mostly unchanged disjunct
+    sets stage after stage.
+    """
+    if reduce_disjunct is None:
+        def reduce_disjunct(d: Disjunct) -> Disjunct:
+            return merge_equality_pairs(
+                remove_redundant_atoms(d, feasibility=feasibility)
+            )
+    if subsumes is None:
+        def subsumes(smaller: Disjunct, larger: Disjunct) -> bool:
+            return _subsumed(smaller, larger, feasibility=feasibility)
     cleaned = [
-        merge_equality_pairs(remove_redundant_atoms(d))
-        for d in prune_disjuncts(disjuncts)
+        reduce_disjunct(d)
+        for d in prune_disjuncts(disjuncts, feasibility=feasibility)
     ]
-    cleaned = prune_disjuncts(cleaned)
+    cleaned = prune_disjuncts(cleaned, feasibility=feasibility)
     survivors: list[Disjunct] = []
     for index, disjunct in enumerate(cleaned):
         absorbed = False
@@ -186,8 +235,8 @@ def minimise_dnf(disjuncts: Sequence[Disjunct]) -> list[Disjunct]:
             if other_index == index:
                 continue
             # Keep the earlier disjunct on mutual subsumption.
-            if _subsumed(disjunct, other) and not (
-                other_index > index and _subsumed(other, disjunct)
+            if subsumes(disjunct, other) and not (
+                other_index > index and subsumes(other, disjunct)
             ):
                 absorbed = True
                 break
@@ -247,16 +296,25 @@ def negate_disjunct(disjunct: Disjunct) -> list[Disjunct]:
     return result
 
 
-def negate_dnf(disjuncts: Sequence[Disjunct]) -> list[Disjunct]:
+def negate_dnf(
+    disjuncts: Sequence[Disjunct],
+    *,
+    feasibility: FeasibilityFn = disjunct_feasible,
+) -> list[Disjunct]:
     """Complement of a DNF, with pruning (¬⋁_i C_i = ⋀_i ¬C_i)."""
     if not disjuncts:
         return [()]
     factors = [negate_disjunct(d) for d in disjuncts]
-    return dnf_product(factors)
+    return dnf_product(factors, feasibility=feasibility)
 
 
 def cell_complement(
-    disjuncts: Sequence[Disjunct], variables: Sequence[str]
+    disjuncts: Sequence[Disjunct],
+    variables: Sequence[str],
+    *,
+    enumerate_cells=None,
+    disjunct_holds=None,
+    face_atoms=None,
 ) -> list[Disjunct]:
     """Complement via the arrangement of the formula's own atoms.
 
@@ -267,10 +325,40 @@ def cell_complement(
     one pointwise evaluation per face instead of an exponential product.
     The face count is O(m^k) for m distinct hyperplanes in k variables,
     so this is the polynomially-bounded path for large disjunct counts.
+
+    ``enumerate_cells`` optionally replaces the cell enumeration: a
+    callable ``(planes, k) -> iterable[(signs, witness)]`` that must
+    yield the faces ``enumerate_sign_vectors(planes, k)`` would, in the
+    same order (witnesses may be any point of the face — truth is
+    constant per face).  ``disjunct_holds(disjunct, order, witness)``
+    and ``face_atoms(planes, signs, order)`` optionally replace the
+    per-face truth test and the face-to-atoms rendering with
+    observationally identical implementations.  The compiled executor
+    passes an incremental cell index and memoised versions of all
+    three — fixpoint accumulators re-complement mostly unchanged
+    arrangements stage after stage.
     """
     from repro.arrangement.builder import enumerate_sign_vectors
     from repro.arrangement.faces import sign_vector_constraints
     from repro.constraints.atoms import atom_from_constraint
+
+    if enumerate_cells is None:
+        enumerate_cells = enumerate_sign_vectors
+    if disjunct_holds is None:
+        assignments: dict = {}
+
+        def disjunct_holds(disjunct, order_, witness):
+            assignment = assignments.get(witness)
+            if assignment is None:
+                assignment = dict(zip(order_, witness))
+                assignments[witness] = assignment
+            return all(a.holds_at(assignment) for a in disjunct)
+    if face_atoms is None:
+        def face_atoms(planes_, signs, order_):
+            rows = sign_vector_constraints(planes_, signs)
+            return tuple(
+                atom_from_constraint(row, order_) for row in rows
+            )
 
     order = list(variables)
     k = len(order)
@@ -285,19 +373,13 @@ def cell_complement(
                 plane_set[plane] = None
     planes = sorted(plane_set, key=lambda h: (h.normal, h.offset))
 
-    def formula_holds(point) -> bool:
-        assignment = dict(zip(order, point))
-        return any(
-            all(a.holds_at(assignment) for a in disjunct)
-            for disjunct in disjuncts
-        )
-
+    order_t = tuple(order)
     output: list[Disjunct] = []
-    for signs, witness in enumerate_sign_vectors(planes, k):
-        if formula_holds(witness):
+    for signs, witness in enumerate_cells(planes, k):
+        if any(
+            disjunct_holds(disjunct, order_t, witness)
+            for disjunct in disjuncts
+        ):
             continue
-        rows = sign_vector_constraints(planes, signs)
-        output.append(
-            tuple(atom_from_constraint(row, order) for row in rows)
-        )
+        output.append(face_atoms(planes, signs, order_t))
     return output

@@ -264,6 +264,7 @@ def evaluate_program(
     database: ConstraintDatabase,
     max_stages: int = 25,
     strategy: str = "seminaive",
+    executor: str | None = None,
 ) -> EvaluationOutcome:
     """Stratified immediate-consequence iteration, exact convergence.
 
@@ -280,8 +281,22 @@ def evaluate_program(
     :mod:`repro.datalog.seminaive`) or ``"naive"`` (re-derive the whole
     IDB every stage; kept as the reference implementation and the
     baseline of the E15 benchmark).  Both compute the same relations.
+
+    ``executor`` picks how the semi-naive strategy is run: ``"compiled"``
+    (rules compiled once to relational-algebra IR, evaluated through
+    memoised kernels — see :mod:`repro.datalog.compile`) or
+    ``"interpreted"`` (the rule-at-a-time oracle).  ``None`` defers to
+    ``REPRO_EXECUTOR`` / the config default.  Both executors produce
+    byte-identical stage relations; the naive strategy is always
+    interpreted.
     """
     if strategy == "seminaive":
+        from repro.config import resolve_executor
+
+        if resolve_executor(executor) == "compiled":
+            from repro.datalog.compile import evaluate_program_compiled
+
+            return evaluate_program_compiled(program, database, max_stages)
         from repro.datalog.seminaive import evaluate_program_seminaive
 
         return evaluate_program_seminaive(program, database, max_stages)

@@ -1,6 +1,7 @@
 """Text syntax for spatial datalog programs.
 
-One rule per line (blank lines and ``%`` comments ignored)::
+One rule per line (blank lines and ``%`` / ``#`` comments ignored;
+``#`` also starts a trailing comment after a rule)::
 
     Reach(x) :- S(x), x = 0.
     Reach(y) :- Reach(x), S(y), y - x <= 1, x - y <= 1.
@@ -94,7 +95,7 @@ def parse_program(text: str) -> Program:
     """Parse a whole program (one rule per line)."""
     rules = []
     for line in text.splitlines():
-        stripped = line.strip()
+        stripped = line.split("#", 1)[0].strip()
         if not stripped or stripped.startswith("%"):
             continue
         rules.append(parse_rule(stripped))

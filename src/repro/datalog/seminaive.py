@@ -84,6 +84,7 @@ def evaluate_program_seminaive(
     total_stages = 0
     with TRACER.span("datalog.run") as run_span:
         run_span.set("strategy", "seminaive")
+        run_span.set("executor", "interpreted")
         for stratum in program.strata():
             members = set(stratum)
             rules_of = {
@@ -169,6 +170,7 @@ def evaluate_program_seminaive(
                         JOURNAL.emit(
                             "datalog.stage",
                             strategy="seminaive",
+                            executor="interpreted",
                             stage=stage,
                             deltas={
                                 predicate: len(

@@ -556,7 +556,11 @@ class QueryEngine:
     def evaluator(self) -> Evaluator:
         """The engine's memoising evaluator (one per engine instance)."""
         if self._evaluator is None:
-            self._evaluator = Evaluator(self.extension)
+            self._evaluator = Evaluator(
+                self.extension,
+                executor=self.config.executor,
+                backend=self.config.backend,
+            )
         return self._evaluator
 
     # ------------------------------------------------------------------
@@ -658,7 +662,13 @@ class QueryEngine:
 
     def stats(self) -> dict[str, object]:
         """One dict with the engine's caches and evaluator telemetry."""
-        numbers: dict[str, object] = {"cache": self.cache.stats()}
+        from repro.config import resolve_backend, resolve_executor
+
+        numbers: dict[str, object] = {
+            "cache": self.cache.stats(),
+            "executor": resolve_executor(self.config.executor),
+            "backend": resolve_backend(self.config.backend),
+        }
         if self._evaluator is not None:
             numbers["evaluator"] = self._evaluator.metrics.snapshot()
         if self._extension is not None:

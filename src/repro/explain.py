@@ -664,30 +664,66 @@ def explain_query(
 # ----------------------------------------------------------------------
 # Datalog programs
 # ----------------------------------------------------------------------
+def _ir_plan_node(ir_node, index: dict[int, PlanNode]) -> PlanNode:
+    """Mirror one IR subtree as plan nodes, indexed by IR object id.
+
+    The profiler keys its frames by node object identity, so rendering
+    the *same* node objects the executor runs lets measured costs attach
+    to the exact plan lines the user sees.
+    """
+    plan = PlanNode(f"ir.{ir_node.op}", ir_node.describe())
+    index[id(ir_node)] = plan
+    for child in ir_node.children:
+        plan.children.append(_ir_plan_node(child, index))
+    return plan
+
+
 def explain_datalog(
     program,
     database,
     analyze: bool = False,
     strategy: str = "seminaive",
     max_stages: int = 25,
+    executor: str | None = None,
 ) -> ExplainResult:
     """EXPLAIN (ANALYZE) a spatial datalog program.
 
-    The plan is one node per stratum (in evaluation order) with one
-    child per rule; ANALYZE runs the program under the journal and
-    attaches per-stage delta disjunct counts (``datalog.stage`` events)
-    to the strata, plus run totals.
+    Under the interpreted executor the plan is one node per stratum
+    with one child per rule.  Under the compiled executor (the
+    semi-naive default) each stratum instead shows its relational-
+    algebra IR plans — the stage-1 combiner, the delta-bound stage-≥2
+    combiner and the accumulate combiner per predicate — rendered from
+    :func:`repro.datalog.compile.compile_program`.  ANALYZE runs the
+    program under the journal and, when compiled, installs a
+    :class:`NodeProfiler` on the IR executor so every plan node carries
+    measured wall time and counter deltas whose ``self`` components sum
+    to the run totals exactly (the PR-5 invariant); per-stage delta
+    disjunct counts (``datalog.stage`` events) attach to the strata.
     """
+    from repro.config import resolve_executor
+
+    resolved = (
+        resolve_executor(executor)
+        if strategy == "seminaive"
+        else "interpreted"
+    )
     strata = program.strata()
+    compiled_strata = None
+    ir_index: dict[int, PlanNode] = {}
     root = PlanNode(
         "program",
-        f"Program [{strategy}]",
+        f"Program [{strategy}/{resolved}]",
         {
             "strategy": strategy,
+            "executor": resolved,
             "strata": len(strata),
             "rules": len(program.rules),
         },
     )
+    if resolved == "compiled":
+        from repro.datalog.compile import compile_program
+
+        compiled_strata = compile_program(program, database)
     stratum_nodes: list[PlanNode] = []
     for position, stratum in enumerate(strata):
         node = PlanNode(
@@ -695,9 +731,27 @@ def explain_datalog(
             f"Stratum {position}: {', '.join(stratum)}",
             {"predicates": list(stratum)},
         )
-        for rule in program.rules:
-            if rule.head.predicate in stratum:
-                node.children.append(PlanNode("rule", str(rule)))
+        if compiled_strata is not None:
+            compiled = compiled_strata[position]
+            for predicate in stratum:
+                for role, plan_ir in (
+                    ("stage 1", compiled.stage_one[predicate]),
+                    ("stage ≥2", compiled.stage_next[predicate]),
+                    ("accumulate", compiled.accumulate[predicate]),
+                ):
+                    wrapper = PlanNode(
+                        "plan",
+                        f"{predicate} [{role}]",
+                        {"predicate": predicate, "role": role},
+                    )
+                    wrapper.children.append(
+                        _ir_plan_node(plan_ir, ir_index)
+                    )
+                    node.children.append(wrapper)
+        else:
+            for rule in program.rules:
+                if rule.head.predicate in stratum:
+                    node.children.append(PlanNode("rule", str(rule)))
         stratum_nodes.append(node)
         root.children.append(node)
     if not analyze:
@@ -711,14 +765,69 @@ def explain_datalog(
         JOURNAL.start()
     start = time.perf_counter()
     before = _snapshot(registry)
+    profiler = NodeProfiler() if compiled_strata is not None else None
     try:
-        outcome = evaluate_program(
-            program, database, max_stages=max_stages, strategy=strategy
-        )
+        if compiled_strata is not None:
+            from repro.datalog.compile import evaluate_program_compiled
+
+            outcome = evaluate_program_compiled(
+                program,
+                database,
+                max_stages=max_stages,
+                profiler=profiler,
+                compiled_strata=compiled_strata,
+            )
+        else:
+            outcome = evaluate_program(
+                program,
+                database,
+                max_stages=max_stages,
+                strategy=strategy,
+                executor=resolved,
+            )
     finally:
         events = JOURNAL.stop() if own_journal else JOURNAL.events()
     wall = time.perf_counter() - start
     total_delta = _delta(before, _snapshot(registry))
+
+    attributed: dict[str, int] = {}
+    attributed_wall = 0.0
+    if profiler is not None:
+        for ir_id, plan_node in ir_index.items():
+            stats = profiler.stats.get(ir_id)
+            if stats is None:
+                continue
+            plan_node.cost = _cost_block(
+                stats["wall_s"],
+                stats["self_wall_s"],
+                dict(zip(profiler.counters, stats["counters"])),
+                dict(zip(profiler.counters, stats["self_counters"])),
+                calls=stats["calls"],
+                memo_hits=stats["memo_hits"],
+            )
+            for name, value in zip(
+                profiler.counters, stats["self_counters"]
+            ):
+                attributed[name] = attributed.get(name, 0) + value
+            attributed_wall += stats["self_wall_s"]
+        # Whatever the executor frames did not bracket (stratum
+        # compilation, delta bookkeeping, convergence checks) lands on
+        # a synthetic node, so per-node self values sum to the run
+        # totals exactly.
+        remainder = {
+            name: total_delta.get(name, 0) - attributed.get(name, 0)
+            for name in set(total_delta) | set(attributed)
+        }
+        other = PlanNode(
+            "other", "Other: compilation / delta bookkeeping"
+        )
+        other.cost = _cost_block(
+            max(0.0, wall - attributed_wall),
+            max(0.0, wall - attributed_wall),
+            dict(remainder),
+            dict(remainder),
+        )
+        root.children.append(other)
 
     stage_events = [e for e in events if e["type"] == "datalog.stage"]
     for node in stratum_nodes:
@@ -738,7 +847,11 @@ def explain_datalog(
         if stages:
             node.cost = _cost_block(0.0, 0.0, {}, {}, calls=0)
             node.cost["stages"] = stages
-    root.cost = _cost_block(wall, wall, dict(total_delta), {})
+    # With a profiler the children (IR nodes + Other) carry all the
+    # self costs; charging the root again would break the sums-to-
+    # totals invariant.
+    root_self = wall if profiler is None else 0.0
+    root.cost = _cost_block(wall, root_self, dict(total_delta), {})
     totals = {
         "wall_ms": round(wall * 1000.0, 3),
         "stages": outcome.stages,

@@ -114,8 +114,23 @@ class Evaluator:
         self,
         extension: RegionExtension,
         metrics: MetricsRegistry | None = None,
+        executor: str | None = None,
+        backend: str | None = None,
     ) -> None:
+        from repro.config import resolve_backend, resolve_executor
+
         self.extension = extension
+        #: How fixpoint stage bodies are evaluated: ``"compiled"`` runs
+        #: each candidate through a compiled boolean skeleton
+        #: (:mod:`repro.ir.ground`) when the body fits the fragment,
+        #: ``"interpreted"`` always uses :meth:`truth`.  Both produce
+        #: identical stage sets; ``None`` defers to ``REPRO_EXECUTOR``.
+        self.executor = resolve_executor(executor)
+        #: ``"sqlite"`` lowers *linear* ground LFPs to SQL over
+        #: base/edge tables (:mod:`repro.ir.sqlite`); ``"memory"`` keeps
+        #: everything in Python sets.  Stage sets are identical either
+        #: way; ``None`` defers to ``REPRO_BACKEND``.
+        self.backend = resolve_backend(backend)
         self._memo: dict[tuple, ConstraintRelation] = {}
         self._tc_memo: dict[_StructuralKey, set] = {}
         self._fixpoint_memo: dict[tuple, FixpointRun] = {}
@@ -541,7 +556,32 @@ class Evaluator:
         # complement needs re-evaluation.  IFP/PFP evaluate everything.
         keep_current = formula.kind is ast.FixKind.LFP
 
+        # Compiled / lowered per-candidate tests.  Either replacement
+        # computes exactly the set the interpreted loop below would, so
+        # the journal wrapper, the fixpoint drivers and the stage
+        # counter — everything observable — stay literally shared.
+        compiled_test = None
+        lowered = None
+        if self.executor == "compiled":
+            from repro.ir.ground import compile_fixpoint_step
+
+            compiled_test = compile_fixpoint_step(formula, self, set_env)
+            if (
+                compiled_test is not None
+                and self.backend == "sqlite"
+                and formula.kind is ast.FixKind.LFP
+            ):
+                from repro.ir.ground import linear_decomposition
+                from repro.ir.sqlite import SQLiteGroundFixpoint
+
+                decomposed = linear_decomposition(formula, self, set_env)
+                if decomposed is not None:
+                    base, edge = decomposed
+                    lowered = SQLiteGroundFixpoint(base, edge, arity)
+
         def raw_step(current: frozenset) -> frozenset:
+            if lowered is not None:
+                return lowered.step(current)
             inner_sets = dict(set_env)
             inner_sets[formula.set_var] = current
             members = list(current) if keep_current else []
@@ -549,7 +589,11 @@ class Evaluator:
                 if keep_current and candidate in current:
                     continue
                 env = dict(zip(formula.bound_vars, candidate))
-                if self.truth(formula.body, env, inner_sets):
+                if compiled_test is not None:
+                    verdict = compiled_test(env, current)
+                else:
+                    verdict = self.truth(formula.body, env, inner_sets)
+                if verdict:
                     members.append(candidate)
             return frozenset(members)
 
@@ -579,6 +623,8 @@ class Evaluator:
             else:
                 run = partial_fixpoint(step)
             fp_span.add("stages", run.stages)
+        if lowered is not None:
+            lowered.close()
         self._c_fixpoint_stages.inc(run.stages)
         self._fixpoint_memo[memo_key] = run
         return run

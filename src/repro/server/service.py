@@ -40,7 +40,7 @@ import time
 from typing import Any, Awaitable, Callable, Mapping
 
 from repro.errors import ReproError
-from repro.config import EngineConfig
+from repro.config import EngineConfig, resolve_backend, resolve_executor
 from repro.constraints.database import ConstraintDatabase
 from repro.engine import QueryEngine
 from repro.geometry import fastlp
@@ -281,11 +281,18 @@ class ConstraintService:
                 wall_ms = (time.perf_counter() - started) * 1000
             finally:
                 self.pool.checkin(engine)
+        executor = resolve_executor(self.config.executor)
+        if JOURNAL.enabled:
+            JOURNAL.emit(
+                "query.answered", id=request_id, database=name,
+                executor=executor, wall_ms=round(wall_ms, 3),
+            )
         payload: dict[str, Any] = {
             "request_id": request_id,
             "database": name,
             "fingerprint": engine.fingerprint,
             "build": build,
+            "executor": executor,
             "wall_ms": round(wall_ms, 3),
             "answer": self._render_answer(answer),
         }
@@ -329,6 +336,7 @@ class ConstraintService:
         payload = result.to_dict()
         payload["request_id"] = request_id
         payload["database"] = name
+        payload["executor"] = resolve_executor(self.config.executor)
         return Response(200, payload)
 
     async def _handle_healthz(
@@ -355,6 +363,8 @@ class ConstraintService:
             },
             "config": self.config.describe(),
             "lp_mode": self.config.lp_mode or fastlp.get_lp_mode(),
+            "executor": resolve_executor(self.config.executor),
+            "backend": resolve_backend(self.config.backend),
             "admission": self.admission.stats(),
             "pool": self.pool.stats(),
             "store": store.stats() if store is not None else None,

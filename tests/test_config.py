@@ -147,3 +147,76 @@ def test_describe_is_json_ready(clean_env, tmp_path):
     described = config.describe()
     assert json.loads(json.dumps(described)) == described
     assert described["cache_dir"] == str(tmp_path)
+
+
+def test_resolve_executor_precedence(clean_env):
+    from repro.config import (
+        BACKENDS,
+        ENV_BACKEND,
+        ENV_EXECUTOR,
+        EXECUTORS,
+        resolve_backend,
+        resolve_executor,
+    )
+
+    clean_env.delenv(ENV_EXECUTOR, raising=False)
+    clean_env.delenv(ENV_BACKEND, raising=False)
+    assert EXECUTORS == ("compiled", "interpreted")
+    assert BACKENDS == ("memory", "sqlite")
+    # Defaults.
+    assert resolve_executor() == "compiled"
+    assert resolve_backend() == "memory"
+    # Environment beats the default (case/whitespace normalised).
+    clean_env.setenv(ENV_EXECUTOR, " Interpreted ")
+    clean_env.setenv(ENV_BACKEND, "SQLITE")
+    assert resolve_executor() == "interpreted"
+    assert resolve_backend() == "sqlite"
+    # Explicit argument beats the environment.
+    assert resolve_executor("compiled") == "compiled"
+    assert resolve_backend("memory") == "memory"
+    # Invalid values are rejected from every source.
+    with pytest.raises(ValueError, match="executor must be one of"):
+        resolve_executor("jitted")
+    with pytest.raises(ValueError, match="backend must be one of"):
+        resolve_backend("postgres")
+    clean_env.setenv(ENV_EXECUTOR, "jitted")
+    with pytest.raises(ValueError, match="executor must be one of"):
+        resolve_executor()
+
+
+def test_config_resolves_and_describes_executor(clean_env):
+    from repro.config import ENV_BACKEND, ENV_EXECUTOR
+
+    clean_env.delenv(ENV_EXECUTOR, raising=False)
+    clean_env.delenv(ENV_BACKEND, raising=False)
+    config = EngineConfig.resolve()
+    assert config.executor == "compiled"
+    assert config.backend == "memory"
+    pinned = EngineConfig.resolve(executor="interpreted", backend="sqlite")
+    assert pinned.executor == "interpreted"
+    assert pinned.backend == "sqlite"
+    described = pinned.describe()
+    assert described["executor"] == "interpreted"
+    assert described["backend"] == "sqlite"
+    # A resolved config never re-reads the environment.
+    clean_env.setenv(ENV_EXECUTOR, "interpreted")
+    assert config.executor == "compiled"
+    with pytest.raises(ValueError, match="executor must be one of"):
+        EngineConfig(executor="jitted")
+    with pytest.raises(ValueError, match="backend must be one of"):
+        EngineConfig(backend="postgres")
+
+
+def test_engine_stats_report_executor(clean_env):
+    from repro.config import ENV_BACKEND, ENV_EXECUTOR
+
+    clean_env.delenv(ENV_EXECUTOR, raising=False)
+    clean_env.delenv(ENV_BACKEND, raising=False)
+    engine = QueryEngine(
+        _interval_db(),
+        config=EngineConfig.resolve(executor="interpreted"),
+    )
+    stats = engine.stats()
+    assert stats["executor"] == "interpreted"
+    assert stats["backend"] == "memory"
+    assert engine.evaluator.executor == "interpreted"

@@ -190,18 +190,57 @@ class TestDatalogExplain:
 
         program = parse_program(self.PROGRAM)
         database = interval_chain(2)
-        static = explain_datalog(program, database)
+        static = explain_datalog(
+            program, database, executor="interpreted"
+        )
         assert static.plan.op == "program"
         assert [n.op for n in static.plan.children] == ["stratum"]
         assert len(static.plan.children[0].children) == 2
 
-        analyzed = explain_datalog(program, database, analyze=True)
+        analyzed = explain_datalog(
+            program, database, analyze=True, executor="interpreted"
+        )
         assert analyzed.totals["converged"] is True
         stratum = analyzed.plan.children[0]
         stages = stratum.cost["stages"]
         assert [s["stage"] for s in stages] == \
             list(range(1, len(stages) + 1))
         assert "Reach" in stages[0]["deltas"]
+
+    def test_compiled_plan_renders_ir_nodes(self):
+        from repro.datalog.parser import parse_program
+        from repro.explain import explain_datalog
+        from repro.workloads.generators import interval_chain
+
+        program = parse_program(self.PROGRAM)
+        database = interval_chain(2)
+        static = explain_datalog(program, database, executor="compiled")
+        stratum = static.plan.children[0]
+        # Per predicate: stage-1, recursive and accumulate plans.
+        labels = [child.label for child in stratum.children]
+        assert labels == [
+            "Reach [stage 1]", "Reach [stage ≥2]", "Reach [accumulate]"
+        ]
+        ops = {
+            node.op
+            for wrapper in stratum.children
+            for node in wrapper.walk()
+        }
+        assert "ir.union" in ops and "ir.simplify" in ops
+        assert "ir.guard" in ops  # semi-naive deltas as IR diffs
+
+        analyzed = explain_datalog(
+            program, database, analyze=True, executor="compiled"
+        )
+        assert analyzed.totals["converged"] is True
+        totals = analyzed.totals["counters"]
+        sums: dict = {}
+        for node in analyzed.plan.walk():
+            for name, value in (node.cost or {}).get(
+                "self_counters", {}
+            ).items():
+                sums[name] = sums.get(name, 0) + value
+        assert {k: v for k, v in sums.items() if v} == totals
 
 
 def run_cli(*argv) -> tuple[int, str]:
@@ -256,8 +295,9 @@ class TestExplainCli:
             "--datalog", "--analyze",
         )
         assert code == 0
-        assert "Program [seminaive]" in output
+        assert "Program [seminaive/compiled]" in output
         assert "Stratum 0" in output
+        assert "union ∪" in output  # the compiled IR plan is rendered
 
     def test_explain_rejects_free_region_vars(self, one_dim_file):
         code, output = run_cli(

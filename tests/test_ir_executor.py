@@ -1,0 +1,317 @@
+"""Unit semantics of the relational-algebra IR and its memo kernels.
+
+Two layers are pinned down here, independently of whole-program runs:
+
+* **Node semantics** — each :mod:`repro.ir.nodes` operator must match
+  the plain :class:`ConstraintRelation` algebra it compiles away from,
+  and a guard-skipped subtree must evaluate to ``None`` (no derivation)
+  with ``None`` propagating through every unary/n-ary operator exactly
+  as the interpreted stage driver would skip the rule.
+* **Kernel soundness** — every memoised decision procedure must agree
+  with the exact oracle it shortcuts: the interval prefilter may answer
+  ``None`` but never contradict ``disjunct_feasible``, the feasibility
+  memo answers repeats from cache, and the incremental cell index
+  reproduces the full arrangement enumeration leaf for leaf.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrangement.builder import enumerate_sign_vectors
+from repro.constraints.parser import parse_formula
+from repro.constraints.relation import ConstraintRelation
+from repro.constraints.simplify import disjunct_feasible
+from repro.errors import EvaluationError
+from repro.geometry.hyperplane import Hyperplane
+from repro.ir import nodes as ir
+from repro.ir.executor import ExecutionContext, execute
+from repro.ir.kernels import KernelCache, _interval_verdict
+from repro.obs.metrics import get_registry
+
+F = Fraction
+
+
+def rel(text: str, schema=("x",)) -> ConstraintRelation:
+    return ConstraintRelation.make(tuple(schema), parse_formula(text))
+
+
+def run(node, **spaces):
+    context = ExecutionContext(
+        idb=spaces.get("idb", {}),
+        delta=spaces.get("delta", {}),
+        fresh=spaces.get("fresh", {}),
+    )
+    return execute(node, context, KernelCache())
+
+
+class TestNodeSemantics:
+    def test_scan_reads_named_space(self):
+        bound = rel("0 <= x & x <= 1")
+        assert run(ir.Scan("idb", "A"), idb={"A": bound}) is bound
+        assert run(ir.Scan("delta", "A"), delta={"A": bound}) is bound
+        assert run(ir.Scan("fresh", "A"), fresh={"A": bound}) is bound
+
+    def test_scan_unbound_name_raises(self):
+        with pytest.raises(EvaluationError):
+            run(ir.Scan("idb", "Missing"))
+
+    def test_guard_skips_on_empty_delta(self):
+        body = ir.Scan("idb", "A")
+        bound = rel("x = 0")
+        empty = ConstraintRelation.empty(("x",))
+        assert (
+            run(ir.Guard(body, "A"), idb={"A": bound}, delta={"A": empty})
+            is None
+        )
+        assert (
+            run(ir.Guard(body, "A"), idb={"A": bound}, delta={"A": bound})
+            is bound
+        )
+
+    def test_none_propagates_through_unary_operators(self):
+        skipped = ir.Guard(
+            ir.Scan("idb", "A"), "A"
+        )
+        spaces = dict(
+            idb={"A": rel("x = 0")},
+            delta={"A": ConstraintRelation.empty(("x",))},
+        )
+        assert run(ir.Rename(skipped, ("y",)), **spaces) is None
+        assert run(ir.Widen(skipped, ("x", "y")), **spaces) is None
+        assert run(ir.Project(skipped, ("x",)), **spaces) is None
+        assert run(ir.Simplify(skipped), **spaces) is None
+        assert run(ir.Complement(skipped), **spaces) is None
+        assert run(ir.Join([skipped, ir.Scan("idb", "A")]), **spaces) is None
+        assert run(ir.Diff(skipped, ir.Scan("idb", "A")), **spaces) is None
+
+    def test_union_filters_skipped_children(self):
+        spaces = dict(
+            idb={"A": rel("0 <= x & x <= 1"), "B": rel("2 <= x & x <= 3")},
+            delta={"A": ConstraintRelation.empty(("x",))},
+        )
+        skipped = ir.Guard(ir.Scan("idb", "A"), "A")
+        live = run(
+            ir.Union([skipped, ir.Scan("idb", "B")]), **spaces
+        )
+        assert live.equivalent(rel("2 <= x & x <= 3"))
+        assert run(ir.Union([skipped, skipped]), **spaces) is None
+
+    def test_join_matches_intersection(self):
+        left = rel("0 <= x & x <= 2")
+        right = rel("1 <= x & x <= 3")
+        joined = run(
+            ir.Join([ir.Scan("idb", "A"), ir.Scan("idb", "B")]),
+            idb={"A": left, "B": right},
+        )
+        assert joined.equivalent(rel("1 <= x & x <= 2"))
+
+    def test_union_matches_relation_union(self):
+        parts = {"A": rel("0 <= x & x <= 1"), "B": rel("1 <= x & x <= 2")}
+        union = run(
+            ir.Union([ir.Scan("idb", "A"), ir.Scan("idb", "B")]), idb=parts
+        )
+        assert union.equivalent(rel("0 <= x & x <= 2"))
+
+    def test_diff_matches_relation_difference(self):
+        left = rel("0 <= x & x <= 3")
+        right = rel("1 <= x & x <= 2")
+        diff = run(
+            ir.Diff(ir.Scan("idb", "A"), ir.Scan("idb", "B")),
+            idb={"A": left, "B": right},
+        )
+        assert diff.equivalent(left.difference(right))
+
+    def test_complement_matches_relation_complement(self):
+        bound = rel("0 <= x & x <= 1")
+        complement = run(ir.Complement(ir.Scan("idb", "A")), idb={"A": bound})
+        assert complement.equivalent(bound.complement())
+
+    def test_complement_memoises_on_the_relation(self):
+        registry = get_registry()
+        bound = rel("-1 <= x & x <= 5")
+        kernels = KernelCache()
+        context = ExecutionContext(idb={"A": bound})
+        node = ir.Complement(ir.Scan("idb", "A"))
+        first = execute(node, context, kernels)
+        before = registry.get("ir.complement_memo_hits")
+        second = execute(node, context, kernels)
+        assert second is first
+        assert registry.get("ir.complement_memo_hits") == before + 1
+
+    def test_project_eliminates_variables(self):
+        pair = rel("0 <= x & x <= 1 & y = x + 1", schema=("x", "y"))
+        projected = run(
+            ir.Project(ir.Scan("idb", "A"), ("x",)), idb={"A": pair}
+        )
+        assert projected.variables == ("x",)
+        assert projected.equivalent(rel("0 <= x & x <= 1"))
+
+    def test_widen_pads_schema(self):
+        widened = run(
+            ir.Widen(ir.Scan("idb", "A"), ("x", "y")),
+            idb={"A": rel("x = 0")},
+        )
+        assert widened.variables == ("x", "y")
+        assert widened.contains((F(0), F(7)))
+        assert not widened.contains((F(1), F(0)))
+
+    def test_rename_relabels_schema(self):
+        renamed = run(
+            ir.Rename(ir.Scan("idb", "A"), ("y",)),
+            idb={"A": rel("0 <= x & x <= 1")},
+        )
+        assert renamed.variables == ("y",)
+        assert renamed.equivalent(rel("0 <= y & y <= 1", schema=("y",)))
+
+    def test_simplify_matches_relation_simplify(self):
+        redundant = rel("(0 <= x & x <= 2) | (0 <= x & x <= 1)")
+        simplified = run(ir.Simplify(ir.Scan("idb", "A")), idb={"A": redundant})
+        assert str(simplified.formula) == str(redundant.simplify().formula)
+
+    def test_const_returns_its_relation(self):
+        bound = rel("x = 3")
+        assert run(ir.Const(bound, note="seed")) is bound
+
+
+def disjuncts_of(text: str, schema=("x", "y")):
+    """All DNF disjuncts of a formula, *without* feasibility pruning.
+
+    ``ConstraintRelation.make`` would silently drop infeasible
+    disjuncts, which is exactly the behaviour under test — so go
+    through the raw DNF conversion instead.
+    """
+    from repro.constraints.normal_forms import to_dnf
+
+    return list(to_dnf(parse_formula(text)))
+
+
+SEEDED_DISJUNCT_TEXTS = (
+    "0 <= x & x <= 1",
+    "x <= 0 & x >= 1",
+    "x < 0 & x > 0",
+    "x = 1 & y = 2 & x + y <= 3",
+    "x = 1 & y = 2 & x + y < 3",
+    "x - y <= 1 & y - x <= 1 & x >= 0 & y >= 0",
+    "x + y <= -1 & x >= 0 & y >= 0",
+    "2*x <= 4 & 2*x >= 4",
+    "2*x < 4 & x > 2",
+    "x <= 1",
+    "0*x + 1 <= 0",
+    "x - y = 0 & y - x >= 1",
+)
+
+
+class TestKernelSoundness:
+    def test_interval_verdict_agrees_with_lp_on_seeds(self):
+        for text in SEEDED_DISJUNCT_TEXTS:
+            for disjunct in disjuncts_of(text):
+                verdict = _interval_verdict(disjunct)
+                if verdict is not None:
+                    assert verdict == disjunct_feasible(disjunct), text
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.integers(min_value=-3, max_value=3),
+                st.integers(min_value=-3, max_value=3),
+                st.integers(min_value=-4, max_value=4),
+                st.sampled_from(("<=", "<", ">=", ">", "=")),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_interval_verdict_agrees_with_lp_fuzzed(self, data):
+        parts = []
+        for a, b, c, op in data:
+            parts.append(f"{a}*x + {b}*y {op} {c}")
+        for disjunct in disjuncts_of(" & ".join(parts)):
+            verdict = _interval_verdict(disjunct)
+            if verdict is not None:
+                assert verdict == disjunct_feasible(disjunct), parts
+
+    def test_feasibility_matches_oracle_and_memoises(self):
+        registry = get_registry()
+        kernels = KernelCache()
+        for text in SEEDED_DISJUNCT_TEXTS:
+            for disjunct in disjuncts_of(text):
+                assert kernels.feasibility(disjunct) == disjunct_feasible(
+                    disjunct
+                ), text
+                before = registry.get("ir.feasibility_memo_hits")
+                calls = registry.get("ir.feasibility_calls")
+                assert kernels.feasibility(disjunct) == disjunct_feasible(
+                    disjunct
+                )
+                assert registry.get("ir.feasibility_memo_hits") == before + 1
+                assert registry.get("ir.feasibility_calls") == calls
+
+    def test_minimise_shares_the_simplified_cache_slot(self):
+        kernels = KernelCache()
+        redundant = rel("(0 <= x & x <= 2) | (1 <= x & x <= 2)")
+        result = kernels.minimise(redundant)
+        assert str(result.formula) == str(redundant.simplify().formula)
+        # The slot the interpreted path reads is populated...
+        assert redundant._cache["simplified"] is result
+        # ...and a second call answers from it without recomputing.
+        assert kernels.minimise(redundant) is result
+
+    def test_cell_index_extends_previous_enumerations(self):
+        registry = get_registry()
+        kernels = KernelCache()
+        base_planes = [
+            Hyperplane.make((1, 0), 0),
+            Hyperplane.make((0, 1), 0),
+        ]
+        extended_planes = base_planes + [Hyperplane.make((1, 1), -2)]
+
+        full_builds = registry.get("ir.cell_index_full_builds")
+        first = list(kernels.enumerate_cells(base_planes, 2))
+        assert registry.get("ir.cell_index_full_builds") == full_builds + 1
+        assert first == list(enumerate_sign_vectors(base_planes, 2))
+
+        # Same plane list: answered from the index, no new build.
+        full_builds = registry.get("ir.cell_index_full_builds")
+        extensions = registry.get("ir.cell_index_extensions")
+        assert list(kernels.enumerate_cells(base_planes, 2)) == first
+        assert registry.get("ir.cell_index_full_builds") == full_builds
+        assert registry.get("ir.cell_index_extensions") == extensions
+
+        # Superset plane list: the cached leaves are extended in place
+        # and the result is leaf-for-leaf the full enumeration.
+        second = list(kernels.enumerate_cells(extended_planes, 2))
+        assert registry.get("ir.cell_index_extensions") == extensions + 1
+        assert registry.get("ir.cell_index_full_builds") == full_builds
+        fresh = list(enumerate_sign_vectors(extended_planes, 2))
+        assert [signs for signs, _ in second] == [
+            signs for signs, _ in fresh
+        ]
+        for (signs, witness), plane_list in (
+            (leaf, extended_planes) for leaf in second
+        ):
+            for plane, sign in zip(plane_list, signs):
+                value = plane.evaluate(witness)
+                if sign < 0:
+                    assert value < 0
+                elif sign > 0:
+                    assert value > 0
+                else:
+                    assert value == 0
+
+    def test_kernel_union_join_difference_match_relation_algebra(self):
+        kernels = KernelCache()
+        left = rel("0 <= x & x <= 3")
+        right = rel("(1 <= x & x <= 2) | (5 <= x & x <= 6)")
+        assert kernels.union(("x",), [left, right]).equivalent(
+            rel("(0 <= x & x <= 3) | (5 <= x & x <= 6)")
+        )
+        assert kernels.join(("x",), [left, right]).equivalent(
+            rel("1 <= x & x <= 2")
+        )
+        assert kernels.difference(left, right).equivalent(
+            left.difference(right)
+        )
