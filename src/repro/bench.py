@@ -45,6 +45,7 @@ import json
 import pathlib
 import platform
 import time
+from contextlib import contextmanager
 from datetime import datetime, timezone
 from typing import Sequence
 
@@ -78,21 +79,42 @@ def _git_sha() -> str | None:
     return sha or None
 
 
+#: Metadata keys every BENCH_*.json record must carry (and, except for
+#: ``git_sha``, carry with a non-``None`` value).  ``write_record``
+#: refuses records that miss any of them, so a record without its
+#: executor/backend provenance can never be committed silently.
+REQUIRED_METADATA = (
+    "lp_mode",
+    "jobs",
+    "executor",
+    "backend",
+    "git_sha",
+    "timestamp_utc",
+    "python_version",
+)
+
+
 def _metadata(jobs: int) -> dict:
     """The self-description block shared by every BENCH_*.json record.
 
     Computed after the measurements, so the ``store`` block reflects the
     hits/misses/writes this run performed against the active cache
-    directory (``None`` when persistence is off).
+    directory (``None`` when persistence is off).  ``executor`` and
+    ``backend`` are surfaced top-level (not only inside ``config``) so
+    a record always says which fixpoint tier produced its numbers.
     """
     from repro.config import EngineConfig
     from repro.store import active_store
 
     store = active_store()
+    config = EngineConfig.resolve(jobs=jobs)
     return {
         "lp_mode": fastlp.get_lp_mode(),
         "jobs": jobs,
-        "config": EngineConfig.resolve(jobs=jobs).describe(),
+        "executor": config.executor,
+        "backend": config.backend,
+        "optimizer": config.optimizer,
+        "config": config.describe(),
         "cache_dir": str(store.root) if store is not None else None,
         "store": store.stats() if store is not None else None,
         "git_sha": _git_sha(),
@@ -434,14 +456,233 @@ def run_bench_e15(
     }
 
 
+#: The cost-based optimizer must win at least this geomean speedup on
+#: the E14 suite (the individual wide-scope rows win far more).
+_E14_TARGET_GEOMEAN = 1.5
+
+#: The E14 query suite: wide-scope quantifier prefixes that miniscoping
+#: collapses, conjunctions/disjunctions where the decisive operand is
+#: written last (cost ordering moves it first so the lazy boolean
+#:  connective short-circuits), and the E4 connectivity sentence in its
+#: "textbook" body order (``adj`` and ``sub`` before the recursive
+#: ``M(R, Z)`` guard, which the optimizer moves first).
+_E14_QUERIES = (
+    (
+        "wide-pair",
+        "exists x. exists y. (S(x) & S(y) & x < 1)",
+    ),
+    (
+        "wide-triple",
+        "exists x. exists y. exists z. (S(x) & S(y) & S(z) & x < 1)",
+    ),
+    (
+        "guarded-and",
+        "(forall R. forall Rp. (adj(R, Rp) -> "
+        "(exists x. exists y. ((x) in R & (y) in Rp & x <= y)))) "
+        "& (exists w. (S(w) & w + 2 < 0))",
+    ),
+    (
+        "guarded-or",
+        "(forall R. forall Rp. (adj(R, Rp) -> "
+        "(exists x. exists y. ((x) in R & (y) in Rp & x <= y)))) "
+        "| (exists w. (S(w) & w >= 0))",
+    ),
+    (
+        "e4-connectivity",
+        "forall X. forall Y. ((sub(X, S) & sub(Y, S)) -> "
+        "(exists RX. exists RY. (sub(RX, S) & sub(RY, S) & "
+        "[lfp M(R, Rp). ((R = Rp & sub(R, S)) | "
+        "(exists Z. adj(Z, Rp) & sub(Rp, S) & M(R, Z)))](RX, RY))))",
+    ),
+)
+
+
+@contextmanager
+def _no_store():
+    """Suppress disk persistence for the E14 timed rows.
+
+    The optimizer-on and optimizer-off result-cache keys differ (the
+    key hashes the rewritten plan), so a warm store would hand one side
+    a cache hit and the other an evaluation — the timings must compare
+    plans, not cache states.  Clears both the context override and the
+    ``REPRO_CACHE_DIR`` fallback, restoring them afterwards.
+    """
+    import os
+
+    from repro.store import ENV_CACHE_DIR, configure_store
+
+    saved_env = os.environ.pop(ENV_CACHE_DIR, None)
+    previous = configure_store(None)
+    try:
+        yield
+    finally:
+        if saved_env is not None:
+            os.environ[ENV_CACHE_DIR] = saved_env
+        configure_store(previous)
+
+
+def run_bench_e14(
+    sizes: Sequence[int] = (6, 10),
+    check_only: bool = False,
+) -> dict:
+    """Cost-based optimizer: ablated plans vs cost-ordered plans (E14).
+
+    Every row evaluates one sentence of the :data:`_E14_QUERIES` suite
+    on ``interval_chain(k)`` twice with fresh engines — once with
+    ``optimizer="off"`` (the ablated oracle) and once with
+    ``optimizer="on"`` — and demands the identical truth value
+    (``match``); the speedups must be free.  The timed rows run with
+    the disk store suppressed so they measure the pure plan-rewrite
+    benefit, never result-cache hits.
+
+    A separate *statistics phase* then runs one query twice against a
+    temporary store and records that the warm engine's planner consumed
+    the statistics the cold engine persisted
+    (``optimizer_stats.stats_hits > 0``) — the closed loop of the
+    optimizer, demonstrated across engine instances.
+    """
+    import math
+    import tempfile
+
+    from repro.config import EngineConfig
+    from repro.engine import QueryEngine
+    from repro.geometry.simplex import clear_feasibility_cache
+    from repro.logic.parser import parse_query
+    from repro.workloads.generators import interval_chain
+
+    registry = get_registry()
+    results = []
+    with _no_store():
+        for k in sizes:
+            database = interval_chain(k)
+            for name, text in _E14_QUERIES:
+                formula = parse_query(text)
+                clear_feasibility_cache()
+                baseline_engine = QueryEngine(
+                    database, config=EngineConfig(optimizer="off")
+                )
+                baseline, baseline_s = _timed(
+                    baseline_engine.evaluate, formula
+                )
+                clear_feasibility_cache()
+                fast_engine = QueryEngine(
+                    database, config=EngineConfig(optimizer="on")
+                )
+                fast, fast_s = _timed(fast_engine.evaluate, formula)
+                # Every suite query is a sentence: equivalence is the
+                # truth value (the rewritten plan may print differently).
+                match = (
+                    baseline.arity == 0
+                    and fast.arity == 0
+                    and baseline.is_empty() == fast.is_empty()
+                )
+                results.append(
+                    {
+                        "k": k,
+                        "query": name,
+                        "answer": not fast.is_empty(),
+                        "baseline_s": round(baseline_s, 4),
+                        "fast_s": round(fast_s, 4),
+                        "speedup": round(baseline_s / fast_s, 2)
+                        if fast_s > 0
+                        else None,
+                        "match": match,
+                    }
+                )
+    speedups = [
+        row["speedup"] for row in results if row["speedup"] is not None
+    ]
+    geomean = (
+        round(
+            math.exp(
+                sum(math.log(s) for s in speedups) / len(speedups)
+            ),
+            2,
+        )
+        if speedups
+        else None
+    )
+
+    # Statistics phase: cold engine persists measurements, warm engine
+    # plans from them.  Uses its own temporary store so the phase is
+    # hermetic and never pollutes (or borrows from) the user's cache.
+    with tempfile.TemporaryDirectory() as tmp:
+        stats_db = interval_chain(min(sizes) if sizes else 6)
+        stats_formula = parse_query(_E14_QUERIES[0][1])
+        cold = QueryEngine(
+            stats_db,
+            config=EngineConfig.resolve(cache_dir=tmp, optimizer="on"),
+        )
+        cold.evaluate(stats_formula)
+        hits_before = registry.get("optimizer.stats_hits")
+        warm = QueryEngine(
+            stats_db,
+            config=EngineConfig.resolve(cache_dir=tmp, optimizer="on"),
+        )
+        warm.evaluate(stats_formula)
+        warm_hits = registry.get("optimizer.stats_hits") - hits_before
+        optimizer_stats = {
+            "stats_hits": warm_hits,
+            "persisted_nodes": (warm.stats().get("optimizer") or {}).get(
+                "persisted_nodes"
+            ),
+        }
+
+    metadata = _metadata(1)
+    metadata["optimizer_stats"] = optimizer_stats
+    record = {
+        "benchmark": "E14",
+        "subject": "cost-based optimizer (plan rewrites + statistics)",
+        "baseline": "ablated plans (optimizer=off), source operand order",
+        "fast": "NNF + miniscoping, cost-ordered conjuncts/disjuncts, "
+        "min-degree quantifier chains (optimizer=on)",
+        "target": {"geomean_speedup": _E14_TARGET_GEOMEAN},
+        "metadata": metadata,
+        "check_only": check_only,
+        "sizes": list(sizes),
+        "results": results,
+        "all_match": all(row["match"] for row in results)
+        and optimizer_stats["stats_hits"] > 0,
+        "geomean_speedup": geomean,
+        "largest_speedup": max(speedups) if speedups else None,
+    }
+    if not check_only:
+        record["meets_target"] = (
+            geomean is not None and geomean >= _E14_TARGET_GEOMEAN
+        )
+    return record
+
+
 BENCHMARKS = {
     "e2": (run_bench_e2, "BENCH_E2.json"),
     "e3": (run_bench_e3, "BENCH_E3.json"),
+    "e14": (run_bench_e14, "BENCH_E14.json"),
     "e15": (run_bench_e15, "BENCH_E15.json"),
 }
 
 
 def write_record(record: dict, path: str) -> None:
+    """Write a benchmark record, refusing under-described metadata.
+
+    Every record must carry the :data:`REQUIRED_METADATA` keys (with a
+    value, except ``git_sha`` which is legitimately ``None`` outside a
+    git checkout) so committed BENCH_*.json files always state the
+    lp_mode/jobs/executor/backend provenance of their numbers.
+    """
+    metadata = record.get("metadata")
+    if not isinstance(metadata, dict):
+        raise ValueError("benchmark record has no metadata block")
+    missing = [key for key in REQUIRED_METADATA if key not in metadata]
+    unset = [
+        key
+        for key in REQUIRED_METADATA
+        if key != "git_sha" and metadata.get(key, None) is None
+    ]
+    if missing or unset:
+        raise ValueError(
+            "refusing to write benchmark record: missing metadata keys "
+            f"{sorted(set(missing + unset))}"
+        )
     with open(path, "w") as handle:
         json.dump(record, handle, indent=2)
         handle.write("\n")

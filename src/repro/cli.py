@@ -36,7 +36,7 @@ import sys
 from typing import Sequence
 
 from repro.errors import ReproError
-from repro.config import EXECUTORS, EngineConfig
+from repro.config import EXECUTORS, OPTIMIZERS, EngineConfig
 from repro.constraints.io import load_database
 from repro.engine import QueryEngine
 from repro.geometry import fastlp
@@ -119,6 +119,18 @@ def _add_lp_mode_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_optimizer_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--optimizer",
+        choices=OPTIMIZERS,
+        default=None,
+        help="cost-based plan optimizer: 'on' = answer-preserving "
+        "rewrites (NNF + miniscoping, cost-ordered operands) fed by "
+        "persisted statistics, 'off' = the ablated oracle plans "
+        "(default: $REPRO_OPTIMIZER, else on)",
+    )
+
+
 def _add_executor_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--executor",
@@ -157,6 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_flag(query)
     _add_jobs_flag(query)
     _add_lp_mode_flag(query)
+    _add_optimizer_flag(query)
     _add_cache_dir_flag(query)
     _add_journal_flag(query)
 
@@ -193,6 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_flag(explain)
     _add_lp_mode_flag(explain)
     _add_executor_flag(explain)
+    _add_optimizer_flag(explain)
     _add_cache_dir_flag(explain)
     _add_journal_flag(explain)
 
@@ -224,9 +238,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a named before/after benchmark and emit its JSON record",
     )
     bench.add_argument(
-        "name", choices=("e2", "e3", "e15"),
+        "name", choices=("e2", "e3", "e14", "e15"),
         help="benchmark to run (E2 arrangement scaling, E3 LP filter "
-             "microbench, E15 spatial datalog)",
+             "microbench, E14 cost-based optimizer, E15 spatial "
+             "datalog)",
     )
     bench.add_argument(
         "--sizes",
@@ -258,6 +273,39 @@ def build_parser() -> argparse.ArgumentParser:
     _add_executor_flag(bench)
     _add_cache_dir_flag(bench)
     _add_journal_flag(bench)
+
+    stats = commands.add_parser(
+        "stats",
+        help="inspect the optimizer's persisted execution statistics "
+             "(hottest plan nodes, observed vs predicted cost)",
+    )
+    stats.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="show the N hottest plan nodes by accumulated wall "
+             "(default: 10)",
+    )
+    stats.add_argument(
+        "--query",
+        default=None,
+        metavar="TEXT",
+        help="also parse TEXT and report observed vs predicted cost "
+             "for each of its sub-formulas with recorded statistics",
+    )
+    stats.add_argument(
+        "--clear",
+        action="store_true",
+        help="reset the persisted statistics to an empty object",
+    )
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the report as JSON instead of a table",
+    )
+    _add_cache_dir_flag(stats)
 
     encode = commands.add_parser(
         "encode", help="print the capture encoding word"
@@ -311,6 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_flag(serve)
     _add_lp_mode_flag(serve)
     _add_executor_flag(serve)
+    _add_optimizer_flag(serve)
     _add_cache_dir_flag(serve)
     _add_journal_flag(serve)
 
@@ -362,7 +411,7 @@ def _cmd_query(args: argparse.Namespace, out) -> int:
     formula = parse_query(args.text)
     engine = QueryEngine(
         database, args.decomposition, args.spatial,
-        config=EngineConfig(jobs=args.jobs),
+        config=EngineConfig(jobs=args.jobs, optimizer=args.optimizer),
     )
     if formula.free_region_vars() or formula.free_set_vars():
         print(
@@ -401,7 +450,7 @@ def _cmd_explain(args: argparse.Namespace, out) -> int:
         program = parse_program(args.text)
         result = explain_datalog(
             program, database, analyze=args.analyze,
-            executor=args.executor,
+            executor=args.executor, optimizer=args.optimizer,
         )
     else:
         formula = parse_query(args.text)
@@ -414,7 +463,7 @@ def _cmd_explain(args: argparse.Namespace, out) -> int:
             return 2
         engine = QueryEngine(
             database, args.decomposition, args.spatial,
-            config=EngineConfig(jobs=args.jobs),
+            config=EngineConfig(jobs=args.jobs, optimizer=args.optimizer),
         )
         result = engine.explain(formula, analyze=args.analyze)
     if args.as_json:
@@ -564,6 +613,135 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
     return 0 if record["all_match"] else 1
 
 
+def _cmd_stats(args: argparse.Namespace, out) -> int:
+    """Inspect (or clear) the optimizer's persisted statistics.
+
+    Works against the active disk store (``--cache-dir`` or
+    ``REPRO_CACHE_DIR``): prints the decayed run count and the hottest
+    plan-node fingerprints by accumulated wall.  With ``--query`` the
+    text is parsed and each sub-formula with recorded measurements is
+    shown next to the cost model's static prediction, so calibration
+    drift is visible at a glance.  ``--clear`` writes a fresh empty
+    statistics object over the store entry.
+    """
+    import json
+
+    from repro.optimizer import Statistics, node_fingerprint
+    from repro.optimizer.cost import CostModel, _SECONDS_TO_UNITS
+    from repro.store import active_store, statistics_key
+
+    store = active_store()
+    if store is None:
+        print(
+            "error: no disk store active (pass --cache-dir or set "
+            "REPRO_CACHE_DIR)",
+            file=out,
+        )
+        return 2
+    if args.clear:
+        store.save("statistics", statistics_key(), Statistics())
+        print(f"cleared statistics in {store.root}", file=out)
+        return 0
+    loaded = store.load("statistics", statistics_key())
+    statistics = loaded if isinstance(loaded, Statistics) else Statistics()
+    report: dict = {
+        "cache_dir": str(store.root),
+        "runs": float(statistics.runs),
+        "nodes": len(statistics.nodes),
+        "hottest": [
+            {
+                "fingerprint": fingerprint[:16],
+                "calls": float(stats.calls),
+                "wall_s": round(float(stats.wall), 6),
+                "mean_wall_s": round(float(stats.mean_wall()), 6),
+                "mean_size": round(float(stats.mean_size()), 2),
+            }
+            for fingerprint, stats in statistics.hottest(args.top)
+        ],
+    }
+    if args.query:
+        formula = parse_query(args.query)
+        model = CostModel(statistics)
+        rows = []
+        seen: set[str] = set()
+        pending = [formula]
+        while pending:
+            node = pending.pop()
+            fingerprint = node_fingerprint(node)
+            pending.extend(_subformulas(node))
+            if fingerprint in seen:
+                continue
+            seen.add(fingerprint)
+            stats = statistics.get(fingerprint)
+            if stats is None or stats.calls == 0:
+                continue
+            predicted = float(model.static_cost(node))
+            observed = float(
+                stats.mean_wall() * _SECONDS_TO_UNITS
+            )
+            rows.append(
+                {
+                    "node": str(node)[:60],
+                    "predicted_cost": round(predicted, 2),
+                    "observed_cost": round(observed, 2),
+                    "error_ratio": round(observed / predicted, 3)
+                    if predicted > 0
+                    else None,
+                }
+            )
+        report["query"] = {"text": args.query, "nodes": rows}
+    if args.as_json:
+        print(json.dumps(report, indent=2), file=out)
+        return 0
+    print(f"statistics in {report['cache_dir']}", file=out)
+    print(
+        f"  runs (decayed): {report['runs']:.2f}   "
+        f"nodes: {report['nodes']}",
+        file=out,
+    )
+    if report["hottest"]:
+        print(f"  hottest {len(report['hottest'])} nodes:", file=out)
+        for row in report["hottest"]:
+            print(
+                f"    {row['fingerprint']}  calls={row['calls']:.1f}  "
+                f"wall={row['wall_s']:.4f}s  "
+                f"mean={row['mean_wall_s']:.6f}s  "
+                f"mean_size={row['mean_size']}",
+                file=out,
+            )
+    else:
+        print("  (no recorded nodes)", file=out)
+    for row in report.get("query", {}).get("nodes", ()):
+        print(
+            f"    {row['node']}\n"
+            f"      predicted={row['predicted_cost']}  "
+            f"observed={row['observed_cost']}  "
+            f"error_ratio={row['error_ratio']}",
+            file=out,
+        )
+    return 0
+
+
+def _subformulas(node) -> list:
+    """Direct sub-formulas of one region-logic AST node."""
+    import dataclasses
+
+    from repro.logic import ast as logic_ast
+
+    children = []
+    for field in dataclasses.fields(node):
+        value = getattr(node, field.name)
+        if isinstance(value, logic_ast.RegFormula):
+            children.append(value)
+        elif isinstance(value, tuple):
+            children.extend(
+                item
+                for item in value
+                if isinstance(item, logic_ast.RegFormula)
+            )
+    return children
+
+
 def _cmd_serve(args: argparse.Namespace, out) -> int:
     """Run the async multi-tenant HTTP/JSON service until interrupted.
 
@@ -590,7 +768,7 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         databases[name] = load_database(path)
     config = EngineConfig.resolve(
         lp_mode=args.lp_mode, jobs=args.jobs, cache_dir=args.cache_dir,
-        executor=args.executor,
+        executor=args.executor, optimizer=args.optimizer,
     )
     service = ConstraintService(
         databases,
@@ -626,6 +804,7 @@ _COMMANDS = {
     "encode": _cmd_encode,
     "render": _cmd_render,
     "bench": _cmd_bench,
+    "stats": _cmd_stats,
     "serve": _cmd_serve,
 }
 

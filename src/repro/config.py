@@ -19,6 +19,7 @@ field              environment variable   default
 ``cache_dir``      ``REPRO_CACHE_DIR``    ``None`` (no persistence)
 ``cache_budget``   ``REPRO_CACHE_BUDGET``  ``None`` (unbounded)
 ``journal``        ``REPRO_JOURNAL``      ``None`` (no journal sink)
+``optimizer``      ``REPRO_OPTIMIZER``    ``"on"`` (cost-based rewrites)
 ``cache_capacity``  —                     ``64`` entries
 =================  =====================  ===========================
 
@@ -65,6 +66,7 @@ ENV_BACKEND = "REPRO_BACKEND"
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE_BUDGET = "REPRO_CACHE_BUDGET"
 ENV_JOURNAL = "REPRO_JOURNAL"
+ENV_OPTIMIZER = "REPRO_OPTIMIZER"
 
 #: Default in-memory LRU capacity of an :class:`~repro.engine.EngineCache`.
 DEFAULT_CACHE_CAPACITY = 64
@@ -82,6 +84,30 @@ EXECUTORS = ("compiled", "interpreted")
 #: ``"sqlite"`` lowers them to SQL over a SQLite database (recursive
 #: CTEs for linear plans) for out-of-core evaluation.
 BACKENDS = ("memory", "sqlite")
+
+#: Cost-based optimizer switch.  ``"on"`` applies the answer-preserving
+#: plan rewrites of :mod:`repro.optimizer` (NNF + miniscoping,
+#: cost-ordered conjuncts, statistics-fed knob selection) inside
+#: :class:`~repro.engine.QueryEngine`; ``"off"`` is the ablated oracle
+#: path the equivalence suite compares against.
+OPTIMIZERS = ("on", "off")
+
+
+def resolve_optimizer(optimizer: "str | None" = None) -> str:
+    """The effective optimizer mode: explicit > ``REPRO_OPTIMIZER`` > on.
+
+    The deferred twin of the ``optimizer`` field, mirroring
+    :func:`resolve_executor` for call sites that receive ``None``.
+    """
+    if optimizer is None:
+        optimizer = (
+            os.environ.get(ENV_OPTIMIZER, "").strip().lower() or "on"
+        )
+    if optimizer not in OPTIMIZERS:
+        raise ValueError(
+            f"optimizer must be one of {OPTIMIZERS}, got {optimizer!r}"
+        )
+    return optimizer
 
 
 def resolve_executor(executor: "str | None" = None) -> str:
@@ -143,6 +169,9 @@ class EngineConfig:
     cache_budget: int | None = None
     #: JSONL journal sink path (``None`` = env at use time, else none).
     journal: str | None = None
+    #: Cost-based optimizer: ``"on"`` or ``"off"`` (``None`` = consult
+    #: ``REPRO_OPTIMIZER`` at use time; the built-in default is on).
+    optimizer: str | None = None
     #: In-memory LRU capacity of the engine cache.
     cache_capacity: int = DEFAULT_CACHE_CAPACITY
 
@@ -162,6 +191,11 @@ class EngineConfig:
         if self.backend is not None and self.backend not in BACKENDS:
             raise ValueError(
                 f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.optimizer is not None and self.optimizer not in OPTIMIZERS:
+            raise ValueError(
+                f"optimizer must be one of {OPTIMIZERS}, "
+                f"got {self.optimizer!r}"
             )
         if self.cache_budget is not None and self.cache_budget <= 0:
             raise ValueError(
@@ -220,6 +254,7 @@ class EngineConfig:
             lambda: os.environ.get(ENV_JOURNAL, "").strip() or None,
             None,
         )
+        optimizer = resolve_optimizer(overrides.get("optimizer"))
         capacity = overrides.get("cache_capacity")
         if capacity is None:
             capacity = DEFAULT_CACHE_CAPACITY
@@ -231,6 +266,7 @@ class EngineConfig:
             cache_dir=cache_dir,
             cache_budget=cache_budget,
             journal=journal,
+            optimizer=optimizer,
             cache_capacity=capacity,
         )
 
@@ -277,6 +313,7 @@ class EngineConfig:
             "cache_dir": cache_dir,
             "cache_budget": self.cache_budget,
             "journal": self.journal,
+            "optimizer": self.optimizer,
             "cache_capacity": self.cache_capacity,
         }
 

@@ -265,6 +265,7 @@ def evaluate_program(
     max_stages: int = 25,
     strategy: str = "seminaive",
     executor: str | None = None,
+    optimizer: str | None = None,
 ) -> EvaluationOutcome:
     """Stratified immediate-consequence iteration, exact convergence.
 
@@ -289,7 +290,20 @@ def evaluate_program(
     ``REPRO_EXECUTOR`` / the config default.  Both executors produce
     byte-identical stage relations; the naive strategy is always
     interpreted.
+
+    ``optimizer`` gates the cost-based body-atom reordering of
+    :func:`repro.optimizer.rewrite.order_program` (``None`` defers to
+    ``REPRO_OPTIMIZER``, default on).  The rewrite is applied once to
+    the whole program *before* any executor sees it, so the compiled
+    and interpreted tiers keep byte-identical stage relations; the
+    ablated program (``optimizer="off"``) is the semantic oracle.
     """
+    from repro.config import resolve_optimizer
+
+    if resolve_optimizer(optimizer) == "on":
+        from repro.optimizer.rewrite import order_program
+
+        program = order_program(program)
     if strategy == "seminaive":
         from repro.config import resolve_executor
 

@@ -11,19 +11,30 @@ escalates these messages to errors).
 
 from __future__ import annotations
 
+import threading
 import warnings
 
 _SEEN: set[str] = set()
+# Guards the check-then-add below.  ``EnginePool`` checks engines out
+# across worker threads, and two threads hitting the same legacy kwarg
+# simultaneously could both pass the membership test and double-warn.
+_SEEN_LOCK = threading.Lock()
 
 
 def warn_once(key: str, message: str, stacklevel: int = 3) -> None:
-    """Emit ``DeprecationWarning`` for ``key`` once per process."""
-    if key in _SEEN:
-        return
-    _SEEN.add(key)
+    """Emit ``DeprecationWarning`` for ``key`` once per process.
+
+    Thread-safe: the membership test and the registration are one
+    atomic step, so concurrent callers produce exactly one warning.
+    """
+    with _SEEN_LOCK:
+        if key in _SEEN:
+            return
+        _SEEN.add(key)
     warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
 
 
 def reset_deprecation_warnings() -> None:
     """Forget which shims have warned (for tests asserting the warning)."""
-    _SEEN.clear()
+    with _SEEN_LOCK:
+        _SEEN.clear()

@@ -502,6 +502,18 @@ class QueryEngine:
             config.cache_dir, size_budget=config.cache_budget
         )
         self._results: OrderedDict[str, ConstraintRelation] = OrderedDict()
+        #: Rewritten plans, keyed by the original query's structural
+        #: rendering.  Re-planning must return the *same* formula object
+        #: so EXPLAIN's profiler frames line up with the plan tree.
+        self._plans: OrderedDict[str, tuple] = OrderedDict()
+        self._statistics = None
+        self._statistics_loaded = False
+        self._knobs = None
+        registry = get_registry()
+        self._c_opt_hits = registry.counter("optimizer.stats_hits")
+        self._c_opt_misses = registry.counter("optimizer.stats_misses")
+        self._c_opt_rewrites = registry.counter("optimizer.rewrites")
+        self._c_opt_updates = registry.counter("optimizer.stats_updates")
         #: Worker processes for arrangement construction (``None`` =
         #: consult the ``REPRO_JOBS`` environment variable).
         self.jobs = config.jobs
@@ -539,16 +551,203 @@ class QueryEngine:
             return nullcontext()
         return store_pkg.store_scope(self._pinned_store)
 
+    # ------------------------------------------------------------------
+    # Cost-based optimizer (statistics, rewrites, knobs)
+    # ------------------------------------------------------------------
+    def optimizer_enabled(self) -> bool:
+        """Whether the cost-based optimizer applies to this engine."""
+        from repro.config import resolve_optimizer
+
+        return resolve_optimizer(self.config.optimizer) == "on"
+
+    def statistics(self):
+        """The persisted optimizer statistics (``None`` without a store).
+
+        Loaded once per engine; a corrupt entry is quarantined by the
+        store and read as a miss, so a bad file can degrade plans back
+        to the static priors but never produce a wrong one.
+        """
+        if self._statistics_loaded:
+            return self._statistics
+        self._statistics_loaded = True
+        disk = self._store()
+        if disk is not None:
+            from repro.optimizer.statistics import Statistics
+
+            loaded = disk.load("statistics", store_pkg.statistics_key())
+            if isinstance(loaded, Statistics):
+                self._statistics = loaded
+        return self._statistics
+
+    def knob_decisions(self) -> list:
+        """The resolved adaptive knobs with their ``because`` strings."""
+        if self._knobs is None:
+            from repro.optimizer.knobs import choose_knobs
+
+            statistics = (
+                self.statistics() if self.optimizer_enabled() else None
+            )
+            self._knobs = choose_knobs(self.config, statistics)
+        return self._knobs
+
+    def _chosen_knob(self, name: str) -> str:
+        from repro.optimizer.knobs import decided
+
+        return decided(self.knob_decisions(), name).chosen
+
+    def _effective_lp_mode(self) -> "str | None":
+        """The LP tier this engine runs under (adaptive when open)."""
+        if self.lp_mode is not None or not self.optimizer_enabled():
+            return self.lp_mode
+        return self._chosen_knob("lp_mode")
+
+    def _effective_jobs(self) -> "int | None":
+        """Arrangement worker count (adaptive when open)."""
+        if self.jobs is not None or not self.optimizer_enabled():
+            return self.jobs
+        return int(self._chosen_knob("jobs"))
+
+    #: Bound on remembered rewritten plans per engine.
+    _PLAN_CAPACITY = 256
+
+    def plan(self, query: "ast.RegFormula | str"):
+        """The (possibly rewritten) plan for a query.
+
+        Returns ``(formula, outcome)`` where ``outcome`` is the
+        :class:`~repro.optimizer.rewrite.RewriteOutcome` carrying the
+        recorded decisions, or ``None`` with the optimizer off (the
+        formula is then returned unchanged — the oracle path).  Planning
+        is memoised per structural query so repeated evaluation and
+        EXPLAIN see the identical rewritten objects.
+        """
+        formula = self._parse(query)
+        if not self.optimizer_enabled():
+            return formula, None
+        key = str(formula)
+        cached = self._plans.get(key)
+        if cached is not None:
+            self._plans.move_to_end(key)
+            return cached
+        from repro.optimizer.rewrite import rewrite_query
+
+        outcome = rewrite_query(formula, self.statistics())
+        self._c_opt_rewrites.inc()
+        if outcome.model.stats_hits:
+            self._c_opt_hits.inc(outcome.model.stats_hits)
+        if outcome.model.stats_misses:
+            self._c_opt_misses.inc(outcome.model.stats_misses)
+        planned = (outcome.formula, outcome)
+        self._plans[key] = planned
+        while len(self._plans) > self._PLAN_CAPACITY:
+            self._plans.popitem(last=False)
+        return planned
+
+    def result_key_text(self, original_text: str, optimized: bool) -> str:
+        """The store key text for a query answer.
+
+        Keys derive from the *original* query text — the cost-based
+        rewrite is stats-dependent, so keying by the rewritten plan
+        would orphan persisted answers whenever new measurements shift
+        the plan.  A mode marker keeps optimized and ablated runs on
+        separate entries: each mode's warm answers stay byte-identical
+        to its own cold run.
+        """
+        if optimized:
+            return "optimizer=on\x00" + original_text
+        return original_text
+
+    def _record_statistics(self, formula: ast.RegFormula, profiler) -> None:
+        """Merge one profiled run into the persisted statistics."""
+        disk = self._store()
+        if disk is None:
+            return
+        from repro.explain import _children_of
+        from repro.optimizer.statistics import (
+            Statistics,
+            harvest_profile,
+        )
+
+        nodes_by_id: dict[int, ast.RegFormula] = {}
+
+        def collect(node: ast.RegFormula) -> None:
+            if id(node) in nodes_by_id:
+                return
+            nodes_by_id[id(node)] = node
+            for child in _children_of(node):
+                collect(child)
+
+        collect(formula)
+        run_nodes = harvest_profile(
+            profiler.stats, profiler.counters, nodes_by_id
+        )
+        run_nodes.update(self._global_run_stats(profiler))
+        if not run_nodes:
+            return
+        base = self.statistics() or Statistics()
+        merged = base.merge(run_nodes)
+        disk.save("statistics", store_pkg.statistics_key(), merged)
+        self._statistics = merged
+        self._statistics_loaded = True
+        self._c_opt_updates.inc()
+
+    def _global_run_stats(self, profiler) -> dict:
+        """Process-wide observations with no single plan node.
+
+        The run delta of the fastlp filter counters (feeds the adaptive
+        ``lp_mode``) and of the arrangement counters (feeds ``jobs``),
+        recorded under pseudo-fingerprints.
+        """
+        from repro.optimizer.statistics import (
+            GLOBAL_ARRANGEMENT,
+            GLOBAL_LP,
+            make_node_stats,
+        )
+
+        before = getattr(profiler, "_run_baseline", None)
+        if before is None:
+            return {}
+        registry = get_registry()
+        delta = {
+            name: registry.get(name) - before.get(name, 0)
+            for name in before
+        }
+        out = {}
+        lp = {
+            name: value
+            for name, value in delta.items()
+            if name.startswith("lp.") and value > 0
+        }
+        if lp:
+            out[GLOBAL_LP] = make_node_stats(calls=1, counters=lp)
+        arrangement = {
+            name: value
+            for name, value in delta.items()
+            if name.startswith("arrangement.") and value > 0
+        }
+        # The build usually pre-dates the profiled window, so the live
+        # region count is the reliable size signal for the jobs knob.
+        if self._extension is not None:
+            count = self._extension.region_count()
+            arrangement["arrangement.faces"] = max(
+                arrangement.get("arrangement.faces", 0), count
+            )
+        if arrangement:
+            out[GLOBAL_ARRANGEMENT] = make_node_stats(
+                calls=1, counters=arrangement
+            )
+        return out
+
     @property
     def extension(self) -> RegionExtension:
         """The region extension 𝔅^Reg (cached across engines)."""
         if self._extension is None:
-            with fastlp.lp_mode(self.lp_mode), self._store_scope():
+            with fastlp.lp_mode(self._effective_lp_mode()), \
+                    self._store_scope():
                 self._extension = self.cache.extension(
                     self.database,
                     self.decomposition,
                     self.spatial_name,
-                    jobs=self.jobs,
+                    jobs=self._effective_jobs(),
                 )
         return self._extension
 
@@ -584,6 +783,10 @@ class QueryEngine:
             raise EvaluationError(
                 "queries must not have free region or set variables"
             )
+        # The cost-based rewrite (identity with the optimizer off); see
+        # result_key_text for why the store key uses the original text.
+        original_text = str(formula)
+        formula, outcome = self.plan(formula)
         disk = self._store()
         key = None
         if disk is not None:
@@ -591,7 +794,7 @@ class QueryEngine:
                 self.fingerprint,
                 self.decomposition,
                 self.spatial_name,
-                str(formula),
+                self.result_key_text(original_text, outcome is not None),
             )
             cached = self._results.get(key)
             if cached is not None:
@@ -601,13 +804,46 @@ class QueryEngine:
             if isinstance(loaded, ConstraintRelation):
                 self._remember(key, loaded)
                 return loaded
-        with TRACER.span("evaluate"), fastlp.lp_mode(self.lp_mode), \
-                self._store_scope():
-            answer = self.evaluator.evaluate(formula)
+        profiler = self._install_collector(disk)
+        try:
+            with TRACER.span("evaluate"), \
+                    fastlp.lp_mode(self._effective_lp_mode()), \
+                    self._store_scope():
+                answer = self.evaluator.evaluate(formula)
+        finally:
+            if profiler is not None:
+                self.evaluator.profiler = None
+        if profiler is not None:
+            self._record_statistics(formula, profiler)
         if disk is not None and key is not None:
             disk.save("relation", key, answer)
             self._remember(key, answer)
         return answer
+
+    def _install_collector(self, disk):
+        """A statistics-collecting profiler, when one can be useful.
+
+        Only with the optimizer on, a disk store to persist into, and
+        no profiler already installed (EXPLAIN ANALYZE owns that slot
+        and its measurements serve the same purpose).
+        """
+        if (
+            disk is None
+            or not self.optimizer_enabled()
+            or self.evaluator.profiler is not None
+        ):
+            return None
+        from repro.explain import NodeProfiler
+
+        profiler = NodeProfiler()
+        registry = get_registry()
+        profiler._run_baseline = {
+            name: registry.get(name)
+            for name in profiler.counters
+            if name.startswith(("lp.", "arrangement."))
+        }
+        self.evaluator.profiler = profiler
+        return profiler
 
     #: In-memory bound on remembered per-query answer relations.
     _RESULT_CAPACITY = 256
@@ -664,10 +900,23 @@ class QueryEngine:
         """One dict with the engine's caches and evaluator telemetry."""
         from repro.config import resolve_backend, resolve_executor
 
+        registry = get_registry()
         numbers: dict[str, object] = {
             "cache": self.cache.stats(),
             "executor": resolve_executor(self.config.executor),
             "backend": resolve_backend(self.config.backend),
+            "optimizer": {
+                "enabled": self.optimizer_enabled(),
+                "stats_hits": registry.get("optimizer.stats_hits"),
+                "stats_misses": registry.get("optimizer.stats_misses"),
+                "rewrites": registry.get("optimizer.rewrites"),
+                "stats_updates": registry.get("optimizer.stats_updates"),
+                "persisted_nodes": (
+                    len(self._statistics.nodes)
+                    if self._statistics is not None
+                    else 0
+                ),
+            },
         }
         if self._evaluator is not None:
             numbers["evaluator"] = self._evaluator.metrics.snapshot()

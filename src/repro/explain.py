@@ -109,9 +109,16 @@ class PlanNode:
         """Human-readable plan rendering (the ``repro explain`` output)."""
         pad = "  " * indent
         parts = [f"{pad}{self.label}"]
-        if self.detail:
+        # Optimizer decisions render as their own trailing lines (see
+        # below); everything else stays in the bracketed detail list.
+        detail = {
+            key: value
+            for key, value in self.detail.items()
+            if key not in ("chosen", "because")
+        }
+        if detail:
             rendered = ", ".join(
-                f"{key}={value}" for key, value in sorted(self.detail.items())
+                f"{key}={value}" for key, value in sorted(detail.items())
             )
             parts.append(f"  [{rendered}]")
         if self.cost is not None:
@@ -132,6 +139,10 @@ class PlanNode:
                 bits.append(f"stages={len(stages)}")
             parts.append("  (" + " ".join(bits) + ")")
         lines = ["".join(parts)]
+        if "chosen" in self.detail:
+            lines.append(f"{pad}  chosen: {self.detail['chosen']}")
+        if "because" in self.detail:
+            lines.append(f"{pad}  because: {self.detail['because']}")
         lines.extend(child.format(indent + 1) for child in self.children)
         return "\n".join(lines)
 
@@ -220,6 +231,20 @@ class NodeProfiler:
 
     def memo_hit(self, formula: ast.RegFormula) -> None:
         self._node(formula)["memo_hits"] += 1
+
+    def observe(self, formula: ast.RegFormula, result) -> None:
+        """Record the observed cardinality of one evaluated result.
+
+        Called by the evaluator after each non-memoised dispatch; the
+        accumulated ``sizes``/``observations`` feed the optimizer's
+        persisted statistics (mean representation size per node).
+        """
+        size = getattr(result, "representation_size", None)
+        if not callable(size):
+            return
+        node = self._node(formula)
+        node["sizes"] = node.get("sizes", 0) + size()
+        node["observations"] = node.get("observations", 0) + 1
 
     def cost_of(self, formula: ast.RegFormula) -> dict[str, Any] | None:
         """The JSON-ready cost block of one formula node (or ``None``)."""
@@ -395,9 +420,7 @@ def _predict_setup(engine: "QueryEngine") -> dict[str, str]:
     return prediction
 
 
-def _predict_result(
-    engine: "QueryEngine", formula: ast.RegFormula
-) -> str:
+def _predict_result(engine: "QueryEngine", key_text: str) -> str:
     """Predicted source of the whole-query answer relation."""
     from repro import store as store_pkg
 
@@ -408,7 +431,7 @@ def _predict_result(
         engine.fingerprint,
         engine.decomposition,
         engine.spatial_name,
-        str(formula),
+        key_text,
     )
     if key in engine._results:
         return "memory"
@@ -418,14 +441,19 @@ def _predict_result(
 
 
 def compile_plan(
-    engine: "QueryEngine", formula: ast.RegFormula
+    engine: "QueryEngine",
+    formula: ast.RegFormula,
+    result_key_text: str | None = None,
 ) -> tuple[PlanNode, dict[int, PlanNode]]:
     """The static plan tree plus the ``id(formula) -> PlanNode`` index.
 
     The root is a synthetic ``query`` node with two children: a
     ``setup`` node standing for the Theorem-3.1 construction (region
     extension + arrangement, with predicted sources) and the formula's
-    own operator tree.
+    own operator tree.  ``result_key_text`` is the store key text the
+    engine would use for this query's answer (the original query text,
+    mode-marked — see ``QueryEngine.result_key_text``); it defaults to
+    ``str(formula)``, which is only correct for unoptimized plans.
     """
     language = classify_language(formula)
     index: dict[int, PlanNode] = {}
@@ -435,7 +463,12 @@ def compile_plan(
         {
             "language": language,
             "relations": _relations_needed(formula),
-            "result": _predict_result(engine, formula),
+            "result": _predict_result(
+                engine,
+                result_key_text
+                if result_key_text is not None
+                else str(formula),
+            ),
         },
     )
     setup = PlanNode(
@@ -552,6 +585,47 @@ def _attach_stage_events(
             node.cost["stages"] = by_operator[operator]
 
 
+def _attach_optimizer_decisions(
+    engine: "QueryEngine",
+    plan: PlanNode,
+    index: dict[int, PlanNode],
+    outcome,
+) -> None:
+    """Surface ``chosen``/``because`` annotations on the plan tree.
+
+    Rewrite decisions land on the plan node of the rewritten formula
+    node they produced (the root when that node was itself replaced by
+    a later rewrite); the adaptive knob choices become one synthetic
+    ``optimizer`` subtree so ``repro explain`` and ``/v1/explain`` show
+    the full decision record.
+    """
+    for decision in outcome.decisions:
+        node = index.get(id(decision.node), plan)
+        if "chosen" in node.detail:
+            node.detail["chosen"] += f"; {decision.chosen}"
+            node.detail["because"] += f"; {decision.because}"
+        else:
+            node.detail["chosen"] = decision.chosen
+            node.detail["because"] = decision.because
+    knobs = PlanNode(
+        "optimizer",
+        "Optimizer: adaptive knobs",
+        {
+            "decisions": len(outcome.decisions),
+            "stats_hits": outcome.model.stats_hits,
+        },
+    )
+    for knob in engine.knob_decisions():
+        knobs.children.append(
+            PlanNode(
+                "knob",
+                f"knob {knob.name}",
+                {"chosen": knob.chosen, "because": knob.because},
+            )
+        )
+    plan.children.append(knobs)
+
+
 def explain_query(
     engine: "QueryEngine",
     formula: ast.RegFormula,
@@ -564,8 +638,21 @@ def explain_query(
     collection only when none is active) and a :class:`NodeProfiler`
     installed on the engine's evaluator.
     """
-    language = classify_language(formula)
-    plan, index = compile_plan(engine, formula)
+    # The engine's (memoised) cost-based rewrite: EXPLAIN must compile
+    # the exact plan objects evaluation will run so profiler frames and
+    # plan nodes line up; ``outcome`` carries the recorded decisions.
+    planned, outcome = engine.plan(formula)
+    language = classify_language(planned)
+    plan, index = compile_plan(
+        engine,
+        planned,
+        result_key_text=engine.result_key_text(
+            str(formula), outcome is not None
+        ),
+    )
+    plan.detail["optimizer"] = "on" if outcome is not None else "off"
+    if outcome is not None:
+        _attach_optimizer_decisions(engine, plan, index, outcome)
     if not analyze:
         return ExplainResult(str(formula), language, plan, False)
 
@@ -685,6 +772,7 @@ def explain_datalog(
     strategy: str = "seminaive",
     max_stages: int = 25,
     executor: str | None = None,
+    optimizer: str | None = None,
 ) -> ExplainResult:
     """EXPLAIN (ANALYZE) a spatial datalog program.
 
@@ -700,13 +788,21 @@ def explain_datalog(
     to the run totals exactly (the PR-5 invariant); per-stage delta
     disjunct counts (``datalog.stage`` events) attach to the strata.
     """
-    from repro.config import resolve_executor
+    from repro.config import resolve_executor, resolve_optimizer
 
     resolved = (
         resolve_executor(executor)
         if strategy == "seminaive"
         else "interpreted"
     )
+    # Reorder rule bodies up front (idempotent — evaluate_program
+    # re-applies the same deterministic rewrite) so the compiled plans
+    # below mirror exactly what executes.
+    optimizer_mode = resolve_optimizer(optimizer)
+    if optimizer_mode == "on":
+        from repro.optimizer.rewrite import order_program
+
+        program = order_program(program)
     strata = program.strata()
     compiled_strata = None
     ir_index: dict[int, PlanNode] = {}
@@ -716,6 +812,7 @@ def explain_datalog(
         {
             "strategy": strategy,
             "executor": resolved,
+            "optimizer": optimizer_mode,
             "strata": len(strata),
             "rules": len(program.rules),
         },

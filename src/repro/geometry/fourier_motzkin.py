@@ -263,11 +263,81 @@ def _substitute_equality(
     return LinearConstraint(coeffs, constraint.rel, rhs)
 
 
-def eliminate_variables(
+def predicted_blowup(
+    constraints: Sequence[LinearConstraint], index: int
+) -> int:
+    """Predicted row-count change of eliminating one variable.
+
+    An equality row makes elimination a substitution: the system
+    shrinks by the equality row and every other mention simplifies, so
+    it scores ``-1 - mentions`` (always preferred over an equal-size
+    inequality elimination).  Otherwise Fourier–Motzkin replaces the
+    ``lower + upper`` rows mentioning the variable by ``lower × upper``
+    combinations — the classic quadratic blowup this orderer bounds.
+    """
+    lower = upper = mentions = 0
+    has_equality = False
+    for constraint in constraints:
+        coeff = constraint.coeffs[index]
+        if coeff == 0:
+            continue
+        mentions += 1
+        if constraint.rel is Rel.EQ:
+            has_equality = True
+        elif coeff > 0:
+            upper += 1
+        else:
+            lower += 1
+    if has_equality:
+        return -1 - mentions
+    return lower * upper - (lower + upper)
+
+
+def elimination_order(
     constraints: Sequence[LinearConstraint], indices: Iterable[int]
-) -> list[LinearConstraint]:
-    """Eliminate several variables in sequence, dropping trivial output."""
+) -> list[int]:
+    """Order variables by predicted constraint blowup, smallest first.
+
+    Greedy min-fill on the coefficient occurrence graph: at each step
+    pick the variable whose elimination generates the fewest combined
+    rows on the *current* system (equalities first — substitution never
+    grows the system), simulating only the row bookkeeping, never the
+    arithmetic.  Deterministic; ties break on the variable index.
+    """
+    remaining = list(dict.fromkeys(indices))
     system = list(constraints)
+    order: list[int] = []
+    while remaining:
+        best = min(
+            remaining,
+            key=lambda i: (predicted_blowup(system, i), i),
+        )
+        remaining.remove(best)
+        order.append(best)
+        system = simplify_system(eliminate_variable(system, best)) or []
+    return order
+
+
+def eliminate_variables(
+    constraints: Sequence[LinearConstraint],
+    indices: Iterable[int],
+    order: str = "given",
+) -> list[LinearConstraint]:
+    """Eliminate several variables in sequence, dropping trivial output.
+
+    ``order="auto"`` lets :func:`elimination_order` pick the sequence
+    by predicted blowup (the optimizer's choice); ``"given"`` keeps the
+    caller's order.  Both produce equivalent projections — the order
+    only changes intermediate system sizes and the (equivalent) output
+    representation.
+    """
+    if order not in ("given", "auto"):
+        raise ValueError(
+            f"order must be 'given' or 'auto', got {order!r}"
+        )
+    system = list(constraints)
+    if order == "auto":
+        indices = elimination_order(system, indices)
     with TRACER.span("fm.eliminate", aggregate=True):
         return _eliminate_variables_inner(system, indices, constraints)
 

@@ -40,7 +40,12 @@ import time
 from typing import Any, Awaitable, Callable, Mapping
 
 from repro.errors import ReproError
-from repro.config import EngineConfig, resolve_backend, resolve_executor
+from repro.config import (
+    EngineConfig,
+    resolve_backend,
+    resolve_executor,
+    resolve_optimizer,
+)
 from repro.constraints.database import ConstraintDatabase
 from repro.engine import QueryEngine
 from repro.geometry import fastlp
@@ -337,6 +342,7 @@ class ConstraintService:
         payload["request_id"] = request_id
         payload["database"] = name
         payload["executor"] = resolve_executor(self.config.executor)
+        payload["optimizer"] = resolve_optimizer(self.config.optimizer)
         return Response(200, payload)
 
     async def _handle_healthz(
@@ -365,6 +371,7 @@ class ConstraintService:
             "lp_mode": self.config.lp_mode or fastlp.get_lp_mode(),
             "executor": resolve_executor(self.config.executor),
             "backend": resolve_backend(self.config.backend),
+            "optimizer": resolve_optimizer(self.config.optimizer),
             "admission": self.admission.stats(),
             "pool": self.pool.stats(),
             "store": store.stats() if store is not None else None,

@@ -32,6 +32,7 @@ from repro.store.codec import (
     SCHEMA_VERSION,
     arrangement_key,
     query_result_key,
+    statistics_key,
 )
 from repro.store.disk import DiskStore
 
@@ -45,6 +46,7 @@ __all__ = [
     "configure_store",
     "query_result_key",
     "resolve_store",
+    "statistics_key",
     "store_at",
     "store_scope",
 ]

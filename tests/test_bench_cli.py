@@ -7,6 +7,7 @@ from repro.bench import (
     BENCHMARKS,
     run_bench_e2,
     run_bench_e3,
+    run_bench_e14,
     run_bench_e15,
 )
 from repro.cli import main
@@ -59,15 +60,60 @@ class TestBenchRunners:
             assert row["converged"] is True
             assert row["stages"] == row["k"] + 1
 
+    def test_e14_record_shape(self):
+        record = run_bench_e14(sizes=(3,))
+        assert record["benchmark"] == "E14"
+        assert record["all_match"] is True
+        assert record["geomean_speedup"] is not None
+        # The warm planner must have consumed the cold run's statistics.
+        assert record["metadata"]["optimizer_stats"]["stats_hits"] > 0
+        for row in record["results"]:
+            assert row["match"] is True
+
     def test_registry_names_files(self):
         assert BENCHMARKS["e2"][1] == "BENCH_E2.json"
         assert BENCHMARKS["e3"][1] == "BENCH_E3.json"
+        assert BENCHMARKS["e14"][1] == "BENCH_E14.json"
         assert BENCHMARKS["e15"][1] == "BENCH_E15.json"
 
     def test_records_carry_lp_mode_metadata(self):
         record = run_bench_e2(sizes=(2,))
         assert record["metadata"]["lp_mode"] in ("exact", "filtered")
         assert record["metadata"]["jobs"] == record["jobs"]
+
+    def test_records_carry_executor_backend_metadata(self):
+        record = run_bench_e2(sizes=(2,))
+        assert record["metadata"]["executor"] in ("compiled", "interpreted")
+        assert record["metadata"]["backend"] in ("memory", "sqlite")
+
+    def test_write_record_refuses_missing_metadata(self, tmp_path):
+        import pytest
+
+        from repro.bench import write_record
+
+        record = run_bench_e2(sizes=(2,), check_only=True)
+        del record["metadata"]["executor"]
+        with pytest.raises(ValueError, match="executor"):
+            write_record(record, str(tmp_path / "bad.json"))
+        assert not (tmp_path / "bad.json").exists()
+
+    def test_write_record_refuses_unset_required_values(self, tmp_path):
+        import pytest
+
+        from repro.bench import write_record
+
+        record = run_bench_e2(sizes=(2,), check_only=True)
+        record["metadata"]["backend"] = None
+        with pytest.raises(ValueError, match="backend"):
+            write_record(record, str(tmp_path / "bad.json"))
+
+    def test_write_record_allows_null_git_sha(self, tmp_path):
+        from repro.bench import write_record
+
+        record = run_bench_e2(sizes=(2,), check_only=True)
+        record["metadata"]["git_sha"] = None
+        write_record(record, str(tmp_path / "ok.json"))
+        assert (tmp_path / "ok.json").exists()
 
 
 class TestBenchCommand:

@@ -49,6 +49,40 @@ class TestWarnOnce:
         with pytest.warns(DeprecationWarning):
             warn_once("probe-b", "b is deprecated")
 
+    def test_exactly_one_warning_under_concurrent_threads(self):
+        # EnginePool serves requests from worker threads; a racy
+        # check-then-add would let several threads emit the "first"
+        # warning.  A barrier maximises the collision window.
+        import threading
+
+        n_threads = 16
+        barrier = threading.Barrier(n_threads)
+        captured: list[warnings.WarningMessage] = []
+        errors: list[BaseException] = []
+
+        def hammer() -> None:
+            try:
+                barrier.wait()
+                for __ in range(50):
+                    warn_once("probe-threaded", "threaded() is deprecated")
+            except BaseException as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        with warnings.catch_warnings(record=True) as captured:
+            warnings.simplefilter("always")
+            threads = [
+                threading.Thread(target=hammer) for __ in range(n_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        emitted = [
+            w for w in captured if "threaded() is deprecated" in str(w.message)
+        ]
+        assert len(emitted) == 1
+
 
 class TestQueryShims:
     def test_evaluate_query_warns_and_answers(self):

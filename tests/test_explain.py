@@ -66,7 +66,7 @@ class TestCompile:
         assert root.op == "query"
         assert root.detail["relations"] == ["S"]
         assert [child.op for child in root.children] == \
-            ["setup", "ExistsElem"]
+            ["setup", "ExistsElem", "optimizer"]
         atom = root.children[1].children[0]
         assert atom.op == "RelationAtom"
         assert atom.detail["relation"] == "S"

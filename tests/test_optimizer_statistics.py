@@ -1,0 +1,250 @@
+"""Persistence round-trips for the optimizer's statistics (satellite of E14).
+
+The statistics entry is the optimizer's only cross-process memory, so it
+gets the same guarantees as every other store kind: *bit-identical*
+codec round-trips for arbitrary ``Fraction``-valued measurements,
+corruption handled as quarantine-and-miss (a damaged file can slow the
+next run down, never feed it a wrong plan), and fingerprints/keys that
+survive ``PYTHONHASHSEED`` randomisation so statistics written by one
+process are found by the next.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimizer.statistics import (
+    DECAY,
+    STATS_VERSION,
+    NodeStats,
+    Statistics,
+    make_node_stats,
+    node_fingerprint,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.store import codec
+from repro.store.disk import DiskStore
+
+F = Fraction
+
+fractions = st.builds(
+    F,
+    st.integers(min_value=0, max_value=10**30),
+    st.integers(min_value=1, max_value=10**30),
+)
+
+counter_names = st.sampled_from(
+    ("lp.solves", "arrangement.faces", "evaluator.fixpoint_stages",
+     "lp.filter_hits", "lp.filter_fallbacks")
+)
+
+node_stats = st.builds(
+    make_node_stats,
+    calls=fractions,
+    wall=fractions,
+    size=fractions,
+    observations=fractions,
+    counters=st.dictionaries(counter_names, fractions, max_size=4),
+)
+
+fingerprints = st.text(
+    alphabet="0123456789abcdef:", min_size=1, max_size=64
+)
+
+statistics = st.builds(
+    Statistics,
+    nodes=st.dictionaries(fingerprints, node_stats, max_size=8),
+    runs=fractions,
+)
+
+
+class TestCodecRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(statistics)
+    def test_round_trip_is_exact_and_bit_identical(self, stats):
+        blob = codec.dumps("statistics", stats)
+        loaded = codec.loads("statistics", blob)
+        assert loaded == stats
+        assert codec.dumps("statistics", loaded) == blob
+
+    @settings(max_examples=30, deadline=None)
+    @given(statistics, st.dictionaries(fingerprints, node_stats, max_size=4))
+    def test_merge_then_round_trip_stays_exact(self, stats, run_nodes):
+        merged = stats.merge(run_nodes)
+        blob = codec.dumps("statistics", merged)
+        assert codec.loads("statistics", blob) == merged
+
+    def test_wrong_version_is_a_codec_error(self):
+        import pytest
+
+        payload = codec.encode("statistics", Statistics())
+        payload["version"] = STATS_VERSION + 1
+        with pytest.raises(codec.CodecError):
+            codec.decode("statistics", payload)
+
+    def test_negative_numbers_are_rejected(self):
+        import pytest
+
+        payload = codec.encode("statistics", Statistics())
+        payload["nodes"] = {
+            "deadbeef": {
+                "calls": [-1, 1],
+                "wall": [0, 1],
+                "size": [0, 1],
+                "obs": [0, 1],
+                "counters": {},
+            }
+        }
+        with pytest.raises(codec.CodecError):
+            codec.decode("statistics", payload)
+
+
+class TestDiskStoreQuarantine:
+    def test_corrupt_statistics_entry_is_quarantined_and_missed(
+        self, tmp_path
+    ):
+        # A private registry: corruption staged here must not leak into
+        # the process-global store counters other tests assert on.
+        store = DiskStore(tmp_path, metrics=MetricsRegistry())
+        key = codec.statistics_key()
+        stats = Statistics().merge(
+            {"aa": make_node_stats(calls=1, wall=F(1, 3))}
+        )
+        path = store.save("statistics", key, stats)
+        assert store.load("statistics", key) == stats
+
+        # Flip the fingerprint inside the stored payload: the envelope
+        # checksum no longer matches, so the entry must be quarantined
+        # and reported as a miss — never decoded into a wrong plan.
+        path.write_text(path.read_text().replace('"aa"', '"ab"', 1))
+        assert store.load("statistics", key) is None  # miss, not garbage
+        quarantined = list(store.quarantine_root.rglob("*"))
+        assert len([p for p in quarantined if p.is_file()]) == 1
+        # The store stays usable after the quarantine.
+        store.save("statistics", key, stats)
+        assert store.load("statistics", key) == stats
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        store = DiskStore(tmp_path, metrics=MetricsRegistry())
+        key = codec.statistics_key()
+        path = store.save("statistics", key, Statistics())
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert store.load("statistics", key) is None
+
+
+PROBE = r"""
+import json
+from fractions import Fraction
+from repro.logic.parser import parse_query
+from repro.optimizer.statistics import node_fingerprint
+from repro.store import codec
+from repro.optimizer.statistics import Statistics, make_node_stats
+
+formula = parse_query("exists x. exists y. (S(x) & S(y) & x < 1)")
+stats = Statistics().merge({
+    node_fingerprint(formula): make_node_stats(
+        calls=3, wall=Fraction(7, 9),
+        counters={"lp.solves": Fraction(5)},
+    ),
+})
+print(json.dumps({
+    "key": codec.statistics_key(),
+    "fingerprint": node_fingerprint(formula),
+    "blob": codec.dumps("statistics", stats).decode()
+        if isinstance(codec.dumps("statistics", stats), bytes)
+        else codec.dumps("statistics", stats),
+}, sort_keys=True))
+"""
+
+
+def _run_probe(hashseed: str) -> str:
+    src = pathlib.Path(__file__).resolve().parent.parent / "src"
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = str(src)
+    env.pop("REPRO_CACHE_DIR", None)
+    proc = subprocess.run(
+        [sys.executable, "-c", PROBE],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return proc.stdout
+
+
+class TestCrossProcessReuse:
+    def test_keys_and_fingerprints_survive_hash_randomisation(self):
+        outputs = {seed: _run_probe(seed) for seed in ("0", "42", "31337")}
+        assert len(set(outputs.values())) == 1, outputs
+
+    def test_statistics_written_by_one_process_warm_the_next(
+        self, tmp_path
+    ):
+        src = pathlib.Path(__file__).resolve().parent.parent / "src"
+        script = r"""
+import json, sys
+from repro.config import EngineConfig
+from repro.engine import QueryEngine
+from repro.logic.parser import parse_query
+from repro.workloads.generators import interval_chain
+
+engine = QueryEngine(
+    interval_chain(4),
+    config=EngineConfig.resolve(cache_dir=sys.argv[1], optimizer="on"),
+)
+engine.evaluate(parse_query("exists x. exists y. (S(x) & S(y) & x < 1)"))
+print(json.dumps(engine.stats()["optimizer"]))
+"""
+        outputs = []
+        for seed in ("0", "4242"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = seed
+            env["PYTHONPATH"] = str(src)
+            env.pop("REPRO_CACHE_DIR", None)
+            proc = subprocess.run(
+                [sys.executable, "-c", script, str(tmp_path)],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.append(json.loads(proc.stdout))
+        cold, warm = outputs
+        assert cold["stats_hits"] == 0
+        assert cold["stats_updates"] == 1
+        # The second process — under a different hash seed — found the
+        # first process's measurements by fingerprint.
+        assert warm["stats_hits"] > 0
+        assert warm["persisted_nodes"] >= cold["persisted_nodes"]
+
+
+class TestDecaySemantics:
+    def test_merge_decays_history_and_adds_run_at_full_weight(self):
+        first = Statistics().merge({"aa": make_node_stats(calls=4, wall=8)})
+        second = first.merge({"aa": make_node_stats(calls=4, wall=8)})
+        node = second.get("aa")
+        assert node.calls == 4 * DECAY + 4
+        assert node.wall == 8 * DECAY + 8
+        assert second.runs == DECAY + 1
+
+    def test_untouched_nodes_fade_out(self):
+        stats = Statistics().merge({"aa": make_node_stats(calls=1, wall=1)})
+        for __ in range(3):
+            stats = stats.merge({})
+        assert stats.get("aa").wall == DECAY**3
+
+    def test_node_fingerprint_distinguishes_types_and_text(self):
+        from repro.logic.parser import parse_query
+
+        a = parse_query("exists x. S(x)")
+        b = parse_query("exists x. S(x)")
+        c = parse_query("forall x. S(x)")
+        assert node_fingerprint(a) == node_fingerprint(b)
+        assert node_fingerprint(a) != node_fingerprint(c)
