@@ -14,9 +14,22 @@ witness of f decides one extension for free; at most two LPs per
 existing face are needed, so an insertion costs O(|F|) LP calls and the
 whole construction is output-sensitive.
 
-The result is bit-for-bit the same arrangement the batch builder
-produces (the DFS in :mod:`repro.arrangement.builder` explores the same
-sign-vector tree), which the tests and the E2 ablation verify.
+Retraction (:meth:`IncrementalArrangement.retract`) is the inverse
+walk: dropping h's sign column merges the up-to-three children of every
+face back into one, keeping the first surviving witness and
+re-certifying it against the remaining sign constraints (exact
+arithmetic first, an LP re-derivation only if certification fails).
+An insert followed by a retract of the same hyperplane restores the
+exact face set.
+
+The face lattice — hyperplanes, sign vectors, dimensions, in/out
+classification — is identical to what the batch builder produces (the
+DFS in :mod:`repro.arrangement.builder` explores the same sign-vector
+tree), which the tests and the E2 ablation verify.  Witness *points*
+are path-dependent (the batch DFS and the insertion order derive
+different interior samples for the same face), so comparisons go
+through :func:`combinatorial parity <to_arrangement>` plus witness
+certification, never through witness equality.
 """
 
 from __future__ import annotations
@@ -33,9 +46,22 @@ from repro.obs.tracing import TRACER
 from repro.constraints.relation import ConstraintRelation
 from repro.arrangement.builder import Arrangement
 
-#: Incremental-insertion telemetry (mirrors the batch builder's counters).
+#: Incremental-mutation telemetry.  The *shared* family
+#: (``arrangement.builds`` / ``arrangement.faces``) moves in
+#: :meth:`IncrementalArrangement.to_arrangement` exactly as the batch
+#: builder moves it per build, so downstream consumers (the optimizer's
+#: ``jobs`` knob, dashboards) see one coherent signal regardless of
+#: which construction path produced an arrangement; the counters below
+#: are incremental-only extras (see docs/OBSERVABILITY.md).
 _INSERTIONS = get_registry().counter("arrangement.insertions")
 _SPLIT_FACES = get_registry().counter("arrangement.split_faces")
+_RETRACTIONS = get_registry().counter("arrangement.retractions")
+_MERGED_FACES = get_registry().counter("arrangement.merged_faces")
+_RECERTIFICATIONS = get_registry().counter(
+    "arrangement.witness_recertified"
+)
+_BUILDS = get_registry().counter("arrangement.builds")
+_FACES = get_registry().counter("arrangement.faces")
 from repro.arrangement.faces import (
     Face,
     SignVector,
@@ -118,6 +144,114 @@ class IncrementalArrangement:
         for hyperplane in hyperplanes:
             self.insert(hyperplane)
 
+    def retract(self, hyperplane: Hyperplane) -> int:
+        """Remove one hyperplane; returns the number of faces merged away.
+
+        The inverse of :meth:`insert`: the plane's sign column is
+        dropped and faces whose remaining sign vectors coincide — the
+        up-to-three pieces the plane once split one face into — are
+        merged back together.  The merged face keeps the first
+        surviving witness, re-certified against the remaining sign
+        constraints exactly; if certification fails the witness is
+        re-derived by LP (``arrangement.witness_recertified`` counts
+        these).  Retracting one copy of a duplicated plane only drops
+        its column (no merging — the other copy still separates).
+        """
+        if hyperplane.dimension != self.dimension:
+            raise GeometryError(
+                f"hyperplane dimension {hyperplane.dimension} != "
+                f"{self.dimension}"
+            )
+        try:
+            index = self.hyperplanes.index(hyperplane)
+        except ValueError:
+            raise GeometryError(
+                f"cannot retract {hyperplane}: not in the arrangement"
+            ) from None
+        duplicated = self.hyperplanes.count(hyperplane) > 1
+        self.hyperplanes.pop(index)
+        if duplicated:
+            self._signs = [
+                signs[:index] + signs[index + 1:] for signs in self._signs
+            ]
+            return 0
+        _RETRACTIONS.inc()
+        with TRACER.span("arrangement.retract", aggregate=True):
+            return self._retract_unique(index)
+
+    def _retract_unique(self, index: int) -> int:
+        merged: dict[SignVector, Vector] = {}
+        for signs, witness in zip(self._signs, self._witnesses):
+            reduced = signs[:index] + signs[index + 1:]
+            if reduced not in merged:
+                merged[reduced] = witness
+        removed = len(self._signs) - len(merged)
+        planes = self.hyperplanes
+        new_signs: list[SignVector] = []
+        new_witnesses: list[Vector] = []
+        for reduced, witness in merged.items():
+            certified = all(
+                int(plane.side_of(witness)) == sign
+                for plane, sign in zip(planes, reduced)
+            )
+            if not certified:
+                _RECERTIFICATIONS.inc()
+                system = sign_vector_constraints(planes, reduced)
+                witness = strict_feasible_point(system, self.dimension)
+                if witness is None:
+                    raise GeometryError(
+                        "face became infeasible during retraction "
+                        f"(sign vector {reduced})"
+                    )
+            new_signs.append(reduced)
+            new_witnesses.append(witness)
+        self._signs = new_signs
+        self._witnesses = new_witnesses
+        _MERGED_FACES.inc(removed)
+        return removed
+
+    def reorder(self, hyperplanes: Sequence[Hyperplane]) -> None:
+        """Permute the plane columns into the given order.
+
+        After a mixed insert/retract update the internal plane list is
+        in mutation order; reordering to the canonical sorted order of
+        :func:`~repro.arrangement.hyperplanes.hyperplanes_of_relation`
+        makes :meth:`to_arrangement` combinatorially identical to a
+        batch build of the same relation.  The target must be a
+        permutation of the current planes.
+        """
+        target = list(hyperplanes)
+        if sorted(map(str, target)) != sorted(map(str, self.hyperplanes)):
+            raise GeometryError(
+                "reorder target is not a permutation of the arrangement"
+            )
+        remaining = list(range(len(self.hyperplanes)))
+        order: list[int] = []
+        for plane in target:
+            for position in remaining:
+                if self.hyperplanes[position] == plane:
+                    order.append(position)
+                    remaining.remove(position)
+                    break
+        self.hyperplanes = [self.hyperplanes[i] for i in order]
+        self._signs = [
+            tuple(signs[i] for i in order) for signs in self._signs
+        ]
+
+    @classmethod
+    def from_arrangement(cls, arrangement: Arrangement) -> "IncrementalArrangement":
+        """Adopt a built arrangement as the starting state.
+
+        The batch builder, the disk store and this module agree on the
+        face lattice, so a cached :class:`Arrangement` seeds incremental
+        maintenance without re-running any construction.
+        """
+        incremental = cls(arrangement.dimension)
+        incremental.hyperplanes = list(arrangement.hyperplanes)
+        incremental._signs = [face.signs for face in arrangement.faces]
+        incremental._witnesses = [face.sample for face in arrangement.faces]
+        return incremental
+
     def to_arrangement(
         self, relation: ConstraintRelation | None = None
     ) -> Arrangement:
@@ -128,6 +262,11 @@ class IncrementalArrangement:
         When a relation is given, faces are classified against it (its
         atoms must only use the inserted hyperplanes for the faces to be
         in-or-out of the relation; this is not re-checked).
+
+        Freezing moves the *shared* counter family exactly as one batch
+        build does — ``arrangement.builds`` by one, ``arrangement.faces``
+        by the face count — so both construction paths feed the same
+        telemetry (the counter-parity test pins this).
         """
         planes = tuple(self.hyperplanes)
         order = sorted(
@@ -142,6 +281,8 @@ class IncrementalArrangement:
                 relation.contains(witness) if relation is not None else False
             )
             faces.append(Face(position, signs, dim, witness, inside))
+        _BUILDS.inc()
+        _FACES.inc(len(faces))
         return Arrangement(self.dimension, planes, tuple(faces), relation)
 
 

@@ -653,11 +653,210 @@ def run_bench_e14(
     return record
 
 
+#: Incremental maintenance must beat the full rebuild by at least this
+#: factor on single-disjunct updates (the paper-story write: one new
+#: fact against a large standing database).
+_E16_TARGET_SPEEDUP = 5.0
+
+#: Update size the target applies at.
+_E16_TARGET_UPDATE = 1
+
+
+def _combinatorial_signature(arrangement) -> list:
+    """Order-free face identity: (signs, dimension, in_relation) rows.
+
+    Witness points are deliberately excluded — they are path-dependent
+    between the batch DFS and the incremental insert/retract walk (see
+    :mod:`repro.arrangement.incremental`); every certified field must
+    agree exactly.
+    """
+    return sorted(
+        (face.signs, face.dimension, face.in_relation)
+        for face in arrangement.faces
+    )
+
+
+def run_bench_e16(
+    sizes: Sequence[int] = (1, 4, 16),
+    check_only: bool = False,
+    k: int | None = None,
+) -> dict:
+    """Incremental view maintenance vs full rebuild under writes (E16).
+
+    Each row extends an ``interval_chain(k)`` database by ``update``
+    new unit segments and answers the E15 unit-step reachability
+    program against the post-write version twice:
+
+    * **fast** — the maintenance path: the standing arrangement is
+      updated by plane delta
+      (:class:`~repro.incremental.MaintainedArrangements`, O(|F|) LP
+      calls per inserted plane) and the materialised fixpoint re-runs
+      the compiled semi-naive delta plans over warm, interned kernels
+      (:class:`~repro.incremental.MaintainedProgram`);
+    * **baseline** — the honest oracle: a batch arrangement rebuild
+      plus the interpreted full fixpoint evaluation from scratch.
+
+    ``match`` demands byte-identity: equal combinatorial face
+    signatures (signs, dimensions, in/out classification — witnesses
+    are path-dependent and excluded) and byte-identical fixpoint
+    output (stage counts, per-stage sizes, structurally identical
+    result formulas).  The warm-up that seeds the maintained state on
+    the *pre*-write version is untimed — it models the standing server
+    the write arrives at.  ``k`` sizes the standing database (default
+    32, or 12 under ``check_only``); the ≥5× target applies to the
+    single-segment update rows.
+    """
+    from repro.arrangement.builder import build_arrangement
+    from repro.datalog import evaluate_program
+    from repro.datalog.parser import parse_program
+    from repro.geometry.simplex import clear_feasibility_cache
+    from repro.incremental import (
+        MaintainedArrangements,
+        MaintainedProgram,
+        apply_delta,
+        make_delta,
+    )
+    from repro.workloads.generators import interval_chain
+
+    chain_k = k if k is not None else (12 if check_only else 32)
+    program = parse_program(
+        "Reach(x) :- S(x), x = 0.\n"
+        "Reach(y) :- Reach(x), S(y), y - x <= 1, x - y <= 1.\n"
+    )
+    registry = get_registry()
+    results = []
+    with _no_store():
+        for update in sizes:
+            base = interval_chain(chain_k)
+            max_stages = 4 * (chain_k + update) + 8
+            # Untimed warm-up: the standing engine state the write
+            # arrives at (base arrangement adopted, base fixpoint
+            # materialised with its kernels interned).
+            maintained = MaintainedProgram(
+                program, base, max_stages=max_stages
+            )
+            arrangements = MaintainedArrangements()
+            old_spatial = base.relation("S")
+            arrangements.adopt(
+                old_spatial, build_arrangement(old_spatial)
+            )
+            delta = make_delta(*(
+                (
+                    "insert",
+                    "S",
+                    f"({chain_k + i} <= x0 & x0 <= {chain_k + i + 1})",
+                )
+                for i in range(update)
+            ))
+            new_db = apply_delta(base, delta)
+            new_spatial = new_db.relation("S")
+
+            clear_feasibility_cache()
+            inserted_before = registry.get("incremental.planes_inserted")
+
+            def maintain():
+                arrangement = arrangements.update(
+                    old_spatial,
+                    new_spatial,
+                    build_old=lambda: build_arrangement(old_spatial),
+                )
+                return arrangement, maintained.apply(new_db)
+
+            (fast_arr, fast_outcome), fast_s = _timed(maintain)
+            planes_inserted = (
+                registry.get("incremental.planes_inserted")
+                - inserted_before
+            )
+
+            clear_feasibility_cache()
+
+            def rebuild():
+                arrangement = build_arrangement(new_spatial)
+                outcome = evaluate_program(
+                    program,
+                    new_db,
+                    max_stages=max_stages,
+                    strategy="seminaive",
+                    executor="interpreted",
+                )
+                return arrangement, outcome
+
+            (base_arr, base_outcome), baseline_s = _timed(rebuild)
+
+            identical = (
+                fast_arr.hyperplanes == base_arr.hyperplanes
+                and _combinatorial_signature(fast_arr)
+                == _combinatorial_signature(base_arr)
+                and fast_outcome.stages == base_outcome.stages
+                and fast_outcome.converged == base_outcome.converged
+                and fast_outcome.stage_sizes == base_outcome.stage_sizes
+                and set(fast_outcome.relations)
+                == set(base_outcome.relations)
+                and all(
+                    fast_outcome[p].variables
+                    == base_outcome[p].variables
+                    and str(fast_outcome[p].formula)
+                    == str(base_outcome[p].formula)
+                    for p in fast_outcome.relations
+                )
+            )
+            speedup = (
+                round(baseline_s / fast_s, 2) if fast_s > 0 else None
+            )
+            row = {
+                "update": update,
+                "k": chain_k,
+                "stages": fast_outcome.stages,
+                "converged": (
+                    fast_outcome.converged and base_outcome.converged
+                ),
+                "faces": len(fast_arr.faces),
+                "planes_inserted": planes_inserted,
+                "baseline_s": round(baseline_s, 4),
+                "fast_s": round(fast_s, 4),
+                "speedup": speedup,
+                "match": identical,
+            }
+            if update == _E16_TARGET_UPDATE and not check_only:
+                row["meets_target"] = (
+                    speedup is not None
+                    and speedup >= _E16_TARGET_SPEEDUP
+                )
+            results.append(row)
+    speedups = [
+        row["speedup"] for row in results if row["speedup"] is not None
+    ]
+    metadata = _metadata(1)
+    metadata["executor_baseline"] = "interpreted"
+    metadata["executor_fast"] = "compiled"
+    return {
+        "benchmark": "E16",
+        "subject": "incremental view maintenance under writes "
+        "(unit-step reachability)",
+        "baseline": "full rebuild: batch arrangement construction + "
+        "interpreted semi-naive fixpoint from scratch",
+        "fast": "maintenance: plane-delta arrangement update + "
+        "compiled semi-naive re-run over warm interned kernels",
+        "target": {
+            "speedup": _E16_TARGET_SPEEDUP,
+            "at_update": _E16_TARGET_UPDATE,
+        },
+        "metadata": metadata,
+        "check_only": check_only,
+        "sizes": list(sizes),
+        "k": chain_k,
+        "results": results,
+        "all_match": all(row["match"] for row in results),
+        "largest_speedup": max(speedups) if speedups else None,
+    }
+
+
 BENCHMARKS = {
     "e2": (run_bench_e2, "BENCH_E2.json"),
     "e3": (run_bench_e3, "BENCH_E3.json"),
     "e14": (run_bench_e14, "BENCH_E14.json"),
     "e15": (run_bench_e15, "BENCH_E15.json"),
+    "e16": (run_bench_e16, "BENCH_E16.json"),
 }
 
 

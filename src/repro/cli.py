@@ -238,10 +238,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a named before/after benchmark and emit its JSON record",
     )
     bench.add_argument(
-        "name", choices=("e2", "e3", "e14", "e15"),
+        "name", choices=("e2", "e3", "e14", "e15", "e16"),
         help="benchmark to run (E2 arrangement scaling, E3 LP filter "
              "microbench, E14 cost-based optimizer, E15 spatial "
-             "datalog)",
+             "datalog, E16 incremental view maintenance)",
     )
     bench.add_argument(
         "--sizes",

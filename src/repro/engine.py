@@ -32,6 +32,7 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
+from dataclasses import dataclass
 
 from repro.errors import EvaluationError
 from repro.config import EngineConfig
@@ -276,6 +277,41 @@ class EngineCache:
             "extension", self._extensions, key, hit, miss, build
         )
 
+    def seed_arrangement(
+        self,
+        relation: ConstraintRelation,
+        arrangement: Arrangement,
+        store: DiskStore | None = None,
+    ) -> None:
+        """Install a maintained arrangement under its relation's key.
+
+        The incremental write path (:meth:`QueryEngine.apply_delta`)
+        computes the new version's arrangement by delta and seeds it
+        here, so the next extension build takes a counted hit instead
+        of re-running the batch construction.  When a disk store is
+        given the entry is persisted too — but never overwritten:
+        content-addressed keys mean an existing entry is the same
+        arrangement already, and leaving it untouched keeps store bytes
+        stable across write/undo round trips.
+        """
+        from repro.arrangement.hyperplanes import hyperplanes_of_relation
+
+        key = (relation_fingerprint(relation), ())
+        with self._lock:
+            self._arrangements[key] = arrangement
+            self._arrangements.move_to_end(key)
+            while len(self._arrangements) > self.capacity:
+                self._arrangements.popitem(last=False)
+        disk = store if store is not None else self.store
+        if disk is not None:
+            disk_key = store_pkg.arrangement_key(
+                hyperplanes_of_relation(relation),
+                relation.arity,
+                relation,
+            )
+            if not disk.entry_path("arrangement", disk_key).exists():
+                disk.save("arrangement", disk_key, arrangement)
+
     # ------------------------------------------------------------------
     # Predictions (non-mutating, for ``repro explain``)
     # ------------------------------------------------------------------
@@ -424,6 +460,26 @@ def invalidate_cache(database: ConstraintDatabase | None = None) -> None:
     _DEFAULT_CACHE.invalidate(database)
 
 
+@dataclass(frozen=True)
+class DeltaReport:
+    """What one :meth:`QueryEngine.apply_delta` call did.
+
+    ``parent``/``child`` are the database fingerprints before and after
+    the write; ``lineage_seq`` is the persisted chain position (``None``
+    without a disk store) and ``compacted`` reports whether the child
+    was folded back into a full snapshot.
+    """
+
+    parent: str
+    child: str
+    operations: int
+    relations_changed: tuple[str, ...]
+    planes_inserted: int
+    planes_retracted: int
+    lineage_seq: "int | None"
+    compacted: bool
+
+
 class QueryEngine:
     """The unified entry point for querying one constraint database.
 
@@ -524,6 +580,10 @@ class QueryEngine:
         self.lp_mode = config.lp_mode
         self._extension: RegionExtension | None = None
         self._evaluator: Evaluator | None = None
+        #: Lazily created per-engine arrangement maintenance state
+        #: (:class:`repro.incremental.MaintainedArrangements`).
+        self._maintained = None
+        self._c_deltas = registry.counter("engine.deltas_applied")
 
     # ------------------------------------------------------------------
     # Lazily resolved backends
@@ -881,6 +941,112 @@ class QueryEngine:
         from repro.explain import explain_query
 
         return explain_query(self, self._parse(query), analyze=analyze)
+
+    # ------------------------------------------------------------------
+    # Writes (incremental view maintenance)
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta) -> DeltaReport:
+        """Apply a write to this engine's database, maintaining caches.
+
+        ``delta`` is a :class:`repro.incremental.Delta` (or a sequence
+        of ``(action, relation, formula)`` triples accepted by
+        :func:`repro.incremental.make_delta`).  The engine
+
+        * rebinds :attr:`database` to the post-delta version (built
+          all-or-nothing; an invalid op raises
+          :class:`~repro.errors.DeltaError` and changes nothing),
+        * maintains each changed relation's cached arrangement by plane
+          delta (insertion + retraction, reordered to the canonical
+          plane order) and seeds the engine cache and disk store with
+          the result, so the next query against the new version skips
+          the batch construction,
+        * records the version edge in the store's lineage log (when a
+          store is active), rooting and compacting the chain as needed.
+
+        Maintained arrangements are combinatorially identical to a
+        batch rebuild; answers computed against the new version are
+        byte-identical to a cold engine's — the differential suite in
+        ``tests/test_ivm_differential.py`` holds this path to the
+        fresh-rebuild oracle.  Maintenance covers the default
+        (per-relation) arrangement keys; decompositions that refine by
+        other relations' planes simply rebuild on demand, which is
+        correct, merely un-warm.
+        """
+        from repro import incremental as inc
+
+        if not isinstance(delta, inc.Delta):
+            delta = inc.make_delta(*delta)
+        parent_db = self.database
+        parent_print = database_fingerprint(parent_db)
+        child_db = inc.apply_delta(parent_db, delta)
+        child_print = database_fingerprint(child_db)
+        changed = delta.relations()
+        registry = get_registry()
+        inserted_before = registry.get("incremental.planes_inserted")
+        retracted_before = registry.get("incremental.planes_retracted")
+        disk = self._store()
+        if self._maintained is None:
+            self._maintained = inc.MaintainedArrangements()
+        with TRACER.span("apply_delta"), \
+                fastlp.lp_mode(self._effective_lp_mode()), \
+                self._store_scope():
+            for name in changed:
+                old_rel = parent_db.relation(name)
+                new_rel = child_db.relation(name)
+                if old_rel.formula == new_rel.formula:
+                    continue
+                arrangement = self._maintained.update(
+                    old_rel,
+                    new_rel,
+                    build_old=lambda rel=old_rel: self.cache.arrangement(
+                        rel, jobs=self._effective_jobs()
+                    ),
+                )
+                self.cache.seed_arrangement(
+                    new_rel, arrangement, store=disk
+                )
+        lineage_seq: "int | None" = None
+        compacted = False
+        if disk is not None:
+            compactions_before = registry.get(
+                "incremental.lineage_compactions"
+            )
+            record = inc.LineageLog(disk).record(parent_db, child_db, delta)
+            lineage_seq = record.seq
+            compacted = (
+                registry.get("incremental.lineage_compactions")
+                > compactions_before
+            )
+        self.database = child_db
+        self._extension = None
+        self._evaluator = None
+        self._c_deltas.inc()
+        report = DeltaReport(
+            parent=parent_print,
+            child=child_print,
+            operations=len(delta),
+            relations_changed=changed,
+            planes_inserted=(
+                registry.get("incremental.planes_inserted") - inserted_before
+            ),
+            planes_retracted=(
+                registry.get("incremental.planes_retracted")
+                - retracted_before
+            ),
+            lineage_seq=lineage_seq,
+            compacted=compacted,
+        )
+        if JOURNAL.enabled:
+            JOURNAL.emit(
+                "delta.applied",
+                parent=parent_print[:12],
+                child=child_print[:12],
+                operations=report.operations,
+                relations=",".join(changed),
+                planes_inserted=report.planes_inserted,
+                planes_retracted=report.planes_retracted,
+            )
+        return report
 
     # ------------------------------------------------------------------
     # Maintenance / introspection

@@ -81,3 +81,8 @@ class CaptureError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised by workload generators for invalid parameters."""
+
+
+class DeltaError(ReproError):
+    """Raised for invalid incremental updates (unknown relation, schema
+    mismatch, retracting a disjunct the relation does not contain)."""

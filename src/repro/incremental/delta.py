@@ -1,0 +1,177 @@
+"""Database deltas at disjunct granularity.
+
+A :class:`Delta` is a sequence of :class:`DeltaOp` values, each
+inserting or retracting whole *disjuncts* of one relation's defining
+formula.  Working at the top-level-``Or`` structural level (rather than
+re-normalising through set algebra) buys the metamorphic property the
+IVM test harness is built on: an insert followed by a retract of the
+same disjuncts restores the **exact** original formula object
+structure, hence the original relation fingerprint, hence the original
+content-addressed store keys — nothing downstream can tell the write
+pair ever happened.
+
+Unchanged relations keep their identical objects, and a changed
+relation's carried-over disjuncts keep *their* identical sub-formula
+objects, so the maintenance tier's identity-keyed decision memos
+(:class:`repro.ir.kernels.KernelCache`) survive across database
+versions for everything the delta did not touch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeltaError
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.formula import FALSE, FalseFormula, Formula, Or
+from repro.constraints.relation import ConstraintRelation
+
+#: The two delta actions.
+ACTIONS = ("insert", "retract")
+
+
+@dataclass(frozen=True)
+class DeltaOp:
+    """One write: add or remove disjuncts of one named relation."""
+
+    action: str
+    relation: str
+    formula: Formula
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise DeltaError(
+                f"unknown delta action {self.action!r}; "
+                f"expected one of {ACTIONS}"
+            )
+
+
+@dataclass(frozen=True)
+class Delta:
+    """An ordered batch of write operations, applied atomically."""
+
+    ops: tuple[DeltaOp, ...]
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def relations(self) -> tuple[str, ...]:
+        """The distinct relation names this delta touches, in order."""
+        seen: list[str] = []
+        for op in self.ops:
+            if op.relation not in seen:
+                seen.append(op.relation)
+        return tuple(seen)
+
+
+def delta_op(
+    action: str, relation: str, formula: "Formula | str"
+) -> DeltaOp:
+    """Build one op, parsing the formula when given as source text."""
+    if isinstance(formula, str):
+        from repro.constraints.parser import parse_formula
+
+        formula = parse_formula(formula)
+    return DeltaOp(action, relation, formula)
+
+
+def make_delta(*ops: "DeltaOp | tuple[str, str, Formula | str]") -> Delta:
+    """A :class:`Delta` from ops or ``(action, relation, formula)`` triples."""
+    return Delta(tuple(
+        op if isinstance(op, DeltaOp) else delta_op(*op) for op in ops
+    ))
+
+
+def disjunct_list(formula: Formula) -> tuple[Formula, ...]:
+    """The top-level disjunct structure of a defining formula.
+
+    ``Or`` yields its operands, the false formula yields nothing, and
+    any other formula is a single disjunct.  This is purely structural —
+    no DNF conversion — so rebuilding from the list round-trips exactly.
+    """
+    if isinstance(formula, Or):
+        return tuple(formula.operands)
+    if isinstance(formula, FalseFormula):
+        return ()
+    return (formula,)
+
+
+def formula_from_disjuncts(disjuncts: tuple[Formula, ...]) -> Formula:
+    """Inverse of :func:`disjunct_list` (exact for its outputs)."""
+    if not disjuncts:
+        return FALSE
+    if len(disjuncts) == 1:
+        return disjuncts[0]
+    return Or(tuple(disjuncts))
+
+
+def _apply_op(
+    relation: ConstraintRelation, op: DeltaOp
+) -> ConstraintRelation:
+    incoming = disjunct_list(op.formula)
+    extra = set()
+    for piece in incoming:
+        extra |= piece.free_variables()
+    unknown = extra - set(relation.variables)
+    if unknown:
+        raise DeltaError(
+            f"delta formula for {op.relation!r} uses variables "
+            f"{sorted(unknown)} outside the schema {relation.variables}"
+        )
+    current = list(disjunct_list(relation.formula))
+    if op.action == "insert":
+        current.extend(incoming)
+    else:
+        for piece in incoming:
+            try:
+                current.remove(piece)
+            except ValueError:
+                raise DeltaError(
+                    f"cannot retract from {op.relation!r}: no disjunct "
+                    f"structurally equal to {piece}"
+                ) from None
+    return ConstraintRelation.make(
+        relation.variables, formula_from_disjuncts(tuple(current))
+    )
+
+
+def apply_delta(
+    database: ConstraintDatabase, delta: Delta
+) -> ConstraintDatabase:
+    """The database after all of the delta's ops, in order.
+
+    Untouched relations are carried over as the *same objects*; touched
+    relations are rebuilt from their existing disjunct objects plus or
+    minus the delta's.  Invalid ops raise :class:`DeltaError` before
+    anything is built, so application is all-or-nothing.
+    """
+    relations = dict(database.relations)
+    for op in delta.ops:
+        current = relations.get(op.relation)
+        if current is None:
+            raise DeltaError(
+                f"unknown relation {op.relation!r}; "
+                f"have {sorted(relations)}"
+            )
+        relations[op.relation] = _apply_op(current, op)
+    return ConstraintDatabase.make(relations)
+
+
+def invert(delta: Delta) -> Delta:
+    """The delta that undoes this one (retract↔insert, reverse order).
+
+    ``apply_delta(apply_delta(db, d), invert(d))`` restores ``db``'s
+    disjunct multiset per relation; it restores the **exact** formula
+    structure (hence the fingerprint, hence the content-addressed
+    store keys) whenever every retraction in ``d`` removes a disjunct
+    appended by an earlier op — in particular for insert-only deltas,
+    the metamorphic identity the fuzz harness leans on.  Retracting a
+    *pre-existing* disjunct loses its position: the inverse insert
+    re-appends it at the end, a logically equivalent relation with a
+    possibly different fingerprint.
+    """
+    flipped = {"insert": "retract", "retract": "insert"}
+    return Delta(tuple(
+        DeltaOp(flipped[op.action], op.relation, op.formula)
+        for op in reversed(delta.ops)
+    ))

@@ -1,0 +1,106 @@
+"""Structural interning of formulas, relations and compiled plans.
+
+The IR kernels (:class:`repro.ir.kernels.KernelCache`) memoise pure
+decision procedures — feasibility, disjunct reduction, subsumption —
+under *identity* keys: tuples of ``id(atom)``.  Within one evaluation
+that is exact and cheap.  Across database versions it would be useless:
+plan compilation rebuilds every hoisted constant through
+``rename_to``, which allocates fresh (structurally equal) atom objects,
+so every memo would miss.
+
+An :class:`Interner` fixes that by mapping each structurally-equal atom
+and formula to one canonical representative object.  Maintenance
+re-compiles plans for every database version, then interns them through
+the *same* interner, so unchanged constants present the identical atom
+objects run after run and the kernel memos keep hitting.  Interning
+replaces objects with structurally equal objects only — renderings,
+fingerprints and every computed relation are unchanged — so the
+byte-identity argument of the compiled executor (PR 7) carries over
+verbatim to maintained re-evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.formula import (
+    And,
+    AtomFormula,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+)
+from repro.constraints.relation import ConstraintRelation
+from repro.ir import nodes as ir
+
+
+class Interner:
+    """Canonical representatives for atoms, formulas and relations."""
+
+    def __init__(self) -> None:
+        self._atoms: dict = {}
+        self._formulas: dict = {}
+        self._relations: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._atoms) + len(self._formulas)
+
+    def atom(self, atom):
+        """The canonical object for a structurally-equal atom."""
+        return self._atoms.setdefault(atom, atom)
+
+    def formula(self, formula: Formula) -> Formula:
+        """The canonical formula, rebuilt over canonical atoms."""
+        cached = self._formulas.get(formula)
+        if cached is not None:
+            return cached
+        if isinstance(formula, AtomFormula):
+            interned: Formula = AtomFormula(self.atom(formula.atom))
+        elif isinstance(formula, And):
+            interned = And(tuple(
+                self.formula(operand) for operand in formula.operands
+            ))
+        elif isinstance(formula, Or):
+            interned = Or(tuple(
+                self.formula(operand) for operand in formula.operands
+            ))
+        elif isinstance(formula, Not):
+            interned = Not(self.formula(formula.operand))
+        elif isinstance(formula, Exists):
+            interned = Exists(
+                formula.variable, self.formula(formula.body)
+            )
+        elif isinstance(formula, Forall):
+            interned = Forall(
+                formula.variable, self.formula(formula.body)
+            )
+        else:
+            interned = formula
+        self._formulas[formula] = interned
+        # The canonical object resolves to itself on the next lookup.
+        self._formulas.setdefault(interned, interned)
+        return interned
+
+    def relation(self, relation: ConstraintRelation) -> ConstraintRelation:
+        """A relation over the canonical formula (schema untouched)."""
+        key = (relation.variables, relation.formula)
+        cached = self._relations.get(key)
+        if cached is not None:
+            return cached
+        interned = ConstraintRelation.make(
+            relation.variables, self.formula(relation.formula)
+        )
+        self._relations[key] = interned
+        return interned
+
+    def plan(self, node: ir.IRNode) -> ir.IRNode:
+        """Intern every hoisted constant of a compiled plan, in place.
+
+        Plans arrive freshly compiled (never shared), so rewriting the
+        ``Const`` payloads in place is safe and keeps the node objects —
+        which profilers key on — stable.
+        """
+        for sub in ir.walk(node):
+            if isinstance(sub, ir.Const):
+                sub.relation = self.relation(sub.relation)
+        return node

@@ -20,6 +20,9 @@ Endpoints (all JSON; see docs/SERVER.md for full schemas):
                            "database": "name"?, "tenant": ...?}``
 ``POST /v1/explain``       EXPLAIN (ANALYZE) a query; body adds
                            ``{"analyze": bool}``
+``POST /v1/update``        apply a write; body ``{"delta":
+                           [[action, relation, formula], ...],
+                           "database": "name"?}``
 ``GET /v1/healthz``        liveness + the registered databases
 ``GET /v1/stats``          admission/pool/cache/store/journal counters
 =========================  ===========================================
@@ -30,6 +33,13 @@ connections; cold arrangement builds are **single-flight** at two
 layers (an async future per fingerprint here, a per-key event inside
 ``EngineCache``), so a thundering herd on one database computes its
 region extension exactly once.
+
+Writes go through :meth:`QueryEngine.apply_delta` — incremental view
+maintenance, not rebuild-and-swap — serialised behind one update lock
+while reads keep flowing: a read resolves its database object once,
+and the write path swaps every alias to the post-delta object in one
+step, so a concurrent read sees the old version or the new one in
+full, never a torn mix (the returned ``fingerprint`` says which).
 """
 
 from __future__ import annotations
@@ -48,6 +58,7 @@ from repro.config import (
 )
 from repro.constraints.database import ConstraintDatabase
 from repro.engine import QueryEngine
+from repro.incremental import Delta, delta_op, make_delta
 from repro.geometry import fastlp
 from repro.obs.journal import JOURNAL, journal_context
 from repro.obs.metrics import MetricsRegistry, get_registry
@@ -113,6 +124,10 @@ class ConstraintService:
         #: EXPLAIN ANALYZE drives the process-global tracer, which is
         #: one collection at a time — explain requests are serialised.
         self._explain_lock = asyncio.Lock()
+        #: Writes are serialised (single-flight) while reads keep
+        #: flowing; one lock also covers aliases sharing a database
+        #: object ("default" and the first registered name).
+        self._update_lock = asyncio.Lock()
         registry = metrics if metrics is not None else get_registry()
         self._registry = registry
         self._c_requests = registry.counter("server.requests")
@@ -124,6 +139,7 @@ class ConstraintService:
         self._routes = {
             "/v1/query": ("POST", self._handle_query),
             "/v1/explain": ("POST", self._handle_explain),
+            "/v1/update": ("POST", self._handle_update),
             "/v1/healthz": ("GET", self._handle_healthz),
             "/v1/stats": ("GET", self._handle_stats),
         }
@@ -344,6 +360,103 @@ class ConstraintService:
         payload["executor"] = resolve_executor(self.config.executor)
         payload["optimizer"] = resolve_optimizer(self.config.optimizer)
         return Response(200, payload)
+
+    @staticmethod
+    def _parse_delta(body: Mapping[str, Any]) -> Delta:
+        """The request's delta, from triples or op objects."""
+        raw = body.get("delta")
+        if not isinstance(raw, (list, tuple)) or not raw:
+            raise HttpError(
+                400, "missing_delta",
+                'the body needs a non-empty list field "delta"',
+            )
+        ops = []
+        for entry in raw:
+            if isinstance(entry, Mapping):
+                triple = (
+                    entry.get("action"),
+                    entry.get("relation"),
+                    entry.get("formula"),
+                )
+            elif isinstance(entry, (list, tuple)) and len(entry) == 3:
+                triple = tuple(entry)
+            else:
+                raise HttpError(
+                    400, "bad_delta",
+                    "each delta op is [action, relation, formula] or "
+                    '{"action": ..., "relation": ..., "formula": ...}',
+                )
+            if not all(isinstance(part, str) for part in triple):
+                raise HttpError(
+                    400, "bad_delta", "delta op fields must be strings"
+                )
+            ops.append(delta_op(*triple))
+        return make_delta(*ops)
+
+    async def _handle_update(
+        self, request: Request, request_id: str, tenant: str
+    ) -> Response:
+        """Apply a write to a named database (incremental maintenance).
+
+        Admission-controlled like a query (writes spend the same tenant
+        budget), then serialised behind the update lock.  The database
+        name — and every alias sharing its object — is atomically
+        rebound to the post-delta version; in-flight reads finish
+        against whichever version they resolved.
+        """
+        body = request.json()
+        name, __ = self._database(body)
+        delta = self._parse_delta(body)
+        async with self.admission.admit(tenant):
+            async with self._update_lock:
+                # Re-read under the lock: an earlier write may have
+                # rebound the name since the validation resolve above.
+                database = self.databases[name]
+                engine = self.pool.checkout(
+                    database, self.decomposition, self.spatial_name
+                )
+                try:
+                    started = time.perf_counter()
+                    report = await asyncio.to_thread(
+                        engine.apply_delta, delta
+                    )
+                    wall_ms = (time.perf_counter() - started) * 1000
+                finally:
+                    # Checkin keys by the engine's *current* fingerprint,
+                    # so the maintained engine is pooled under the new
+                    # version and the next read reuses it warm.
+                    self.pool.checkin(engine)
+                aliases = sorted(
+                    alias
+                    for alias, bound in self.databases.items()
+                    if bound is database
+                )
+                for alias in aliases:
+                    self.databases[alias] = engine.database
+        if JOURNAL.enabled:
+            JOURNAL.emit(
+                "update.applied", id=request_id, database=name,
+                aliases=",".join(aliases),
+                parent=report.parent[:12], child=report.child[:12],
+                operations=report.operations,
+                planes_inserted=report.planes_inserted,
+                planes_retracted=report.planes_retracted,
+                wall_ms=round(wall_ms, 3),
+            )
+        return Response(200, {
+            "request_id": request_id,
+            "database": name,
+            "aliases": aliases,
+            "parent": report.parent,
+            "fingerprint": report.child,
+            "operations": report.operations,
+            "relations_changed": list(report.relations_changed),
+            "planes_inserted": report.planes_inserted,
+            "planes_retracted": report.planes_retracted,
+            "lineage_seq": report.lineage_seq,
+            "compacted": report.compacted,
+            "wall_ms": round(wall_ms, 3),
+        })
 
     async def _handle_healthz(
         self, request: Request, request_id: str, tenant: str

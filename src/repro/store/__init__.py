@@ -31,19 +31,23 @@ from repro.store.codec import (
     CodecError,
     SCHEMA_VERSION,
     arrangement_key,
+    lineage_key,
     query_result_key,
     statistics_key,
 )
 from repro.store.disk import DiskStore
+from repro.store.lineage import LineageRecord
 
 __all__ = [
     "CodecError",
     "DiskStore",
+    "LineageRecord",
     "SCHEMA_VERSION",
     "active_store",
     "arrangement_key",
     "codec",
     "configure_store",
+    "lineage_key",
     "query_result_key",
     "resolve_store",
     "statistics_key",

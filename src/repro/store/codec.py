@@ -65,14 +65,17 @@ from repro.optimizer.statistics import (
     NodeStats,
     Statistics,
 )
+from repro.store.lineage import LineageRecord
 
 #: Bump on any change to the payload structure below.  Entries written
 #: under a different version are rejected (and quarantined by the disk
-#: store) instead of being decoded with the wrong reader.
+#: store) instead of being decoded with the wrong reader.  Adding the
+#: ``lineage`` kind did not bump it: existing kinds' payloads are
+#: untouched, and unknown-kind entries were already rejected by name.
 SCHEMA_VERSION = 1
 
 #: The artifact kinds the codec understands.
-KINDS = ("arrangement", "relation", "statistics")
+KINDS = ("arrangement", "relation", "statistics", "lineage")
 
 
 class CodecError(ReproError):
@@ -402,15 +405,68 @@ def _dec_statistics(value: Any) -> Statistics:
     )
 
 
+def _enc_lineage(record: LineageRecord) -> dict:
+    payload: dict = {
+        "parent": _string(record.parent),
+        "child": _string(record.child),
+        "seq": int(record.seq),
+        "ops": [
+            {
+                "action": _string(action),
+                "relation": _string(name),
+                "formula": _enc_formula(formula),
+            }
+            for action, name, formula in record.ops
+        ],
+        "snapshot": None,
+    }
+    if record.snapshot is not None:
+        payload["snapshot"] = [
+            [_string(name), _enc_relation(relation)]
+            for name, relation in record.snapshot
+        ]
+    return payload
+
+
+def _dec_lineage(value: Any) -> LineageRecord:
+    seq = value["seq"]
+    if not isinstance(seq, int) or seq < 0:
+        raise CodecError(f"lineage seq must be a non-negative int: {seq!r}")
+    ops = tuple(
+        (
+            _string(op["action"]),
+            _string(op["relation"]),
+            _dec_formula(op["formula"]),
+        )
+        for op in value["ops"]
+    )
+    snapshot = value.get("snapshot")
+    decoded_snapshot = None
+    if snapshot is not None:
+        decoded_snapshot = tuple(
+            (_string(name), _dec_relation(relation))
+            for name, relation in snapshot
+        )
+    return LineageRecord(
+        parent=_string(value["parent"]),
+        child=_string(value["child"]),
+        seq=seq,
+        ops=ops,
+        snapshot=decoded_snapshot,
+    )
+
+
 _ENCODERS = {
     "arrangement": (_enc_arrangement, Arrangement),
     "relation": (_enc_relation, ConstraintRelation),
     "statistics": (_enc_statistics, Statistics),
+    "lineage": (_enc_lineage, LineageRecord),
 }
 _DECODERS = {
     "arrangement": _dec_arrangement,
     "relation": _dec_relation,
     "statistics": _dec_statistics,
+    "lineage": _dec_lineage,
 }
 
 
@@ -552,3 +608,13 @@ def statistics_key(scope: str = "global") -> str:
     measurements transfer between workloads.
     """
     return digest_key("statistics", scope)
+
+
+def lineage_key(child_fingerprint: str) -> str:
+    """The disk key of a version's lineage record.
+
+    Keyed by the *child* database fingerprint: every version answers
+    "where did I come from" with one lookup, and replay walks parent
+    fingerprints back to the nearest snapshot.
+    """
+    return digest_key("lineage", child_fingerprint)

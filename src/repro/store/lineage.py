@@ -1,0 +1,49 @@
+"""The persisted lineage record: how one database version came to be.
+
+A :class:`LineageRecord` is the disk-store artifact behind incremental
+writes (:mod:`repro.incremental.lineage`): content-addressed by the
+*child* database fingerprint, it names the parent fingerprint and the
+delta ops that produced the child — or, for a **snapshot** record, the
+child's full relation set (``parent == ""``, ``seq == 0``).  Walking
+``parent`` links back to the nearest snapshot and replaying the ops
+forward reconstructs any version exactly (same formula structure, same
+fingerprint); compaction simply writes a fresh snapshot record so the
+walk stays short.
+
+The record lives here (not in :mod:`repro.incremental`) so the codec
+can encode it without importing the maintenance machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.formula import Formula
+from repro.constraints.relation import ConstraintRelation
+
+
+@dataclass(frozen=True)
+class LineageRecord:
+    """One edge (or root) of a database's version history."""
+
+    #: Fingerprint of the parent version; ``""`` for a snapshot record.
+    parent: str
+    #: Fingerprint of the version this record produces.
+    child: str
+    #: Deltas applied since the last snapshot (0 = this IS a snapshot).
+    seq: int
+    #: The delta ops, as ``(action, relation, formula)`` triples.
+    ops: tuple[tuple[str, str, Formula], ...]
+    #: Full relation set of ``child``; only on snapshot records.
+    snapshot: "tuple[tuple[str, ConstraintRelation], ...] | None" = None
+
+    @property
+    def is_snapshot(self) -> bool:
+        return self.snapshot is not None
+
+    def snapshot_database(self) -> ConstraintDatabase:
+        """The database a snapshot record stores."""
+        if self.snapshot is None:
+            raise ValueError("not a snapshot record")
+        return ConstraintDatabase(tuple(self.snapshot))

@@ -18,6 +18,7 @@ from repro.geometry.hyperplane import Hyperplane
 from repro.constraints.parser import parse_formula
 from repro.constraints.relation import ConstraintRelation
 from repro.arrangement.builder import build_arrangement
+from repro.arrangement.hyperplanes import hyperplanes_of_relation
 from repro.arrangement.incremental import (
     IncrementalArrangement,
     build_arrangement_incremental,
@@ -162,3 +163,160 @@ class TestEulerRelation:
         )
         census = arrangement.face_count_by_dimension()
         assert census[0] - census[1] == -1
+
+
+class TestRetraction:
+    """retract() is insert()'s inverse on the face lattice."""
+
+    def test_insert_then_retract_restores_combinatorics(self):
+        relation = triangle_relation()
+        incremental = IncrementalArrangement(2)
+        incremental.insert_all(hyperplanes_of_relation(relation))
+        reference = combinatorial_signature(
+            incremental.to_arrangement(relation)
+        )
+        extra = Hyperplane.make([1, 1], 7)
+        created = incremental.insert(extra)
+        assert created > 0
+        merged = incremental.retract(extra)
+        assert merged == created
+        assert combinatorial_signature(
+            incremental.to_arrangement(relation)
+        ) == reference
+
+    def test_retract_interior_plane_matches_batch(self):
+        """Retracting from the middle (not LIFO) still lands on the
+        batch arrangement of the remaining planes."""
+        planes = [
+            Hyperplane.make([1, 0], 0),
+            Hyperplane.make([0, 1], 0),
+            Hyperplane.make([1, 1], 1),
+        ]
+        incremental = IncrementalArrangement(2)
+        incremental.insert_all(planes)
+        incremental.retract(planes[1])
+        remaining = [planes[0], planes[2]]
+        incremental.reorder(remaining)
+        batch = build_arrangement(
+            hyperplanes=remaining, dimension=2
+        )
+        assert combinatorial_signature(incremental.to_arrangement()) \
+            == combinatorial_signature(batch)
+
+    def test_retract_duplicate_drops_column_only(self):
+        incremental = IncrementalArrangement(1)
+        plane = Hyperplane.make([1], 0)
+        incremental.insert(plane)
+        incremental.insert(Hyperplane.make([2], 0))  # same plane
+        faces_before = len(incremental)
+        merged = incremental.retract(plane)
+        assert merged == 0
+        assert len(incremental) == faces_before
+        # The surviving column still separates the line at 0.
+        assert len(incremental.hyperplanes) == 1
+
+    def test_retract_unknown_plane_raises(self):
+        incremental = IncrementalArrangement(1)
+        incremental.insert(Hyperplane.make([1], 0))
+        with pytest.raises(GeometryError):
+            incremental.retract(Hyperplane.make([1], 5))
+
+    def test_retract_to_empty(self):
+        incremental = IncrementalArrangement(2)
+        plane = Hyperplane.make([1, 0], 0)
+        incremental.insert(plane)
+        incremental.retract(plane)
+        assert len(incremental) == 1
+        assert incremental.to_arrangement().face_count_by_dimension() \
+            == {2: 1}
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-2, 2), st.integers(-2, 2),
+                      st.integers(-3, 3)).filter(
+                lambda t: (t[0], t[1]) != (0, 0)
+            ),
+            min_size=2,
+            max_size=4,
+            unique=True,
+        ),
+        st.data(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_retract_any_plane_matches_batch(self, rows, data):
+        planes = list({Hyperplane.make([a, b], c) for a, b, c in rows})
+        victim = data.draw(st.sampled_from(planes), label="retracted")
+        incremental = IncrementalArrangement(2)
+        incremental.insert_all(planes)
+        incremental.retract(victim)
+        remaining = [p for p in planes if p != victim]
+        incremental.reorder(remaining)
+        batch = build_arrangement(hyperplanes=remaining, dimension=2)
+        assert combinatorial_signature(incremental.to_arrangement()) \
+            == combinatorial_signature(batch)
+
+
+class TestCounterParity:
+    """Both construction paths feed one coherent counter family.
+
+    ``arrangement.builds`` moves by one and ``arrangement.faces`` by
+    the face count per frozen arrangement, whether the batch DFS or an
+    incremental freeze produced it; the incremental-only counters
+    (``insertions``/``split_faces``/``retractions``/``merged_faces``)
+    move only on the incremental path (docs/OBSERVABILITY.md)."""
+
+    def test_builds_and_faces_move_identically(self):
+        from repro.obs.metrics import get_registry
+
+        relation = triangle_relation()
+        registry = get_registry()
+
+        before = (registry.get("arrangement.builds"),
+                  registry.get("arrangement.faces"))
+        batch = build_arrangement(relation)
+        batch_delta = (
+            registry.get("arrangement.builds") - before[0],
+            registry.get("arrangement.faces") - before[1],
+        )
+
+        incremental = IncrementalArrangement(2)
+        incremental.insert_all(hyperplanes_of_relation(relation))
+        before = (registry.get("arrangement.builds"),
+                  registry.get("arrangement.faces"))
+        frozen = incremental.to_arrangement(relation)
+        incremental_delta = (
+            registry.get("arrangement.builds") - before[0],
+            registry.get("arrangement.faces") - before[1],
+        )
+
+        assert batch_delta == (1, len(batch.faces))
+        assert incremental_delta == (1, len(frozen.faces))
+        assert len(batch.faces) == len(frozen.faces)
+
+    def test_incremental_only_counters_stay_put_on_batch_path(self):
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
+        names = (
+            "arrangement.insertions",
+            "arrangement.split_faces",
+            "arrangement.retractions",
+            "arrangement.merged_faces",
+        )
+        before = {name: registry.get(name) for name in names}
+        build_arrangement(triangle_relation())
+        for name in names:
+            assert registry.get(name) == before[name], name
+
+    def test_mutation_counters_move_on_incremental_path(self):
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
+        incremental = IncrementalArrangement(1)
+        plane = Hyperplane.make([1], 0)
+        before_ins = registry.get("arrangement.insertions")
+        before_ret = registry.get("arrangement.retractions")
+        incremental.insert(plane)
+        incremental.retract(plane)
+        assert registry.get("arrangement.insertions") == before_ins + 1
+        assert registry.get("arrangement.retractions") == before_ret + 1

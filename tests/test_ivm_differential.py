@@ -1,0 +1,213 @@
+"""Differential fuzzing of incremental view maintenance.
+
+The maintained write path (:meth:`QueryEngine.apply_delta`) must be
+indistinguishable from throwing everything away and rebuilding: after
+any interleaving of inserts, retracts and queries, the maintained
+engine's answers are **byte-identical** to a fresh cold engine's on the
+same database version, the maintained database's fingerprint equals
+the directly-constructed one, and the maintained arrangement is
+combinatorially identical to a batch rebuild.
+
+Hypothesis generates the interleavings; the decorated ``@example``
+corpus pins previously interesting shapes (write/undo pairs, duplicate
+disjuncts, retract-to-empty, invalid retracts) as permanent
+regressions.  ``REPRO_IVM_EXAMPLES`` scales the number of generated
+interleavings per (executor, lp_mode) cell — CI raises it so each
+executor sees well over a hundred interleavings per run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, example, given, settings
+from hypothesis import strategies as st
+
+from repro.arrangement.builder import build_arrangement
+from repro.config import EngineConfig
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.parser import parse_formula
+from repro.constraints.relation import ConstraintRelation
+from repro.engine import EngineCache, QueryEngine, database_fingerprint
+from repro.errors import DeltaError
+from repro.incremental import formula_from_disjuncts, make_delta
+from repro.obs.metrics import MetricsRegistry
+
+#: Generated interleavings per (executor, lp_mode) cell.  CI sets the
+#: environment knob high enough that each executor sees >= 200
+#: interleavings across its two lp_mode cells.
+MAX_EXAMPLES = int(os.environ.get("REPRO_IVM_EXAMPLES", "15"))
+
+#: Candidate disjuncts: a chain of unit intervals (adjacent pieces
+#: share endpoint hyperplanes — the interesting case for plane-level
+#: maintenance) plus two detached pieces.
+PIECES = tuple(
+    f"({a} <= x0 & x0 <= {a + 1})" for a in range(4)
+) + ("(x0 <= -2)", "(6 <= x0 & x0 <= 8)")
+
+#: Query mix: open formula, constrained, and a sentence.
+QUERIES = (
+    "S(x)",
+    "S(x) & x < 3",
+    "exists x. (S(x) & x > 1)",
+)
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(("insert", "retract", "query")),
+        st.integers(min_value=0, max_value=7),
+    ),
+    min_size=2,
+    max_size=8,
+)
+
+
+def _signature(arrangement):
+    return sorted(
+        (face.signs, face.dimension, face.in_relation)
+        for face in arrangement.faces
+    )
+
+
+def _fresh_engine(database, config):
+    """A cold engine with private caches — the rebuild oracle."""
+    return QueryEngine(
+        database,
+        cache=EngineCache(metrics=MetricsRegistry()),
+        config=config,
+    )
+
+
+@pytest.mark.parametrize("lp_mode", ("exact", "filtered"))
+@pytest.mark.parametrize("executor", ("interpreted", "compiled"))
+@settings(
+    max_examples=MAX_EXAMPLES,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=_ops)
+# Write/undo pair, then query.
+@example(ops=[("insert", 1), ("retract", 1), ("query", 0)])
+# Duplicate disjunct: a multiset, retract removes one occurrence.
+@example(ops=[("insert", 1), ("insert", 1), ("retract", 1), ("query", 1)])
+# Retract the seed piece down to the empty relation, then query.
+@example(ops=[("retract", 0), ("query", 0), ("insert", 2), ("query", 2)])
+# Invalid retract (piece absent) must be rejected atomically.
+@example(ops=[("retract", 5), ("insert", 5), ("retract", 5), ("query", 0)])
+def test_maintained_engine_matches_fresh_oracle(executor, lp_mode, ops):
+    """Any insert/retract/query interleaving: maintained ≡ rebuilt."""
+    config = EngineConfig(executor=executor, lp_mode=lp_mode)
+    seed = parse_formula(PIECES[0])
+    engine = _fresh_engine(
+        ConstraintDatabase.from_formula(seed, 1), config
+    )
+    current = [seed]  # the model: S's disjunct multiset, in order
+    for kind, index in ops:
+        if kind == "query":
+            text = QUERIES[index % len(QUERIES)]
+            maintained = engine.evaluate(text)
+            expected = _fresh_engine(engine.database, config).evaluate(
+                text
+            )
+            assert maintained.variables == expected.variables
+            assert str(maintained.formula) == str(expected.formula)
+            assert maintained.is_empty() == expected.is_empty()
+            continue
+        piece = parse_formula(PIECES[index % len(PIECES)])
+        if kind == "retract" and piece not in current:
+            before = engine.fingerprint
+            with pytest.raises(DeltaError):
+                engine.apply_delta(make_delta(("retract", "S", piece)))
+            assert engine.fingerprint == before, "rejected writes are no-ops"
+            continue
+        report = engine.apply_delta(make_delta((kind, "S", piece)))
+        if kind == "insert":
+            current.append(piece)
+        else:
+            current.remove(piece)
+        assert report.child == engine.fingerprint
+
+    # The maintained database is structurally the directly-built one.
+    expected_db = ConstraintDatabase.make({
+        "S": ConstraintRelation.make(
+            ("x0",), formula_from_disjuncts(tuple(current))
+        )
+    })
+    assert engine.fingerprint == database_fingerprint(expected_db)
+
+    # The maintained arrangement (seeded into the engine cache by the
+    # write path) is combinatorially identical to a batch rebuild.
+    spatial = engine.database.relation("S")
+    maintained_arr = engine.cache.arrangement(spatial)
+    batch_arr = build_arrangement(spatial)
+    assert maintained_arr.hyperplanes == batch_arr.hyperplanes
+    assert _signature(maintained_arr) == _signature(batch_arr)
+
+
+@pytest.mark.parametrize("executor", ("interpreted", "compiled"))
+@settings(
+    max_examples=MAX_EXAMPLES,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    batch=st.lists(
+        st.tuples(
+            st.sampled_from(("insert", "retract")),
+            st.integers(min_value=0, max_value=5),
+        ),
+        min_size=1,
+        max_size=5,
+    )
+)
+@example(batch=[("insert", 2), ("retract", 2), ("retract", 0)])
+@example(batch=[("retract", 3)])
+def test_batched_delta_is_atomic(executor, batch):
+    """A multi-op delta lands whole or not at all.
+
+    Valid batches produce exactly the database the op-by-op model
+    predicts; a batch whose ops are individually invalid midway leaves
+    the engine byte-identical to its pre-write state.
+    """
+    config = EngineConfig(executor=executor)
+    seed = parse_formula(PIECES[0])
+    engine = _fresh_engine(
+        ConstraintDatabase.from_formula(seed, 1), config
+    )
+    before_print = engine.fingerprint
+    before_answer = str(engine.evaluate("S(x)").formula)
+
+    current = [seed]
+    valid = True
+    for action, index in batch:
+        piece = parse_formula(PIECES[index % len(PIECES)])
+        if action == "insert":
+            current.append(piece)
+        elif piece in current:
+            current.remove(piece)
+        else:
+            valid = False
+            break
+    delta = make_delta(*(
+        (action, "S", PIECES[index % len(PIECES)])
+        for action, index in batch
+    ))
+
+    if not valid:
+        with pytest.raises(DeltaError):
+            engine.apply_delta(delta)
+        assert engine.fingerprint == before_print
+        assert str(engine.evaluate("S(x)").formula) == before_answer
+        return
+
+    engine.apply_delta(delta)
+    expected_db = ConstraintDatabase.make({
+        "S": ConstraintRelation.make(
+            ("x0",), formula_from_disjuncts(tuple(current))
+        )
+    })
+    assert engine.fingerprint == database_fingerprint(expected_db)
+    maintained = engine.evaluate("S(x)")
+    expected = _fresh_engine(expected_db, config).evaluate("S(x)")
+    assert str(maintained.formula) == str(expected.formula)

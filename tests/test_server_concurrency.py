@@ -218,3 +218,150 @@ def test_disk_store_shared_by_two_engines_interleaved(tmp_path):
         for engine, __ in outcomes
     }
     assert len(signatures) == 1
+
+
+# ----------------------------------------------------------------------
+# The write path (/v1/update)
+# ----------------------------------------------------------------------
+def test_http_updates_never_tear_concurrent_reads():
+    """Readers racing a sequence of writes only ever see whole
+    versions: every response fingerprint is a version the database
+    actually was, and its answer is byte-identical to a cold engine's
+    answer for exactly that version."""
+    from repro.engine import database_fingerprint
+    from repro.incremental import apply_delta, make_delta
+    from repro.server.loadgen import post_json
+
+    service = ConstraintService(
+        {"demo": _db()},
+        quota_rate=100000.0, quota_burst=100000,
+        max_concurrent=8, max_queue=256,
+        metrics=MetricsRegistry(),
+    )
+    segments = [
+        "(10 <= x0 & x0 <= 11)",
+        "(12 <= x0 & x0 <= 13)",
+        "(14 <= x0 & x0 <= 15)",
+    ]
+    # The local model: every version the served database can be at.
+    versions = [_db()]
+    for segment in segments:
+        versions.append(apply_delta(
+            versions[-1], make_delta(("insert", "S", segment))
+        ))
+    expected = {}
+    for version in versions:
+        oracle = QueryEngine(
+            version,
+            cache=EngineCache(metrics=MetricsRegistry()),
+            config=EngineConfig(),
+        )
+        expected[database_fingerprint(version)] = str(
+            oracle.evaluate("S(x0)").formula
+        )
+
+    read_results = []
+    with ServerThread(service) as server:
+        stop = threading.Event()
+
+        def reader():
+            out = []
+            while not stop.is_set() and len(out) < 80:
+                out.append(post_json(
+                    server.port, "/v1/query", {"query": "S(x0)"}
+                ))
+            return out
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [pool.submit(reader) for _ in range(3)]
+            update_bodies = []
+            for segment in segments:
+                status, body = post_json(server.port, "/v1/update", {
+                    "delta": [["insert", "S", segment]],
+                    "database": "demo",
+                })
+                assert status == 200, body
+                update_bodies.append(body)
+            stop.set()
+            for future in futures:
+                read_results.extend(future.result())
+        # After the last write, reads serve the tip version.
+        status, body = post_json(
+            server.port, "/v1/query", {"query": "S(x0)"}
+        )
+
+    # The writes walked exactly the modelled version chain.
+    chain = [database_fingerprint(version) for version in versions]
+    assert [b["parent"] for b in update_bodies] == chain[:-1]
+    assert [b["fingerprint"] for b in update_bodies] == chain[1:]
+    assert sorted(update_bodies[0]["aliases"]) == ["default", "demo"]
+
+    assert status == 200 and body["fingerprint"] == chain[-1]
+    assert read_results, "readers ran"
+    for read_status, read_body in read_results:
+        assert read_status == 200, read_body
+        fingerprint = read_body["fingerprint"]
+        assert fingerprint in expected, "a read saw a torn version"
+        assert read_body["answer"]["formula"] == expected[fingerprint]
+
+
+def test_http_write_quota_applies_to_updates():
+    """Writes spend the same per-tenant budget as queries: 429 with a
+    retry hint once the bucket is dry."""
+    service = ConstraintService(
+        {"demo": _db()},
+        quota_rate=0.001, quota_burst=1,
+        metrics=MetricsRegistry(),
+    )
+    payloads = [
+        {"delta": [["insert", "S", f"({20 + 2 * i} <= x0 & x0 <= "
+                    f"{21 + 2 * i})"]]}
+        for i in range(3)
+    ]
+    with ServerThread(service) as server:
+        results = run_load(
+            server.port, payloads, concurrency=1,
+            tenant="writer", path="/v1/update",
+        )
+    statuses = [r["status"] for r in results]
+    assert statuses[0] == 200
+    assert statuses[1:] == [429] * 2
+    rejected = results[1]["body"]["error"]
+    assert rejected["code"] == "quota_exceeded"
+    assert rejected["retry_after_s"] > 0
+
+
+def test_journal_stamps_update_events_with_request_and_tenant():
+    """The audit trail covers writes: the update.applied event (and
+    every event the write causes) carries the request id and tenant,
+    plus the parent/child fingerprints of the version edge."""
+    from repro.obs.journal import journal_scope
+    from repro.server.loadgen import post_json
+
+    service = ConstraintService(
+        {"demo": _db()}, metrics=MetricsRegistry(),
+    )
+    with ServerThread(service) as server:
+        with journal_scope() as journal:
+            status, body = post_json(
+                server.port, "/v1/update",
+                {"delta": [["insert", "S", "(30 <= x0 & x0 <= 31)"]]},
+                tenant="team-w",
+            )
+            events = journal.events()
+    assert status == 200
+    applied = [e for e in events if e["type"] == "update.applied"]
+    assert len(applied) == 1
+    event = applied[0]
+    assert event["id"] == body["request_id"]
+    assert event["request"] == body["request_id"]
+    assert event["tenant"] == "team-w"
+    assert body["parent"].startswith(event["parent"])
+    assert body["fingerprint"].startswith(event["child"])
+    # The delta.applied event the engine emits is scoped the same way.
+    engine_events = [e for e in events if e["type"] == "delta.applied"]
+    assert engine_events and all(
+        e["request"] == body["request_id"]
+        and e["tenant"] == "team-w"
+        for e in engine_events
+    )
