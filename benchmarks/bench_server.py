@@ -13,8 +13,11 @@ that claim end-to-end over real HTTP:
   (store hits), the second hits the in-memory engine cache.
 
 The record (``BENCH_SERVER.json``) carries client-side p50/p99
-latency and QPS per phase plus the server's own cache/store counters;
-``warm_beats_cold`` asserts the architecture pays for itself.
+latency and QPS per phase, the server's own cache/store counters, and
+— scraped from ``GET /metrics`` — the *server-side* per-endpoint
+p50/p90/p99 derived from the request-latency histogram buckets, so
+client-observed and server-observed latency can be compared in one
+record; ``warm_beats_cold`` asserts the architecture pays for itself.
 
 Run as a script to (re)generate the committed record::
 
@@ -23,13 +26,15 @@ Run as a script to (re)generate the committed record::
 
 from __future__ import annotations
 
+import re
 import time
 from typing import Any
 
 from repro.config import EngineConfig
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import TelemetryRegistry, bucket_quantile
 from repro.server import ConstraintService, ServerThread, run_load
-from repro.server.loadgen import get_json, percentile
+from repro.server.loadgen import get_json, get_text, percentile
 from repro.workloads.generators import interval_chain
 
 #: Databases served: distinct interval chains (distinct fingerprints).
@@ -40,6 +45,59 @@ QUERIES = (
     "S(x0)",
     "exists y. S(y) & x0 - y <= 1 & y - x0 <= 1",
 )
+
+
+_BUCKET_LINE = re.compile(
+    r"^repro_server_request_seconds_bucket\{(?P<labels>[^}]*)\} "
+    r"(?P<value>\S+)$"
+)
+
+
+def _parse_labels(text: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    for part in text.split(","):
+        key, __, value = part.partition("=")
+        labels[key.strip()] = value.strip().strip('"')
+    return labels
+
+
+def server_latency_quantiles(
+    metrics_text: str,
+) -> dict[str, dict[str, Any]]:
+    """Per-endpoint p50/p90/p99 (ms) from scraped ``/metrics`` text.
+
+    Parses the ``repro_server_request_seconds_bucket`` families, sums
+    cumulative bucket counts across tenants per endpoint (cumulative
+    counts are additive), and interpolates quantiles with the same
+    :func:`bucket_quantile` the server's histograms use.
+    """
+    buckets: dict[str, dict[float, int]] = {}
+    for line in metrics_text.splitlines():
+        match = _BUCKET_LINE.match(line)
+        if match is None:
+            continue
+        labels = _parse_labels(match.group("labels"))
+        endpoint = labels.get("endpoint", "")
+        upper = float(labels["le"])
+        per_endpoint = buckets.setdefault(endpoint, {})
+        per_endpoint[upper] = (
+            per_endpoint.get(upper, 0) + int(float(match.group("value")))
+        )
+    quantiles: dict[str, dict[str, Any]] = {}
+    for endpoint, cumulative_by_upper in sorted(buckets.items()):
+        uppers = sorted(u for u in cumulative_by_upper if u != float("inf"))
+        cumulative = [cumulative_by_upper[u] for u in uppers]
+        cumulative.append(cumulative_by_upper.get(float("inf"), 0))
+        count = cumulative[-1]
+        if count == 0:
+            continue
+        quantiles[endpoint] = {
+            "count": count,
+            "p50_ms": round(bucket_quantile(uppers, cumulative, 0.50) * 1000, 3),
+            "p90_ms": round(bucket_quantile(uppers, cumulative, 0.90) * 1000, 3),
+            "p99_ms": round(bucket_quantile(uppers, cumulative, 0.99) * 1000, 3),
+        }
+    return quantiles
 
 
 def _phase(
@@ -58,6 +116,7 @@ def _phase(
             )
         wall_s = time.perf_counter() - started
         __, stats = get_json(server.port, "/v1/stats")
+        __, metrics_text = get_text(server.port, "/metrics")
     failures = [r for r in results if r["status"] != 200]
     latencies = [r["wall_s"] for r in results]
     return {
@@ -67,6 +126,7 @@ def _phase(
         "qps": round(len(results) / wall_s, 2),
         "p50_ms": round(percentile(latencies, 0.50) * 1000, 3),
         "p99_ms": round(percentile(latencies, 0.99) * 1000, 3),
+        "endpoints": server_latency_quantiles(metrics_text),
         "stats": stats,
     }
 
@@ -87,11 +147,14 @@ def run_bench_server(
         for name in databases
         for query in QUERIES
     ]
-    config = EngineConfig.resolve(cache_dir=store_dir, jobs=1)
+    config = EngineConfig.resolve(
+        cache_dir=store_dir, jobs=1, metrics_labels="on"
+    )
 
     cold_service = ConstraintService(
         dict(databases), config,
         max_concurrent=max_concurrent, metrics=MetricsRegistry(),
+        telemetry=TelemetryRegistry(),
     )
     cold = _phase(cold_service, requests, concurrency, passes=1)
 
@@ -100,6 +163,7 @@ def run_bench_server(
     warm_service = ConstraintService(
         dict(databases), config,
         max_concurrent=max_concurrent, metrics=MetricsRegistry(),
+        telemetry=TelemetryRegistry(),
     )
     warm = _phase(warm_service, requests, concurrency, passes=2)
 
@@ -136,6 +200,12 @@ def test_server_cold_vs_warm(tmp_path, report):
     assert record["engine_cache_hits"] > 0, (
         "second warm pass must hit the in-memory engine cache"
     )
+    for phase_name in ("cold", "warm"):
+        endpoints = record[phase_name]["endpoints"]
+        assert "/v1/query" in endpoints, (
+            f"{phase_name} /metrics scrape must yield /v1/query buckets"
+        )
+        assert endpoints["/v1/query"]["count"] >= len(record["queries"])
     report(
         "SERVER: cold vs warm over HTTP",
         [

@@ -897,10 +897,30 @@ def history_line(record: dict) -> dict:
         "python_version": metadata.get("python_version"),
         "lp_mode": metadata.get("lp_mode"),
         "jobs": metadata.get("jobs"),
+        "executor": metadata.get("executor"),
         "sizes": record.get("sizes"),
         "all_match": record.get("all_match"),
         "largest_speedup": record.get("largest_speedup"),
+        "fast_total_s": _timing_signal(record),
     }
+
+
+def _timing_signal(record: dict) -> float | None:
+    """Total fast-path seconds across a record's result rows.
+
+    The regression sentry's comparison scalar: the sum of ``fast_s``
+    over every size, which every benchmark family reports.  ``None``
+    when the record carries no timed rows (nothing to compare).
+    """
+    rows = record.get("results") or []
+    timings = [
+        row["fast_s"]
+        for row in rows
+        if isinstance(row, dict) and isinstance(row.get("fast_s"), (int, float))
+    ]
+    if not timings:
+        return None
+    return round(sum(timings), 4)
 
 
 def append_history(record: dict, path: str) -> None:
@@ -915,3 +935,97 @@ def append_history(record: dict, path: str) -> None:
             json.dumps(history_line(record), separators=(",", ":"))
         )
         handle.write("\n")
+
+
+#: Defaults of the regression sentry (``repro bench --check-regression``).
+REGRESSION_WINDOW = 5
+REGRESSION_TOLERANCE = 0.25
+
+
+def load_history(path: str) -> list[dict]:
+    """Parse a history JSONL file; unparseable lines are skipped."""
+    lines: list[dict] = []
+    try:
+        with open(path) as handle:
+            for raw in handle:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    lines.append(json.loads(raw))
+                except json.JSONDecodeError:
+                    continue
+    except FileNotFoundError:
+        return []
+    return lines
+
+
+def check_regression(
+    record: dict,
+    history_path: str,
+    window: int = REGRESSION_WINDOW,
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> dict:
+    """Compare a fresh record's timing against its recent history.
+
+    The comparison scalar is :func:`_timing_signal` (total fast-path
+    seconds).  History lines count only when they describe the *same*
+    experiment — benchmark, sizes, lp_mode, jobs and executor all equal
+    — so a knob change never masquerades as a slowdown.  The verdict is
+    the ratio of the fresh timing to the **median of the last
+    ``window`` matching lines**: medians shrug off one noisy CI run
+    where a mean would not.
+
+    Returns a verdict dict whose ``status`` is ``"regression"`` (ratio
+    above ``1 + tolerance``), ``"ok"``, ``"no-history"`` (nothing
+    comparable recorded yet) or ``"no-signal"`` (the record has no
+    timed rows).  The CLI exits nonzero only on ``"regression"``.
+    """
+    if window < 1:
+        raise ValueError("window must be at least 1")
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+    current = _timing_signal(record)
+    metadata = record.get("metadata") or {}
+    verdict: dict = {
+        "benchmark": record.get("benchmark"),
+        "history": str(history_path),
+        "window": window,
+        "tolerance": tolerance,
+        "current_s": current,
+    }
+    if current is None:
+        verdict["status"] = "no-signal"
+        return verdict
+    key = {
+        "benchmark": record.get("benchmark"),
+        "sizes": record.get("sizes"),
+        "lp_mode": metadata.get("lp_mode"),
+        "jobs": metadata.get("jobs"),
+        "executor": metadata.get("executor"),
+    }
+    matching = [
+        line
+        for line in load_history(history_path)
+        if isinstance(line.get("fast_total_s"), (int, float))
+        and all(line.get(field) == value for field, value in key.items())
+    ]
+    if not matching:
+        verdict["status"] = "no-history"
+        verdict["samples"] = 0
+        return verdict
+    recent = matching[-window:]
+    timings = sorted(line["fast_total_s"] for line in recent)
+    middle = len(timings) // 2
+    if len(timings) % 2:
+        median = timings[middle]
+    else:
+        median = (timings[middle - 1] + timings[middle]) / 2
+    ratio = current / median if median > 0 else float("inf")
+    verdict.update(
+        samples=len(recent),
+        median_s=round(median, 4),
+        ratio=round(ratio, 3),
+        status="regression" if ratio > 1 + tolerance else "ok",
+    )
+    return verdict

@@ -12,6 +12,8 @@ Usage (also via ``python -m repro``):
     repro encode DB.cdb                    the Theorem 6.4 encoding word
     repro render DB.cdb out.svg            2-D relations only
     repro serve DB.cdb [NAME=DB2.cdb ...]  async multi-tenant HTTP API
+    repro metrics [DB.cdb ["query"]]       Prometheus text metrics dump
+    repro slowlog [PATH]                   inspect the slow-query log
 
 Databases are text files in the format of :mod:`repro.constraints.io`.
 
@@ -36,7 +38,12 @@ import sys
 from typing import Sequence
 
 from repro.errors import ReproError
-from repro.config import EXECUTORS, OPTIMIZERS, EngineConfig
+from repro.config import (
+    EXECUTORS,
+    METRICS_LABELS,
+    OPTIMIZERS,
+    EngineConfig,
+)
 from repro.constraints.io import load_database
 from repro.engine import QueryEngine
 from repro.geometry import fastlp
@@ -268,6 +275,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="append a one-line summary (git sha, UTC timestamp, python "
              "version, speedup) to PATH as JSON Lines",
     )
+    bench.add_argument(
+        "--check-regression",
+        action="store_true",
+        dest="check_regression",
+        help="compare this run's fast-path timing against the median of "
+             "recent matching history lines; exit 3 on a regression",
+    )
+    bench.add_argument(
+        "--history",
+        default="BENCH_HISTORY.jsonl",
+        metavar="PATH",
+        help="history JSONL file for --check-regression "
+             "(default: BENCH_HISTORY.jsonl)",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="slowdown fraction tolerated before flagging a regression "
+             "(default: 0.25, i.e. 25%% over the historical median)",
+    )
+    bench.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="number of recent matching history lines whose median is "
+             "the baseline (default: 5)",
+    )
     _add_jobs_flag(bench)
     _add_lp_mode_flag(bench)
     _add_executor_flag(bench)
@@ -318,7 +355,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve = commands.add_parser(
         "serve",
         help="serve databases over the async multi-tenant HTTP/JSON API "
-             "(POST /v1/query, /v1/explain; GET /v1/healthz, /v1/stats)",
+             "(POST /v1/query, /v1/explain; GET /v1/healthz, "
+             "/v1/stats, /metrics)",
     )
     serve.add_argument(
         "databases",
@@ -354,6 +392,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-requests", type=int, default=None, metavar="N",
         help="exit after serving N requests (smoke tests and CI)",
     )
+    serve.add_argument(
+        "--slow-log",
+        default=None,
+        metavar="PATH",
+        dest="slow_log",
+        help="capture EXPLAIN ANALYZE records for requests slower than "
+             "the SLO latency objective to PATH as JSON Lines "
+             "(default: $REPRO_SLOW_LOG, else off)",
+    )
+    serve.add_argument(
+        "--slo-latency-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        dest="slo_latency_ms",
+        help="per-tenant latency objective in milliseconds; doubles as "
+             "the slow-query capture threshold "
+             "(default: $REPRO_SLO_LATENCY_MS, else 250)",
+    )
+    serve.add_argument(
+        "--metrics-labels",
+        choices=METRICS_LABELS,
+        default=None,
+        dest="metrics_labels",
+        help="attach tenant/endpoint/executor/lp_mode labels to "
+             "histogram series; 'off' collapses everything to unlabeled "
+             "aggregates (default: $REPRO_METRICS_LABELS, else on)",
+    )
     _add_decomposition_flag(serve)
     _add_spatial_flag(serve)
     _add_jobs_flag(serve)
@@ -362,6 +428,49 @@ def build_parser() -> argparse.ArgumentParser:
     _add_optimizer_flag(serve)
     _add_cache_dir_flag(serve)
     _add_journal_flag(serve)
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="dump process metrics in the Prometheus text exposition "
+             "format; with a database (and query) the command evaluates "
+             "first so engine/LP/store series are populated",
+    )
+    metrics.add_argument(
+        "database", nargs="?", default=None,
+        help="database to load (optional; populates store/engine series)",
+    )
+    metrics.add_argument(
+        "text", nargs="?", default=None,
+        help="query to evaluate before the dump (optional)",
+    )
+    _add_decomposition_flag(metrics)
+    _add_spatial_flag(metrics)
+    _add_jobs_flag(metrics)
+    _add_lp_mode_flag(metrics)
+    _add_executor_flag(metrics)
+    _add_optimizer_flag(metrics)
+    _add_cache_dir_flag(metrics)
+
+    slowlog = commands.add_parser(
+        "slowlog",
+        help="inspect the slow-query log written by a server "
+             "(--slow-log / $REPRO_SLOW_LOG)",
+    )
+    slowlog.add_argument(
+        "path", nargs="?", default=None,
+        help="slow-log JSONL file (default: $REPRO_SLOW_LOG)",
+    )
+    slowlog.add_argument(
+        "--limit", type=int, default=10, metavar="N",
+        help="show only the newest N records (default: 10)",
+    )
+    slowlog.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the full records (including the captured EXPLAIN "
+             "ANALYZE plans) as JSON instead of a summary table",
+    )
 
     render = commands.add_parser(
         "render", help="render a 2-D database to SVG"
@@ -584,7 +693,12 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
     """
     import json
 
-    from repro.bench import BENCHMARKS, append_history, write_record
+    from repro.bench import (
+        BENCHMARKS,
+        append_history,
+        check_regression,
+        write_record,
+    )
 
     runner, __ = BENCHMARKS[args.name]
     kwargs: dict = {"check_only": args.check_only}
@@ -607,10 +721,36 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
     if args.output:
         write_record(record, args.output)
         print(f"wrote {args.output}", file=out)
+    exit_code = 0 if record["all_match"] else 1
+    if args.check_regression:
+        regression_kwargs: dict = {}
+        if args.window is not None:
+            regression_kwargs["window"] = args.window
+        if args.tolerance is not None:
+            regression_kwargs["tolerance"] = args.tolerance
+        verdict = check_regression(
+            record, args.history, **regression_kwargs
+        )
+        print(json.dumps({"regression_check": verdict}, indent=2),
+              file=out)
+        if verdict["status"] == "regression":
+            print(
+                f"error: performance regression — current "
+                f"{verdict['current_s']}s vs median "
+                f"{verdict['median_s']}s over the last "
+                f"{verdict['samples']} matching run(s) "
+                f"(ratio {verdict['ratio']}, tolerance "
+                f"{verdict['tolerance']})",
+                file=out,
+            )
+            exit_code = exit_code or 3
+    # History is appended AFTER the regression check: a run must not be
+    # compared against itself, and a regressing run still lands in the
+    # history so a deliberate slowdown re-baselines after `window` runs.
     if args.append_history:
         append_history(record, args.append_history)
         print(f"appended history to {args.append_history}", file=out)
-    return 0 if record["all_match"] else 1
+    return exit_code
 
 
 def _cmd_stats(args: argparse.Namespace, out) -> int:
@@ -742,6 +882,87 @@ def _subformulas(node) -> list:
     return children
 
 
+def _cmd_metrics(args: argparse.Namespace, out) -> int:
+    """Dump process metrics as Prometheus text exposition.
+
+    ``main`` resets observability first (one-shot command), so the dump
+    reflects exactly the work done here: loading the database populates
+    store series, evaluating a query populates the engine, LP and
+    arrangement histograms.  Without arguments the dump shows an idle
+    (empty) process — useful to check the exposition pipeline itself.
+    """
+    from repro.obs.telemetry import get_telemetry, render_prometheus
+
+    if args.text is not None and args.database is None:
+        print("error: a query needs a database", file=out)
+        return 2
+    if args.database is not None:
+        database = load_database(args.database)
+        engine = QueryEngine(
+            database, args.decomposition, args.spatial,
+            config=EngineConfig(jobs=args.jobs),
+        )
+        if args.text is not None:
+            formula = parse_query(args.text)
+            if formula.free_region_vars() or formula.free_set_vars():
+                print(
+                    "error: queries must not have free region or set "
+                    "variables",
+                    file=out,
+                )
+                return 2
+            engine.evaluate(formula)
+    print(
+        render_prometheus(get_registry().snapshot(), get_telemetry()),
+        file=out,
+        end="",
+    )
+    return 0
+
+
+def _cmd_slowlog(args: argparse.Namespace, out) -> int:
+    """Inspect the slow-query log (newest records last)."""
+    import json
+
+    from repro.obs.slowlog import ENV_SLOW_LOG, load_slow_log
+
+    path = (
+        args.path
+        or os.environ.get(ENV_SLOW_LOG, "").strip()
+        or None
+    )
+    if path is None:
+        print(
+            "error: no slow-query log (pass PATH or set REPRO_SLOW_LOG)",
+            file=out,
+        )
+        return 2
+    records = load_slow_log(path, limit=args.limit)
+    if args.as_json:
+        print(json.dumps(records, indent=2), file=out)
+        return 0
+    if not records:
+        print(f"no slow-query records in {path}", file=out)
+        return 0
+    print(f"slow queries in {path} (newest last):", file=out)
+    for record in records:
+        wall = record.get("wall_ms")
+        wall_text = (
+            f"{wall:.1f}ms" if isinstance(wall, (int, float)) else "?"
+        )
+        print(
+            f"  {record.get('ts', '?')}  "
+            f"tenant={record.get('tenant', '?')}  "
+            f"db={record.get('database', '?')}  "
+            f"wall={wall_text}  "
+            f"threshold={record.get('threshold_ms', '?')}ms",
+            file=out,
+        )
+        query = str(record.get("query", "")).replace("\n", " ")
+        print(f"    {query[:70]}", file=out)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace, out) -> int:
     """Run the async multi-tenant HTTP/JSON service until interrupted.
 
@@ -769,6 +990,8 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
     config = EngineConfig.resolve(
         lp_mode=args.lp_mode, jobs=args.jobs, cache_dir=args.cache_dir,
         executor=args.executor, optimizer=args.optimizer,
+        slow_log=args.slow_log, slo_latency_ms=args.slo_latency_ms,
+        metrics_labels=args.metrics_labels,
     )
     service = ConstraintService(
         databases,
@@ -806,6 +1029,8 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "stats": _cmd_stats,
     "serve": _cmd_serve,
+    "metrics": _cmd_metrics,
+    "slowlog": _cmd_slowlog,
 }
 
 #: Commands that start and stop the process tracer themselves; ``main``

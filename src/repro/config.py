@@ -20,6 +20,9 @@ field              environment variable   default
 ``cache_budget``   ``REPRO_CACHE_BUDGET``  ``None`` (unbounded)
 ``journal``        ``REPRO_JOURNAL``      ``None`` (no journal sink)
 ``optimizer``      ``REPRO_OPTIMIZER``    ``"on"`` (cost-based rewrites)
+``slow_log``       ``REPRO_SLOW_LOG``     ``None`` (no slow-query log)
+``slo_latency_ms``  ``REPRO_SLO_LATENCY_MS``  ``250.0`` ms objective
+``metrics_labels``  ``REPRO_METRICS_LABELS``  ``"on"`` (labeled series)
 ``cache_capacity``  —                     ``64`` entries
 =================  =====================  ===========================
 
@@ -67,6 +70,9 @@ ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE_BUDGET = "REPRO_CACHE_BUDGET"
 ENV_JOURNAL = "REPRO_JOURNAL"
 ENV_OPTIMIZER = "REPRO_OPTIMIZER"
+ENV_SLOW_LOG = "REPRO_SLOW_LOG"
+ENV_SLO_LATENCY_MS = "REPRO_SLO_LATENCY_MS"
+ENV_METRICS_LABELS = "REPRO_METRICS_LABELS"
 
 #: Default in-memory LRU capacity of an :class:`~repro.engine.EngineCache`.
 DEFAULT_CACHE_CAPACITY = 64
@@ -91,6 +97,54 @@ BACKENDS = ("memory", "sqlite")
 #: :class:`~repro.engine.QueryEngine`; ``"off"`` is the ablated oracle
 #: path the equivalence suite compares against.
 OPTIMIZERS = ("on", "off")
+
+#: Labeled-telemetry switch.  ``"on"`` lets the engine and server attach
+#: low-cardinality labels (``tenant``, ``endpoint``, ``executor``,
+#: ``lp_mode``) to histogram/gauge series; ``"off"`` keeps every series
+#: unlabeled (one aggregate per family) for minimal scrape size.
+METRICS_LABELS = ("on", "off")
+
+#: Default per-request latency objective, milliseconds.  Feeds both the
+#: per-tenant SLO burn-rate tracker and the slow-query capture threshold.
+DEFAULT_SLO_LATENCY_MS = 250.0
+
+
+def resolve_metrics_labels(metrics_labels: "str | None" = None) -> str:
+    """Effective label mode: explicit > ``REPRO_METRICS_LABELS`` > on.
+
+    The deferred twin of the ``metrics_labels`` field, mirroring
+    :func:`resolve_optimizer` for call sites that receive ``None``.
+    """
+    if metrics_labels is None:
+        metrics_labels = (
+            os.environ.get(ENV_METRICS_LABELS, "").strip().lower() or "on"
+        )
+    if metrics_labels not in METRICS_LABELS:
+        raise ValueError(
+            f"metrics_labels must be one of {METRICS_LABELS}, "
+            f"got {metrics_labels!r}"
+        )
+    return metrics_labels
+
+
+def resolve_slow_log(slow_log: "str | None" = None) -> "str | None":
+    """Effective slow-log path: explicit > ``REPRO_SLOW_LOG`` > none."""
+    if slow_log is not None:
+        return slow_log
+    return os.environ.get(ENV_SLOW_LOG, "").strip() or None
+
+
+def resolve_slo_latency_ms(slo_latency_ms: "float | None" = None) -> float:
+    """Effective latency objective: explicit > env > 250 ms."""
+    if slo_latency_ms is not None:
+        latency = float(slo_latency_ms)
+        if latency <= 0:
+            raise ValueError(
+                f"slo_latency_ms must be positive, got {slo_latency_ms!r}"
+            )
+        return latency
+    env_value = _env_slo_latency_ms()
+    return env_value if env_value is not None else DEFAULT_SLO_LATENCY_MS
 
 
 def resolve_optimizer(optimizer: "str | None" = None) -> str:
@@ -172,6 +226,16 @@ class EngineConfig:
     #: Cost-based optimizer: ``"on"`` or ``"off"`` (``None`` = consult
     #: ``REPRO_OPTIMIZER`` at use time; the built-in default is on).
     optimizer: str | None = None
+    #: Slow-query log JSONL path (``None`` = env at use time, else no
+    #: slow-query capture).
+    slow_log: str | None = None
+    #: Per-request latency objective in milliseconds; feeds the SLO
+    #: burn-rate tracker and the slow-query capture threshold (``None``
+    #: = env at use time, else :data:`DEFAULT_SLO_LATENCY_MS`).
+    slo_latency_ms: float | None = None
+    #: Labeled telemetry series: ``"on"`` or ``"off"`` (``None`` =
+    #: consult ``REPRO_METRICS_LABELS`` at use time; default on).
+    metrics_labels: str | None = None
     #: In-memory LRU capacity of the engine cache.
     cache_capacity: int = DEFAULT_CACHE_CAPACITY
 
@@ -196,6 +260,19 @@ class EngineConfig:
             raise ValueError(
                 f"optimizer must be one of {OPTIMIZERS}, "
                 f"got {self.optimizer!r}"
+            )
+        if self.slo_latency_ms is not None and float(self.slo_latency_ms) <= 0:
+            raise ValueError(
+                f"slo_latency_ms must be positive milliseconds, "
+                f"got {self.slo_latency_ms!r}"
+            )
+        if (
+            self.metrics_labels is not None
+            and self.metrics_labels not in METRICS_LABELS
+        ):
+            raise ValueError(
+                f"metrics_labels must be one of {METRICS_LABELS}, "
+                f"got {self.metrics_labels!r}"
             )
         if self.cache_budget is not None and self.cache_budget <= 0:
             raise ValueError(
@@ -255,6 +332,17 @@ class EngineConfig:
             None,
         )
         optimizer = resolve_optimizer(overrides.get("optimizer"))
+        slow_log = pick(
+            "slow_log",
+            lambda: os.environ.get(ENV_SLOW_LOG, "").strip() or None,
+            None,
+        )
+        slo_latency_ms = pick(
+            "slo_latency_ms", _env_slo_latency_ms, DEFAULT_SLO_LATENCY_MS
+        )
+        metrics_labels = resolve_metrics_labels(
+            overrides.get("metrics_labels")
+        )
         capacity = overrides.get("cache_capacity")
         if capacity is None:
             capacity = DEFAULT_CACHE_CAPACITY
@@ -267,6 +355,9 @@ class EngineConfig:
             cache_budget=cache_budget,
             journal=journal,
             optimizer=optimizer,
+            slow_log=slow_log,
+            slo_latency_ms=slo_latency_ms,
+            metrics_labels=metrics_labels,
             cache_capacity=capacity,
         )
 
@@ -314,6 +405,9 @@ class EngineConfig:
             "cache_budget": self.cache_budget,
             "journal": self.journal,
             "optimizer": self.optimizer,
+            "slow_log": self.slow_log,
+            "slo_latency_ms": self.slo_latency_ms,
+            "metrics_labels": self.metrics_labels,
             "cache_capacity": self.cache_capacity,
         }
 
@@ -330,3 +424,17 @@ def _env_cache_budget() -> int | None:
             f"{ENV_CACHE_BUDGET} must be an integer byte count, got {raw!r}"
         ) from None
     return budget if budget > 0 else None
+
+
+def _env_slo_latency_ms() -> float | None:
+    """``REPRO_SLO_LATENCY_MS`` as a positive float, or ``None``."""
+    raw = os.environ.get(ENV_SLO_LATENCY_MS, "").strip()
+    if not raw:
+        return None
+    try:
+        latency = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{ENV_SLO_LATENCY_MS} must be a millisecond count, got {raw!r}"
+        ) from None
+    return latency if latency > 0 else None

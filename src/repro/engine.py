@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -46,6 +47,7 @@ from repro.logic import ast
 from repro.logic.evaluator import Evaluator
 from repro.obs.journal import JOURNAL
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.telemetry import get_telemetry
 from repro.obs.tracing import TRACER
 from repro.twosorted.structure import RegionExtension
 from repro import store as store_pkg
@@ -162,11 +164,16 @@ class EngineCache:
             event.wait()
         miss()
         try:
+            started = time.perf_counter()
             value = build()
+            elapsed = time.perf_counter() - started
             with self._lock:
                 table[key] = value
                 while len(table) > self.capacity:
                     table.popitem(last=False)
+            get_telemetry().histogram(
+                f"engine.{family}_build_seconds"
+            ).observe(elapsed)
         finally:
             with self._lock:
                 event = self._inflight.pop(flight_key)
@@ -865,6 +872,7 @@ class QueryEngine:
                 self._remember(key, loaded)
                 return loaded
         profiler = self._install_collector(disk)
+        started = time.perf_counter()
         try:
             with TRACER.span("evaluate"), \
                     fastlp.lp_mode(self._effective_lp_mode()), \
@@ -873,12 +881,33 @@ class QueryEngine:
         finally:
             if profiler is not None:
                 self.evaluator.profiler = None
+        self._observe_latency(
+            "engine.evaluate_seconds", time.perf_counter() - started
+        )
         if profiler is not None:
             self._record_statistics(formula, profiler)
         if disk is not None and key is not None:
             disk.save("relation", key, answer)
             self._remember(key, answer)
         return answer
+
+    def _observe_latency(self, name: str, seconds: float) -> None:
+        """Record a latency observation, labeled by executor/lp_mode.
+
+        Labels honour the ``metrics_labels`` knob; with labels off the
+        family keeps one aggregate series.  One histogram observe per
+        query — negligible against evaluation cost (measured in
+        docs/OBSERVABILITY.md's overhead contract).
+        """
+        from repro.config import resolve_executor, resolve_metrics_labels
+
+        labels = None
+        if resolve_metrics_labels(self.config.metrics_labels) == "on":
+            labels = {
+                "executor": resolve_executor(self.config.executor),
+                "lp_mode": self._effective_lp_mode(),
+            }
+        get_telemetry().histogram(name, labels).observe(seconds)
 
     def _install_collector(self, disk):
         """A statistics-collecting profiler, when one can be useful.
@@ -987,6 +1016,7 @@ class QueryEngine:
         disk = self._store()
         if self._maintained is None:
             self._maintained = inc.MaintainedArrangements()
+        delta_started = time.perf_counter()
         with TRACER.span("apply_delta"), \
                 fastlp.lp_mode(self._effective_lp_mode()), \
                 self._store_scope():
@@ -1005,6 +1035,10 @@ class QueryEngine:
                 self.cache.seed_arrangement(
                     new_rel, arrangement, store=disk
                 )
+        self._observe_latency(
+            "engine.apply_delta_seconds",
+            time.perf_counter() - delta_started,
+        )
         lineage_seq: "int | None" = None
         compacted = False
         if disk is not None:

@@ -279,6 +279,35 @@ def _cost_block(
     }
 
 
+def plan_cost_totals(plan: dict) -> dict[str, Any]:
+    """Sum per-node *self* costs over a serialized plan tree.
+
+    Operates on the :meth:`PlanNode.to_dict` shape — the form stored in
+    slow-query log records — and returns ``{"self_wall_ms",
+    "self_counters"}`` aggregates over every node.  By the attribution
+    contract in the module docstring (setup node + formula nodes +
+    trailing ``other`` node) the counter sums equal the run's
+    ``totals`` counters *exactly*, and the wall sum matches
+    ``totals["wall_ms"]`` up to per-node rounding.  The slow-query-log
+    tests assert this invariant on every captured record.
+    """
+    wall = 0.0
+    counters: dict[str, int] = {}
+    pending = [plan]
+    while pending:
+        node = pending.pop()
+        cost = node.get("cost")
+        if cost:
+            wall += float(cost.get("self_wall_ms", 0.0))
+            for name, value in (cost.get("self_counters") or {}).items():
+                counters[name] = counters.get(name, 0) + int(value)
+        pending.extend(node.get("children", ()))
+    return {
+        "self_wall_ms": round(wall, 3),
+        "self_counters": counters,
+    }
+
+
 # ----------------------------------------------------------------------
 # Plan compilation (the static half of EXPLAIN)
 # ----------------------------------------------------------------------

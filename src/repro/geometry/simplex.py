@@ -18,6 +18,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 from fractions import Fraction
+from time import perf_counter
 from typing import Sequence
 
 from repro.deprecation import warn_once
@@ -26,6 +27,7 @@ from repro.geometry import fastlp
 from repro.geometry.fourier_motzkin import LinearConstraint, Rel
 from repro.geometry.linalg import Vector, as_fraction
 from repro.obs.metrics import get_registry
+from repro.obs.telemetry import get_telemetry
 from repro.obs.tracing import TRACER
 
 ZERO = Fraction(0)
@@ -317,11 +319,15 @@ def _solve_component(
         _LP_CACHE_HITS.inc()
         return cached
     _LP_SOLVES.inc()
-    if TRACER.enabled:
-        with TRACER.span("lp.feasible", aggregate=True) as lp_span:
-            lp_span.add("rows", len(constraints))
-            return _solve_component_inner(constraints, dim)
-    return _solve_component_inner(constraints, dim)
+    started = perf_counter()
+    try:
+        if TRACER.enabled:
+            with TRACER.span("lp.feasible", aggregate=True) as lp_span:
+                lp_span.add("rows", len(constraints))
+                return _solve_component_inner(constraints, dim)
+        return _solve_component_inner(constraints, dim)
+    finally:
+        _LP_SOLVE_SECONDS.observe(perf_counter() - started)
 
 
 def _solve_component_inner(
@@ -391,6 +397,11 @@ _CACHE_LIMIT = 200_000
 #: plain attribute add.
 _LP_SOLVES = get_registry().counter("lp.solves")
 _LP_CACHE_HITS = get_registry().counter("lp.cache_hits")
+
+#: Latency distribution of uncached feasibility solves.  Bound once like
+#: the counters; ``observe`` is one lock + a short bucket scan, measured
+#: against BENCH_E2 in docs/OBSERVABILITY.md's overhead contract.
+_LP_SOLVE_SECONDS = get_telemetry().histogram("lp.solve_seconds")
 
 
 def lp_statistics() -> dict[str, int]:

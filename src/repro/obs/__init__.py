@@ -9,6 +9,12 @@ The subsystem has three layers, all with near-zero cost while idle:
 * :mod:`repro.obs.tracing` — a span tree recorded by the process-wide
   :data:`TRACER`, disabled by default; ``repro profile`` and the
   ``--trace`` CLI flag turn it on around one command.
+* :mod:`repro.obs.telemetry` — the distribution layer: thread-safe
+  histograms (log-spaced buckets, exact count/sum, p50/p90/p99
+  estimates) and gauges with optional low-cardinality labels, the
+  Prometheus text renderer behind ``GET /metrics`` / ``repro metrics``,
+  and per-tenant SLO burn-rate tracking; :mod:`repro.obs.slowlog` holds
+  the bounded slow-query JSONL that auto-captures EXPLAIN ANALYZE.
 * :mod:`repro.obs.journal` — the flight recorder: a bounded ring buffer
   of typed events (span open/close, cache and store decisions, fixpoint
   stage summaries, worker lifecycle), optionally streamed to JSONL via
@@ -36,6 +42,26 @@ from repro.obs.metrics import (
     merge_snapshot,
     metrics_snapshot,
     reset_metrics,
+)
+from repro.obs.telemetry import (
+    ALLOWED_LABELS,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    SloTracker,
+    TelemetryRegistry,
+    bucket_quantile,
+    get_telemetry,
+    merge_series_state,
+    quantile,
+    render_prometheus,
+    reset_telemetry,
+    telemetry_snapshot,
+)
+from repro.obs.slowlog import (
+    ENV_SLOW_LOG,
+    SlowQueryLog,
+    load_slow_log,
 )
 from repro.obs.tracing import (
     NULL_SPAN,
@@ -67,6 +93,7 @@ def reset_all() -> None:
     touched — they are cross-invocation state by design.
     """
     reset_metrics()
+    reset_telemetry()
     TRACER.hard_reset()
     JOURNAL.reset()
 
@@ -79,6 +106,22 @@ __all__ = [
     "merge_snapshot",
     "metrics_snapshot",
     "reset_metrics",
+    "ALLOWED_LABELS",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "SloTracker",
+    "TelemetryRegistry",
+    "bucket_quantile",
+    "get_telemetry",
+    "merge_series_state",
+    "quantile",
+    "render_prometheus",
+    "reset_telemetry",
+    "telemetry_snapshot",
+    "ENV_SLOW_LOG",
+    "SlowQueryLog",
+    "load_slow_log",
     "NULL_SPAN",
     "Span",
     "TRACER",

@@ -162,7 +162,7 @@ def metrics_snapshot(prefix: str | None = None) -> dict[str, int]:
 
 
 def merge_snapshot(
-    snapshot: Mapping[str, int],
+    snapshot: Mapping[str, object],
     registry: MetricsRegistry | None = None,
 ) -> None:
     """Fold a ``{name: delta}`` snapshot into a registry (default global).
@@ -171,8 +171,19 @@ def merge_snapshot(
     the worker returns ``metrics_snapshot()`` deltas with its face
     batches and the parent merges them, so ``--jobs N`` totals match the
     sequential run exactly.
+
+    Entries whose value is a mapping are telemetry series states
+    (histogram/gauge snapshots from :func:`repro.obs.telemetry.\
+    telemetry_snapshot`) and are routed to the telemetry registry —
+    histogram counts and sums merge additively exactly once, so a worker
+    snapshot can carry both counter deltas and histogram state in one
+    dict without double-counting either.
     """
     target = registry if registry is not None else _GLOBAL
     for name, delta in snapshot.items():
-        if delta:
+        if isinstance(delta, Mapping):
+            from repro.obs.telemetry import merge_series_state
+
+            merge_series_state(delta)
+        elif delta:
             target.counter(name).inc(delta)

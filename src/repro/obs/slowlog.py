@@ -1,0 +1,105 @@
+"""The slow-query log: bounded on-disk JSONL of auto-captured EXPLAINs.
+
+When a request's wall time crosses the configured threshold (the SLO
+latency objective, ``slo_latency_ms``), the server re-runs the query as
+``EXPLAIN ANALYZE`` and appends one JSON record to the path named by
+``slow_log`` / ``REPRO_SLOW_LOG``: the query text, tenant, request id,
+observed and analyze wall times, and the full annotated plan tree with
+measured per-node costs (which sum exactly to the analyze run's totals —
+the PR-5 attribution invariant).  ``repro slowlog`` pretty-prints the
+file.
+
+The file is *bounded*: once it exceeds ``max_records`` records it is
+atomically rewritten keeping the newest half, so a misconfigured
+threshold degrades to a ring buffer rather than filling the disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+
+from repro.obs.metrics import get_registry
+
+#: Environment variable naming the slow-log path (see ``repro.config``).
+ENV_SLOW_LOG = "REPRO_SLOW_LOG"
+
+#: Records kept before the file is rewritten down to the newest half.
+DEFAULT_MAX_RECORDS = 512
+
+
+class SlowQueryLog:
+    """An append-mostly, size-bounded JSONL sink for slow-query records."""
+
+    def __init__(
+        self, path: str | pathlib.Path, max_records: int = DEFAULT_MAX_RECORDS
+    ) -> None:
+        if max_records < 2:
+            raise ValueError("max_records must be at least 2")
+        self.path = pathlib.Path(path)
+        self.max_records = max_records
+        self._lock = threading.Lock()
+        self._count: int | None = None  # lazily counted on first append
+
+    def record(self, entry: dict) -> None:
+        """Append one record, rotating the file if it grew past the bound."""
+        line = json.dumps(entry, default=str, sort_keys=True)
+        with self._lock:
+            if self._count is None:
+                self._count = self._count_existing()
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+            self._count += 1
+            get_registry().counter("obs.slowlog.records").inc()
+            if self._count > self.max_records:
+                self._rotate()
+
+    def _count_existing(self) -> int:
+        try:
+            with self.path.open("r", encoding="utf-8") as handle:
+                return sum(1 for line in handle if line.strip())
+        except FileNotFoundError:
+            return 0
+
+    def _rotate(self) -> None:
+        """Atomically rewrite the file keeping the newest half of records."""
+        keep = self.max_records // 2
+        with self.path.open("r", encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        kept = lines[-keep:]
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            handle.writelines(kept)
+        os.replace(tmp, self.path)
+        self._count = len(kept)
+        get_registry().counter("obs.slowlog.rotations").inc()
+
+
+def load_slow_log(
+    path: str | pathlib.Path, limit: int | None = None
+) -> list[dict]:
+    """Parse a slow-log JSONL file; newest records last.
+
+    ``limit`` keeps only the newest N.  Unparseable lines (a crash mid-
+    append) are skipped rather than fatal — the log is diagnostics, not
+    a ledger.
+    """
+    records: list[dict] = []
+    try:
+        with pathlib.Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+    except FileNotFoundError:
+        return []
+    if limit is not None:
+        records = records[-limit:]
+    return records

@@ -22,6 +22,7 @@ from repro.server.http import HttpError, HttpServer, Request, Response
 from repro.server.loadgen import (
     ServerThread,
     get_json,
+    get_text,
     percentile,
     post_json,
     run_load,
@@ -52,6 +53,7 @@ __all__ = [
     "ServerThread",
     "TokenBucket",
     "get_json",
+    "get_text",
     "percentile",
     "post_json",
     "run_load",

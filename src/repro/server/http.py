@@ -97,23 +97,34 @@ class Request:
 
 @dataclass
 class Response:
-    """A JSON response (the payload is serialised by :func:`encode`)."""
+    """A response: JSON ``payload`` or, when ``text`` is set, raw text.
+
+    ``text`` bypasses JSON serialisation entirely — it is sent verbatim
+    as ``text/plain`` (override the content type via ``headers``).  The
+    ``/metrics`` endpoint uses this for the Prometheus exposition format.
+    """
 
     status: int = 200
     payload: Any = None
     headers: dict[str, str] = field(default_factory=dict)
+    text: str | None = None
 
 
 def encode(response: Response, keep_alive: bool) -> bytes:
     """Serialise a :class:`Response` to wire bytes."""
-    body = json.dumps(
-        response.payload if response.payload is not None else {},
-        default=str,
-    ).encode() + b"\n"
+    if response.text is not None:
+        body = response.text.encode("utf-8")
+        content_type = "text/plain; charset=utf-8"
+    else:
+        body = json.dumps(
+            response.payload if response.payload is not None else {},
+            default=str,
+        ).encode() + b"\n"
+        content_type = "application/json"
     reason = REASONS.get(response.status, "Unknown")
     lines = [f"HTTP/1.1 {response.status} {reason}"]
     headers = {
-        "content-type": "application/json",
+        "content-type": content_type,
         "content-length": str(len(body)),
         "connection": "keep-alive" if keep_alive else "close",
     }

@@ -19,6 +19,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Sequence
 
+from repro.obs.telemetry import quantile
 from repro.server.http import HttpServer
 from repro.server.service import ConstraintService, serve
 
@@ -136,6 +137,26 @@ def get_json(port: int, path: str, **kwargs: Any) -> tuple[int, Any]:
     return request_json(port, "GET", path, None, **kwargs)
 
 
+def get_text(
+    port: int,
+    path: str,
+    host: str = "127.0.0.1",
+    timeout: float = 60.0,
+) -> tuple[int, str]:
+    """One blocking GET returning the raw text body (no JSON parsing).
+
+    This is how clients scrape ``GET /metrics``, whose body is the
+    Prometheus text exposition format, not JSON.
+    """
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, response.read().decode("utf-8")
+    finally:
+        connection.close()
+
+
 def run_load(
     port: int,
     requests: Sequence[dict[str, Any]],
@@ -165,12 +186,17 @@ def run_load(
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """The ``q``-quantile (0..1) by nearest-rank on sorted values."""
+    """The ``q``-quantile (0..1) of raw samples.
+
+    A thin shim over :func:`repro.obs.telemetry.quantile` — the one
+    nearest-rank implementation shared with the server's histograms —
+    kept under its historical name for existing callers.  Unlike the
+    shared helper it still rejects empty input (a load run that
+    produced no samples is a bug worth hearing about).
+    """
     if not values:
         raise ValueError("percentile of an empty sequence")
-    ordered = sorted(values)
-    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-    return ordered[index]
+    return quantile(values, q)
 
 
 Announce = Callable[[HttpServer], None]

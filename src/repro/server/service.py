@@ -24,7 +24,10 @@ Endpoints (all JSON; see docs/SERVER.md for full schemas):
                            [[action, relation, formula], ...],
                            "database": "name"?}``
 ``GET /v1/healthz``        liveness + the registered databases
-``GET /v1/stats``          admission/pool/cache/store/journal counters
+``GET /v1/stats``          admission/pool/cache/store/journal counters,
+                           per-tenant SLO burn rates, slow-log status
+``GET /metrics``           Prometheus text exposition (counters,
+                           gauges, histograms; tenant/endpoint labels)
 =========================  ===========================================
 
 Evaluation is CPU-bound exact arithmetic, so requests run on worker
@@ -54,7 +57,10 @@ from repro.config import (
     EngineConfig,
     resolve_backend,
     resolve_executor,
+    resolve_metrics_labels,
     resolve_optimizer,
+    resolve_slo_latency_ms,
+    resolve_slow_log,
 )
 from repro.constraints.database import ConstraintDatabase
 from repro.engine import QueryEngine
@@ -62,6 +68,13 @@ from repro.incremental import Delta, delta_op, make_delta
 from repro.geometry import fastlp
 from repro.obs.journal import JOURNAL, journal_context
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.telemetry import (
+    SloTracker,
+    TelemetryRegistry,
+    get_telemetry,
+    render_prometheus,
+)
 from repro.server.http import HttpError, HttpServer, Request, Response
 from repro.server.pool import EnginePool
 from repro.server.quota import (
@@ -92,6 +105,7 @@ class ConstraintService:
         decomposition: str = "arrangement",
         spatial_name: str = "S",
         metrics: MetricsRegistry | None = None,
+        telemetry: TelemetryRegistry | None = None,
         max_requests: int | None = None,
     ) -> None:
         if not databases:
@@ -110,6 +124,7 @@ class ConstraintService:
             quota_rate=quota_rate,
             quota_burst=quota_burst,
             metrics=metrics,
+            telemetry=telemetry,
         )
         self.max_requests = max_requests
         self.requests_handled = 0
@@ -130,6 +145,21 @@ class ConstraintService:
         self._update_lock = asyncio.Lock()
         registry = metrics if metrics is not None else get_registry()
         self._registry = registry
+        self.telemetry = (
+            telemetry if telemetry is not None else get_telemetry()
+        )
+        self._labels_on = (
+            resolve_metrics_labels(self.config.metrics_labels) == "on"
+        )
+        #: Per-tenant SLO burn-rate tracking; the latency objective
+        #: doubles as the slow-query capture threshold.
+        self.slo = SloTracker(
+            latency_ms=resolve_slo_latency_ms(self.config.slo_latency_ms)
+        )
+        slow_path = resolve_slow_log(self.config.slow_log)
+        self.slow_log = (
+            SlowQueryLog(slow_path) if slow_path is not None else None
+        )
         self._c_requests = registry.counter("server.requests")
         self._c_ok = registry.counter("server.responses.ok")
         self._c_client_err = registry.counter("server.responses.client_error")
@@ -142,6 +172,7 @@ class ConstraintService:
             "/v1/update": ("POST", self._handle_update),
             "/v1/healthz": ("GET", self._handle_healthz),
             "/v1/stats": ("GET", self._handle_stats),
+            "/metrics": ("GET", self._handle_metrics),
         }
 
     # ------------------------------------------------------------------
@@ -156,7 +187,10 @@ class ConstraintService:
         )
         route = self._routes.get(request.path)
         started = time.perf_counter()
-        with journal_context(request=request_id, tenant=tenant):
+        inflight = self.telemetry.gauge("server.inflight_requests")
+        with inflight.track(), journal_context(
+            request=request_id, tenant=tenant
+        ):
             if JOURNAL.enabled:
                 JOURNAL.emit(
                     "request.begin", id=request_id,
@@ -190,12 +224,29 @@ class ConstraintService:
                 self._c_client_err.inc()
             else:  # pragma: no cover - no 5xx path constructs here
                 self._c_server_err.inc()
+            wall_s = time.perf_counter() - started
+            # The endpoint label comes from the route table, never the
+            # raw path — an unmatched path must not mint a new series.
+            labels = None
+            if self._labels_on:
+                labels = {
+                    "tenant": tenant,
+                    "endpoint": (
+                        request.path if route is not None else "unknown"
+                    ),
+                }
+            self.telemetry.histogram(
+                "server.request_seconds", labels
+            ).observe(wall_s)
+            alert = self.slo.observe(
+                tenant, wall_s * 1000, error=response.status >= 500
+            )
+            if alert is not None and JOURNAL.enabled:
+                JOURNAL.emit("slo.burn", **alert)
             if JOURNAL.enabled:
                 JOURNAL.emit(
                     "request.end", id=request_id, status=response.status,
-                    wall_ms=round(
-                        (time.perf_counter() - started) * 1000, 3
-                    ),
+                    wall_ms=round(wall_s * 1000, 3),
                 )
         self.requests_handled += 1
         if (
@@ -308,6 +359,10 @@ class ConstraintService:
                 "query.answered", id=request_id, database=name,
                 executor=executor, wall_ms=round(wall_ms, 3),
             )
+        if self.slow_log is not None and wall_ms >= self.slo.latency_ms:
+            await self._capture_slow_query(
+                request_id, tenant, name, text, wall_ms
+            )
         payload: dict[str, Any] = {
             "request_id": request_id,
             "database": name,
@@ -334,6 +389,57 @@ class ConstraintService:
                 for point in answer.sample_points()[:SAMPLE_POINTS]
             ]
         return rendered
+
+    async def _capture_slow_query(
+        self,
+        request_id: str,
+        tenant: str,
+        name: str,
+        text: str,
+        wall_ms: float,
+    ) -> None:
+        """Append an EXPLAIN ANALYZE record for a threshold-crossing query.
+
+        Re-runs the query as ``EXPLAIN ANALYZE`` (serialised behind the
+        explain lock — the tracer is process-global) so the record
+        carries the full plan tree with measured per-node costs.  The
+        capture is diagnostics: any failure is counted, never surfaced
+        to the client whose answer already succeeded.
+        """
+        try:
+            database = self.databases[name]
+            engine = self.pool.checkout(
+                database, self.decomposition, self.spatial_name
+            )
+            try:
+                async with self._explain_lock:
+                    result = await asyncio.to_thread(
+                        engine.explain, text, True
+                    )
+            finally:
+                self.pool.checkin(engine)
+            record = {
+                "ts": time.time(),
+                "request_id": request_id,
+                "tenant": tenant,
+                "database": name,
+                "query": text,
+                "wall_ms": round(wall_ms, 3),
+                "threshold_ms": self.slo.latency_ms,
+                "explain": result.to_dict(),
+            }
+            await asyncio.to_thread(self.slow_log.record, record)
+            self._registry.counter("server.slow_queries").inc()
+            if JOURNAL.enabled:
+                JOURNAL.emit(
+                    "slowquery.captured", id=request_id, database=name,
+                    wall_ms=round(wall_ms, 3),
+                    path=str(self.slow_log.path),
+                )
+        except asyncio.CancelledError:
+            raise
+        except Exception:  # noqa: BLE001 - diagnostics must not fail reads
+            self._registry.counter("server.slow_query_capture_failures").inc()
 
     async def _handle_explain(
         self, request: Request, request_id: str, tenant: str
@@ -494,8 +600,32 @@ class ConstraintService:
                 "dropped": JOURNAL.dropped,
                 "sink": JOURNAL.sink_path,
             },
+            "slo": self.slo.stats(),
+            "slow_log": {
+                "path": (
+                    str(self.slow_log.path)
+                    if self.slow_log is not None else None
+                ),
+                "threshold_ms": self.slo.latency_ms,
+                "records": self._registry.get("server.slow_queries"),
+            },
             "metrics": self._registry.snapshot(),
         })
+
+    async def _handle_metrics(
+        self, request: Request, request_id: str, tenant: str
+    ) -> Response:
+        """Prometheus text exposition of counters, gauges and histograms."""
+        text = render_prometheus(
+            self._registry.snapshot(), self.telemetry
+        )
+        return Response(
+            200,
+            text=text,
+            headers={
+                "content-type": "text/plain; version=0.0.4; charset=utf-8"
+            },
+        )
 
 
 async def serve(

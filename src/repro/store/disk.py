@@ -41,8 +41,14 @@ import threading
 
 from repro.obs.journal import JOURNAL
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.telemetry import get_telemetry
 from repro.obs.tracing import TRACER
 from repro.store import codec
+
+#: Latency distributions of store round trips, bound once like the
+#: counters (one histogram observe per load/save — disk I/O dwarfs it).
+_H_LOAD_SECONDS = get_telemetry().histogram("store.load_seconds")
+_H_SAVE_SECONDS = get_telemetry().histogram("store.save_seconds")
 
 
 class DiskStore:
@@ -112,7 +118,8 @@ class DiskStore:
         always rebuild instead of trusting damaged bytes.
         """
         path = self.entry_path(kind, key)
-        with TRACER.span("store.load", aggregate=True) as span:
+        with _H_LOAD_SECONDS.time(), \
+                TRACER.span("store.load", aggregate=True) as span:
             span.set("kind", kind)
             try:
                 data = path.read_bytes()
@@ -145,7 +152,8 @@ class DiskStore:
     def save(self, kind: str, key: str, obj: object) -> pathlib.Path:
         """Write one artifact atomically; returns the entry path."""
         path = self.entry_path(kind, key)
-        with TRACER.span("store.save", aggregate=True) as span:
+        with _H_SAVE_SECONDS.time(), \
+                TRACER.span("store.save", aggregate=True) as span:
             span.set("kind", kind)
             data = codec.dumps(kind, obj)
             path.parent.mkdir(parents=True, exist_ok=True)

@@ -212,3 +212,74 @@ class TestBenchMetadataAndHistory:
             entry = json.loads(line)
             assert entry["benchmark"] == "E2"
             assert entry["python_version"]
+
+    def test_history_line_carries_regression_signal(self):
+        from repro.bench import history_line
+
+        record = run_bench_e2(sizes=(2,), check_only=True)
+        line = history_line(record)
+        assert line["executor"] is not None
+        assert line["fast_total_s"] > 0
+
+
+class TestRegressionSentryCli:
+    def test_no_history_passes_with_verdict(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        code, text = run_cli(
+            "bench", "e2", "--sizes", "2", "--check-only",
+            "--check-regression", "--history", str(path),
+        )
+        assert code == 0
+        assert '"status": "no-history"' in text
+
+    def test_matching_history_is_ok(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        for __ in range(2):
+            code, __text = run_cli(
+                "bench", "e2", "--sizes", "2", "--check-only",
+                "--append-history", str(path),
+            )
+            assert code == 0
+        code, text = run_cli(
+            "bench", "e2", "--sizes", "2", "--check-only",
+            "--check-regression", "--history", str(path),
+            "--tolerance", "10.0",  # generous: CI machines are noisy
+        )
+        assert code == 0
+        assert '"status": "ok"' in text
+
+    def test_regression_exits_3(self, tmp_path):
+        from repro.bench import history_line
+
+        path = tmp_path / "history.jsonl"
+        record = run_bench_e2(sizes=(2,), check_only=True)
+        # Fabricate an impossibly fast history so the real (honest) run
+        # reads as a regression against it.
+        line = history_line(record)
+        line["fast_total_s"] = 1e-9
+        with open(path, "w") as handle:
+            handle.write(json.dumps(line) + "\n")
+        code, text = run_cli(
+            "bench", "e2", "--sizes", "2", "--check-only",
+            "--check-regression", "--history", str(path),
+        )
+        assert code == 3
+        assert '"status": "regression"' in text
+        assert "error: performance regression" in text
+
+    def test_regressing_run_still_lands_in_history(self, tmp_path):
+        from repro.bench import history_line
+
+        path = tmp_path / "history.jsonl"
+        record = run_bench_e2(sizes=(2,), check_only=True)
+        line = history_line(record)
+        line["fast_total_s"] = 1e-9
+        with open(path, "w") as handle:
+            handle.write(json.dumps(line) + "\n")
+        code, __ = run_cli(
+            "bench", "e2", "--sizes", "2", "--check-only",
+            "--check-regression", "--history", str(path),
+            "--append-history", str(path),
+        )
+        assert code == 3
+        assert len(path.read_text().strip().splitlines()) == 2

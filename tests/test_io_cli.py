@@ -255,3 +255,75 @@ class TestProfileCommand:
         assert "free region" in output
         from repro.obs import TRACER
         assert not TRACER.enabled
+
+
+class TestMetricsCommand:
+    def test_bare_dump_is_valid_exposition(self):
+        code, output = run_cli("metrics")
+        assert code == 0
+        assert "# TYPE repro_lp_solves_total counter" in output
+
+    def test_query_populates_histograms(self, one_dim_file):
+        code, output = run_cli(
+            "metrics", one_dim_file, "exists x. S(x)"
+        )
+        assert code == 0
+        assert "repro_lp_solves_total" in output
+        assert "# TYPE repro_engine_evaluate_seconds histogram" in output
+        assert "repro_engine_evaluate_seconds_count" in output
+        assert 'le="+Inf"' in output
+
+    def test_free_variable_query_rejected(self, one_dim_file):
+        code, output = run_cli("metrics", one_dim_file, "sub(R, S)")
+        assert code == 2
+        assert "free region" in output
+
+
+class TestSlowlogCommand:
+    def test_missing_path_is_an_error(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SLOW_LOG", raising=False)
+        code, output = run_cli("slowlog")
+        assert code == 2
+        assert "REPRO_SLOW_LOG" in output
+
+    def test_reads_records(self, tmp_path):
+        import json as _json
+
+        path = tmp_path / "slow.jsonl"
+        record = {
+            "ts": "2026-08-09T00:00:00+00:00", "tenant": "acme",
+            "database": "demo", "query": "S(x0)", "wall_ms": 321.5,
+            "threshold_ms": 250.0, "explain": {"plan": {}},
+        }
+        path.write_text(_json.dumps(record) + "\n")
+        code, output = run_cli("slowlog", str(path))
+        assert code == 0
+        assert "tenant=acme" in output
+        assert "321.5ms" in output
+        assert "S(x0)" in output
+
+    def test_json_emits_full_records(self, tmp_path):
+        import json as _json
+
+        path = tmp_path / "slow.jsonl"
+        path.write_text(_json.dumps({"query": "S(x0)", "wall_ms": 1}) + "\n")
+        code, output = run_cli("slowlog", str(path), "--json")
+        assert code == 0
+        assert _json.loads(output)[0]["query"] == "S(x0)"
+
+    def test_env_var_supplies_the_path(self, tmp_path, monkeypatch):
+        import json as _json
+
+        path = tmp_path / "slow.jsonl"
+        path.write_text(_json.dumps({"query": "S(x0)", "wall_ms": 1}) + "\n")
+        monkeypatch.setenv("REPRO_SLOW_LOG", str(path))
+        code, output = run_cli("slowlog")
+        assert code == 0
+        assert "S(x0)" in output
+
+    def test_empty_log_reports_cleanly(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        path.write_text("")
+        code, output = run_cli("slowlog", str(path))
+        assert code == 0
+        assert "no slow-query records" in output

@@ -1,0 +1,576 @@
+"""The dimensional telemetry layer: histograms, gauges, labels, SLOs.
+
+Covers the thread-safety contract (exact count/sum conservation under
+a 16-thread hammer), the label-cardinality guards, snapshot/merge
+without double-counting, the Prometheus text exposition invariants
+(bucket monotonicity, ``+Inf`` equals ``_count``), the SLO burn-rate
+tracker, the slow-query log's bounded rotation, and the benchmark
+regression sentry.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.bench import check_regression, load_history
+from repro.obs import reset_all
+from repro.obs.metrics import MetricsRegistry, get_registry, merge_snapshot
+from repro.obs.slowlog import SlowQueryLog, load_slow_log
+from repro.obs.telemetry import (
+    DEFAULT_BUCKETS,
+    MAX_SERIES_PER_NAME,
+    Gauge,
+    Histogram,
+    SloTracker,
+    TelemetryRegistry,
+    bucket_quantile,
+    get_telemetry,
+    quantile,
+    render_prometheus,
+    reset_telemetry,
+    telemetry_snapshot,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate():
+    reset_all()
+    yield
+    reset_all()
+
+
+class TestQuantile:
+    def test_empty_is_zero(self):
+        assert quantile([], 0.5) == 0.0
+
+    def test_nearest_rank(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert quantile(values, 0.0) == 1.0
+        assert quantile(values, 0.5) == 3.0
+        assert quantile(values, 1.0) == 5.0
+
+    def test_loadgen_percentile_delegates(self):
+        from repro.server.loadgen import percentile
+
+        assert percentile([1.0, 2.0, 3.0], 0.5) == quantile(
+            [1.0, 2.0, 3.0], 0.5
+        )
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+
+class TestBucketQuantile:
+    def test_shape_is_checked(self):
+        with pytest.raises(ValueError):
+            bucket_quantile([1.0, 2.0], [1, 2], 0.5)
+
+    def test_empty_histogram_is_zero(self):
+        assert bucket_quantile([1.0, 2.0], [0, 0, 0], 0.5) == 0.0
+
+    def test_interpolates_inside_winning_bucket(self):
+        # 10 observations all landed in (1.0, 2.0]: the median sits
+        # halfway through that bucket.
+        estimate = bucket_quantile([1.0, 2.0, 4.0], [0, 10, 10, 10], 0.5)
+        assert estimate == pytest.approx(1.5)
+
+    def test_overflow_clamps_to_largest_finite_bound(self):
+        estimate = bucket_quantile([1.0, 2.0], [0, 0, 5], 0.99)
+        assert estimate == 2.0
+
+
+class TestHistogram:
+    def test_count_and_sum_are_exact(self):
+        histogram = Histogram("h")
+        for value in (0.001, 0.002, 0.5):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(0.503)
+
+    def test_quantile_brackets_observations(self):
+        histogram = Histogram("h")
+        for __ in range(100):
+            histogram.observe(0.01)
+        p50 = histogram.quantile(0.5)
+        # 0.01 lands in the (0.0064, 0.0128] bucket.
+        assert 0.0064 <= p50 <= 0.0128
+
+    def test_percentiles_trio(self):
+        histogram = Histogram("h")
+        histogram.observe(0.001)
+        trio = histogram.percentiles()
+        assert set(trio) == {"p50", "p90", "p99"}
+
+    def test_time_context_manager_observes_once(self):
+        histogram = Histogram("h")
+        with histogram.time():
+            pass
+        assert histogram.count == 1
+        assert histogram.sum >= 0.0
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(0.0, 1.0))
+
+    def test_reset_keeps_identity(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        histogram.reset()
+        assert histogram.count == 0
+        assert histogram.sum == 0.0
+        assert histogram.cumulative()[-1] == 0
+
+    def test_threaded_hammer_conserves_count_and_sum(self):
+        """16 threads x 1000 observations: nothing lost, nothing doubled."""
+        histogram = Histogram("h")
+        threads, per_thread = 16, 1000
+
+        def hammer(seed: int) -> None:
+            for i in range(per_thread):
+                histogram.observe((seed + i) % 7 * 0.001 + 0.0001)
+
+        workers = [
+            threading.Thread(target=hammer, args=(t,))
+            for t in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert histogram.count == threads * per_thread
+        expected = sum(
+            (t + i) % 7 * 0.001 + 0.0001
+            for t in range(threads)
+            for i in range(per_thread)
+        )
+        assert histogram.sum == pytest.approx(expected)
+        # Bucket counts and the exact count agree.
+        assert histogram.cumulative()[-1] == histogram.count
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(5.0)
+        gauge.inc(2.0)
+        gauge.dec()
+        assert gauge.value == 6.0
+
+    def test_track_decrements_on_exception(self):
+        gauge = Gauge("g")
+        with pytest.raises(RuntimeError):
+            with gauge.track():
+                assert gauge.value == 1.0
+                raise RuntimeError("boom")
+        assert gauge.value == 0.0
+
+    def test_threaded_hammer_conserves_level(self):
+        gauge = Gauge("g")
+        threads, per_thread = 16, 1000
+
+        def hammer() -> None:
+            for __ in range(per_thread):
+                gauge.inc()
+                gauge.dec()
+            gauge.inc(3.0)
+
+        workers = [
+            threading.Thread(target=hammer) for __ in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert gauge.value == pytest.approx(3.0 * threads)
+
+
+class TestRegistry:
+    def test_create_on_first_use_and_identity(self):
+        registry = TelemetryRegistry()
+        assert registry.histogram("h") is registry.histogram("h")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert len(registry) == 2
+
+    def test_labeled_series_are_distinct(self):
+        registry = TelemetryRegistry()
+        plain = registry.histogram("h")
+        labeled = registry.histogram("h", {"tenant": "acme"})
+        assert plain is not labeled
+        assert labeled.labels == (("tenant", "acme"),)
+
+    def test_disallowed_label_rejected(self):
+        registry = TelemetryRegistry()
+        with pytest.raises(ValueError, match="disallowed"):
+            registry.histogram("h", {"user_id": "123"})
+
+    def test_family_cap_folds_into_unlabeled_aggregate(self):
+        registry = TelemetryRegistry()
+        aggregate = registry.histogram("h")
+        for i in range(MAX_SERIES_PER_NAME + 10):
+            registry.histogram("h", {"tenant": f"t{i}"}).observe(0.001)
+        # Existing labeled series keep working; overflow went to the
+        # unlabeled aggregate instead of minting new series.
+        total = sum(s.count for s in registry.histograms())
+        assert total == MAX_SERIES_PER_NAME + 10
+        assert aggregate.count > 0
+        families = [s for s in registry.histograms() if s.name == "h"]
+        assert len(families) <= MAX_SERIES_PER_NAME
+
+    def test_snapshot_merge_does_not_double_count(self):
+        source = TelemetryRegistry()
+        source.histogram("h", {"tenant": "acme"}).observe(0.01)
+        source.histogram("h", {"tenant": "acme"}).observe(0.02)
+        source.gauge("g").set(7.0)
+
+        target = TelemetryRegistry()
+        target.histogram("h", {"tenant": "acme"}).observe(0.04)
+        target.merge(source.snapshot())
+
+        merged = target.histogram("h", {"tenant": "acme"})
+        assert merged.count == 3
+        assert merged.sum == pytest.approx(0.07)
+        assert target.gauge("g").value == 7.0
+        # Merging the same snapshot twice WOULD double-count — each
+        # shipped state must be folded exactly once, like counters.
+        target.merge(source.snapshot())
+        assert merged.count == 5
+
+    def test_merge_bucket_mismatch_raises(self):
+        source = TelemetryRegistry()
+        source.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        target = TelemetryRegistry()
+        target.histogram("h")  # default buckets
+        with pytest.raises(ValueError, match="bucket mismatch"):
+            target.merge(source.snapshot())
+
+    def test_reset_zeroes_in_place(self):
+        registry = TelemetryRegistry()
+        histogram = registry.histogram("h")
+        histogram.observe(1.0)
+        registry.gauge("g").set(4.0)
+        registry.reset()
+        assert histogram.count == 0
+        assert registry.gauge("g").value == 0.0
+        assert len(registry) == 2  # identities survive
+
+
+class TestProcessWideHelpers:
+    def test_reset_all_clears_telemetry(self):
+        get_telemetry().histogram("h").observe(1.0)
+        get_telemetry().gauge("g").set(2.0)
+        reset_all()
+        assert get_telemetry().histogram("h").count == 0
+        assert get_telemetry().gauge("g").value == 0.0
+
+    def test_reset_telemetry_alone(self):
+        get_telemetry().histogram("h").observe(1.0)
+        reset_telemetry()
+        assert get_telemetry().histogram("h").count == 0
+
+    def test_merge_snapshot_routes_mixed_payload(self):
+        """One worker snapshot may carry counter deltas AND series states."""
+        worker = TelemetryRegistry()
+        worker.histogram("h").observe(0.5)
+        worker.gauge("g").set(9.0)
+        payload: dict = {"lp.solves": 4}
+        payload.update(worker.snapshot())
+
+        merge_snapshot(payload)
+
+        assert get_registry().counter("lp.solves").value == 4
+        assert get_telemetry().histogram("h").count == 1
+        assert get_telemetry().histogram("h").sum == pytest.approx(0.5)
+        assert get_telemetry().gauge("g").value == 9.0
+        # Telemetry states land in the telemetry registry, never as
+        # phantom counters.
+        snapshot = get_registry().snapshot()
+        assert all(isinstance(v, int) for v in snapshot.values())
+
+    def test_telemetry_snapshot_round_trip(self):
+        get_telemetry().histogram("h").observe(0.25)
+        shipped = telemetry_snapshot()
+        reset_all()
+        merge_snapshot(shipped)
+        assert get_telemetry().histogram("h").count == 1
+
+
+class TestRenderPrometheus:
+    def test_counters_get_total_suffix_and_type(self):
+        text = render_prometheus(
+            {"lp.solves": 3}, TelemetryRegistry()
+        )
+        assert "# TYPE repro_lp_solves_total counter" in text
+        assert "repro_lp_solves_total 3" in text
+
+    def test_histogram_bucket_monotonicity_and_inf(self):
+        registry = TelemetryRegistry()
+        histogram = registry.histogram("server.request_seconds")
+        for value in (0.0001, 0.004, 0.03, 99999.0):
+            histogram.observe(value)
+        text = render_prometheus({}, registry)
+        bucket_values = []
+        inf_value = count_value = None
+        for line in text.splitlines():
+            if line.startswith("repro_server_request_seconds_bucket"):
+                value = int(line.rsplit(" ", 1)[1])
+                if 'le="+Inf"' in line:
+                    inf_value = value
+                else:
+                    bucket_values.append(value)
+            elif line.startswith("repro_server_request_seconds_count"):
+                count_value = int(line.rsplit(" ", 1)[1])
+        assert bucket_values == sorted(bucket_values), "cumulative"
+        assert len(bucket_values) == len(DEFAULT_BUCKETS)
+        assert inf_value == count_value == 4
+
+    def test_labeled_series_render_with_labels(self):
+        registry = TelemetryRegistry()
+        registry.histogram(
+            "server.request_seconds",
+            {"tenant": "acme", "endpoint": "/v1/query"},
+        ).observe(0.01)
+        registry.gauge("server.inflight_requests").set(2)
+        text = render_prometheus({}, registry)
+        assert 'endpoint="/v1/query"' in text
+        assert 'tenant="acme"' in text
+        assert "# TYPE repro_server_inflight_requests gauge" in text
+
+    def test_label_values_are_escaped(self):
+        registry = TelemetryRegistry()
+        registry.gauge("g", {"tenant": 'a"b\\c\nd'}).set(1)
+        text = render_prometheus({}, registry)
+        assert 'tenant="a\\"b\\\\c\\nd"' in text
+
+    def test_output_is_diff_stable(self):
+        registry = TelemetryRegistry()
+        registry.histogram("b").observe(0.1)
+        registry.gauge("a").set(1)
+        assert render_prometheus({"z": 1}, registry) == render_prometheus(
+            {"z": 1}, registry
+        )
+
+
+class TestSloTracker:
+    def _tracker(self, **kwargs):
+        clock = {"now": 0.0}
+
+        def advance(seconds: float) -> None:
+            clock["now"] += seconds
+
+        tracker = SloTracker(
+            latency_ms=100.0, clock=lambda: clock["now"], **kwargs
+        )
+        return tracker, advance
+
+    def test_good_requests_never_alert(self):
+        tracker, __ = self._tracker()
+        for __pass in range(50):
+            assert tracker.observe("acme", 10.0) is None
+
+    def test_burn_alert_is_edge_triggered(self):
+        tracker, advance = self._tracker()
+        alerts = []
+        for __ in range(10):
+            alert = tracker.observe("acme", 500.0)
+            if alert is not None:
+                alerts.append(alert)
+            advance(1.0)
+        assert len(alerts) == 1, "one alert per burn episode, not per event"
+        assert alerts[0]["tenant"] == "acme"
+        assert alerts[0]["burn_rate"] > 1.0
+
+    def test_errors_breach_even_when_fast(self):
+        tracker, __ = self._tracker()
+        alert = tracker.observe("acme", 1.0, error=True)
+        assert alert is not None
+
+    def test_stats_shape_and_windows(self):
+        tracker, advance = self._tracker()
+        tracker.observe("acme", 500.0)
+        tracker.observe("acme", 10.0)
+        advance(1.0)
+        stats = tracker.stats()
+        assert stats["objective"]["latency_ms"] == 100.0
+        windows = stats["tenants"]["acme"]["windows"]
+        assert windows["300s"]["total"] == 2
+        assert windows["300s"]["breaches"] == 1
+        assert windows["3600s"]["burn_rate"] > 0
+
+    def test_old_events_age_out(self):
+        tracker, advance = self._tracker()
+        tracker.observe("acme", 500.0)
+        advance(4000.0)  # beyond the long window
+        tracker.observe("acme", 10.0)
+        windows = tracker.stats()["tenants"]["acme"]["windows"]
+        assert windows["3600s"]["breaches"] == 0
+
+    def test_invalid_objectives_rejected(self):
+        with pytest.raises(ValueError):
+            SloTracker(latency_ms=0)
+        with pytest.raises(ValueError):
+            SloTracker(latency_ms=10, target=1.0)
+
+
+class TestSlowQueryLog:
+    def test_record_and_load_round_trip(self, tmp_path):
+        log = SlowQueryLog(tmp_path / "slow.jsonl")
+        log.record({"request_id": "req-1", "wall_ms": 300.0})
+        log.record({"request_id": "req-2", "wall_ms": 400.0})
+        records = load_slow_log(tmp_path / "slow.jsonl")
+        assert [r["request_id"] for r in records] == ["req-1", "req-2"]
+
+    def test_limit_keeps_newest(self, tmp_path):
+        log = SlowQueryLog(tmp_path / "slow.jsonl")
+        for i in range(5):
+            log.record({"request_id": f"req-{i}"})
+        records = load_slow_log(tmp_path / "slow.jsonl", limit=2)
+        assert [r["request_id"] for r in records] == ["req-3", "req-4"]
+
+    def test_rotation_bounds_the_file(self, tmp_path):
+        log = SlowQueryLog(tmp_path / "slow.jsonl", max_records=10)
+        for i in range(25):
+            log.record({"request_id": f"req-{i}"})
+        records = load_slow_log(tmp_path / "slow.jsonl")
+        assert len(records) <= 10
+        # The newest record always survives rotation.
+        assert records[-1]["request_id"] == "req-24"
+
+    def test_unparseable_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(path)
+        log.record({"request_id": "req-1"})
+        with open(path, "a") as handle:
+            handle.write("{truncated garba\n")
+        log.record({"request_id": "req-2"})
+        records = load_slow_log(path)
+        assert [r["request_id"] for r in records] == ["req-1", "req-2"]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_slow_log(tmp_path / "absent.jsonl") == []
+
+
+class TestRegressionSentry:
+    def _history_line(self, fast_total_s: float) -> dict:
+        return {
+            "benchmark": "E2",
+            "lp_mode": "filtered",
+            "jobs": 1,
+            "executor": "compiled",
+            "sizes": [4, 5],
+            "fast_total_s": fast_total_s,
+        }
+
+    def _record(self, fast_s: float) -> dict:
+        return {
+            "benchmark": "E2",
+            "sizes": [4, 5],
+            "results": [{"n": 4, "fast_s": fast_s},
+                        {"n": 5, "fast_s": fast_s}],
+            "metadata": {
+                "lp_mode": "filtered", "jobs": 1, "executor": "compiled",
+            },
+        }
+
+    def _write_history(self, path, timings) -> None:
+        with open(path, "w") as handle:
+            for timing in timings:
+                handle.write(json.dumps(self._history_line(timing)) + "\n")
+
+    def test_unchanged_run_is_ok(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        self._write_history(history, [0.02, 0.021, 0.019])
+        verdict = check_regression(self._record(0.010), str(history))
+        assert verdict["status"] == "ok"
+        assert verdict["samples"] == 3
+
+    def test_synthetic_slowdown_is_flagged(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        self._write_history(history, [0.02, 0.021, 0.019])
+        verdict = check_regression(self._record(0.5), str(history))
+        assert verdict["status"] == "regression"
+        assert verdict["ratio"] > 1.25
+
+    def test_median_shrugs_off_one_noisy_baseline(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        # One wild outlier in the history must not mask a regression.
+        self._write_history(history, [0.02, 5.0, 0.021, 0.019, 0.02])
+        verdict = check_regression(self._record(0.5), str(history))
+        assert verdict["status"] == "regression"
+
+    def test_no_history_passes(self, tmp_path):
+        verdict = check_regression(
+            self._record(0.5), str(tmp_path / "absent.jsonl")
+        )
+        assert verdict["status"] == "no-history"
+        assert verdict["samples"] == 0
+
+    def test_mismatched_experiment_lines_ignored(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        lines = [self._history_line(0.02) for __ in range(3)]
+        for line in lines:
+            line["lp_mode"] = "exact"  # different knob: not comparable
+        with open(history, "w") as handle:
+            for line in lines:
+                handle.write(json.dumps(line) + "\n")
+        verdict = check_regression(self._record(0.5), str(history))
+        assert verdict["status"] == "no-history"
+
+    def test_window_limits_the_baseline(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        # Old slow era followed by a fast era: window=2 must compare
+        # against the recent fast runs only.
+        self._write_history(history, [1.0, 1.0, 1.0, 0.02, 0.021])
+        verdict = check_regression(
+            self._record(0.5), str(history), window=2
+        )
+        assert verdict["status"] == "regression"
+
+    def test_invalid_knobs_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            check_regression(self._record(0.1), "x", window=0)
+        with pytest.raises(ValueError):
+            check_regression(self._record(0.1), "x", tolerance=0.0)
+
+    def test_load_history_skips_garbage(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        with open(path, "w") as handle:
+            handle.write(json.dumps(self._history_line(0.02)) + "\n")
+            handle.write("not json\n\n")
+            handle.write(json.dumps(self._history_line(0.03)) + "\n")
+        assert len(load_history(str(path))) == 2
+
+
+class TestPlanCostTotals:
+    def test_sums_self_costs_over_the_tree(self):
+        from repro.explain import plan_cost_totals
+
+        plan = {
+            "op": "root",
+            "cost": {
+                "self_wall_ms": 1.5,
+                "self_counters": {"lp.solves": 2},
+            },
+            "children": [
+                {
+                    "op": "leaf",
+                    "cost": {
+                        "self_wall_ms": 0.5,
+                        "self_counters": {"lp.solves": 3,
+                                          "store.hits": 1},
+                    },
+                    "children": [],
+                },
+                {"op": "bare", "children": []},  # nodes without cost
+            ],
+        }
+        totals = plan_cost_totals(plan)
+        assert totals["self_wall_ms"] == pytest.approx(2.0)
+        assert totals["self_counters"] == {"lp.solves": 5, "store.hits": 1}
